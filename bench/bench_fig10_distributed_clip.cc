@@ -1,0 +1,160 @@
+// Figure 10: "GPU utilization of single 16xA100 GPU machine while training
+// 1B parameter CLIP model. The dataset is LAION-400M streaming from AWS
+// us-east to GCP us-central datacenter."
+//
+// Here: a LAION-pair dataset (image + caption) of 480 rows behind a
+// simulated cross-region link; 16 rate-based GPU models each train on a
+// disjoint shard fed by its own streaming dataloader (threads). Also
+// reports the loader-only rate (no model), the paper's "up to 80,000
+// images/s per machine without model" data point. Reproduction targets:
+// near-flat, near-100% utilization on every GPU; loader-only throughput
+// an order of magnitude above the with-model rate.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "sim/gpu_model.h"
+#include "sim/network_model.h"
+#include "stream/dataloader.h"
+#include "tql/executor.h"
+
+namespace dl::bench {
+namespace {
+
+constexpr int kRows = 480;
+constexpr int kGpus = 16;
+// The paper's 1B-param CLIP runs ~320 img/s per A100 against a ~90-core
+// loader host. This substrate has one core (~450 img/s of decode), so the
+// per-GPU model rate is scaled to keep model-compute (not the loader) the
+// bottleneck — the condition Fig. 10 demonstrates.
+constexpr double kPerGpuImagesPerSec = 8;
+
+Status BuildLaion(storage::StoragePtr store, int n) {
+  DeepLake::OpenOptions oopts;
+  oopts.with_version_control = false;
+  DL_ASSIGN_OR_RETURN(auto lake, DeepLake::Open(store, oopts));
+  tsf::TensorOptions img;
+  img.htype = "image";
+  img.sample_compression = "jpeg";
+  DL_RETURN_IF_ERROR(lake->CreateTensor("images", img).status());
+  tsf::TensorOptions txt;
+  txt.htype = "text";
+  DL_RETURN_IF_ERROR(lake->CreateTensor("captions", txt).status());
+  sim::WorkloadGenerator gen(sim::WorkloadGenerator::LaionPair(), 51);
+  for (int i = 0; i < n; ++i) {
+    auto s = gen.Generate(i);
+    std::map<std::string, tsf::Sample> row;
+    row["images"] = tsf::Sample(tsf::DType::kUInt8,
+                                tsf::TensorShape(s.shape),
+                                std::move(s.pixels));
+    row["captions"] = tsf::Sample::FromString(s.caption);
+    DL_RETURN_IF_ERROR(lake->Append(row));
+  }
+  return lake->Flush();
+}
+
+}  // namespace
+}  // namespace dl::bench
+
+int main() {
+  using namespace dl;
+  using namespace dl::bench;
+  Header("Fig. 10 — 16-GPU CLIP training on LAION pairs streamed "
+         "cross-region",
+         "paper Fig. 10 (LAION-400M, 1B-param CLIP, 16xA100, AWS us-east "
+         "-> GCP us-central)",
+         "480 image+caption rows, simulated cross-region link, 16 rate-based "
+         "GPUs (rate scaled to the 1-core substrate, see comment)",
+         "every GPU near-100% utilization; loader-only img/s >> with-model "
+         "img/s");
+
+  auto base = std::make_shared<storage::MemoryStore>();
+  if (!BuildLaion(base, kRows).ok()) {
+    std::printf("build failed\n");
+    return 1;
+  }
+  auto remote = std::make_shared<sim::SimulatedObjectStore>(
+      base, sim::NetworkModel::S3CrossRegion());
+  auto ds = tsf::Dataset::Open(remote);
+  if (!ds.ok()) return 1;
+
+  // 16 trainer threads, each streaming its contiguous shard.
+  std::vector<std::unique_ptr<sim::GpuModel>> gpus;
+  for (int g = 0; g < kGpus; ++g) {
+    gpus.push_back(std::make_unique<sim::GpuModel>(
+        kPerGpuImagesPerSec, "gpu" + std::to_string(g)));
+  }
+  Stopwatch wall;
+  std::vector<std::thread> trainers;
+  for (int g = 0; g < kGpus; ++g) {
+    trainers.emplace_back([&, g] {
+      // Contiguous range sharding keeps every loader chunk-aligned (the
+      // standard distributed-training partitioning over chunked storage).
+      uint64_t per = kRows / kGpus;
+      std::vector<uint64_t> shard;
+      for (uint64_t i = g * per; i < (g + 1) * per; ++i) shard.push_back(i);
+      tql::DatasetView view(*ds, shard, {}, /*selects_all=*/true);
+      stream::DataloaderOptions opts;
+      opts.batch_size = 8;
+      opts.num_workers = 1;
+      opts.prefetch_units = 8;
+      opts.tensors = {"images", "captions"};
+      stream::Dataloader loader(*ds, view, opts);
+      stream::Batch batch;
+      while (true) {
+        auto more = loader.Next(&batch);
+        if (!more.ok() || !*more) break;
+        gpus[g]->TrainStep(batch.size);
+      }
+    });
+  }
+  for (auto& t : trainers) t.join();
+  double with_model_secs = wall.ElapsedSeconds();
+
+  // Per-GPU utilization + a Fig. 10-style per-window series.
+  Table table({"gpu", "util %", "img", "utilization over time (10 windows)"});
+  double total_util = 0;
+  uint64_t total_imgs = 0;
+  for (int g = 0; g < kGpus; ++g) {
+    auto timeline = gpus[g]->Timeline();
+    int64_t span = timeline.empty()
+                       ? 1
+                       : timeline.back().end_us - timeline.front().start_us;
+    auto series = gpus[g]->UtilizationSeries(std::max<int64_t>(span / 10, 1));
+    std::string spark;
+    for (double u : series) {
+      spark += Fmt("%.0f ", u * 100);
+    }
+    total_util += gpus[g]->Utilization();
+    total_imgs += gpus[g]->samples_processed();
+    table.AddRow({gpus[g]->label(),
+                  Fmt("%.1f", gpus[g]->Utilization() * 100),
+                  std::to_string(gpus[g]->samples_processed()), spark});
+  }
+  table.Print();
+  std::printf("\naggregate: %.0f img/s with model (%.1f%% mean GPU "
+              "utilization)\n",
+              total_imgs / with_model_secs, total_util / kGpus * 100);
+
+  // Loader-only rate (paper: "without model up to 80,000 images/s").
+  {
+    stream::DataloaderOptions opts;
+    opts.batch_size = 32;
+    opts.num_workers = 8;
+    opts.prefetch_units = 24;
+    opts.tensors = {"images", "captions"};
+    stream::Dataloader loader(*ds, opts);
+    Stopwatch sw;
+    stream::Batch batch;
+    uint64_t n = 0;
+    while (true) {
+      auto more = loader.Next(&batch);
+      if (!more.ok() || !*more) break;
+      n += batch.size;
+    }
+    std::printf("loader-only (no model): %.0f img/s\n",
+                n / sw.ElapsedSeconds());
+  }
+  std::printf("\n");
+  return 0;
+}

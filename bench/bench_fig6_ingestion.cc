@@ -1,0 +1,98 @@
+// Figure 6: "Ingesting 10,000 images from FFHQ dataset into different
+// format (lower better)".
+//
+// The paper writes 10,000 uncompressed 1024x1024x3 NumPy arrays serially
+// into each format on a c5.9xlarge. Here: 512 uncompressed 256x256x3
+// arrays written serially into each format over a local-FS network model
+// (same substrate for every format). The reproduction target is the
+// *shape*: Deep Lake ~ WebDataset ~ Beton (append-only layouts) clearly
+// faster than Zarr/N5 (static chunk grids: compression / many small
+// objects per sample).
+
+#include "baselines/format.h"
+#include "bench/bench_util.h"
+#include "sim/network_model.h"
+
+namespace dl::bench {
+namespace {
+
+constexpr int kImages = 512;
+constexpr uint64_t kSide = 256;
+
+storage::StoragePtr LocalStore() {
+  return std::make_shared<sim::SimulatedObjectStore>(
+      std::make_shared<storage::MemoryStore>(),
+      sim::NetworkModel::LocalFs());
+}
+
+double IngestDeepLake() {
+  sim::WorkloadGenerator gen(sim::WorkloadGenerator::FfhqLike(kSide), 11);
+  auto store = LocalStore();
+  Stopwatch sw;
+  Status st = BuildTsfDataset(store, gen, kImages, "none");
+  if (!st.ok()) std::printf("deeplake ingest error: %s\n", st.ToString().c_str());
+  return sw.ElapsedSeconds();
+}
+
+double IngestBaseline(baselines::BaselineFormat format) {
+  sim::WorkloadGenerator gen(sim::WorkloadGenerator::FfhqLike(kSide), 11);
+  auto store = LocalStore();
+  baselines::WriterOptions wopts;
+  wopts.compress_samples = false;  // Fig. 6 ingests raw arrays
+  Stopwatch sw;
+  auto writer = baselines::MakeWriter(format, store, "ds", wopts);
+  if (!writer.ok()) {
+    std::printf("writer error: %s\n", writer.status().ToString().c_str());
+    return 0;
+  }
+  for (int i = 0; i < kImages; ++i) {
+    Status st = (*writer)->Append(gen.Generate(i));
+    if (!st.ok()) {
+      std::printf("append error: %s\n", st.ToString().c_str());
+      return 0;
+    }
+  }
+  (void)(*writer)->Finish();
+  return sw.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace dl::bench
+
+int main() {
+  using namespace dl;
+  using namespace dl::bench;
+  Header("Fig. 6 — serial ingestion of uncompressed images into each format",
+         "paper Fig. 6 (10,000 FFHQ images, 1024^2x3, AWS c5.9xlarge)",
+         "512 images at 256^2x3 (~1/312 of the paper's bytes), simulated "
+         "local FS",
+         "deeplake ~ webdataset ~ beton << zarr-like / n5-like; parquet and "
+         "tfrecord in between");
+
+  struct Entry {
+    std::string name;
+    double secs;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"deeplake (TSF)", IngestDeepLake()});
+  for (auto format :
+       {baselines::BaselineFormat::kWebDataset,
+        baselines::BaselineFormat::kBeton,
+        baselines::BaselineFormat::kTfRecord,
+        baselines::BaselineFormat::kSquirrel,
+        baselines::BaselineFormat::kParquet,
+        baselines::BaselineFormat::kFolder,
+        baselines::BaselineFormat::kZarr, baselines::BaselineFormat::kN5}) {
+    entries.push_back({std::string(baselines::BaselineFormatName(format)),
+                       IngestBaseline(format)});
+  }
+
+  double deeplake_secs = entries[0].secs;
+  Table table({"format", "ingest time", "vs deeplake"});
+  for (const auto& e : entries) {
+    table.AddRow({e.name, Secs(e.secs), Fmt("%.2fx", e.secs / deeplake_secs)});
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// §3.4 scale claim: "a single chunk encoder can be scaled to billions of
+// images while maintaining a 150MB chunk encoder per 1PB tensor data".
+//
+// Fills chunk encoders with realistic allocation patterns (sequential ids
+// within a session, near-constant samples per 8MB chunk) at increasing
+// sample counts, measures serialized bytes per chunk, and extrapolates the
+// encoder size for 1PB of 8MB chunks. Also reports lookup latency — the
+// map must stay fast at depth.
+
+#include "bench/bench_util.h"
+#include "tsf/chunk_encoder.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace dl;
+  using namespace dl::bench;
+  Header("§3.4 claim — chunk encoder size and speed at scale",
+         "paper §3.4 (\"150MB chunk encoder per 1PB tensor data\")",
+         "synthetic encoders up to 10M chunks; 1PB extrapolated from "
+         "measured bytes/chunk",
+         "a few bytes per chunk; sub-microsecond lookups; 1PB extrapolation "
+         "within the claim's order of magnitude");
+
+  Table table({"chunks", "samples", "encoder bytes", "bytes/chunk",
+               "lookup ns", "data @8MB/chunk"});
+  double bytes_per_chunk_at_scale = 0;
+  for (uint64_t chunks : {uint64_t{1000}, uint64_t{100000},
+                          uint64_t{1000000}, uint64_t{10000000}}) {
+    Rng rng(7);
+    tsf::ChunkEncoder enc;
+    uint64_t id = rng.Next();
+    uint64_t total_samples = 0;
+    for (uint64_t c = 0; c < chunks; ++c) {
+      // ~45 samples per 8MB chunk of ~180KB compressed images, jittered.
+      uint64_t samples = 40 + rng.Uniform(10);
+      enc.AddChunk(id++, samples);
+      total_samples += samples;
+      // Occasional session restart re-salts the id base (new writer).
+      if (rng.Uniform(100000) == 0) id = rng.Next();
+    }
+    ByteBuffer serialized = enc.Serialize();
+    double per_chunk =
+        static_cast<double>(serialized.size()) / static_cast<double>(chunks);
+    bytes_per_chunk_at_scale = per_chunk;
+
+    // Lookup latency over random indices.
+    Stopwatch sw;
+    constexpr int kLookups = 200000;
+    uint64_t sink = 0;
+    for (int i = 0; i < kLookups; ++i) {
+      auto loc = enc.Find(rng.Uniform(total_samples));
+      if (loc.ok()) sink += loc->chunk_id;
+    }
+    double ns = sw.ElapsedMicros() * 1000.0 / kLookups;
+    (void)sink;
+
+    table.AddRow({std::to_string(chunks), std::to_string(total_samples),
+                  HumanBytes(serialized.size()), Fmt("%.2f", per_chunk),
+                  Fmt("%.0f", ns), HumanBytes(chunks * (8ull << 20))});
+  }
+  table.Print();
+
+  double pb_chunks = (1ull << 50) / static_cast<double>(8 << 20);
+  double pb_encoder = pb_chunks * bytes_per_chunk_at_scale;
+  std::printf("\nextrapolation: 1PB of 8MB chunks = %.0fM chunks -> %s "
+              "encoder (paper claims ~150MB; sharding the encoder divides "
+              "this further)\n\n",
+              pb_chunks / 1e6, HumanBytes(static_cast<uint64_t>(pb_encoder)).c_str());
+  return 0;
+}

@@ -1,0 +1,111 @@
+#ifndef DEEPLAKE_BENCH_BENCH_UTIL_H_
+#define DEEPLAKE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark harness: aligned table printing and
+// common dataset builders. Every bench prints a header documenting the
+// paper figure it reproduces and the scale factors applied.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deeplake.h"
+#include "sim/workload.h"
+#include "storage/storage.h"
+#include "util/clock.h"
+#include "util/string_util.h"
+
+namespace dl::bench {
+
+inline void Header(const char* title, const char* paper_ref,
+                   const char* scale_note, const char* expectation) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("  reproduces: %s\n", paper_ref);
+  std::printf("  scale:      %s\n", scale_note);
+  std::printf("  expected:   %s\n", expectation);
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+/// Minimal aligned table: set column headers, add string rows, print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("  %-*s", static_cast<int>(widths[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+inline std::string Secs(double s) { return Fmt("%.2f s", s); }
+inline std::string PerSec(double v) { return Fmt("%.0f", v); }
+
+/// Builds a Deep Lake dataset (images + labels) from a workload generator.
+/// `compression` "jpeg" stores lossy frames (Fig. 7/8 datasets), "none"
+/// stores raw arrays (Fig. 6).
+inline Status BuildTsfDataset(storage::StoragePtr store,
+                              const sim::WorkloadGenerator& gen, int n,
+                              const std::string& compression) {
+  DeepLake::OpenOptions oopts;
+  oopts.with_version_control = false;  // benches measure the format alone
+  DL_ASSIGN_OR_RETURN(auto lake, DeepLake::Open(store, oopts));
+  tsf::TensorOptions img;
+  img.htype = "image";
+  img.sample_compression = compression;
+  DL_RETURN_IF_ERROR(lake->CreateTensor("images", img).status());
+  tsf::TensorOptions lbl;
+  lbl.htype = "class_label";
+  DL_RETURN_IF_ERROR(lake->CreateTensor("labels", lbl).status());
+  for (int i = 0; i < n; ++i) {
+    auto s = gen.Generate(i);
+    std::map<std::string, tsf::Sample> row;
+    row["images"] = tsf::Sample(tsf::DType::kUInt8,
+                                tsf::TensorShape(s.shape),
+                                std::move(s.pixels));
+    row["labels"] = tsf::Sample::Scalar(s.label, tsf::DType::kInt32);
+    DL_RETURN_IF_ERROR(lake->Append(row));
+  }
+  return lake->Flush();
+}
+
+/// Opens the dataset built by BuildTsfDataset over any store.
+inline Result<std::shared_ptr<tsf::Dataset>> OpenTsfDataset(
+    storage::StoragePtr store) {
+  return tsf::Dataset::Open(store);
+}
+
+}  // namespace dl::bench
+
+#endif  // DEEPLAKE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,149 @@
+// FFCV "Beton" baseline: one binary object with a fixed-width index table
+// followed by the sample payload region; loads batch exact byte ranges.
+//
+// Layout:
+//   [0..7]   u64 sample count N
+//   [8..8+32*N)  index entries: u64 offset, u64 len, i64 label,
+//                u32 height, u32 width  (channels implied by blob)
+//   payload region (sample blobs back to back)
+
+#include <cstring>
+
+#include "baselines/formats_internal.h"
+#include "baselines/loader_engine.h"
+#include "util/coding.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::baselines::internal {
+
+namespace {
+
+constexpr size_t kEntryBytes = 32;
+
+std::string DataKey(const std::string& prefix) {
+  return PathJoin(prefix, "data.beton");
+}
+
+class BetonWriter final : public FormatWriter {
+ public:
+  BetonWriter(storage::StoragePtr store, std::string prefix,
+              WriterOptions options)
+      : store_(std::move(store)), prefix_(std::move(prefix)),
+        options_(options) {}
+
+  Status Append(const sim::SampleSpec& sample) override {
+    ByteBuffer blob = EncodeSampleBlob(sample, options_);
+    Entry e;
+    e.offset = payload_.size();
+    e.len = blob.size();
+    e.label = sample.label;
+    e.height = static_cast<uint32_t>(sample.shape[0]);
+    e.width = static_cast<uint32_t>(sample.shape[1]);
+    entries_.push_back(e);
+    AppendBytes(payload_, ByteView(blob));
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    ByteBuffer out;
+    PutFixed64(out, entries_.size());
+    uint64_t payload_base = 8 + kEntryBytes * entries_.size();
+    for (const Entry& e : entries_) {
+      PutFixed64(out, payload_base + e.offset);
+      PutFixed64(out, e.len);
+      PutFixed64(out, static_cast<uint64_t>(e.label));
+      PutFixed32(out, e.height);
+      PutFixed32(out, e.width);
+    }
+    AppendBytes(out, ByteView(payload_));
+    return store_->Put(DataKey(prefix_), ByteView(out));
+  }
+
+ private:
+  struct Entry {
+    uint64_t offset, len;
+    int64_t label;
+    uint32_t height, width;
+  };
+
+  storage::StoragePtr store_;
+  std::string prefix_;
+  WriterOptions options_;
+  std::vector<Entry> entries_;
+  ByteBuffer payload_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FormatWriter>> MakeBetonWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options) {
+  return std::unique_ptr<FormatWriter>(
+      new BetonWriter(store, prefix, options));
+}
+
+Result<std::unique_ptr<FormatLoader>> MakeBetonLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options) {
+  std::string key = DataKey(prefix);
+  // Read the count, then the index table, with two range requests.
+  DL_ASSIGN_OR_RETURN(ByteBuffer head, store->GetRange(key, 0, 8));
+  if (head.size() < 8) return Status::Corruption("beton: truncated header");
+  uint64_t n = DecodeFixed64(head.data());
+  DL_ASSIGN_OR_RETURN(ByteBuffer table,
+                      store->GetRange(key, 8, kEntryBytes * n));
+  if (table.size() < kEntryBytes * n) {
+    return Status::Corruption("beton: truncated index");
+  }
+  struct Entry {
+    uint64_t offset, len;
+    int64_t label;
+  };
+  std::vector<Entry> entries(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t* p = table.data() + i * kEntryBytes;
+    entries[i].offset = DecodeFixed64(p);
+    entries[i].len = DecodeFixed64(p + 8);
+    entries[i].label = static_cast<int64_t>(DecodeFixed64(p + 16));
+  }
+  // Batch consecutive entries into page-sized range reads.
+  constexpr uint64_t kPageBytes = 4ull << 20;
+  std::vector<ParallelTaskLoader::Task> tasks;
+  uint64_t i = 0;
+  while (i < n) {
+    uint64_t j = i;
+    uint64_t begin = entries[i].offset;
+    uint64_t end = begin;
+    while (j < n && entries[j].offset + entries[j].len - begin <= kPageBytes) {
+      end = entries[j].offset + entries[j].len;
+      ++j;
+    }
+    if (j == i) {  // single oversized sample
+      end = entries[i].offset + entries[i].len;
+      j = i + 1;
+    }
+    std::vector<Entry> page(entries.begin() + i, entries.begin() + j);
+    bool decode = options.decode;
+    tasks.push_back([store, key, begin, end, page = std::move(page),
+                     decode]() -> Result<std::vector<LoadedSample>> {
+      DL_ASSIGN_OR_RETURN(ByteBuffer bytes,
+                          store->GetRange(key, begin, end - begin));
+      std::vector<LoadedSample> out;
+      out.reserve(page.size());
+      for (const Entry& e : page) {
+        ByteView blob =
+            ByteView(bytes).subview(e.offset - begin, e.len);
+        DL_ASSIGN_OR_RETURN(LoadedSample s, DecodeSampleBlob(blob, decode));
+        s.label = e.label;
+        out.push_back(std::move(s));
+      }
+      return out;
+    });
+    i = j;
+  }
+  return std::unique_ptr<FormatLoader>(
+      new ParallelTaskLoader(std::move(tasks), options));
+}
+
+}  // namespace dl::baselines::internal

@@ -1,0 +1,243 @@
+// Zarr/N5-style static chunk-grid baseline: one uniform 4-d array
+// [N, H, W, C] cut into fixed chunks. Unlike TSF there is no per-sample
+// chunk map — the grid is implied — but samples must be uniform (ragged
+// inputs are padded/cropped) and chunks are not sample-aligned. The zarr
+// flavor compresses chunks (blosc stand-in: LZ77); the n5 flavor stores
+// raw chunks in a finer grid (more objects per sample).
+//
+// Layout: meta.json, labels.bin, chunks under c/<group>/<ty>/<tx>.
+
+#include <cstring>
+
+#include "baselines/formats_internal.h"
+#include "baselines/loader_engine.h"
+#include "compress/codec.h"
+#include "util/coding.h"
+#include "util/json.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::baselines::internal {
+
+namespace {
+
+struct GridMeta {
+  uint64_t n = 0;           // samples written
+  uint64_t height = 0, width = 0, channels = 0;
+  uint64_t chunk_samples = 0, tile_h = 0, tile_w = 0;
+  bool compressed = false;
+
+  uint64_t GridH() const { return (height + tile_h - 1) / tile_h; }
+  uint64_t GridW() const { return (width + tile_w - 1) / tile_w; }
+
+  Json ToJson() const {
+    Json j = Json::MakeObject();
+    j.Set("n", n);
+    j.Set("height", height);
+    j.Set("width", width);
+    j.Set("channels", channels);
+    j.Set("chunk_samples", chunk_samples);
+    j.Set("tile_h", tile_h);
+    j.Set("tile_w", tile_w);
+    j.Set("compressed", compressed);
+    return j;
+  }
+  static GridMeta FromJson(const Json& j) {
+    GridMeta m;
+    m.n = j.Get("n").as_int();
+    m.height = j.Get("height").as_int();
+    m.width = j.Get("width").as_int();
+    m.channels = j.Get("channels").as_int();
+    m.chunk_samples = j.Get("chunk_samples").as_int();
+    m.tile_h = j.Get("tile_h").as_int();
+    m.tile_w = j.Get("tile_w").as_int();
+    m.compressed = j.Get("compressed").as_bool();
+    return m;
+  }
+};
+
+std::string ChunkKey(const std::string& prefix, uint64_t group, uint64_t ty,
+                     uint64_t tx) {
+  return PathJoin(prefix, "c",
+                  std::to_string(group) + "/" + std::to_string(ty) + "/" +
+                      std::to_string(tx));
+}
+
+/// Bytes of one chunk: chunk_samples * tile_h * tile_w * channels (edge
+/// tiles zero-padded — the static grid stores full chunks, one of the
+/// format's storage costs).
+uint64_t ChunkBytes(const GridMeta& m) {
+  return m.chunk_samples * m.tile_h * m.tile_w * m.channels;
+}
+
+class ChunkGridWriter final : public FormatWriter {
+ public:
+  ChunkGridWriter(storage::StoragePtr store, std::string prefix,
+                  WriterOptions options, bool n5_flavor)
+      : store_(std::move(store)), prefix_(std::move(prefix)),
+        options_(options), n5_(n5_flavor) {}
+
+  Status Append(const sim::SampleSpec& sample) override {
+    if (meta_.n == 0 && group_fill_ == 0 && meta_.height == 0) {
+      // The grid is fixed by the first sample.
+      meta_.height = sample.shape[0];
+      meta_.width = sample.shape[1];
+      meta_.channels = sample.shape[2];
+      meta_.chunk_samples = std::max<uint64_t>(1, options_.rows_per_group);
+      // Static grids use format defaults that do not align with sample
+      // shapes (the source of zarr/n5's padding + multi-tile writes):
+      // zarr-flavor ~180^2 compressed tiles, n5-flavor finer 96^2 raw
+      // tiles.
+      uint64_t tile = n5_ ? 96 : 180;
+      meta_.tile_h = std::min<uint64_t>(meta_.height, tile);
+      meta_.tile_w = std::min<uint64_t>(meta_.width, tile);
+      meta_.compressed = !n5_;
+      group_buffers_.assign(meta_.GridH() * meta_.GridW(),
+                            ByteBuffer(ChunkBytes(meta_), 0));
+    }
+    // Pad/crop the sample into the uniform grid shape.
+    uint64_t h = std::min(sample.shape[0], meta_.height);
+    uint64_t w = std::min(sample.shape[1], meta_.width);
+    uint64_t c = std::min(sample.shape[2], meta_.channels);
+    for (uint64_t y = 0; y < h; ++y) {
+      for (uint64_t x = 0; x < w; ++x) {
+        uint64_t ty = y / meta_.tile_h, tx = x / meta_.tile_w;
+        ByteBuffer& buf = group_buffers_[ty * meta_.GridW() + tx];
+        uint64_t ly = y % meta_.tile_h, lx = x % meta_.tile_w;
+        uint64_t dst = ((group_fill_ * meta_.tile_h + ly) * meta_.tile_w +
+                        lx) * meta_.channels;
+        uint64_t src = (y * sample.shape[1] + x) * sample.shape[2];
+        std::memcpy(buf.data() + dst, sample.pixels.data() + src, c);
+      }
+    }
+    labels_.push_back(sample.label);
+    ++group_fill_;
+    if (group_fill_ == meta_.chunk_samples) {
+      DL_RETURN_IF_ERROR(FlushGroup());
+    }
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    if (group_fill_ > 0) DL_RETURN_IF_ERROR(FlushGroup());
+    std::string text = meta_.ToJson().Dump();
+    DL_RETURN_IF_ERROR(
+        store_->Put(PathJoin(prefix_, "meta.json"), ByteView(text)));
+    ByteBuffer index;
+    PutVarint64(index, labels_.size());
+    for (int64_t l : labels_) PutVarintSigned64(index, l);
+    return store_->Put(PathJoin(prefix_, "labels.bin"), ByteView(index));
+  }
+
+ private:
+  Status FlushGroup() {
+    uint64_t group = meta_.n / meta_.chunk_samples;
+    for (uint64_t ty = 0; ty < meta_.GridH(); ++ty) {
+      for (uint64_t tx = 0; tx < meta_.GridW(); ++tx) {
+        ByteBuffer& buf = group_buffers_[ty * meta_.GridW() + tx];
+        ByteView payload(buf);
+        ByteBuffer frame;
+        if (meta_.compressed) {
+          DL_ASSIGN_OR_RETURN(frame,
+                              compress::CompressBytes(
+                                  compress::Compression::kLz77, payload));
+          payload = ByteView(frame);
+        }
+        DL_RETURN_IF_ERROR(
+            store_->Put(ChunkKey(prefix_, group, ty, tx), payload));
+        std::fill(buf.begin(), buf.end(), 0);
+      }
+    }
+    meta_.n += group_fill_;
+    group_fill_ = 0;
+    return Status::OK();
+  }
+
+  storage::StoragePtr store_;
+  std::string prefix_;
+  WriterOptions options_;
+  bool n5_;
+  GridMeta meta_;
+  std::vector<ByteBuffer> group_buffers_;
+  uint64_t group_fill_ = 0;
+  std::vector<int64_t> labels_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FormatWriter>> MakeChunkGridWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options, bool n5_flavor) {
+  return std::unique_ptr<FormatWriter>(
+      new ChunkGridWriter(store, prefix, options, n5_flavor));
+}
+
+Result<std::unique_ptr<FormatLoader>> MakeChunkGridLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+                      store->Get(PathJoin(prefix, "meta.json")));
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(meta_bytes).ToStringView()));
+  GridMeta meta = GridMeta::FromJson(j);
+  DL_ASSIGN_OR_RETURN(ByteBuffer index,
+                      store->Get(PathJoin(prefix, "labels.bin")));
+  Decoder dec{ByteView(index)};
+  DL_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+  std::vector<int64_t> labels(n);
+  for (auto& l : labels) {
+    DL_ASSIGN_OR_RETURN(l, dec.GetVarintSigned64());
+  }
+
+  uint64_t groups = (meta.n + meta.chunk_samples - 1) / meta.chunk_samples;
+  std::vector<ParallelTaskLoader::Task> tasks;
+  for (uint64_t g = 0; g < groups; ++g) {
+    uint64_t first = g * meta.chunk_samples;
+    uint64_t count = std::min(meta.chunk_samples, meta.n - first);
+    std::vector<int64_t> group_labels(labels.begin() + first,
+                                      labels.begin() + first + count);
+    tasks.push_back([store, prefix, meta, g, count,
+                     group_labels]() -> Result<std::vector<LoadedSample>> {
+      // Fetch every tile chunk of the group, assemble each sample.
+      std::vector<ByteBuffer> chunks(meta.GridH() * meta.GridW());
+      for (uint64_t ty = 0; ty < meta.GridH(); ++ty) {
+        for (uint64_t tx = 0; tx < meta.GridW(); ++tx) {
+          DL_ASSIGN_OR_RETURN(ByteBuffer bytes,
+                              store->Get(ChunkKey(prefix, g, ty, tx)));
+          if (meta.compressed) {
+            DL_ASSIGN_OR_RETURN(
+                bytes, compress::DecompressBytes(
+                           compress::Compression::kLz77, ByteView(bytes)));
+          }
+          chunks[ty * meta.GridW() + tx] = std::move(bytes);
+        }
+      }
+      std::vector<LoadedSample> out;
+      out.reserve(count);
+      for (uint64_t li = 0; li < count; ++li) {
+        LoadedSample s;
+        s.shape = {meta.height, meta.width, meta.channels};
+        s.pixels.resize(meta.height * meta.width * meta.channels);
+        for (uint64_t y = 0; y < meta.height; ++y) {
+          uint64_t ty = y / meta.tile_h, ly = y % meta.tile_h;
+          for (uint64_t tx = 0; tx < meta.GridW(); ++tx) {
+            uint64_t x0 = tx * meta.tile_w;
+            uint64_t cols = std::min(meta.tile_w, meta.width - x0);
+            const ByteBuffer& chunk = chunks[ty * meta.GridW() + tx];
+            uint64_t src = ((li * meta.tile_h + ly) * meta.tile_w) *
+                           meta.channels;
+            uint64_t dst = (y * meta.width + x0) * meta.channels;
+            std::memcpy(s.pixels.data() + dst, chunk.data() + src,
+                        cols * meta.channels);
+          }
+        }
+        s.label = group_labels[li];
+        out.push_back(std::move(s));
+      }
+      return out;
+    });
+  }
+  return std::unique_ptr<FormatLoader>(
+      new ParallelTaskLoader(std::move(tasks), options));
+}
+
+}  // namespace dl::baselines::internal

@@ -1,0 +1,88 @@
+// File-per-sample "PyTorch folder" baseline: each sample is one object,
+// labels live in a sidecar index. Loading issues one storage request per
+// sample — cheap locally, painful on object storage (paper Figs. 7/8).
+
+#include "baselines/formats_internal.h"
+#include "baselines/loader_engine.h"
+#include "util/coding.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::baselines::internal {
+
+namespace {
+
+class FolderWriter final : public FormatWriter {
+ public:
+  FolderWriter(storage::StoragePtr store, std::string prefix,
+               WriterOptions options)
+      : store_(std::move(store)), prefix_(std::move(prefix)),
+        options_(options) {}
+
+  Status Append(const sim::SampleSpec& sample) override {
+    ByteBuffer blob = EncodeSampleBlob(sample, options_);
+    std::string key =
+        PathJoin(prefix_, "samples", ZeroPad(count_, 8) + ".img");
+    DL_RETURN_IF_ERROR(store_->Put(key, ByteView(blob)));
+    labels_.push_back(sample.label);
+    ++count_;
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    ByteBuffer index;
+    PutVarint64(index, labels_.size());
+    for (int64_t l : labels_) PutVarintSigned64(index, l);
+    return store_->Put(PathJoin(prefix_, "labels.bin"), ByteView(index));
+  }
+
+ private:
+  storage::StoragePtr store_;
+  std::string prefix_;
+  WriterOptions options_;
+  std::vector<int64_t> labels_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FormatWriter>> MakeFolderWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options) {
+  return std::unique_ptr<FormatWriter>(
+      new FolderWriter(store, prefix, options));
+}
+
+Result<std::unique_ptr<FormatLoader>> MakeFolderLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer index,
+                      store->Get(PathJoin(prefix, "labels.bin")));
+  Decoder dec{ByteView(index)};
+  DL_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+  std::vector<int64_t> labels(n);
+  for (auto& l : labels) {
+    DL_ASSIGN_OR_RETURN(l, dec.GetVarintSigned64());
+  }
+  std::vector<ParallelTaskLoader::Task> tasks;
+  tasks.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key = PathJoin(prefix, "samples", ZeroPad(i, 8) + ".img");
+    int64_t label = labels[i];
+    bool decode = options.decode;
+    tasks.push_back(
+        [store, key, label, decode]() -> Result<std::vector<LoadedSample>> {
+          DL_ASSIGN_OR_RETURN(ByteBuffer blob, store->Get(key));
+          DL_ASSIGN_OR_RETURN(LoadedSample s,
+                              DecodeSampleBlob(ByteView(blob), decode));
+          s.label = label;
+          std::vector<LoadedSample> out;
+          out.push_back(std::move(s));
+          return out;
+        });
+  }
+  return std::unique_ptr<FormatLoader>(
+      new ParallelTaskLoader(std::move(tasks), options));
+}
+
+}  // namespace dl::baselines::internal

@@ -1,0 +1,125 @@
+#include "baselines/format.h"
+
+#include "baselines/formats_internal.h"
+#include "compress/codec.h"
+#include "util/coding.h"
+#include "util/macros.h"
+
+namespace dl::baselines {
+
+std::string_view BaselineFormatName(BaselineFormat f) {
+  switch (f) {
+    case BaselineFormat::kFolder:
+      return "pytorch-folder";
+    case BaselineFormat::kWebDataset:
+      return "webdataset";
+    case BaselineFormat::kBeton:
+      return "ffcv-beton";
+    case BaselineFormat::kZarr:
+      return "zarr-like";
+    case BaselineFormat::kN5:
+      return "n5-like";
+    case BaselineFormat::kParquet:
+      return "parquet-like";
+    case BaselineFormat::kTfRecord:
+      return "tfrecord";
+    case BaselineFormat::kSquirrel:
+      return "squirrel";
+  }
+  return "unknown";
+}
+
+ByteBuffer EncodeSampleBlob(const sim::SampleSpec& sample,
+                            const WriterOptions& options) {
+  if (options.compress_samples) {
+    return sim::EncodeAsImageFile(sample, options.quality);
+  }
+  ByteBuffer out;
+  out.push_back('R');
+  PutVarint64(out, sample.shape[0]);
+  PutVarint64(out, sample.shape[1]);
+  PutVarint64(out, sample.shape[2]);
+  AppendBytes(out, ByteView(sample.pixels));
+  return out;
+}
+
+Result<LoadedSample> DecodeSampleBlob(ByteView blob, bool decode) {
+  LoadedSample out;
+  if (blob.empty()) return Status::Corruption("blob: empty");
+  if (blob[0] == 'R') {
+    Decoder dec{blob};
+    DL_RETURN_IF_ERROR(dec.Skip(1));
+    out.shape.resize(3);
+    for (auto& d : out.shape) {
+      DL_ASSIGN_OR_RETURN(d, dec.GetVarint64());
+    }
+    DL_ASSIGN_OR_RETURN(ByteView pixels, dec.GetBytes(dec.remaining()));
+    uint64_t expected = out.shape[0] * out.shape[1] * out.shape[2];
+    if (pixels.size() != expected) {
+      return Status::Corruption("blob: raw size mismatch");
+    }
+    out.pixels = pixels.ToBuffer();
+    return out;
+  }
+  // Compressed image frame.
+  DL_ASSIGN_OR_RETURN(compress::ImageFrameInfo info,
+                      compress::PeekImageFrameInfo(blob));
+  out.shape = {info.height, info.width, info.channels};
+  if (decode) {
+    DL_ASSIGN_OR_RETURN(out.pixels, compress::DecompressBytes(
+                                        compress::Compression::kImageLossy,
+                                        blob));
+  } else {
+    out.pixels = blob.ToBuffer();
+  }
+  return out;
+}
+
+Result<std::unique_ptr<FormatWriter>> MakeWriter(
+    BaselineFormat format, storage::StoragePtr store,
+    const std::string& prefix, const WriterOptions& options) {
+  switch (format) {
+    case BaselineFormat::kFolder:
+      return internal::MakeFolderWriter(store, prefix, options);
+    case BaselineFormat::kWebDataset:
+      return internal::MakeWebDatasetWriter(store, prefix, options);
+    case BaselineFormat::kBeton:
+      return internal::MakeBetonWriter(store, prefix, options);
+    case BaselineFormat::kZarr:
+      return internal::MakeChunkGridWriter(store, prefix, options, false);
+    case BaselineFormat::kN5:
+      return internal::MakeChunkGridWriter(store, prefix, options, true);
+    case BaselineFormat::kParquet:
+      return internal::MakeParquetWriter(store, prefix, options);
+    case BaselineFormat::kTfRecord:
+      return internal::MakeFramedShardWriter(store, prefix, options, true);
+    case BaselineFormat::kSquirrel:
+      return internal::MakeFramedShardWriter(store, prefix, options, false);
+  }
+  return Status::InvalidArgument("unknown baseline format");
+}
+
+Result<std::unique_ptr<FormatLoader>> MakeLoader(
+    BaselineFormat format, storage::StoragePtr store,
+    const std::string& prefix, const LoaderOptions& options) {
+  switch (format) {
+    case BaselineFormat::kFolder:
+      return internal::MakeFolderLoader(store, prefix, options);
+    case BaselineFormat::kWebDataset:
+      return internal::MakeWebDatasetLoader(store, prefix, options);
+    case BaselineFormat::kBeton:
+      return internal::MakeBetonLoader(store, prefix, options);
+    case BaselineFormat::kZarr:
+    case BaselineFormat::kN5:
+      return internal::MakeChunkGridLoader(store, prefix, options);
+    case BaselineFormat::kParquet:
+      return internal::MakeParquetLoader(store, prefix, options);
+    case BaselineFormat::kTfRecord:
+      return internal::MakeFramedShardLoader(store, prefix, options, true);
+    case BaselineFormat::kSquirrel:
+      return internal::MakeFramedShardLoader(store, prefix, options, false);
+  }
+  return Status::InvalidArgument("unknown baseline format");
+}
+
+}  // namespace dl::baselines

@@ -1,0 +1,106 @@
+#ifndef DEEPLAKE_BASELINES_FORMAT_H_
+#define DEEPLAKE_BASELINES_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.h"
+#include "storage/storage.h"
+
+namespace dl::baselines {
+
+/// The comparator formats of the paper's evaluation (Figs. 6-8), each
+/// re-implemented over the same storage substrate so benchmarks compare
+/// *layouts and access patterns*, not I/O stacks (DESIGN.md §1).
+enum class BaselineFormat {
+  kFolder,      // file-per-sample, the "native PyTorch" folder dataset
+  kWebDataset,  // tar shards, sequential
+  kBeton,       // FFCV-style single indexed binary
+  kZarr,        // static chunk grid, LZ77 chunks (zarr/TensorStore stand-in)
+  kN5,          // static chunk grid, raw chunks, smaller tiles
+  kParquet,     // row groups + column pages (Petastorm stand-in)
+  kTfRecord,    // length+CRC framed records in shards
+  kSquirrel,    // framed msgpack-ish shards
+};
+
+std::string_view BaselineFormatName(BaselineFormat f);
+
+struct WriterOptions {
+  /// Store samples as compressed image frames (Figs. 7/8 JPEG datasets) or
+  /// raw arrays (Fig. 6 ingests uncompressed NumPy arrays).
+  bool compress_samples = false;
+  int quality = 75;
+  /// Shard target for sharded formats.
+  uint64_t shard_bytes = 32ull << 20;
+  /// Rows per row-group (parquet) / samples per chunk (zarr, n5).
+  uint64_t rows_per_group = 16;
+};
+
+/// Serial writer: `Append` every sample, then `Finish`.
+class FormatWriter {
+ public:
+  virtual ~FormatWriter() = default;
+  virtual Status Append(const sim::SampleSpec& sample) = 0;
+  virtual Status Finish() = 0;
+};
+
+/// One loaded sample. When the loader runs with decode off, `pixels` holds
+/// the stored blob instead of decoded pixels.
+struct LoadedSample {
+  ByteBuffer pixels;
+  std::vector<uint64_t> shape;
+  int64_t label = 0;
+};
+
+struct LoaderOptions {
+  size_t num_workers = 4;
+  /// Decode stored frames back to pixels (the Fig. 7 loop decodes).
+  bool decode = true;
+  /// Visit order shuffled at the format's natural granularity (files /
+  /// shards / index entries).
+  bool shuffle = false;
+  uint64_t seed = 7;
+  /// In-flight prefetch tasks.
+  size_t prefetch = 8;
+  /// Models the host interpreter's per-sample cost for loaders driven by a
+  /// Python loop (GIL hand-offs, per-sample object churn, IPC copies).
+  /// Applied *serialized* across workers — exactly the GIL behaviour the
+  /// paper's C++ loader avoids (§4.6). 0 for compiled loaders.
+  int64_t interpreter_overhead_us = 0;
+};
+
+/// Pull-based loader; samples arrive in task completion order.
+class FormatLoader {
+ public:
+  virtual ~FormatLoader() = default;
+  /// Returns false at end of stream.
+  virtual Result<bool> Next(LoadedSample* out) = 0;
+};
+
+/// Creates a writer for `format` rooted at `prefix` within `store`.
+Result<std::unique_ptr<FormatWriter>> MakeWriter(BaselineFormat format,
+                                                 storage::StoragePtr store,
+                                                 const std::string& prefix,
+                                                 const WriterOptions& options);
+
+/// Creates a loader over a finished dataset.
+Result<std::unique_ptr<FormatLoader>> MakeLoader(BaselineFormat format,
+                                                 storage::StoragePtr store,
+                                                 const std::string& prefix,
+                                                 const LoaderOptions& options);
+
+// ---- Shared sample blob encoding -----------------------------------------
+
+/// Self-describing sample blob: either an image-codec frame (compressed
+/// mode; magic 'I') or a raw record "R" + varint h,w,c + bytes.
+ByteBuffer EncodeSampleBlob(const sim::SampleSpec& sample,
+                            const WriterOptions& options);
+
+/// Decodes a blob. With `decode` false the payload is returned verbatim
+/// (shape still parsed for raw blobs; empty for compressed ones).
+Result<LoadedSample> DecodeSampleBlob(ByteView blob, bool decode);
+
+}  // namespace dl::baselines
+
+#endif  // DEEPLAKE_BASELINES_FORMAT_H_

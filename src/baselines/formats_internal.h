@@ -1,0 +1,55 @@
+#ifndef DEEPLAKE_BASELINES_FORMATS_INTERNAL_H_
+#define DEEPLAKE_BASELINES_FORMATS_INTERNAL_H_
+
+// Per-format factory functions, wired together by MakeWriter/MakeLoader in
+// format.cc. Internal to the baselines library.
+
+#include "baselines/format.h"
+
+namespace dl::baselines::internal {
+
+Result<std::unique_ptr<FormatWriter>> MakeFolderWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options);
+Result<std::unique_ptr<FormatLoader>> MakeFolderLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options);
+
+Result<std::unique_ptr<FormatWriter>> MakeWebDatasetWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options);
+Result<std::unique_ptr<FormatLoader>> MakeWebDatasetLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options);
+
+Result<std::unique_ptr<FormatWriter>> MakeBetonWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options);
+Result<std::unique_ptr<FormatLoader>> MakeBetonLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options);
+
+Result<std::unique_ptr<FormatWriter>> MakeChunkGridWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options, bool n5_flavor);
+Result<std::unique_ptr<FormatLoader>> MakeChunkGridLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options);
+
+Result<std::unique_ptr<FormatWriter>> MakeParquetWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options);
+Result<std::unique_ptr<FormatLoader>> MakeParquetLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options);
+
+Result<std::unique_ptr<FormatWriter>> MakeFramedShardWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options, bool tfrecord_flavor);
+Result<std::unique_ptr<FormatLoader>> MakeFramedShardLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options, bool tfrecord_flavor);
+
+}  // namespace dl::baselines::internal
+
+#endif  // DEEPLAKE_BASELINES_FORMATS_INTERNAL_H_

@@ -1,0 +1,140 @@
+// Framed-record shard baselines:
+//  - TFRecord flavor: [u64 len][masked crc32(len)][payload][masked
+//    crc32(payload)] — the real TFRecord framing.
+//  - Squirrel flavor: [varint len][payload] msgpack-ish framing.
+// Payload in both: varint label + sample blob. Shards stream sequentially.
+
+#include "baselines/formats_internal.h"
+#include "baselines/loader_engine.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/json.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::baselines::internal {
+
+namespace {
+
+class FramedShardWriter final : public FormatWriter {
+ public:
+  FramedShardWriter(storage::StoragePtr store, std::string prefix,
+                    WriterOptions options, bool tfrecord)
+      : store_(std::move(store)), prefix_(std::move(prefix)),
+        options_(options), tfrecord_(tfrecord) {}
+
+  Status Append(const sim::SampleSpec& sample) override {
+    ByteBuffer payload;
+    PutVarintSigned64(payload, sample.label);
+    AppendBytes(payload, ByteView(EncodeSampleBlob(sample, options_)));
+    if (tfrecord_) {
+      ByteBuffer len_field;
+      PutFixed64(len_field, payload.size());
+      AppendBytes(shard_, ByteView(len_field));
+      PutFixed32(shard_, MaskedCrc32c(ByteView(len_field)));
+      AppendBytes(shard_, ByteView(payload));
+      PutFixed32(shard_, MaskedCrc32c(ByteView(payload)));
+    } else {
+      PutVarint64(shard_, payload.size());
+      AppendBytes(shard_, ByteView(payload));
+    }
+    ++count_;
+    if (shard_.size() >= options_.shard_bytes) {
+      DL_RETURN_IF_ERROR(FlushShard());
+    }
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    if (!shard_.empty()) DL_RETURN_IF_ERROR(FlushShard());
+    Json meta = Json::MakeObject();
+    meta.Set("shards", shard_count_);
+    meta.Set("samples", count_);
+    meta.Set("tfrecord", tfrecord_);
+    std::string text = meta.Dump();
+    return store_->Put(PathJoin(prefix_, "meta.json"), ByteView(text));
+  }
+
+ private:
+  Status FlushShard() {
+    std::string key = PathJoin(
+        prefix_, "shard-" + ZeroPad(shard_count_, 5) + ".rec");
+    DL_RETURN_IF_ERROR(store_->Put(key, ByteView(shard_)));
+    shard_.clear();
+    ++shard_count_;
+    return Status::OK();
+  }
+
+  storage::StoragePtr store_;
+  std::string prefix_;
+  WriterOptions options_;
+  bool tfrecord_;
+  ByteBuffer shard_;
+  uint64_t count_ = 0;
+  uint64_t shard_count_ = 0;
+};
+
+Result<std::vector<LoadedSample>> ParseShard(ByteView shard, bool tfrecord,
+                                             bool decode) {
+  std::vector<LoadedSample> out;
+  Decoder dec{shard};
+  while (!dec.done()) {
+    ByteView payload;
+    if (tfrecord) {
+      size_t at = dec.position();
+      DL_ASSIGN_OR_RETURN(uint64_t len, dec.GetFixed64());
+      DL_ASSIGN_OR_RETURN(uint32_t len_crc, dec.GetFixed32());
+      if (MaskedCrc32c(shard.subview(at, 8)) != len_crc) {
+        return Status::Corruption("tfrecord: length crc mismatch");
+      }
+      DL_ASSIGN_OR_RETURN(payload, dec.GetBytes(len));
+      DL_ASSIGN_OR_RETURN(uint32_t data_crc, dec.GetFixed32());
+      if (MaskedCrc32c(payload) != data_crc) {
+        return Status::Corruption("tfrecord: payload crc mismatch");
+      }
+    } else {
+      DL_ASSIGN_OR_RETURN(uint64_t len, dec.GetVarint64());
+      DL_ASSIGN_OR_RETURN(payload, dec.GetBytes(len));
+    }
+    Decoder rec{payload};
+    DL_ASSIGN_OR_RETURN(int64_t label, rec.GetVarintSigned64());
+    DL_ASSIGN_OR_RETURN(ByteView blob, rec.GetBytes(rec.remaining()));
+    DL_ASSIGN_OR_RETURN(LoadedSample s, DecodeSampleBlob(blob, decode));
+    s.label = label;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FormatWriter>> MakeFramedShardWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options, bool tfrecord_flavor) {
+  return std::unique_ptr<FormatWriter>(
+      new FramedShardWriter(store, prefix, options, tfrecord_flavor));
+}
+
+Result<std::unique_ptr<FormatLoader>> MakeFramedShardLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options, bool tfrecord_flavor) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+                      store->Get(PathJoin(prefix, "meta.json")));
+  DL_ASSIGN_OR_RETURN(Json meta,
+                      Json::Parse(ByteView(meta_bytes).ToStringView()));
+  uint64_t shards = static_cast<uint64_t>(meta.Get("shards").as_int());
+  std::vector<ParallelTaskLoader::Task> tasks;
+  for (uint64_t s = 0; s < shards; ++s) {
+    std::string key = PathJoin(prefix, "shard-" + ZeroPad(s, 5) + ".rec");
+    bool decode = options.decode;
+    tasks.push_back([store, key, tfrecord_flavor,
+                     decode]() -> Result<std::vector<LoadedSample>> {
+      DL_ASSIGN_OR_RETURN(ByteBuffer shard, store->Get(key));
+      return ParseShard(ByteView(shard), tfrecord_flavor, decode);
+    });
+  }
+  return std::unique_ptr<FormatLoader>(
+      new ParallelTaskLoader(std::move(tasks), options));
+}
+
+}  // namespace dl::baselines::internal

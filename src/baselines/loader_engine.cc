@@ -1,0 +1,85 @@
+#include "baselines/loader_engine.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+
+namespace dl::baselines {
+
+ParallelTaskLoader::ParallelTaskLoader(std::vector<Task> tasks,
+                                       const LoaderOptions& options)
+    : tasks_(std::move(tasks)),
+      interpreter_overhead_us_(options.interpreter_overhead_us) {
+  if (options.shuffle) {
+    Rng rng(options.seed);
+    for (size_t i = tasks_.size(); i > 1; --i) {
+      std::swap(tasks_[i - 1], tasks_[rng.Uniform(i)]);
+    }
+  }
+  Start(options);
+}
+
+ParallelTaskLoader::~ParallelTaskLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = true;
+  }
+  if (window_) window_->Release(1 << 20);
+  pool_.reset();
+}
+
+void ParallelTaskLoader::Start(const LoaderOptions& options) {
+  pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1,
+                                                        options.num_workers));
+  window_ = std::make_unique<Semaphore>(
+      static_cast<int64_t>(std::max<size_t>(1, options.prefetch)));
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    pool_->Submit([this, i] {
+      window_->Acquire();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (abort_ || !first_error_.ok()) {
+          ++tasks_done_;
+          window_->Release();
+          cv_.notify_all();
+          return;
+        }
+      }
+      auto result = tasks_[i]();
+      if (result.ok() && interpreter_overhead_us_ > 0) {
+        // Interpreter-driven loaders pay a serialized per-sample *CPU*
+        // cost (the GIL): only one worker runs the Python layer at a
+        // time, and it burns a core while doing so.
+        std::lock_guard<std::mutex> gil(gil_mu_);
+        BusyWaitMicros(interpreter_overhead_us_ *
+                       static_cast<int64_t>(result.value().size()));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!result.ok()) {
+          if (first_error_.ok()) first_error_ = result.status();
+        } else {
+          for (auto& s : result.value()) ready_.push_back(std::move(s));
+        }
+        ++tasks_done_;
+      }
+      window_->Release();
+      cv_.notify_all();
+    });
+  }
+}
+
+Result<bool> ParallelTaskLoader::Next(LoadedSample* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return !ready_.empty() || tasks_done_ == tasks_.size() ||
+           !first_error_.ok();
+  });
+  if (!first_error_.ok()) return first_error_;
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace dl::baselines

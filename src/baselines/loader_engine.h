@@ -1,0 +1,49 @@
+#ifndef DEEPLAKE_BASELINES_LOADER_ENGINE_H_
+#define DEEPLAKE_BASELINES_LOADER_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/format.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dl::baselines {
+
+/// Shared parallel engine for all baseline loaders: a list of fetch tasks
+/// (one per file / shard / index batch) runs on a worker pool with a
+/// bounded prefetch window; decoded samples stream out in completion
+/// order. Each format only supplies its task list.
+class ParallelTaskLoader : public FormatLoader {
+ public:
+  using Task = std::function<Result<std::vector<LoadedSample>>()>;
+
+  ParallelTaskLoader(std::vector<Task> tasks, const LoaderOptions& options);
+  ~ParallelTaskLoader() override;
+
+  Result<bool> Next(LoadedSample* out) override;
+
+ private:
+  void Start(const LoaderOptions& options);
+
+  std::vector<Task> tasks_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Semaphore> window_;
+  int64_t interpreter_overhead_us_ = 0;
+  std::mutex gil_mu_;  // serializes the simulated interpreter time
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<LoadedSample> ready_;
+  size_t tasks_done_ = 0;
+  size_t consumed_outstanding_ = 0;  // samples taken from finished tasks
+  Status first_error_;
+  bool abort_ = false;
+};
+
+}  // namespace dl::baselines
+
+#endif  // DEEPLAKE_BASELINES_LOADER_ENGINE_H_

@@ -1,0 +1,161 @@
+// Petastorm/Parquet-style baseline: row groups, one object each, holding
+// column pages — an "image" binary column (blob offsets + data) and a
+// delta-coded int64 "label" column. Optimized for small analytical cells;
+// large tensor blobs ride along inefficiently (paper §7.2: "Parquet is
+// optimized for small cells").
+//
+// Row-group object: [u32 header_len][header JSON][image page][label page]
+
+#include "baselines/formats_internal.h"
+#include "baselines/loader_engine.h"
+#include "util/coding.h"
+#include "util/json.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::baselines::internal {
+
+namespace {
+
+std::string GroupKey(const std::string& prefix, uint64_t g) {
+  return PathJoin(prefix, "rg-" + ZeroPad(g, 5) + ".parq");
+}
+
+class ParquetWriter final : public FormatWriter {
+ public:
+  ParquetWriter(storage::StoragePtr store, std::string prefix,
+                WriterOptions options)
+      : store_(std::move(store)), prefix_(std::move(prefix)),
+        options_(options) {}
+
+  Status Append(const sim::SampleSpec& sample) override {
+    blobs_.push_back(EncodeSampleBlob(sample, options_));
+    labels_.push_back(sample.label);
+    if (blobs_.size() >= options_.rows_per_group) {
+      DL_RETURN_IF_ERROR(FlushGroup());
+    }
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    if (!blobs_.empty()) DL_RETURN_IF_ERROR(FlushGroup());
+    Json meta = Json::MakeObject();
+    meta.Set("row_groups", group_count_);
+    meta.Set("rows", total_rows_);
+    std::string text = meta.Dump();
+    return store_->Put(PathJoin(prefix_, "meta.json"), ByteView(text));
+  }
+
+ private:
+  Status FlushGroup() {
+    // Image page: varint count, varint lengths, then blob data.
+    ByteBuffer image_page;
+    PutVarint64(image_page, blobs_.size());
+    for (const auto& b : blobs_) PutVarint64(image_page, b.size());
+    for (const auto& b : blobs_) AppendBytes(image_page, ByteView(b));
+    // Label page: delta-coded varints.
+    ByteBuffer label_page;
+    PutVarint64(label_page, labels_.size());
+    int64_t prev = 0;
+    for (int64_t l : labels_) {
+      PutVarintSigned64(label_page, l - prev);
+      prev = l;
+    }
+    Json header = Json::MakeObject();
+    header.Set("rows", blobs_.size());
+    header.Set("image_page_len", image_page.size());
+    header.Set("label_page_len", label_page.size());
+    std::string header_text = header.Dump();
+
+    ByteBuffer out;
+    PutFixed32(out, static_cast<uint32_t>(header_text.size()));
+    AppendBytes(out, ByteView(header_text));
+    AppendBytes(out, ByteView(image_page));
+    AppendBytes(out, ByteView(label_page));
+    DL_RETURN_IF_ERROR(
+        store_->Put(GroupKey(prefix_, group_count_), ByteView(out)));
+    ++group_count_;
+    total_rows_ += blobs_.size();
+    blobs_.clear();
+    labels_.clear();
+    return Status::OK();
+  }
+
+  storage::StoragePtr store_;
+  std::string prefix_;
+  WriterOptions options_;
+  std::vector<ByteBuffer> blobs_;
+  std::vector<int64_t> labels_;
+  uint64_t group_count_ = 0;
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FormatWriter>> MakeParquetWriter(
+    storage::StoragePtr store, const std::string& prefix,
+    const WriterOptions& options) {
+  return std::unique_ptr<FormatWriter>(
+      new ParquetWriter(store, prefix, options));
+}
+
+Result<std::unique_ptr<FormatLoader>> MakeParquetLoader(
+    storage::StoragePtr store, const std::string& prefix,
+    const LoaderOptions& options) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+                      store->Get(PathJoin(prefix, "meta.json")));
+  DL_ASSIGN_OR_RETURN(Json meta,
+                      Json::Parse(ByteView(meta_bytes).ToStringView()));
+  uint64_t groups = static_cast<uint64_t>(meta.Get("row_groups").as_int());
+  std::vector<ParallelTaskLoader::Task> tasks;
+  for (uint64_t g = 0; g < groups; ++g) {
+    std::string key = GroupKey(prefix, g);
+    bool decode = options.decode;
+    tasks.push_back(
+        [store, key, decode]() -> Result<std::vector<LoadedSample>> {
+          DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store->Get(key));
+          if (bytes.size() < 4) {
+            return Status::Corruption("parquet: truncated row group");
+          }
+          uint32_t header_len = DecodeFixed32(bytes.data());
+          DL_ASSIGN_OR_RETURN(
+              Json header,
+              Json::Parse(ByteView(bytes)
+                              .subview(4, header_len)
+                              .ToStringView()));
+          uint64_t image_len = header.Get("image_page_len").as_int();
+          ByteView image_page =
+              ByteView(bytes).subview(4 + header_len, image_len);
+          ByteView label_page = ByteView(bytes).subview(
+              4 + header_len + image_len,
+              static_cast<uint64_t>(header.Get("label_page_len").as_int()));
+
+          Decoder img_dec{image_page};
+          DL_ASSIGN_OR_RETURN(uint64_t n, img_dec.GetVarint64());
+          std::vector<uint64_t> lens(n);
+          for (auto& l : lens) {
+            DL_ASSIGN_OR_RETURN(l, img_dec.GetVarint64());
+          }
+          Decoder lbl_dec{label_page};
+          DL_ASSIGN_OR_RETURN(uint64_t ln, lbl_dec.GetVarint64());
+          if (ln != n) return Status::Corruption("parquet: column mismatch");
+          std::vector<LoadedSample> out;
+          out.reserve(n);
+          int64_t label = 0;
+          for (uint64_t i = 0; i < n; ++i) {
+            DL_ASSIGN_OR_RETURN(ByteView blob, img_dec.GetBytes(lens[i]));
+            DL_ASSIGN_OR_RETURN(LoadedSample s,
+                                DecodeSampleBlob(blob, decode));
+            DL_ASSIGN_OR_RETURN(int64_t delta, lbl_dec.GetVarintSigned64());
+            label += delta;
+            s.label = label;
+            out.push_back(std::move(s));
+          }
+          return out;
+        });
+  }
+  return std::unique_ptr<FormatLoader>(
+      new ParallelTaskLoader(std::move(tasks), options));
+}
+
+}  // namespace dl::baselines::internal

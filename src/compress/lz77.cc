@@ -1,0 +1,172 @@
+// LZ4-style LZ77 byte compressor. Frame layout:
+//   varint raw_size
+//   sequences until raw_size bytes are produced:
+//     token byte: (literal_len << 4) | match_len_minus_4
+//       nibble value 15 means "extended": extra bytes of 255 follow, then a
+//       terminator byte < 255, all summed.
+//     literal bytes
+//     [if match_len nibble > 0 or extended] 2-byte LE offset (1..65535),
+//       then extended match length bytes if the nibble was 15.
+// The final sequence carries literals only (match nibble 0, no offset) —
+// signalled by the stream ending exactly at raw_size.
+
+#include <cstring>
+
+#include "compress/codec.h"
+#include "util/coding.h"
+#include "util/macros.h"
+
+namespace dl::compress {
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr size_t kHashSize = 1 << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash4(const uint8_t* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLen(ByteBuffer& out, size_t extra) {
+  // Writes the extension bytes for a nibble that was 15.
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<uint8_t>(extra));
+}
+
+void EmitSequence(ByteBuffer& out, const uint8_t* lit_start, size_t lit_len,
+                  size_t match_len, size_t offset) {
+  uint8_t lit_nibble = lit_len >= 15 ? 15 : static_cast<uint8_t>(lit_len);
+  uint8_t match_nibble = 0;
+  bool has_match = match_len >= kMinMatch;
+  if (has_match) {
+    size_t ml = match_len - kMinMatch;
+    match_nibble = ml >= 15 ? 15 : static_cast<uint8_t>(ml);
+  }
+  out.push_back(static_cast<uint8_t>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutLen(out, lit_len - 15);
+  out.insert(out.end(), lit_start, lit_start + lit_len);
+  if (has_match) {
+    out.push_back(static_cast<uint8_t>(offset));
+    out.push_back(static_cast<uint8_t>(offset >> 8));
+    if (match_nibble == 15) PutLen(out, match_len - kMinMatch - 15);
+  }
+}
+
+class Lz77Codec final : public Codec {
+ public:
+  Compression id() const override { return Compression::kLz77; }
+  std::string_view name() const override { return "lz77"; }
+
+  Result<ByteBuffer> Compress(ByteView raw,
+                              const CodecContext& /*ctx*/) const override {
+    ByteBuffer out;
+    out.reserve(raw.size() / 2 + 16);
+    PutVarint64(out, raw.size());
+    const uint8_t* base = raw.data();
+    const size_t n = raw.size();
+    if (n == 0) return out;
+
+    std::vector<uint32_t> table(kHashSize, UINT32_MAX);
+    size_t i = 0;
+    size_t anchor = 0;  // start of pending literals
+    // Matches may not extend into the last kMinMatch bytes so the decoder's
+    // wild-copy-free loop stays simple.
+    const size_t match_limit = n >= kMinMatch ? n - kMinMatch : 0;
+    while (i + kMinMatch <= n && i < match_limit) {
+      uint32_t h = Hash4(base + i);
+      uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(i);
+      if (cand != UINT32_MAX && i - cand <= kMaxOffset &&
+          Load32(base + cand) == Load32(base + i)) {
+        // Extend the match forward.
+        size_t match_len = kMinMatch;
+        while (i + match_len < n &&
+               base[cand + match_len] == base[i + match_len]) {
+          ++match_len;
+        }
+        EmitSequence(out, base + anchor, i - anchor, match_len, i - cand);
+        // Index a couple of positions inside the match to keep the table
+        // warm without hashing every byte.
+        size_t end = i + match_len;
+        for (size_t p = i + 1; p + kMinMatch <= end && p + kMinMatch <= n;
+             p += match_len / 4 + 1) {
+          table[Hash4(base + p)] = static_cast<uint32_t>(p);
+        }
+        i = end;
+        anchor = i;
+      } else {
+        ++i;
+      }
+    }
+    // Trailing literals.
+    if (anchor < n) {
+      EmitSequence(out, base + anchor, n - anchor, 0, 0);
+    }
+    return out;
+  }
+
+  Result<ByteBuffer> Decompress(ByteView frame) const override {
+    Decoder dec{frame};
+    DL_ASSIGN_OR_RETURN(uint64_t raw_size, dec.GetVarint64());
+    ByteBuffer out;
+    out.reserve(raw_size);
+    while (out.size() < raw_size) {
+      DL_ASSIGN_OR_RETURN(uint8_t token, dec.GetByte());
+      size_t lit_len = token >> 4;
+      if (lit_len == 15) {
+        while (true) {
+          DL_ASSIGN_OR_RETURN(uint8_t b, dec.GetByte());
+          lit_len += b;
+          if (b != 255) break;
+        }
+      }
+      DL_ASSIGN_OR_RETURN(ByteView lits, dec.GetBytes(lit_len));
+      out.insert(out.end(), lits.begin(), lits.end());
+      if (out.size() >= raw_size) break;  // final literal-only sequence
+      size_t match_len = token & 0x0f;
+      DL_ASSIGN_OR_RETURN(uint8_t o0, dec.GetByte());
+      DL_ASSIGN_OR_RETURN(uint8_t o1, dec.GetByte());
+      size_t offset = static_cast<size_t>(o0) | (static_cast<size_t>(o1) << 8);
+      if (match_len == 15) {
+        while (true) {
+          DL_ASSIGN_OR_RETURN(uint8_t b, dec.GetByte());
+          match_len += b;
+          if (b != 255) break;
+        }
+      }
+      match_len += kMinMatch;
+      if (offset == 0 || offset > out.size()) {
+        return Status::Corruption("lz77: bad match offset");
+      }
+      if (out.size() + match_len > raw_size) {
+        return Status::Corruption("lz77: match overruns raw size");
+      }
+      // Byte-wise copy: handles overlapping matches (offset < match_len).
+      size_t src = out.size() - offset;
+      for (size_t k = 0; k < match_len; ++k) out.push_back(out[src + k]);
+    }
+    if (out.size() != raw_size) {
+      return Status::Corruption("lz77: frame shorter than raw size");
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const Codec* GetLz77Codec() {
+  static const Lz77Codec* kCodec = new Lz77Codec();
+  return kCodec;
+}
+
+}  // namespace dl::compress

@@ -1,0 +1,130 @@
+#include "core/deeplake.h"
+
+#include "util/macros.h"
+
+namespace dl {
+
+Result<std::shared_ptr<DeepLake>> DeepLake::Open(storage::StoragePtr storage,
+                                                 OpenOptions options) {
+  auto lake = std::shared_ptr<DeepLake>(new DeepLake());
+  lake->base_ = std::move(storage);
+  storage::StoragePtr data_store = lake->base_;
+  if (options.with_version_control) {
+    DL_ASSIGN_OR_RETURN(lake->vc_,
+                        version::VersionControl::OpenOrInit(lake->base_));
+    data_store = lake->vc_->working_store();
+  }
+  DL_ASSIGN_OR_RETURN(bool exists,
+                      data_store->Exists(tsf::Dataset::kMetaKey));
+  if (exists) {
+    DL_ASSIGN_OR_RETURN(lake->dataset_, tsf::Dataset::Open(data_store));
+  } else {
+    if (!options.create_if_missing) {
+      return Status::NotFound("no dataset at storage root");
+    }
+    tsf::Dataset::Options ds_options;
+    ds_options.description = options.description;
+    DL_ASSIGN_OR_RETURN(lake->dataset_,
+                        tsf::Dataset::Create(data_store, ds_options));
+  }
+  return lake;
+}
+
+Status DeepLake::ReopenDataset() {
+  storage::StoragePtr store =
+      vc_ ? vc_->working_store() : base_;
+  DL_ASSIGN_OR_RETURN(dataset_, tsf::Dataset::Open(store));
+  return Status::OK();
+}
+
+Status DeepLake::Flush() {
+  DL_RETURN_IF_ERROR(dataset_->Flush());
+  if (vc_) DL_RETURN_IF_ERROR(vc_->Flush());
+  return Status::OK();
+}
+
+Result<std::string> DeepLake::Commit(const std::string& message) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  if (!vc_->detached()) DL_RETURN_IF_ERROR(dataset_->Flush());
+  DL_ASSIGN_OR_RETURN(std::string id, vc_->Commit(message));
+  DL_RETURN_IF_ERROR(ReopenDataset());
+  return id;
+}
+
+Status DeepLake::Checkout(const std::string& branch, bool create) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  // A detached (read-only) dataset has nothing writable to flush.
+  if (!vc_->detached()) DL_RETURN_IF_ERROR(dataset_->Flush());
+  DL_RETURN_IF_ERROR(vc_->CheckoutBranch(branch, create));
+  return ReopenDataset();
+}
+
+Status DeepLake::CheckoutCommit(const std::string& commit_id) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  DL_RETURN_IF_ERROR(vc_->CheckoutCommit(commit_id));
+  return ReopenDataset();
+}
+
+Result<version::MergeStats> DeepLake::Merge(const std::string& source_branch,
+                                            version::MergePolicy policy) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  if (!vc_->detached()) DL_RETURN_IF_ERROR(dataset_->Flush());
+  DL_ASSIGN_OR_RETURN(version::MergeStats stats,
+                      vc_->Merge(source_branch, policy));
+  DL_RETURN_IF_ERROR(ReopenDataset());
+  return stats;
+}
+
+Result<std::map<std::string, version::TensorDiff>> DeepLake::Diff(
+    const std::string& commit_a, const std::string& commit_b) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  return vc_->Diff(commit_a, commit_b);
+}
+
+std::vector<version::CommitInfo> DeepLake::Log() const {
+  return vc_ ? vc_->Log() : std::vector<version::CommitInfo>{};
+}
+
+Result<std::unique_ptr<version::BranchLock>> DeepLake::LockBranch(
+    const std::string& owner, int64_t ttl_ms) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  if (vc_->detached()) {
+    return Status::FailedPrecondition("cannot lock in detached state");
+  }
+  return version::BranchLock::Acquire(base_, vc_->current_branch(), owner,
+                                      ttl_ms);
+}
+
+Result<tql::DatasetView> DeepLake::Query(const std::string& query_text) {
+  tql::QueryOptions options;
+  if (vc_) {
+    auto vc = vc_;
+    options.version_resolver =
+        [vc](const std::string& commit)
+        -> Result<std::shared_ptr<tsf::Dataset>> {
+      DL_ASSIGN_OR_RETURN(auto store, vc->StoreAt(commit));
+      return tsf::Dataset::Open(store);
+    };
+  }
+  return tql::RunQuery(dataset_, query_text, options);
+}
+
+}  // namespace dl

@@ -1,0 +1,133 @@
+#ifndef DEEPLAKE_CORE_DEEPLAKE_H_
+#define DEEPLAKE_CORE_DEEPLAKE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage.h"
+#include "stream/dataloader.h"
+#include "tql/executor.h"
+#include "tsf/dataset.h"
+#include "version/branch_lock.h"
+#include "version/version_control.h"
+#include "viz/visualizer.h"
+
+namespace dl {
+
+/// The Deep Lake public façade: one handle that ties the Tensor Storage
+/// Format, version control, TQL, the streaming dataloader and the
+/// visualizer together over any storage provider — the API a downstream
+/// user adopts (paper Fig. 1 / §4).
+///
+/// Typical lifecycle (paper §5):
+///
+///   auto lake = *DeepLake::Open(std::make_shared<storage::PosixStore>(path));
+///   tsf::TensorOptions img; img.htype = "image";
+///   lake->CreateTensor("images", img);
+///   lake->Append({{"images", sample}, {"labels", label}});
+///   lake->Commit("initial data");
+///   auto view = *lake->Query("SELECT * FROM ds WHERE labels = 2");
+///   auto loader = lake->Dataloader(view, opts);
+class DeepLake {
+ public:
+  struct OpenOptions {
+    /// Create the dataset when the storage root is empty.
+    bool create_if_missing = true;
+    /// Manage versions in the storage layout (§4.2). When off, the dataset
+    /// lives directly at the root (no commits/branches).
+    bool with_version_control = true;
+    std::string description;
+  };
+
+  /// Opens (or creates) a Deep Lake at the storage root.
+  static Result<std::shared_ptr<DeepLake>> Open(storage::StoragePtr storage,
+                                                OpenOptions options);
+  static Result<std::shared_ptr<DeepLake>> Open(storage::StoragePtr storage) {
+    return Open(std::move(storage), OpenOptions());
+  }
+
+  // ---- Schema & rows (delegate to the dataset) ----
+
+  tsf::Dataset& dataset() { return *dataset_; }
+  std::shared_ptr<tsf::Dataset> dataset_ptr() { return dataset_; }
+
+  Result<tsf::Tensor*> CreateTensor(const std::string& name,
+                                    const tsf::TensorOptions& options = {}) {
+    return dataset_->CreateTensor(name, options);
+  }
+  Status Append(const std::map<std::string, tsf::Sample>& row) {
+    return dataset_->Append(row);
+  }
+  Result<std::map<std::string, tsf::Sample>> ReadRow(uint64_t index) {
+    return dataset_->ReadRow(index);
+  }
+  uint64_t NumRows() const { return dataset_->NumRows(); }
+  Status Flush();
+
+  // ---- Version control (§4.2) ----
+
+  bool has_version_control() const { return vc_ != nullptr; }
+  version::VersionControl* version_control() { return vc_.get(); }
+
+  /// Commits the working state; reopens the dataset on the new head.
+  Result<std::string> Commit(const std::string& message);
+  /// Checks out a branch (optionally creating it) and reopens the dataset.
+  Status Checkout(const std::string& branch, bool create = false);
+  /// Detached read-only checkout of a sealed commit (time travel).
+  Status CheckoutCommit(const std::string& commit_id);
+  Result<version::MergeStats> Merge(const std::string& source_branch,
+                                    version::MergePolicy policy);
+  Result<std::map<std::string, version::TensorDiff>> Diff(
+      const std::string& commit_a, const std::string& commit_b);
+  std::vector<version::CommitInfo> Log() const;
+
+  /// Takes the writer lease on the current branch (§7.3 branch-based
+  /// locks). Hold it while writing; it auto-releases on destruction.
+  Result<std::unique_ptr<version::BranchLock>> LockBranch(
+      const std::string& owner, int64_t ttl_ms = 30000);
+
+  // ---- Query (§4.4) ----
+
+  /// Runs a TQL query against the current dataset; `VERSION '<commit>'`
+  /// clauses resolve through version control automatically.
+  Result<tql::DatasetView> Query(const std::string& query_text);
+
+  /// Materializes a view into a fresh dense dataset (§4.5).
+  Result<std::shared_ptr<tsf::Dataset>> Materialize(
+      tql::DatasetView& view, storage::StoragePtr target) {
+    return tql::MaterializeView(view, target);
+  }
+
+  // ---- Streaming (§4.6) ----
+
+  std::unique_ptr<stream::Dataloader> Dataloader(
+      stream::DataloaderOptions options) {
+    return std::make_unique<stream::Dataloader>(dataset_, options);
+  }
+  std::unique_ptr<stream::Dataloader> Dataloader(
+      const tql::DatasetView& view, stream::DataloaderOptions options) {
+    return std::make_unique<stream::Dataloader>(dataset_, view, options);
+  }
+
+  // ---- Visualization (§4.3) ----
+
+  viz::LayoutPlan PlanLayout() const { return viz::PlanLayout(*dataset_); }
+  Result<viz::Framebuffer> Render(uint64_t row,
+                                  const viz::RenderOptions& options,
+                                  viz::RenderReport* report) {
+    return viz::RenderRow(*dataset_, PlanLayout(), row, options, report);
+  }
+
+ private:
+  DeepLake() = default;
+  Status ReopenDataset();
+
+  storage::StoragePtr base_;
+  std::shared_ptr<version::VersionControl> vc_;
+  std::shared_ptr<tsf::Dataset> dataset_;
+};
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_CORE_DEEPLAKE_H_

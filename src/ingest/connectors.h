@@ -1,0 +1,68 @@
+#ifndef DEEPLAKE_INGEST_CONNECTORS_H_
+#define DEEPLAKE_INGEST_CONNECTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "ingest/pipeline.h"
+#include "storage/storage.h"
+
+namespace dl::ingest {
+
+/// ETL connectors (the paper's Airbyte destination stand-in, §4.1.1):
+/// extract rows from tabular sources — metadata "might already reside in a
+/// relational database ... CSV, JSON, or Parquet" (§5) — into the columnar
+/// row form the pipeline appends to a dataset.
+
+/// Streams a CSV object: the first line is the header; numeric columns
+/// (every data value parses as a number) become float64 scalars, others
+/// become text samples. Quoted fields with embedded commas are supported.
+class CsvConnector : public RowSource {
+ public:
+  /// Reads and parses the whole object up front (metadata tables are
+  /// small); row iteration is then in-memory.
+  static Result<CsvConnector> Open(storage::StoragePtr store,
+                                   const std::string& key);
+
+  Result<bool> Next(Row* row) override;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<bool> numeric_;
+  std::vector<std::vector<std::string>> rows_;
+  size_t cursor_ = 0;
+};
+
+/// Streams a JSON-lines object: each line is a flat JSON object; numbers
+/// become float64 scalars, strings text, booleans uint8, arrays of numbers
+/// 1-d float64 samples.
+class JsonlConnector : public RowSource {
+ public:
+  static Result<JsonlConnector> Open(storage::StoragePtr store,
+                                     const std::string& key);
+
+  Result<bool> Next(Row* row) override;
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+/// Ingests image *files* (image-codec frames, the repo's JPEG stand-in)
+/// straight into an image tensor using the §5 fast path: when the file's
+/// compression matches the tensor's sample compression the bytes are copied
+/// into chunks without decode+re-encode.
+///
+/// Returns the number of files ingested. The tensor must use
+/// `image_lossy` (or `image`) sample compression matching the files.
+Result<uint64_t> IngestImageFiles(storage::StoragePtr source,
+                                  const std::vector<std::string>& keys,
+                                  tsf::Tensor& tensor);
+
+}  // namespace dl::ingest
+
+#endif  // DEEPLAKE_INGEST_CONNECTORS_H_

@@ -1,0 +1,121 @@
+#include "ingest/pipeline.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/macros.h"
+#include "util/thread_pool.h"
+
+namespace dl::ingest {
+
+Result<bool> DatasetSource::Next(Row* row) {
+  if (cursor_ >= dataset_->NumRows()) return false;
+  DL_ASSIGN_OR_RETURN(*row, dataset_->ReadRow(cursor_));
+  ++cursor_;
+  return true;
+}
+
+Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
+                                    const PipelineOptions& options) {
+  PipelineStats stats;
+  ThreadPool pool(options.num_workers);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<uint64_t, std::vector<Row>> done;  // task seq -> outputs
+  uint64_t next_append = 0;
+  size_t inflight = 0;
+  Status first_error;
+
+  auto apply_stages = [this](std::vector<Row> rows,
+                             std::vector<Row>* out_rows) -> Status {
+    for (const ComputeFn& stage : stages_) {
+      std::vector<Row> next;
+      for (const Row& row : rows) {
+        DL_RETURN_IF_ERROR(stage(row, &next));
+      }
+      rows = std::move(next);
+    }
+    *out_rows = std::move(rows);
+    return Status::OK();
+  };
+
+  // Drains completed tasks in order into the dataset. Called under lock.
+  auto drain_locked = [&](std::unique_lock<std::mutex>& lock) -> Status {
+    while (true) {
+      auto it = done.find(next_append);
+      if (it == done.end()) return Status::OK();
+      std::vector<Row> rows = std::move(it->second);
+      done.erase(it);
+      ++next_append;
+      --inflight;
+      cv.notify_all();
+      lock.unlock();
+      for (auto& row : rows) {
+        Status s = out.Append(row);
+        if (!s.ok()) {
+          lock.lock();
+          return s;
+        }
+        ++stats.rows_out;
+      }
+      lock.lock();
+    }
+  };
+
+  uint64_t seq = 0;
+  bool source_done = false;
+  while (!source_done) {
+    // Read the next task's input rows serially.
+    std::vector<Row> task_rows;
+    while (task_rows.size() < options.rows_per_task) {
+      Row row;
+      DL_ASSIGN_OR_RETURN(bool more, source.Next(&row));
+      if (!more) {
+        source_done = true;
+        break;
+      }
+      ++stats.rows_in;
+      task_rows.push_back(std::move(row));
+    }
+    if (!task_rows.empty()) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return inflight < options.max_inflight_tasks || !first_error.ok();
+      });
+      if (!first_error.ok()) break;
+      ++inflight;
+      uint64_t this_seq = seq++;
+      lock.unlock();
+      pool.Submit([&, this_seq, rows = std::move(task_rows)]() mutable {
+        std::vector<Row> outputs;
+        Status s = apply_stages(std::move(rows), &outputs);
+        std::lock_guard<std::mutex> inner(mu);
+        if (!s.ok() && first_error.ok()) first_error = s;
+        done[this_seq] = std::move(outputs);
+        cv.notify_all();
+      });
+    }
+    // Opportunistically drain whatever is ready, keeping append order.
+    std::unique_lock<std::mutex> lock(mu);
+    DL_RETURN_IF_ERROR(drain_locked(lock));
+  }
+  // Wait for the tail.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (next_append < seq) {
+      DL_RETURN_IF_ERROR(drain_locked(lock));
+      if (!first_error.ok()) break;
+      if (next_append < seq && done.find(next_append) == done.end()) {
+        cv.wait(lock);
+      }
+    }
+    if (!first_error.ok()) return first_error;
+  }
+  DL_RETURN_IF_ERROR(out.Flush());
+  out.LogProvenance("pipeline ingested " + std::to_string(stats.rows_out) +
+                    " rows from " + std::to_string(stats.rows_in) +
+                    " inputs");
+  return stats;
+}
+
+}  // namespace dl::ingest

@@ -1,0 +1,91 @@
+#ifndef DEEPLAKE_INGEST_PIPELINE_H_
+#define DEEPLAKE_INGEST_PIPELINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsf/dataset.h"
+
+namespace dl::ingest {
+
+/// A row being transformed: tensor name -> sample.
+using Row = std::map<std::string, tsf::Sample>;
+
+/// Sample-wise transformation (the paper's `@deeplake.compute` §4.1.2):
+/// receives `sample_in` and appends zero or more outputs — one-to-one and
+/// one-to-many both work.
+using ComputeFn =
+    std::function<Status(const Row& sample_in, std::vector<Row>* samples_out)>;
+
+/// Source of input rows — "instead of defining an input dataset, the user
+/// can provide an arbitrary iterator" (§4.1.2).
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  /// Produces the next row; returns false at end of input.
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// Iterates an existing dataset's visible rows.
+class DatasetSource : public RowSource {
+ public:
+  explicit DatasetSource(std::shared_ptr<tsf::Dataset> dataset)
+      : dataset_(std::move(dataset)) {}
+  Result<bool> Next(Row* row) override;
+
+ private:
+  std::shared_ptr<tsf::Dataset> dataset_;
+  uint64_t cursor_ = 0;
+};
+
+/// Wraps a plain callable as a source.
+class GeneratorSource : public RowSource {
+ public:
+  using Fn = std::function<Result<bool>(Row*)>;
+  explicit GeneratorSource(Fn fn) : fn_(std::move(fn)) {}
+  Result<bool> Next(Row* row) override { return fn_(row); }
+
+ private:
+  Fn fn_;
+};
+
+struct PipelineOptions {
+  size_t num_workers = 4;
+  /// Rows per transform task — the scheduler "batches sample-wise
+  /// transformations operating on nearby chunks" (§4.1.2).
+  size_t rows_per_task = 32;
+  /// Max transform tasks in flight (memory bound).
+  size_t max_inflight_tasks = 16;
+};
+
+struct PipelineStats {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+};
+
+/// A chain of compute transforms executed in parallel over a row source,
+/// appending outputs to a destination dataset *in input order* (so results
+/// are deterministic regardless of worker scheduling).
+class Pipeline {
+ public:
+  /// Appends a transform stage; stages compose ("users can stack together
+  /// multiple transformations").
+  Pipeline& Then(ComputeFn fn) {
+    stages_.push_back(std::move(fn));
+    return *this;
+  }
+
+  /// Runs the pipeline. With no stages, rows are copied through.
+  Result<PipelineStats> Run(RowSource& source, tsf::Dataset& out,
+                            const PipelineOptions& options = {});
+
+ private:
+  std::vector<ComputeFn> stages_;
+};
+
+}  // namespace dl::ingest
+
+#endif  // DEEPLAKE_INGEST_PIPELINE_H_

@@ -1,0 +1,31 @@
+#include "sim/gpu_model.h"
+
+#include <algorithm>
+
+namespace dl::sim {
+
+std::vector<double> GpuModel::UtilizationSeries(int64_t window_us) const {
+  std::vector<TimelineInterval> intervals = Timeline();
+  if (intervals.empty() || window_us <= 0) return {};
+  int64_t t0 = intervals.front().start_us;
+  int64_t t1 = intervals.back().end_us;
+  size_t windows = static_cast<size_t>((t1 - t0 + window_us - 1) / window_us);
+  std::vector<double> busy(windows, 0.0);
+  for (const auto& iv : intervals) {
+    if (!iv.busy) continue;
+    int64_t s = iv.start_us;
+    while (s < iv.end_us) {
+      size_t w = static_cast<size_t>((s - t0) / window_us);
+      if (w >= windows) break;
+      int64_t wend = t0 + static_cast<int64_t>(w + 1) * window_us;
+      int64_t e = std::min(iv.end_us, wend);
+      busy[w] += static_cast<double>(e - s);
+      s = e;
+    }
+  }
+  for (auto& b : busy) b /= static_cast<double>(window_us);
+  for (auto& b : busy) b = std::min(b, 1.0);
+  return busy;
+}
+
+}  // namespace dl::sim

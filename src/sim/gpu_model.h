@@ -1,0 +1,100 @@
+#ifndef DEEPLAKE_SIM_GPU_MODEL_H_
+#define DEEPLAKE_SIM_GPU_MODEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace dl::sim {
+
+/// One busy/idle interval of a simulated accelerator.
+struct TimelineInterval {
+  int64_t start_us;
+  int64_t end_us;
+  bool busy;
+};
+
+/// Rate-based GPU stand-in (see DESIGN.md substitutions). A training step
+/// on `batch` samples takes `batch / samples_per_sec` seconds of "compute";
+/// the gap between a step finishing and the next batch arriving is idle
+/// time. Utilization = busy / (busy + idle), the paper's Fig. 9/10 metric.
+class GpuModel {
+ public:
+  /// `samples_per_sec`: the model's compute throughput when never starved.
+  explicit GpuModel(double samples_per_sec, std::string label = "gpu0")
+      : samples_per_sec_(samples_per_sec), label_(std::move(label)) {}
+
+  /// Blocks for the simulated step duration and records the interval.
+  /// Thread-safe: each GpuModel instance represents one device consumed by
+  /// one training loop, but stats can be read concurrently.
+  void TrainStep(uint64_t batch_size) {
+    int64_t now = NowMicros();
+    int64_t step_us = static_cast<int64_t>(
+        static_cast<double>(batch_size) / samples_per_sec_ * 1e6);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (last_end_us_ != 0 && now > last_end_us_) {
+        intervals_.push_back({last_end_us_, now, /*busy=*/false});
+        idle_us_ += now - last_end_us_;
+      }
+      intervals_.push_back({now, now + step_us, /*busy=*/true});
+      busy_us_ += step_us;
+      last_end_us_ = now + step_us;
+      samples_ += batch_size;
+      steps_ += 1;
+    }
+    SleepMicros(step_us);
+  }
+
+  /// Busy fraction over the observed span; 0 when nothing ran.
+  double Utilization() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t total = busy_us_ + idle_us_;
+    return total > 0 ? static_cast<double>(busy_us_) / total : 0.0;
+  }
+
+  uint64_t samples_processed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+  uint64_t steps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steps_;
+  }
+  int64_t busy_micros() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return busy_us_;
+  }
+  int64_t idle_micros() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_us_;
+  }
+  const std::string& label() const { return label_; }
+
+  std::vector<TimelineInterval> Timeline() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return intervals_;
+  }
+
+  /// Utilization within consecutive windows of `window_us`, for plotting a
+  /// Fig. 10-style utilization-over-time series.
+  std::vector<double> UtilizationSeries(int64_t window_us) const;
+
+ private:
+  double samples_per_sec_;
+  std::string label_;
+  mutable std::mutex mu_;
+  std::vector<TimelineInterval> intervals_;
+  int64_t busy_us_ = 0;
+  int64_t idle_us_ = 0;
+  int64_t last_end_us_ = 0;
+  uint64_t samples_ = 0;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace dl::sim
+
+#endif  // DEEPLAKE_SIM_GPU_MODEL_H_

@@ -1,0 +1,130 @@
+#include "sim/workload.h"
+
+#include "compress/codec.h"
+#include "util/rng.h"
+
+namespace dl::sim {
+
+std::vector<uint64_t> WorkloadGenerator::ShapeOf(uint64_t index) const {
+  Rng rng(Mix64(seed_ ^ (index * 0x9e3779b97f4a7c15ull)));
+  uint64_t h = spec_.min_side;
+  uint64_t w = spec_.min_side;
+  if (spec_.max_side > spec_.min_side) {
+    h += rng.Uniform(spec_.max_side - spec_.min_side + 1);
+    w += rng.Uniform(spec_.max_side - spec_.min_side + 1);
+  }
+  return {h, w, spec_.channels};
+}
+
+uint64_t WorkloadGenerator::RawBytesOf(uint64_t index) const {
+  auto s = ShapeOf(index);
+  return s[0] * s[1] * s[2];
+}
+
+SampleSpec WorkloadGenerator::Generate(uint64_t index) const {
+  SampleSpec out;
+  out.shape = ShapeOf(index);
+  uint64_t h = out.shape[0], w = out.shape[1], c = out.shape[2];
+  Rng rng(Mix64(seed_ ^ (index * 0xc4ceb9fe1a85ec53ull)));
+  out.label = static_cast<int64_t>(rng.Uniform(spec_.num_classes));
+  if (spec_.with_caption) {
+    static const char* kSubjects[] = {"a photo", "a painting", "a sketch",
+                                      "an aerial view", "a close-up"};
+    static const char* kObjects[] = {"of a cat",   "of a street",
+                                     "of mountains", "of a bridge",
+                                     "of two dogs", "of a sailing boat"};
+    out.caption = std::string(kSubjects[rng.Uniform(5)]) + " " +
+                  kObjects[rng.Uniform(6)] + " #" + std::to_string(index);
+  }
+
+  out.pixels.resize(h * w * c);
+  // Smooth base field with per-sample phase. A cheap integer scheme keeps
+  // generation from dominating ingestion benches while preserving strong
+  // local correlation (so predictive codecs get photographic-like ratios).
+  uint64_t phase = rng.Next();
+  uint32_t px = static_cast<uint32_t>(phase & 0xff);
+  uint32_t py = static_cast<uint32_t>((phase >> 8) & 0xff);
+  uint8_t* p = out.pixels.data();
+  uint32_t noise_state = static_cast<uint32_t>(phase >> 16) | 1;
+  for (uint64_t y = 0; y < h; ++y) {
+    uint32_t row_base = static_cast<uint32_t>((y + py) * 3 / 2);
+    for (uint64_t x = 0; x < w; ++x) {
+      // Low-frequency noise: advance the LCG once per 8 columns.
+      if ((x & 7) == 0) {
+        noise_state = noise_state * 1664525u + 1013904223u;
+      }
+      uint32_t base = row_base + static_cast<uint32_t>((x + px) * 2);
+      uint32_t noise = (noise_state >> 24) & 0x0f;
+      for (uint64_t ch = 0; ch < c; ++ch) {
+        *p++ = static_cast<uint8_t>((base + ch * 37 + noise) & 0xff);
+      }
+    }
+  }
+  return out;
+}
+
+WorkloadGenerator::Spec WorkloadGenerator::FfhqLike(uint64_t side) {
+  Spec s;
+  s.name = "ffhq-like";
+  s.min_side = s.max_side = side;
+  s.channels = 3;
+  s.num_classes = 2;
+  return s;
+}
+
+WorkloadGenerator::Spec WorkloadGenerator::SmallJpeg() {
+  Spec s;
+  s.name = "small-jpeg";
+  s.min_side = s.max_side = 250;
+  s.channels = 3;
+  s.num_classes = 1000;
+  return s;
+}
+
+WorkloadGenerator::Spec WorkloadGenerator::ImageNetLike() {
+  Spec s;
+  s.name = "imagenet-like";
+  s.min_side = 200;
+  s.max_side = 500;
+  s.channels = 3;
+  s.num_classes = 1000;
+  return s;
+}
+
+WorkloadGenerator::Spec WorkloadGenerator::LaionPair() {
+  Spec s;
+  s.name = "laion-pair";
+  s.min_side = 128;
+  s.max_side = 384;
+  s.channels = 3;
+  s.num_classes = 1;
+  s.with_caption = true;
+  return s;
+}
+
+WorkloadGenerator::Spec WorkloadGenerator::TinyMask() {
+  Spec s;
+  s.name = "tiny-mask";
+  s.min_side = 32;
+  s.max_side = 64;
+  s.channels = 1;
+  s.num_classes = 2;
+  return s;
+}
+
+ByteBuffer EncodeAsImageFile(const SampleSpec& sample, int quality) {
+  compress::CodecContext ctx;
+  ctx.row_stride = sample.shape[1] * sample.shape[2];
+  ctx.elem_size = static_cast<uint32_t>(sample.shape[2]);
+  ctx.quality = quality;
+  auto frame = compress::CompressBytes(compress::Compression::kImageLossy,
+                                       ByteView(sample.pixels), ctx);
+  // Compression of in-memory buffers cannot fail; keep the API simple.
+  return frame.ok() ? frame.MoveValue() : ByteBuffer{};
+}
+
+Result<ByteBuffer> DecodeImageFile(ByteView file) {
+  return compress::DecompressBytes(compress::Compression::kImageLossy, file);
+}
+
+}  // namespace dl::sim

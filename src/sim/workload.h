@@ -1,0 +1,80 @@
+#ifndef DEEPLAKE_SIM_WORKLOAD_H_
+#define DEEPLAKE_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dl::sim {
+
+/// One synthetic dataset sample: an image tensor plus label/caption
+/// side-data. Stand-in for FFHQ / ImageNet / LAION samples (DESIGN.md §1).
+struct SampleSpec {
+  std::vector<uint64_t> shape;  // {height, width, channels}
+  ByteBuffer pixels;            // uint8, H*W*C bytes
+  int64_t label = 0;
+  std::string caption;          // non-empty for pair workloads
+};
+
+/// Deterministic synthetic-image workload. `Generate(i)` always returns the
+/// same sample for the same (spec, seed, i), so writers and verifying
+/// readers can re-derive ground truth without buffering the dataset.
+class WorkloadGenerator {
+ public:
+  struct Spec {
+    std::string name;
+    uint64_t min_side = 224, max_side = 224;  // sampled independently for h,w
+    uint64_t channels = 3;
+    uint64_t num_classes = 1000;
+    bool with_caption = false;
+  };
+
+  WorkloadGenerator(Spec spec, uint64_t seed)
+      : spec_(std::move(spec)), seed_(seed) {}
+
+  const Spec& spec() const { return spec_; }
+
+  /// Generates sample `index`. Pixels are smooth (row/column correlated)
+  /// with per-sample phase and mild noise — photographic-like entropy so
+  /// codecs behave realistically.
+  SampleSpec Generate(uint64_t index) const;
+
+  /// Shape of sample `index` without generating pixels.
+  std::vector<uint64_t> ShapeOf(uint64_t index) const;
+
+  /// Bytes of sample `index`'s raw pixel data.
+  uint64_t RawBytesOf(uint64_t index) const;
+
+  // ---- Named workloads used by the benches. ----
+
+  /// FFHQ stand-in (paper Fig. 6): fixed square images. `side` defaults to
+  /// 1024 like the paper; benches scale it down and report the factor.
+  static Spec FfhqLike(uint64_t side = 1024);
+  /// The 250x250x3 synthetic-JPEG dataset (paper Figs. 7/8).
+  static Spec SmallJpeg();
+  /// ImageNet stand-in (paper Fig. 9): variable-shape images.
+  static Spec ImageNetLike();
+  /// LAION-400M stand-in (paper Fig. 10): small images + text captions.
+  static Spec LaionPair();
+  /// Tiny binary masks (RLE-friendly), for codec/htype tests.
+  static Spec TinyMask();
+
+ private:
+  Spec spec_;
+  uint64_t seed_;
+};
+
+/// Encodes a sample as a standalone "image file" (lossy image-codec frame,
+/// the repo's JPEG stand-in). Baseline formats that the paper feeds with
+/// JPEG files on disk store exactly these bytes.
+ByteBuffer EncodeAsImageFile(const SampleSpec& sample, int quality = 75);
+
+/// Decodes a file produced by `EncodeAsImageFile`. Returns the raw pixels.
+Result<ByteBuffer> DecodeImageFile(ByteView file);
+
+}  // namespace dl::sim
+
+#endif  // DEEPLAKE_SIM_WORKLOAD_H_

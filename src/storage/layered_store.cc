@@ -1,0 +1,243 @@
+// PrefixStore, LruCacheStore and FaultInjectionStore: providers that wrap
+// other providers (paper §3.6 "constructs memory caching by chaining various
+// storage providers together").
+
+#include <algorithm>
+
+#include "storage/storage.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::storage {
+
+// ---------------------------------------------------------------------------
+// PrefixStore
+// ---------------------------------------------------------------------------
+
+PrefixStore::PrefixStore(StoragePtr base, std::string prefix)
+    : base_(std::move(base)), prefix_(std::move(prefix)) {}
+
+std::string PrefixStore::Full(std::string_view key) const {
+  return PathJoin(prefix_, key);
+}
+
+Result<ByteBuffer> PrefixStore::Get(std::string_view key) {
+  return base_->Get(Full(key));
+}
+
+Result<ByteBuffer> PrefixStore::GetRange(std::string_view key,
+                                         uint64_t offset, uint64_t length) {
+  return base_->GetRange(Full(key), offset, length);
+}
+
+Status PrefixStore::Put(std::string_view key, ByteView value) {
+  return base_->Put(Full(key), value);
+}
+
+Status PrefixStore::Delete(std::string_view key) {
+  return base_->Delete(Full(key));
+}
+
+Result<bool> PrefixStore::Exists(std::string_view key) {
+  return base_->Exists(Full(key));
+}
+
+Result<uint64_t> PrefixStore::SizeOf(std::string_view key) {
+  return base_->SizeOf(Full(key));
+}
+
+Result<std::vector<std::string>> PrefixStore::ListPrefix(
+    std::string_view prefix) {
+  DL_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                      base_->ListPrefix(Full(prefix)));
+  // Strip our namespace so callers see keys relative to this store.
+  std::string ns = prefix_;
+  if (!ns.empty() && ns.back() != '/') ns += '/';
+  std::vector<std::string> out;
+  out.reserve(keys.size());
+  for (auto& k : keys) {
+    if (StartsWith(k, ns)) out.push_back(k.substr(ns.size()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LruCacheStore
+// ---------------------------------------------------------------------------
+
+LruCacheStore::LruCacheStore(StoragePtr base, uint64_t capacity_bytes)
+    : base_(std::move(base)), capacity_bytes_(capacity_bytes) {}
+
+void LruCacheStore::Touch(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+}
+
+void LruCacheStore::Insert(const std::string& key, ByteBuffer value) {
+  if (value.size() > capacity_bytes_) return;  // never cache oversize blobs
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    current_bytes_ -= it->second.value.size();
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  current_bytes_ += value.size();
+  entries_[key] = Entry{std::move(value), lru_.begin()};
+  EvictIfNeeded();
+}
+
+void LruCacheStore::EvictIfNeeded() {
+  while (current_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    current_bytes_ -= it->second.value.size();
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+Result<ByteBuffer> LruCacheStore::Get(std::string_view key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_++;
+      Touch(it->first);
+      return it->second.value;
+    }
+  }
+  misses_++;
+  DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->Get(key));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Insert(std::string(key), buf);
+  }
+  return buf;
+}
+
+Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
+                                           uint64_t offset, uint64_t length) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_++;
+      Touch(it->first);
+      const ByteBuffer& buf = it->second.value;
+      if (offset > buf.size()) {
+        return Status::OutOfRange("lru: range start past object end");
+      }
+      uint64_t len = std::min<uint64_t>(length, buf.size() - offset);
+      return ByteBuffer(buf.begin() + offset, buf.begin() + offset + len);
+    }
+  }
+  misses_++;
+  // Range requests bypass cache fill: caching partial objects under the full
+  // key would corrupt later full reads.
+  return base_->GetRange(key, offset, length);
+}
+
+Status LruCacheStore::Put(std::string_view key, ByteView value) {
+  DL_RETURN_IF_ERROR(base_->Put(key, value));
+  std::lock_guard<std::mutex> lock(mu_);
+  Insert(std::string(key), value.ToBuffer());
+  return Status::OK();
+}
+
+Status LruCacheStore::Delete(std::string_view key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      current_bytes_ -= it->second.value.size();
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+  }
+  return base_->Delete(key);
+}
+
+Result<bool> LruCacheStore::Exists(std::string_view key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.find(key) != entries_.end()) return true;
+  }
+  return base_->Exists(key);
+}
+
+Result<uint64_t> LruCacheStore::SizeOf(std::string_view key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      return static_cast<uint64_t>(it->second.value.size());
+    }
+  }
+  return base_->SizeOf(key);
+}
+
+Result<std::vector<std::string>> LruCacheStore::ListPrefix(
+    std::string_view prefix) {
+  return base_->ListPrefix(prefix);
+}
+
+uint64_t LruCacheStore::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_bytes_;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionStore
+// ---------------------------------------------------------------------------
+
+FaultInjectionStore::FaultInjectionStore(StoragePtr base, uint64_t fail_every)
+    : base_(std::move(base)), fail_every_(fail_every == 0 ? 1 : fail_every) {}
+
+Status FaultInjectionStore::MaybeFail() {
+  uint64_t n = ++op_count_;
+  if (n % fail_every_ == 0) {
+    return Status::IOError("injected fault on operation " +
+                           std::to_string(n));
+  }
+  return Status::OK();
+}
+
+Result<ByteBuffer> FaultInjectionStore::Get(std::string_view key) {
+  DL_RETURN_IF_ERROR(MaybeFail());
+  return base_->Get(key);
+}
+
+Result<ByteBuffer> FaultInjectionStore::GetRange(std::string_view key,
+                                                 uint64_t offset,
+                                                 uint64_t length) {
+  DL_RETURN_IF_ERROR(MaybeFail());
+  return base_->GetRange(key, offset, length);
+}
+
+Status FaultInjectionStore::Put(std::string_view key, ByteView value) {
+  DL_RETURN_IF_ERROR(MaybeFail());
+  return base_->Put(key, value);
+}
+
+Status FaultInjectionStore::Delete(std::string_view key) {
+  return base_->Delete(key);
+}
+
+Result<bool> FaultInjectionStore::Exists(std::string_view key) {
+  return base_->Exists(key);
+}
+
+Result<uint64_t> FaultInjectionStore::SizeOf(std::string_view key) {
+  return base_->SizeOf(key);
+}
+
+Result<std::vector<std::string>> FaultInjectionStore::ListPrefix(
+    std::string_view prefix) {
+  return base_->ListPrefix(prefix);
+}
+
+}  // namespace dl::storage

@@ -1,0 +1,82 @@
+#include <algorithm>
+
+#include "storage/storage.h"
+
+namespace dl::storage {
+
+Result<ByteBuffer> MemoryStore::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("memory: no object '" + std::string(key) + "'");
+  }
+  stats_.get_requests++;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+Result<ByteBuffer> MemoryStore::GetRange(std::string_view key,
+                                         uint64_t offset, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("memory: no object '" + std::string(key) + "'");
+  }
+  const ByteBuffer& buf = it->second;
+  if (offset > buf.size()) {
+    return Status::OutOfRange("memory: range start past object end");
+  }
+  uint64_t len = std::min<uint64_t>(length, buf.size() - offset);
+  stats_.get_range_requests++;
+  stats_.bytes_read += len;
+  return ByteBuffer(buf.begin() + offset, buf.begin() + offset + len);
+}
+
+Status MemoryStore::Put(std::string_view key, ByteView value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.put_requests++;
+  stats_.bytes_written += value.size();
+  objects_[std::string(key)] = value.ToBuffer();
+  return Status::OK();
+}
+
+Status MemoryStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) objects_.erase(it);
+  return Status::OK();
+}
+
+Result<bool> MemoryStore::Exists(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.find(key) != objects_.end();
+}
+
+Result<uint64_t> MemoryStore::SizeOf(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("memory: no object '" + std::string(key) + "'");
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Result<std::vector<std::string>> MemoryStore::ListPrefix(
+    std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+uint64_t MemoryStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [k, v] : objects_) total += v.size();
+  return total;
+}
+
+}  // namespace dl::storage

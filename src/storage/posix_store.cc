@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "storage/storage.h"
+#include "util/string_util.h"
+
+namespace dl::storage {
+
+namespace fs = std::filesystem;
+
+PosixStore::PosixStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+std::string PosixStore::FilePath(std::string_view key) const {
+  return PathJoin(root_, key);
+}
+
+Result<ByteBuffer> PosixStore::Get(std::string_view key) {
+  std::string path = FilePath(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("posix: cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  ByteBuffer buf(static_cast<size_t>(size));
+  size_t n = size > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
+  std::fclose(f);
+  if (n != buf.size()) {
+    return Status::IOError("posix: short read on '" + path + "'");
+  }
+  stats_.get_requests++;
+  stats_.bytes_read += buf.size();
+  return buf;
+}
+
+Result<ByteBuffer> PosixStore::GetRange(std::string_view key, uint64_t offset,
+                                        uint64_t length) {
+  std::string path = FilePath(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("posix: cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  uint64_t size = static_cast<uint64_t>(std::ftell(f));
+  if (offset > size) {
+    std::fclose(f);
+    return Status::OutOfRange("posix: range start past file end");
+  }
+  uint64_t len = std::min<uint64_t>(length, size - offset);
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  ByteBuffer buf(static_cast<size_t>(len));
+  size_t n = len > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
+  std::fclose(f);
+  if (n != buf.size()) {
+    return Status::IOError("posix: short range read on '" + path + "'");
+  }
+  stats_.get_range_requests++;
+  stats_.bytes_read += buf.size();
+  return buf;
+}
+
+Status PosixStore::Put(std::string_view key, ByteView value) {
+  std::string path = FilePath(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("posix: cannot create '" + path +
+                           "': " + std::strerror(errno));
+  }
+  size_t n = value.size() > 0 ? std::fwrite(value.data(), 1, value.size(), f)
+                              : 0;
+  std::fclose(f);
+  if (n != value.size()) {
+    return Status::IOError("posix: short write on '" + path + "'");
+  }
+  stats_.put_requests++;
+  stats_.bytes_written += value.size();
+  return Status::OK();
+}
+
+Status PosixStore::Delete(std::string_view key) {
+  std::error_code ec;
+  fs::remove(FilePath(key), ec);
+  return Status::OK();
+}
+
+Result<bool> PosixStore::Exists(std::string_view key) {
+  std::error_code ec;
+  return fs::is_regular_file(FilePath(key), ec);
+}
+
+Result<uint64_t> PosixStore::SizeOf(std::string_view key) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(FilePath(key), ec);
+  if (ec) {
+    return Status::NotFound("posix: no file '" + FilePath(key) + "'");
+  }
+  return size;
+}
+
+Result<std::vector<std::string>> PosixStore::ListPrefix(
+    std::string_view prefix) {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root_, ec);
+  if (ec) return keys;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    std::string rel =
+        fs::relative(entry.path(), root_).generic_string();
+    if (StartsWith(rel, prefix)) keys.push_back(rel);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace dl::storage

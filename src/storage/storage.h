@@ -1,0 +1,222 @@
+#ifndef DEEPLAKE_STORAGE_STORAGE_H_
+#define DEEPLAKE_STORAGE_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dl::storage {
+
+/// Counters every provider maintains; the benchmarks read these to report
+/// request counts and transferred bytes alongside wall time.
+struct StorageStats {
+  std::atomic<uint64_t> get_requests{0};
+  std::atomic<uint64_t> get_range_requests{0};
+  std::atomic<uint64_t> put_requests{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  void Reset() {
+    get_requests = 0;
+    get_range_requests = 0;
+    put_requests = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+};
+
+/// Abstract key/value object store (paper §3.6: "Deep Lake can be plugged
+/// into any storage provider"). Keys are '/'-separated paths; values are
+/// immutable blobs (chunks, metadata files).
+///
+/// All implementations are thread-safe: the streaming dataloader issues
+/// concurrent Get/GetRange calls from many workers.
+class StorageProvider {
+ public:
+  virtual ~StorageProvider() = default;
+
+  /// Reads the whole object.
+  virtual Result<ByteBuffer> Get(std::string_view key) = 0;
+
+  /// Range read: bytes [offset, offset+length) of the object. Providers
+  /// backed by object storage serve this as an HTTP range request — the
+  /// primitive that enables streaming sub-chunk access (paper §3.5).
+  virtual Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                                      uint64_t length) = 0;
+
+  /// Creates or replaces an object.
+  virtual Status Put(std::string_view key, ByteView value) = 0;
+
+  virtual Status Delete(std::string_view key) = 0;
+
+  virtual Result<bool> Exists(std::string_view key) = 0;
+
+  /// Object byte size, NotFound if absent.
+  virtual Result<uint64_t> SizeOf(std::string_view key) = 0;
+
+  /// All keys with the given prefix, sorted.
+  virtual Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) = 0;
+
+  /// Human-readable backend name for logs and bench tables.
+  virtual std::string name() const = 0;
+
+  StorageStats& stats() { return stats_; }
+
+ protected:
+  StorageStats stats_;
+};
+
+using StoragePtr = std::shared_ptr<StorageProvider>;
+
+/// Fully in-memory provider (paper lists "local in-memory storage").
+class MemoryStore : public StorageProvider {
+ public:
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override { return "memory"; }
+
+  /// Total bytes currently stored (for tests/benches).
+  uint64_t TotalBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ByteBuffer, std::less<>> objects_;
+};
+
+/// POSIX-filesystem provider rooted at a directory.
+class PosixStore : public StorageProvider {
+ public:
+  explicit PosixStore(std::string root);
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override { return "posix:" + root_; }
+
+ private:
+  std::string FilePath(std::string_view key) const;
+
+  std::string root_;
+};
+
+/// Namespaces all keys under `prefix` inside an underlying provider. Version
+/// control uses this to give each commit its own sub-directory (§4.2).
+class PrefixStore : public StorageProvider {
+ public:
+  PrefixStore(StoragePtr base, std::string prefix);
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override {
+    return base_->name() + "/" + prefix_;
+  }
+
+ private:
+  std::string Full(std::string_view key) const;
+
+  StoragePtr base_;
+  std::string prefix_;
+};
+
+/// LRU read-through cache chained in front of a slower provider
+/// (paper §3.6: "LRU cache of remote S3 storage with local in-memory
+/// data"). Writes go through to the base and populate the cache.
+class LruCacheStore : public StorageProvider {
+ public:
+  LruCacheStore(StoragePtr base, uint64_t capacity_bytes);
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override { return "lru(" + base_->name() + ")"; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t cached_bytes() const;
+
+ private:
+  struct Entry {
+    ByteBuffer value;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(const std::string& key);
+  void Insert(const std::string& key, ByteBuffer value);
+  void EvictIfNeeded();
+
+  StoragePtr base_;
+  uint64_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  uint64_t current_bytes_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// Wraps a provider and injects failures for robustness tests: every
+/// `fail_every`-th read fails with IOError.
+class FaultInjectionStore : public StorageProvider {
+ public:
+  FaultInjectionStore(StoragePtr base, uint64_t fail_every);
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override {
+    return "faulty(" + base_->name() + ")";
+  }
+
+ private:
+  Status MaybeFail();
+
+  StoragePtr base_;
+  uint64_t fail_every_;
+  std::atomic<uint64_t> op_count_{0};
+};
+
+}  // namespace dl::storage
+
+#endif  // DEEPLAKE_STORAGE_STORAGE_H_

@@ -1,0 +1,335 @@
+#include "stream/dataloader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/clock.h"
+#include "util/macros.h"
+
+namespace dl::stream {
+
+// ---------------------------------------------------------------------------
+// Batch
+// ---------------------------------------------------------------------------
+
+Result<tsf::Sample> Batch::Stacked(const std::string& column) const {
+  auto it = columns.find(column);
+  if (it == columns.end()) {
+    return Status::NotFound("batch: no column '" + column + "'");
+  }
+  const std::vector<tsf::Sample>& samples = it->second;
+  if (samples.empty()) {
+    return Status::FailedPrecondition("batch: empty column");
+  }
+  const tsf::TensorShape& shape0 = samples[0].shape;
+  for (const auto& s : samples) {
+    if (!(s.shape == shape0) || s.dtype != samples[0].dtype) {
+      return Status::FailedPrecondition(
+          "batch: column '" + column +
+          "' is ragged; stack requires uniform shapes (apply a resize "
+          "transform)");
+    }
+  }
+  std::vector<uint64_t> out_dims;
+  out_dims.push_back(samples.size());
+  for (uint64_t d : shape0.dims()) out_dims.push_back(d);
+  tsf::Sample out(samples[0].dtype, tsf::TensorShape(std::move(out_dims)),
+                  {});
+  out.data.reserve(samples.size() * samples[0].data.size());
+  for (const auto& s : samples) {
+    out.data.insert(out.data.end(), s.data.begin(), s.data.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dataloader
+// ---------------------------------------------------------------------------
+
+Dataloader::Dataloader(std::shared_ptr<tsf::Dataset> dataset,
+                       DataloaderOptions options)
+    : dataset_(std::move(dataset)),
+      options_(std::move(options)),
+      shuffle_rng_(options_.seed) {
+  tensors_ = options_.tensors.empty() ? dataset_->TensorNames()
+                                      : options_.tensors;
+  std::vector<uint64_t> order(dataset_->NumRows());
+  for (uint64_t i = 0; i < order.size(); ++i) order[i] = i;
+  units_ = PlanUnits(order);
+  Start();
+}
+
+Dataloader::Dataloader(std::shared_ptr<tsf::Dataset> dataset,
+                       const tql::DatasetView& view,
+                       DataloaderOptions options)
+    : dataset_(std::move(dataset)),
+      options_(std::move(options)),
+      shuffle_rng_(options_.seed) {
+  tensors_ = options_.tensors.empty() ? dataset_->TensorNames()
+                                      : options_.tensors;
+  units_ = PlanUnits(view.indices());
+  Start();
+}
+
+Dataloader::~Dataloader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = true;
+  }
+  reservoir_cv_.notify_all();
+  gate_cv_.notify_all();
+  pool_.reset();  // joins workers
+}
+
+std::vector<Dataloader::Unit> Dataloader::PlanUnits(
+    const std::vector<uint64_t>& order) const {
+  // Pick the finest-chunked tensor as the primary alignment target: its
+  // chunk boundaries dominate fetch cost.
+  const tsf::ChunkEncoder* primary = nullptr;
+  for (const auto& name : tensors_) {
+    auto t = dataset_->GetTensor(name);
+    if (!t.ok()) continue;
+    const tsf::ChunkEncoder& enc = (*t)->chunk_encoder();
+    if (primary == nullptr || enc.num_chunks() > primary->num_chunks()) {
+      primary = &enc;
+    }
+  }
+  std::vector<Unit> units;
+  Unit current;
+  current.seq = 0;
+  size_t current_ordinal = SIZE_MAX;
+  for (uint64_t row : order) {
+    size_t ordinal = SIZE_MAX;
+    if (primary != nullptr) {
+      auto loc = primary->Find(row);
+      if (loc.ok()) ordinal = loc->chunk_ordinal;
+    }
+    // A new unit starts when the primary chunk changes: all rows served by
+    // one chunk share one fetch, even when a sparse view skips between
+    // them. (The sparse-view penalty of §4.5 remains — the full chunk is
+    // fetched however few of its rows the view selects.)
+    bool breaks = current.rows.empty() ? false : ordinal != current_ordinal;
+    if (breaks) {
+      units.push_back(std::move(current));
+      current = Unit{};
+      current.seq = units.size();
+    }
+    current_ordinal = ordinal;
+    current.rows.push_back(row);
+  }
+  if (!current.rows.empty()) units.push_back(std::move(current));
+  return units;
+}
+
+void Dataloader::Start() {
+  if (started_) return;
+  started_ = true;
+  // Visit units in shuffled order for shuffled streams (chunk-level
+  // shuffle); the reservoir adds sample-level randomness (§3.5).
+  std::vector<size_t> visit(units_.size());
+  for (size_t i = 0; i < visit.size(); ++i) visit[i] = i;
+  if (options_.shuffle) {
+    Rng rng(options_.seed ^ 0x5eed);
+    for (size_t i = visit.size(); i > 1; --i) {
+      std::swap(visit[i - 1], visit[rng.Uniform(i)]);
+    }
+    // Re-number sequence keys to the visit order so sequential consumption
+    // logic can be reused for bookkeeping.
+    for (size_t k = 0; k < visit.size(); ++k) units_[visit[k]].seq = k;
+  }
+  start_allowance_ = std::max<size_t>(1, options_.prefetch_units);
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (size_t pos = 0; pos < visit.size(); ++pos) {
+    const Unit* unit = &units_[visit[pos]];
+    pool_->Submit([this, unit, pos] {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        gate_cv_.wait(lock, [&] {
+          return abort_ || !first_error_.ok() || pos < start_allowance_;
+        });
+        if (abort_ || !first_error_.ok()) {
+          ++units_done_;
+          ready_cv_.notify_all();
+          return;
+        }
+      }
+      ProcessUnit(*unit);
+    });
+  }
+}
+
+void Dataloader::ProcessUnit(const Unit& unit) {
+  Status status;
+  size_t cap = std::max<size_t>(1, options_.shuffle_buffer_rows);
+  // Publishes one decoded row immediately (shuffle: into the reservoir,
+  // honoring its capacity; sequential: into the unit's progress entry), so
+  // consumption overlaps decoding from the first sample.
+  auto publish = [&](Row row) {
+    if (options_.shuffle) {
+      std::unique_lock<std::mutex> lock(mu_);
+      reservoir_cv_.wait(lock, [&] {
+        return abort_ || reservoir_.size() < cap;
+      });
+      if (abort_) return;
+      reservoir_.push_back(std::move(row));
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_[unit.seq].rows.push_back(std::move(row));
+    }
+    ready_cv_.notify_all();
+  };
+  // Per-unit, per-tensor chunk cache: each chunk is fetched and parsed
+  // once even when it serves many rows.
+  std::map<std::string, std::map<uint64_t, std::shared_ptr<tsf::Chunk>>>
+      cache;
+  for (uint64_t row_idx : unit.rows) {
+    Row row;
+    for (const auto& name : tensors_) {
+      auto tr = dataset_->GetTensor(name);
+      if (!tr.ok()) {
+        status = tr.status();
+        break;
+      }
+      tsf::Tensor* t = *tr;
+      if (row_idx >= t->NumSamples()) {
+        row[name] = tsf::Sample::EmptyOf(t->meta().dtype);
+        continue;
+      }
+      if (t->tile_encoder().IsTiled(row_idx)) {
+        auto s = t->Read(row_idx);
+        if (!s.ok()) {
+          status = s.status();
+          break;
+        }
+        row[name] = std::move(s).value();
+        continue;
+      }
+      auto loc = t->chunk_encoder().Find(row_idx);
+      if (!loc.ok()) {
+        // Buffered (unflushed) tail: serve through the tensor.
+        auto s = t->Read(row_idx);
+        if (!s.ok()) {
+          status = s.status();
+          break;
+        }
+        row[name] = std::move(s).value();
+        continue;
+      }
+      auto& tensor_cache = cache[name];
+      auto it = tensor_cache.find(loc->chunk_id);
+      if (it == tensor_cache.end()) {
+        auto bytes = t->store()->Get(t->ChunkKey(loc->chunk_id));
+        if (!bytes.ok()) {
+          status = bytes.status();
+          break;
+        }
+        auto chunk = tsf::Chunk::Parse(std::move(bytes).value(),
+                                       /*verify_checksum=*/false);
+        if (!chunk.ok()) {
+          status = chunk.status();
+          break;
+        }
+        it = tensor_cache
+                 .emplace(loc->chunk_id, std::make_shared<tsf::Chunk>(
+                                             std::move(chunk).value()))
+                 .first;
+      }
+      auto s = it->second->ReadSample(loc->local_index);
+      if (!s.ok()) {
+        status = s.status();
+        break;
+      }
+      row[name] = std::move(s).value();
+    }
+    if (!status.ok()) break;
+    if (options_.transform) {
+      status = options_.transform(row);
+      if (!status.ok()) break;
+    }
+    publish(std::move(row));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && first_error_.ok()) first_error_ = status;
+    if (!options_.shuffle) completed_[unit.seq].done = true;
+    units_done_++;
+    if (options_.shuffle) ++start_allowance_;
+  }
+  if (options_.shuffle) gate_cv_.notify_all();
+  ready_cv_.notify_all();
+}
+
+Result<bool> Dataloader::Next(Batch* out) {
+  out->columns.clear();
+  out->size = 0;
+  int64_t wait_start = NowMicros();
+  bool stalled = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (pending_rows_.size() < options_.batch_size) {
+    if (!first_error_.ok()) return first_error_;
+    if (options_.shuffle) {
+      if (!reservoir_.empty()) {
+        // Random eviction from the reservoir.
+        size_t pick = shuffle_rng_.Uniform(reservoir_.size());
+        std::swap(reservoir_[pick], reservoir_.back());
+        pending_rows_.push_back(std::move(reservoir_.back()));
+        reservoir_.pop_back();
+        reservoir_cv_.notify_one();
+        continue;
+      }
+      if (units_done_ == units_.size()) break;  // drained
+    } else {
+      auto it = completed_.find(next_seq_);
+      if (it != completed_.end()) {
+        UnitProgress& p = it->second;
+        bool progressed = p.taken < p.rows.size();
+        while (p.taken < p.rows.size()) {
+          pending_rows_.push_back(std::move(p.rows[p.taken++]));
+        }
+        if (p.done && p.taken == p.rows.size()) {
+          completed_.erase(it);
+          ++next_seq_;
+          ++stats_.units;
+          ++start_allowance_;
+          gate_cv_.notify_all();
+          continue;
+        }
+        if (progressed) continue;
+      }
+      if (next_seq_ >= units_.size()) break;  // drained
+    }
+    stalled = true;
+    if (getenv("DL_DEBUG_LOADER") != nullptr) {
+      fprintf(stderr, "[loader] waiting: next_seq=%llu units=%zu done=%zu completed={",
+              (unsigned long long)next_seq_, units_.size(), units_done_);
+      for (auto& [k, v] : completed_) fprintf(stderr, "%llu,", (unsigned long long)k);
+      fprintf(stderr, "} pending=%zu\n", pending_rows_.size());
+    }
+    ready_cv_.wait(lock);
+  }
+  if (stalled) stats_.stall_micros += NowMicros() - wait_start;
+
+  if (pending_rows_.empty()) return false;  // end of stream
+  uint64_t take = std::min<uint64_t>(options_.batch_size,
+                                     pending_rows_.size());
+  if (take < options_.batch_size && options_.drop_last) {
+    pending_rows_.clear();
+    return false;
+  }
+  for (uint64_t i = 0; i < take; ++i) {
+    for (auto& [name, sample] : pending_rows_[i]) {
+      out->columns[name].push_back(std::move(sample));
+    }
+  }
+  pending_rows_.erase(pending_rows_.begin(), pending_rows_.begin() + take);
+  out->size = take;
+  stats_.rows_delivered += take;
+  stats_.batches_delivered += 1;
+  return true;
+}
+
+}  // namespace dl::stream

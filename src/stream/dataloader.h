@@ -1,0 +1,149 @@
+#ifndef DEEPLAKE_STREAM_DATALOADER_H_
+#define DEEPLAKE_STREAM_DATALOADER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tql/executor.h"
+#include "tsf/dataset.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dl::stream {
+
+/// One collated batch: per-tensor lists of samples in row order.
+struct Batch {
+  uint64_t size = 0;
+  std::map<std::string, std::vector<tsf::Sample>> columns;
+
+  /// Collates a column into one contiguous buffer (deep-learning native
+  /// layout, batch-major). Fails if the column's samples are ragged.
+  Result<tsf::Sample> Stacked(const std::string& column) const;
+};
+
+/// A row in flight through the pipeline.
+using Row = std::map<std::string, tsf::Sample>;
+
+/// Per-sample user transform, run inside worker threads (paper §4.6: the
+/// transformation executes in parallel outside the interpreter lock — here,
+/// plainly on the pool).
+using TransformFn = std::function<Status(Row&)>;
+
+struct DataloaderOptions {
+  uint64_t batch_size = 32;
+  /// Fetch/decode worker threads.
+  size_t num_workers = 4;
+  /// Streaming shuffle (paper §3.5): work units are visited in random
+  /// order and decoded rows pass through a reservoir buffer.
+  bool shuffle = false;
+  /// Rows held in the shuffle reservoir.
+  size_t shuffle_buffer_rows = 512;
+  uint64_t seed = 42;
+  /// Max work units (≈ chunks) fetched ahead of consumption; bounds
+  /// memory (paper §4.6 "predicting memory consumption").
+  size_t prefetch_units = 8;
+  bool drop_last = false;
+  /// Tensors to stream; empty = all visible tensors.
+  std::vector<std::string> tensors;
+  TransformFn transform;
+};
+
+struct DataloaderStats {
+  uint64_t rows_delivered = 0;
+  uint64_t batches_delivered = 0;
+  /// Time Next() spent blocked waiting for the pipeline.
+  int64_t stall_micros = 0;
+  /// Work units (chunk-aligned ranges) processed.
+  uint64_t units = 0;
+};
+
+/// Streaming dataloader (paper §4.6): schedules chunk-aligned fetches,
+/// decompresses in parallel workers, applies user transforms, shuffles via
+/// a buffer, and collates batches — while a bounded prefetch window keeps
+/// memory flat and the consumer (GPU) fed.
+///
+/// Iterate: `while (loader.Next(&batch)) { ... }`. One pass; construct a
+/// new loader per epoch (cheap).
+class Dataloader {
+ public:
+  /// Streams the whole dataset in index order (or shuffled).
+  Dataloader(std::shared_ptr<tsf::Dataset> dataset, DataloaderOptions options);
+
+  /// Streams a query view's rows in the view's order (paper §4.4 "seamless
+  /// integration with the dataloader for filtered streaming"). Sparse views
+  /// produce fragmented work units — the §4.5 penalty that materialization
+  /// removes.
+  Dataloader(std::shared_ptr<tsf::Dataset> dataset,
+             const tql::DatasetView& view, DataloaderOptions options);
+
+  ~Dataloader();
+
+  Dataloader(const Dataloader&) = delete;
+  Dataloader& operator=(const Dataloader&) = delete;
+
+  /// Produces the next batch; returns false at end of stream. On worker
+  /// errors, returns the first error and stops.
+  Result<bool> Next(Batch* out);
+
+  const DataloaderStats& stats() const { return stats_; }
+
+ private:
+  struct Unit {
+    uint64_t seq;                  // completion-order key (sequential mode)
+    std::vector<uint64_t> rows;    // dataset row indices
+  };
+
+  void Start();
+  void ProcessUnit(const Unit& unit);
+
+  /// Builds chunk-aligned work units from the ordered row list.
+  std::vector<Unit> PlanUnits(const std::vector<uint64_t>& order) const;
+
+  std::shared_ptr<tsf::Dataset> dataset_;
+  DataloaderOptions options_;
+  std::vector<std::string> tensors_;
+  std::vector<Unit> units_;
+  std::unique_ptr<ThreadPool> pool_;
+  // Ordered prefetch window: the task at visit position k may start only
+  // once k < start_allowance_. Admission strictly by position prevents
+  // later units from stealing window slots from the unit the (in-order)
+  // consumer is waiting on — a semaphore here can deadlock by priority
+  // inversion.
+  size_t start_allowance_ = 0;
+  std::condition_variable gate_cv_;
+
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  // Sequential mode: per-unit progress keyed by seq; rows stream in as
+  // they decode (the consumer never waits for a whole unit), and are
+  // consumed strictly in seq order.
+  struct UnitProgress {
+    std::vector<Row> rows;
+    size_t taken = 0;
+    bool done = false;
+  };
+  std::map<uint64_t, UnitProgress> completed_;
+  uint64_t next_seq_ = 0;
+  // Shuffle mode: reservoir of decoded rows.
+  std::vector<Row> reservoir_;
+  std::condition_variable reservoir_cv_;
+  size_t units_done_ = 0;
+  Status first_error_;
+  bool started_ = false;
+  bool abort_ = false;
+
+  // Carry-over rows between Next() calls (batch boundary inside a unit).
+  std::vector<Row> pending_rows_;
+  Rng shuffle_rng_{42};
+
+  DataloaderStats stats_;
+};
+
+}  // namespace dl::stream
+
+#endif  // DEEPLAKE_STREAM_DATALOADER_H_

@@ -1,0 +1,134 @@
+#ifndef DEEPLAKE_TQL_EXECUTOR_H_
+#define DEEPLAKE_TQL_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tql/ast.h"
+#include "tsf/dataset.h"
+
+namespace dl::tql {
+
+/// Per-row evaluation context: resolves column references against one row
+/// of a dataset and caches loaded cells (a WHERE and an ORDER BY touching
+/// the same tensor fetch it once).
+class EvalContext {
+ public:
+  EvalContext(tsf::Dataset* dataset, uint64_t row)
+      : dataset_(dataset), row_(row) {}
+
+  uint64_t row() const { return row_; }
+  tsf::Dataset* dataset() const { return dataset_; }
+
+  /// Binds an additional (alias, dataset, row) for JOIN evaluation:
+  /// column references "alias/tensor" resolve against it.
+  void Bind(const std::string& alias, tsf::Dataset* dataset, uint64_t row) {
+    bindings_[alias] = {dataset, row};
+  }
+
+  /// Value of tensor `name` at this row. Text htypes load as strings,
+  /// everything else as numeric arrays; empty cells are null. Qualified
+  /// names ("alias/tensor") resolve through JOIN bindings first, then
+  /// fall back to grouped-tensor paths on the primary dataset.
+  Result<Value> Column(const std::string& name);
+
+ private:
+  Result<Value> Load(tsf::Dataset* dataset, uint64_t row,
+                     const std::string& tensor);
+
+  tsf::Dataset* dataset_;
+  uint64_t row_;
+  std::map<std::string, std::pair<tsf::Dataset*, uint64_t>> bindings_;
+  std::map<std::string, Value> cache_;
+};
+
+/// Evaluates an expression for one row.
+Result<Value> Evaluate(const Expr& expr, EvalContext& ctx);
+
+/// The result of a query: an ordered selection of rows over a dataset plus
+/// a projection (paper §4.4 "constructs views of datasets, which can be
+/// visualized or directly streamed"). Views are lazy — projected cells are
+/// computed on access. GROUP BY queries produce a *computed* view whose
+/// rows live in memory.
+class DatasetView {
+ public:
+  /// Row-backed view.
+  DatasetView(std::shared_ptr<tsf::Dataset> dataset,
+              std::vector<uint64_t> indices, std::vector<SelectItem> select,
+              bool selects_all);
+  /// Computed (GROUP BY) view.
+  DatasetView(std::vector<std::string> columns,
+              std::vector<std::vector<Value>> rows);
+
+  bool computed() const { return computed_; }
+  uint64_t size() const {
+    return computed_ ? rows_.size() : indices_.size();
+  }
+  /// Output column names in declaration order.
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Underlying dataset row index of view row `i` (row-backed views only).
+  uint64_t source_row(size_t i) const { return indices_[i]; }
+  /// Projection items (empty for SELECT *).
+  const std::vector<SelectItem>& select_items() const { return select_; }
+  bool selects_all() const { return selects_all_; }
+  const std::vector<uint64_t>& indices() const { return indices_; }
+  std::shared_ptr<tsf::Dataset> dataset() const { return dataset_; }
+
+  /// Evaluates the cell at (view row, column).
+  Result<Value> Cell(size_t view_row, const std::string& column);
+
+  /// Cell as a typed storage sample: passthrough columns keep the source
+  /// tensor's bytes and dtype; computed columns convert from the value.
+  Result<tsf::Sample> CellSample(size_t view_row, const std::string& column);
+
+  /// True when this view selects a strict subset / reordering of rows —
+  /// the "sparse view" whose streaming is less efficient (§4.4/§4.5).
+  bool IsSparseOver(uint64_t dataset_rows) const;
+
+ private:
+  const SelectItem* FindItem(const std::string& column) const;
+
+  bool computed_ = false;
+  std::shared_ptr<tsf::Dataset> dataset_;
+  std::vector<uint64_t> indices_;
+  std::vector<SelectItem> select_;
+  bool selects_all_ = true;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Value>> rows_;  // computed views
+};
+
+struct QueryOptions {
+  /// Resolves `FROM ds VERSION '<commit>'` to a dataset pinned at that
+  /// version; unset => version queries fail with NotImplemented.
+  std::function<Result<std::shared_ptr<tsf::Dataset>>(
+      const std::string& version)>
+      version_resolver;
+  /// Named datasets for FROM/JOIN resolution (paper §7.3 join extension).
+  /// The FROM name falls back to the dataset passed to RunQuery when not
+  /// registered here; JOIN names must be registered.
+  std::map<std::string, std::shared_ptr<tsf::Dataset>> datasets;
+};
+
+/// Parses and executes a query against `dataset`.
+Result<DatasetView> RunQuery(std::shared_ptr<tsf::Dataset> dataset,
+                             const std::string& query_text,
+                             const QueryOptions& options = {});
+
+/// Executes an already-parsed query.
+Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
+                                 const Query& query,
+                                 const QueryOptions& options = {});
+
+/// Copies a view into a fresh dataset laid out in optimal chunk order —
+/// the §4.5 materialization step that turns a sparse view into a dense,
+/// streamable dataset.
+Result<std::shared_ptr<tsf::Dataset>> MaterializeView(
+    DatasetView& view, storage::StoragePtr target);
+
+}  // namespace dl::tql
+
+#endif  // DEEPLAKE_TQL_EXECUTOR_H_

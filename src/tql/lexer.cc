@@ -1,0 +1,191 @@
+#include "tql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dl::tql {
+
+Result<std::vector<Token>> Lex(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = query.size();
+  auto push = [&](TokenKind kind, size_t at) {
+    Token t;
+    t.kind = kind;
+    t.offset = at;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && query[i + 1] == '-') {
+      // SQL line comment.
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    size_t at = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = query.substr(start, i - start);
+      t.offset = at;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.' || query[i] == 'e' || query[i] == 'E' ||
+                       ((query[i] == '+' || query[i] == '-') && i > start &&
+                        (query[i - 1] == 'e' || query[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string num = query.substr(start, i - start);
+      char* end = nullptr;
+      double v = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) {
+        return Status::InvalidArgument("tql: malformed number '" + num +
+                                       "' at offset " + std::to_string(at));
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.number = v;
+      t.offset = at;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (query[i] == '\\' && i + 1 < n) {
+          ++i;
+          text += query[i++];
+        } else {
+          text += query[i++];
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument("tql: unterminated string at offset " +
+                                       std::to_string(at));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.offset = at;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, at);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, at);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, at);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, at);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, at);
+        ++i;
+        break;
+      case ':':
+        push(TokenKind::kColon, at);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, at);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, at);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, at);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, at);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, at);
+        ++i;
+        break;
+      case '%':
+        push(TokenKind::kPercent, at);
+        ++i;
+        break;
+      case '=':
+        ++i;
+        if (i < n && query[i] == '=') ++i;
+        push(TokenKind::kEq, at);
+        break;
+      case '!':
+        ++i;
+        if (i < n && query[i] == '=') {
+          ++i;
+          push(TokenKind::kNe, at);
+        } else {
+          return Status::InvalidArgument("tql: stray '!' at offset " +
+                                         std::to_string(at));
+        }
+        break;
+      case '<':
+        ++i;
+        if (i < n && query[i] == '=') {
+          ++i;
+          push(TokenKind::kLe, at);
+        } else if (i < n && query[i] == '>') {
+          ++i;
+          push(TokenKind::kNe, at);
+        } else {
+          push(TokenKind::kLt, at);
+        }
+        break;
+      case '>':
+        ++i;
+        if (i < n && query[i] == '=') {
+          ++i;
+          push(TokenKind::kGe, at);
+        } else {
+          push(TokenKind::kGt, at);
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("tql: unexpected character '") + c + "' at offset " +
+            std::to_string(at));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace dl::tql

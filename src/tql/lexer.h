@@ -1,0 +1,49 @@
+#ifndef DEEPLAKE_TQL_LEXER_H_
+#define DEEPLAKE_TQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dl::tql {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,     // tensor / function / keyword candidates
+  kNumber,
+  kString,    // 'quoted' or "quoted"
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,
+  kColon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // = or ==
+  kNe,        // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier / string contents
+  double number = 0;  // for kNumber
+  size_t offset = 0;  // byte offset in the query (for error messages)
+};
+
+/// Tokenizes a TQL query. Keywords are returned as kIdent and matched
+/// case-insensitively by the parser (SQL style).
+Result<std::vector<Token>> Lex(const std::string& query);
+
+}  // namespace dl::tql
+
+#endif  // DEEPLAKE_TQL_LEXER_H_

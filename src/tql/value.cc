@@ -1,0 +1,307 @@
+#include "tql/value.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace dl::tql {
+
+NdArray NdArray::FromSample(const tsf::Sample& s) {
+  if (s.shape.IsEmptySample()) {
+    return NdArray(s.shape.dims(), {});
+  }
+  std::vector<double> data(s.NumElements());
+  size_t es = tsf::DTypeSize(s.dtype);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = tsf::Sample::LoadValue(s.data.data() + i * es, s.dtype);
+  }
+  return NdArray(s.shape.dims(), std::move(data));
+}
+
+tsf::Sample NdArray::ToSample(tsf::DType dtype) const {
+  tsf::Sample out;
+  out.dtype = dtype;
+  out.shape = tsf::TensorShape(shape_);
+  out.data.resize(data_.size() * tsf::DTypeSize(dtype));
+  size_t es = tsf::DTypeSize(dtype);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    tsf::Sample::StoreValue(out.data.data() + i * es, data_[i], dtype);
+  }
+  return out;
+}
+
+std::string NdArray::ToString() const {
+  if (IsScalar()) {
+    double v = AsScalar();
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    return std::to_string(v);
+  }
+  std::string out = "array(";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out += "x";
+    out += std::to_string(shape_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+bool Value::Truthy() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return false;
+    case Kind::kString:
+      return !str_.empty();
+    case Kind::kArray:
+      return ReduceAny(array_);
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kString:
+      return str_;
+    case Kind::kArray:
+      return array_.ToString();
+  }
+  return "";
+}
+
+Result<NdArray> ElementwiseBinary(const NdArray& a, const NdArray& b,
+                                  double (*op)(double, double),
+                                  const char* op_name) {
+  if (a.IsScalar() && !b.IsScalar()) {
+    NdArray out({b.shape()}, std::vector<double>(b.size()));
+    double av = a.AsScalar();
+    for (size_t i = 0; i < b.size(); ++i) out.data()[i] = op(av, b.data()[i]);
+    return out;
+  }
+  if (b.IsScalar()) {
+    NdArray out({a.shape()}, std::vector<double>(a.size()));
+    double bv = b.AsScalar();
+    for (size_t i = 0; i < a.size(); ++i) out.data()[i] = op(a.data()[i], bv);
+    return out;
+  }
+  if (a.shape() != b.shape()) {
+    return Status::InvalidArgument(std::string("tql: shape mismatch in '") +
+                                   op_name + "': " + a.ToString() + " vs " +
+                                   b.ToString());
+  }
+  NdArray out({a.shape()}, std::vector<double>(a.size()));
+  for (size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = op(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+namespace {
+
+int64_t ClampIndex(int64_t idx, uint64_t dim) {
+  if (idx < 0) idx += static_cast<int64_t>(dim);
+  if (idx < 0) idx = 0;
+  if (idx > static_cast<int64_t>(dim)) idx = static_cast<int64_t>(dim);
+  return idx;
+}
+
+}  // namespace
+
+Result<NdArray> SliceArray(const NdArray& arr,
+                           const std::vector<SliceSpec>& specs) {
+  if (specs.size() > arr.ndim()) {
+    return Status::InvalidArgument("tql: too many indices for array of rank " +
+                                   std::to_string(arr.ndim()));
+  }
+  size_t nd = arr.ndim();
+  // Per-dim: start, count, step; and whether the dim is dropped.
+  std::vector<int64_t> start(nd, 0), count(nd), step(nd, 1);
+  std::vector<bool> dropped(nd, false);
+  for (size_t d = 0; d < nd; ++d) {
+    uint64_t dim = arr.shape()[d];
+    if (d < specs.size()) {
+      const SliceSpec& s = specs[d];
+      if (s.is_index) {
+        int64_t idx = s.index;
+        if (idx < 0) idx += static_cast<int64_t>(dim);
+        if (idx < 0 || idx >= static_cast<int64_t>(dim)) {
+          return Status::OutOfRange("tql: index " + std::to_string(s.index) +
+                                    " out of bounds for dim " +
+                                    std::to_string(dim));
+        }
+        start[d] = idx;
+        count[d] = 1;
+        dropped[d] = true;
+        continue;
+      }
+      int64_t st = s.has_step ? s.step : 1;
+      if (st == 0) return Status::InvalidArgument("tql: slice step 0");
+      if (st < 0) {
+        return Status::NotImplemented("tql: negative slice steps");
+      }
+      int64_t lo = s.has_start ? ClampIndex(s.start, dim) : 0;
+      int64_t hi = s.has_stop ? ClampIndex(s.stop, dim)
+                              : static_cast<int64_t>(dim);
+      if (hi < lo) hi = lo;
+      start[d] = lo;
+      step[d] = st;
+      count[d] = (hi - lo + st - 1) / st;
+    } else {
+      count[d] = static_cast<int64_t>(dim);
+    }
+  }
+  // Output shape drops indexed dims.
+  std::vector<uint64_t> out_shape;
+  uint64_t out_elems = 1;
+  for (size_t d = 0; d < nd; ++d) {
+    out_elems *= static_cast<uint64_t>(count[d]);
+    if (!dropped[d]) out_shape.push_back(static_cast<uint64_t>(count[d]));
+  }
+  // Strides of the input.
+  std::vector<uint64_t> strides(nd, 1);
+  for (size_t d = nd; d-- > 1;) strides[d - 1] = strides[d] * arr.shape()[d];
+
+  std::vector<double> out_data;
+  out_data.reserve(out_elems);
+  std::vector<int64_t> idx(nd, 0);
+  if (out_elems > 0) {
+    while (true) {
+      uint64_t off = 0;
+      for (size_t d = 0; d < nd; ++d) {
+        off += static_cast<uint64_t>(start[d] + idx[d] * step[d]) * strides[d];
+      }
+      out_data.push_back(arr.data()[off]);
+      ptrdiff_t d = static_cast<ptrdiff_t>(nd) - 1;
+      while (d >= 0) {
+        if (++idx[d] < count[d]) break;
+        idx[d] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+  return NdArray(std::move(out_shape), std::move(out_data));
+}
+
+double ReduceSum(const NdArray& a) {
+  double s = 0;
+  for (double v : a.data()) s += v;
+  return s;
+}
+
+double ReduceMin(const NdArray& a) {
+  double m = HUGE_VAL;
+  for (double v : a.data()) m = std::min(m, v);
+  return a.data().empty() ? 0.0 : m;
+}
+
+double ReduceMax(const NdArray& a) {
+  double m = -HUGE_VAL;
+  for (double v : a.data()) m = std::max(m, v);
+  return a.data().empty() ? 0.0 : m;
+}
+
+double ReduceMean(const NdArray& a) {
+  return a.data().empty() ? 0.0 : ReduceSum(a) / a.data().size();
+}
+
+double ReduceStd(const NdArray& a) {
+  if (a.data().size() < 2) return 0.0;
+  double mean = ReduceMean(a);
+  double ss = 0;
+  for (double v : a.data()) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / a.data().size());
+}
+
+bool ReduceAny(const NdArray& a) {
+  for (double v : a.data()) {
+    if (v != 0.0) return true;
+  }
+  return false;
+}
+
+bool ReduceAll(const NdArray& a) {
+  for (double v : a.data()) {
+    if (v == 0.0) return false;
+  }
+  return true;
+}
+
+double ReduceL2(const NdArray& a) {
+  double ss = 0;
+  for (double v : a.data()) ss += v * v;
+  return std::sqrt(ss);
+}
+
+namespace {
+
+double BoxIou(const double* a, const double* b) {
+  // (x, y, w, h) boxes.
+  double ax0 = a[0], ay0 = a[1], ax1 = a[0] + a[2], ay1 = a[1] + a[3];
+  double bx0 = b[0], by0 = b[1], bx1 = b[0] + b[2], by1 = b[1] + b[3];
+  double ix = std::max(0.0, std::min(ax1, bx1) - std::max(ax0, bx0));
+  double iy = std::max(0.0, std::min(ay1, by1) - std::max(ay0, by0));
+  double inter = ix * iy;
+  double uni = a[2] * a[3] + b[2] * b[3] - inter;
+  return uni > 0 ? inter / uni : 0.0;
+}
+
+Status CheckBoxes(const NdArray& a, const char* what) {
+  if (a.ndim() == 1 && a.shape()[0] == 4) return Status::OK();
+  if (a.ndim() == 2 && a.shape()[1] == 4) return Status::OK();
+  return Status::InvalidArgument(std::string("tql: ") + what +
+                                 " must be (n,4) or (4,) boxes, got " +
+                                 a.ToString());
+}
+
+size_t NumBoxes(const NdArray& a) {
+  return a.ndim() == 1 ? 1 : a.shape()[0];
+}
+
+}  // namespace
+
+Result<double> MeanBestIou(const NdArray& a, const NdArray& b) {
+  DL_RETURN_IF_ERROR(CheckBoxes(a, "IOU lhs"));
+  DL_RETURN_IF_ERROR(CheckBoxes(b, "IOU rhs"));
+  size_t na = NumBoxes(a), nb = NumBoxes(b);
+  if (na == 0 || nb == 0) return 0.0;
+  double total = 0;
+  for (size_t i = 0; i < na; ++i) {
+    double best = 0;
+    for (size_t j = 0; j < nb; ++j) {
+      best = std::max(best, BoxIou(a.data().data() + i * 4,
+                                   b.data().data() + j * 4));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(na);
+}
+
+Result<NdArray> NormalizeBoxes(const NdArray& boxes, const NdArray& window) {
+  DL_RETURN_IF_ERROR(CheckBoxes(boxes, "NORMALIZE boxes"));
+  if (window.size() != 4) {
+    return Status::InvalidArgument(
+        "tql: NORMALIZE window must have 4 values [x, y, w, h]");
+  }
+  double wx = window.data()[0], wy = window.data()[1];
+  double ww = window.data()[2], wh = window.data()[3];
+  if (ww == 0 || wh == 0) {
+    return Status::InvalidArgument("tql: NORMALIZE window has zero extent");
+  }
+  NdArray out({boxes.shape()}, std::vector<double>(boxes.size()));
+  size_t n = NumBoxes(boxes);
+  for (size_t i = 0; i < n; ++i) {
+    const double* in = boxes.data().data() + i * 4;
+    double* o = out.data().data() + i * 4;
+    o[0] = (in[0] - wx) / ww;
+    o[1] = (in[1] - wy) / wh;
+    o[2] = in[2] / ww;
+    o[3] = in[3] / wh;
+  }
+  return out;
+}
+
+}  // namespace dl::tql

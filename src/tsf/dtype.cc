@@ -1,0 +1,48 @@
+#include "tsf/dtype.h"
+
+namespace dl::tsf {
+
+std::string_view DTypeName(DType t) {
+  switch (t) {
+    case DType::kBool:
+      return "bool";
+    case DType::kUInt8:
+      return "uint8";
+    case DType::kInt8:
+      return "int8";
+    case DType::kUInt16:
+      return "uint16";
+    case DType::kInt16:
+      return "int16";
+    case DType::kUInt32:
+      return "uint32";
+    case DType::kInt32:
+      return "int32";
+    case DType::kUInt64:
+      return "uint64";
+    case DType::kInt64:
+      return "int64";
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+  }
+  return "uint8";
+}
+
+Result<DType> DTypeFromName(std::string_view name) {
+  if (name == "bool") return DType::kBool;
+  if (name == "uint8" || name == "u8") return DType::kUInt8;
+  if (name == "int8" || name == "i8") return DType::kInt8;
+  if (name == "uint16") return DType::kUInt16;
+  if (name == "int16") return DType::kInt16;
+  if (name == "uint32") return DType::kUInt32;
+  if (name == "int32" || name == "int") return DType::kInt32;
+  if (name == "uint64") return DType::kUInt64;
+  if (name == "int64" || name == "long") return DType::kInt64;
+  if (name == "float32" || name == "float") return DType::kFloat32;
+  if (name == "float64" || name == "double") return DType::kFloat64;
+  return Status::InvalidArgument("unknown dtype '" + std::string(name) + "'");
+}
+
+}  // namespace dl::tsf

@@ -1,0 +1,62 @@
+#ifndef DEEPLAKE_TSF_DTYPE_H_
+#define DEEPLAKE_TSF_DTYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace dl::tsf {
+
+/// Element types of tensors — the NumPy dtype vocabulary the paper's format
+/// stores (§3.3 "dtype as seen in NumPy").
+enum class DType : uint8_t {
+  kBool = 0,
+  kUInt8 = 1,
+  kInt8 = 2,
+  kUInt16 = 3,
+  kInt16 = 4,
+  kUInt32 = 5,
+  kInt32 = 6,
+  kUInt64 = 7,
+  kInt64 = 8,
+  kFloat32 = 9,
+  kFloat64 = 10,
+};
+
+/// Bytes per element.
+constexpr size_t DTypeSize(DType t) {
+  switch (t) {
+    case DType::kBool:
+    case DType::kUInt8:
+    case DType::kInt8:
+      return 1;
+    case DType::kUInt16:
+    case DType::kInt16:
+      return 2;
+    case DType::kUInt32:
+    case DType::kInt32:
+    case DType::kFloat32:
+      return 4;
+    case DType::kUInt64:
+    case DType::kInt64:
+    case DType::kFloat64:
+      return 8;
+  }
+  return 1;
+}
+
+constexpr bool IsFloating(DType t) {
+  return t == DType::kFloat32 || t == DType::kFloat64;
+}
+constexpr bool IsSigned(DType t) {
+  return t == DType::kInt8 || t == DType::kInt16 || t == DType::kInt32 ||
+         t == DType::kInt64 || IsFloating(t);
+}
+
+std::string_view DTypeName(DType t);
+Result<DType> DTypeFromName(std::string_view name);
+
+}  // namespace dl::tsf
+
+#endif  // DEEPLAKE_TSF_DTYPE_H_

@@ -1,0 +1,192 @@
+#include "tsf/htype.h"
+
+#include "util/string_util.h"
+
+namespace dl::tsf {
+
+std::string_view HtypeKindName(HtypeKind k) {
+  switch (k) {
+    case HtypeKind::kGeneric:
+      return "generic";
+    case HtypeKind::kImage:
+      return "image";
+    case HtypeKind::kVideo:
+      return "video";
+    case HtypeKind::kAudio:
+      return "audio";
+    case HtypeKind::kClassLabel:
+      return "class_label";
+    case HtypeKind::kBBox:
+      return "bbox";
+    case HtypeKind::kBinaryMask:
+      return "binary_mask";
+    case HtypeKind::kText:
+      return "text";
+    case HtypeKind::kEmbedding:
+      return "embedding";
+    case HtypeKind::kDicom:
+      return "dicom";
+  }
+  return "generic";
+}
+
+std::string Htype::ToString() const {
+  std::string base(HtypeKindName(kind));
+  if (is_sequence) return "sequence[" + base + "]";
+  if (is_link) return "link[" + base + "]";
+  return base;
+}
+
+Htype::Expectations Htype::expectations() const {
+  Expectations e;
+  if (is_link) {
+    // Links store URL strings regardless of the wrapped kind.
+    e.ndim = 1;
+    e.has_dtype = true;
+    e.dtype = DType::kUInt8;
+    return e;
+  }
+  switch (kind) {
+    case HtypeKind::kImage:
+      // (h, w, channels); grayscale (h, w) accepted.
+      e.ndim = 3;
+      e.alt_ndim = 2;
+      e.has_dtype = true;
+      e.dtype = DType::kUInt8;
+      break;
+    case HtypeKind::kVideo:
+      e.ndim = 4;  // (frames, h, w, channels)
+      e.has_dtype = true;
+      e.dtype = DType::kUInt8;
+      break;
+    case HtypeKind::kAudio:
+      e.ndim = 2;  // (samples, channels)
+      e.alt_ndim = 1;
+      break;
+    case HtypeKind::kClassLabel:
+      e.ndim = 0;  // scalar
+      e.alt_ndim = 1;  // multi-label
+      break;
+    case HtypeKind::kBBox:
+      e.ndim = 2;  // (boxes, 4)
+      e.alt_ndim = 1;
+      break;
+    case HtypeKind::kBinaryMask:
+      e.ndim = 2;
+      e.alt_ndim = 3;
+      e.has_dtype = true;
+      e.dtype = DType::kBool;
+      break;
+    case HtypeKind::kText:
+      e.ndim = 1;  // utf-8 bytes
+      e.has_dtype = true;
+      e.dtype = DType::kUInt8;
+      break;
+    case HtypeKind::kEmbedding:
+      e.ndim = 1;
+      break;
+    case HtypeKind::kDicom:
+      e.ndim = 3;  // (slices, h, w)
+      e.alt_ndim = 2;
+      break;
+    case HtypeKind::kGeneric:
+      break;
+  }
+  if (is_sequence && e.ndim >= 0) {
+    // One extra leading "time" dimension.
+    e.ndim += 1;
+    if (e.alt_ndim >= 0) e.alt_ndim += 1;
+  }
+  return e;
+}
+
+DType Htype::default_dtype() const {
+  if (is_link) return DType::kUInt8;
+  switch (kind) {
+    case HtypeKind::kImage:
+    case HtypeKind::kVideo:
+    case HtypeKind::kText:
+      return DType::kUInt8;
+    case HtypeKind::kAudio:
+      return DType::kFloat32;
+    case HtypeKind::kClassLabel:
+      return DType::kInt32;
+    case HtypeKind::kBBox:
+      return DType::kFloat32;
+    case HtypeKind::kBinaryMask:
+      return DType::kBool;
+    case HtypeKind::kEmbedding:
+      return DType::kFloat32;
+    case HtypeKind::kDicom:
+      return DType::kUInt16;
+    case HtypeKind::kGeneric:
+      return DType::kUInt8;
+  }
+  return DType::kUInt8;
+}
+
+compress::Compression Htype::default_sample_compression() const {
+  if (is_link) return compress::Compression::kNone;
+  switch (kind) {
+    case HtypeKind::kImage:
+      return compress::Compression::kImageLossy;  // JPEG stand-in (§5)
+    case HtypeKind::kVideo:
+    case HtypeKind::kDicom:
+      return compress::Compression::kImage;  // lossless
+    default:
+      return compress::Compression::kNone;
+  }
+}
+
+compress::Compression Htype::default_chunk_compression() const {
+  if (is_link) return compress::Compression::kLz77;
+  switch (kind) {
+    case HtypeKind::kClassLabel:
+      return compress::Compression::kLz77;  // LZ4 stand-in (§5)
+    case HtypeKind::kBinaryMask:
+      return compress::Compression::kRle;
+    case HtypeKind::kText:
+      return compress::Compression::kLz77;
+    default:
+      return compress::Compression::kNone;
+  }
+}
+
+Result<Htype> ParseHtype(std::string_view text) {
+  Htype h;
+  std::string_view inner = text;
+  if (StartsWith(text, "sequence[") && EndsWith(text, "]")) {
+    h.is_sequence = true;
+    inner = text.substr(9, text.size() - 10);
+  } else if (StartsWith(text, "link[") && EndsWith(text, "]")) {
+    h.is_link = true;
+    inner = text.substr(5, text.size() - 6);
+  }
+  if (inner.empty() || inner == "generic") {
+    h.kind = HtypeKind::kGeneric;
+  } else if (inner == "image") {
+    h.kind = HtypeKind::kImage;
+  } else if (inner == "video") {
+    h.kind = HtypeKind::kVideo;
+  } else if (inner == "audio") {
+    h.kind = HtypeKind::kAudio;
+  } else if (inner == "class_label") {
+    h.kind = HtypeKind::kClassLabel;
+  } else if (inner == "bbox") {
+    h.kind = HtypeKind::kBBox;
+  } else if (inner == "binary_mask") {
+    h.kind = HtypeKind::kBinaryMask;
+  } else if (inner == "text") {
+    h.kind = HtypeKind::kText;
+  } else if (inner == "embedding") {
+    h.kind = HtypeKind::kEmbedding;
+  } else if (inner == "dicom") {
+    h.kind = HtypeKind::kDicom;
+  } else {
+    return Status::InvalidArgument("unknown htype '" + std::string(text) +
+                                   "'");
+  }
+  return h;
+}
+
+}  // namespace dl::tsf

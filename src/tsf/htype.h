@@ -1,0 +1,75 @@
+#ifndef DEEPLAKE_TSF_HTYPE_H_
+#define DEEPLAKE_TSF_HTYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "compress/codec.h"
+#include "tsf/dtype.h"
+#include "util/result.h"
+
+namespace dl::tsf {
+
+/// Base htype kinds (paper §3.3): expectations on a tensor's samples that
+/// make framework interop, sanity checks and visualization layout possible.
+enum class HtypeKind : uint8_t {
+  kGeneric = 0,
+  kImage = 1,
+  kVideo = 2,
+  kAudio = 3,
+  kClassLabel = 4,
+  kBBox = 5,
+  kBinaryMask = 6,
+  kText = 7,
+  kEmbedding = 8,
+  kDicom = 9,
+};
+
+/// A parsed htype, including the meta-type wrappers from §3.3:
+///   "image"            -> {kind=kImage}
+///   "sequence[image]"  -> {kind=kImage, is_sequence=true}
+///   "link[image]"      -> {kind=kImage, is_link=true}
+struct Htype {
+  HtypeKind kind = HtypeKind::kGeneric;
+  bool is_sequence = false;
+  bool is_link = false;
+
+  /// Canonical string form ("sequence[image]").
+  std::string ToString() const;
+
+  /// Validation expectations for this htype.
+  struct Expectations {
+    /// Required sample ndim; -1 means "any".
+    int ndim = -1;
+    /// Alternative accepted ndim (e.g. grayscale images); -1 means none.
+    int alt_ndim = -1;
+    /// Required dtype; dtype of the tensor must equal this if set.
+    bool has_dtype = false;
+    DType dtype = DType::kUInt8;
+  };
+  Expectations expectations() const;
+
+  /// Sensible defaults the dataset applies when the user does not override.
+  DType default_dtype() const;
+  compress::Compression default_sample_compression() const;
+  compress::Compression default_chunk_compression() const;
+
+  /// Videos are exempt from tiling (§3.4: "The only exception to tiling is
+  /// videos") because frame->index mapping and key-frame decode need the
+  /// sample contiguous.
+  bool exempt_from_tiling() const { return kind == HtypeKind::kVideo; }
+
+  friend bool operator==(const Htype& a, const Htype& b) {
+    return a.kind == b.kind && a.is_sequence == b.is_sequence &&
+           a.is_link == b.is_link;
+  }
+};
+
+std::string_view HtypeKindName(HtypeKind k);
+
+/// Parses "generic", "image", "sequence[image]", "link[image]", ....
+Result<Htype> ParseHtype(std::string_view text);
+
+}  // namespace dl::tsf
+
+#endif  // DEEPLAKE_TSF_HTYPE_H_

@@ -1,0 +1,15 @@
+#include "tsf/shape.h"
+
+namespace dl::tsf {
+
+std::string TensorShape::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dl::tsf

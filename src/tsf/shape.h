@@ -1,0 +1,71 @@
+#ifndef DEEPLAKE_TSF_SHAPE_H_
+#define DEEPLAKE_TSF_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/coding.h"
+#include "util/macros.h"
+
+namespace dl::tsf {
+
+/// Shape of one sample (not including the index/batch dimension). Tensors
+/// are *ragged* (§3.2): every sample carries its own shape. An empty shape
+/// denotes a scalar sample; a shape with any zero dim denotes an empty
+/// sample (used for sparse/out-of-bounds assignment padding, §3.5).
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<uint64_t> dims) : dims_(dims) {}
+  explicit TensorShape(std::vector<uint64_t> dims) : dims_(std::move(dims)) {}
+
+  size_t ndim() const { return dims_.size(); }
+  uint64_t operator[](size_t i) const { return dims_[i]; }
+  const std::vector<uint64_t>& dims() const { return dims_; }
+
+  /// Product of dims; 1 for scalars, 0 if any dim is 0.
+  uint64_t NumElements() const {
+    uint64_t n = 1;
+    for (uint64_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool IsEmptySample() const {
+    for (uint64_t d : dims_) {
+      if (d == 0) return true;
+    }
+    return false;
+  }
+
+  /// "(640, 480, 3)"
+  std::string ToString() const;
+
+  void Encode(ByteBuffer& out) const {
+    PutVarint64(out, dims_.size());
+    for (uint64_t d : dims_) PutVarint64(out, d);
+  }
+
+  static Result<TensorShape> Decode(Decoder& dec) {
+    DL_ASSIGN_OR_RETURN(uint64_t ndim, dec.GetVarint64());
+    if (ndim > 32) return Status::Corruption("shape: ndim too large");
+    std::vector<uint64_t> dims(ndim);
+    for (auto& d : dims) {
+      DL_ASSIGN_OR_RETURN(d, dec.GetVarint64());
+    }
+    return TensorShape(std::move(dims));
+  }
+
+  friend bool operator==(const TensorShape& a, const TensorShape& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<uint64_t> dims_;
+};
+
+}  // namespace dl::tsf
+
+#endif  // DEEPLAKE_TSF_SHAPE_H_

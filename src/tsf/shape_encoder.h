@@ -1,0 +1,54 @@
+#ifndef DEEPLAKE_TSF_SHAPE_ENCODER_H_
+#define DEEPLAKE_TSF_SHAPE_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tsf/shape.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dl::tsf {
+
+/// Run-length-encoded per-sample shape index — the "hidden tensor
+/// preserving shape information for fast queries" of §3.4. TQL queries on
+/// SHAPE(t) and the tiling/materialization planners read shapes from here
+/// without touching any chunk.
+class ShapeEncoder {
+ public:
+  ShapeEncoder() = default;
+
+  /// Appends the shape of the next sample; merges into the last run when
+  /// equal (uniform datasets cost O(1) rows).
+  void Append(const TensorShape& shape);
+
+  /// Replaces the shape at `index` (sample update path). May split a run.
+  Status Set(uint64_t index, const TensorShape& shape);
+
+  /// Shape of sample `index`; OutOfRange past the end.
+  Result<TensorShape> At(uint64_t index) const;
+
+  uint64_t num_samples() const {
+    return rows_.empty() ? 0 : rows_.back().last_index + 1;
+  }
+  size_t num_rows() const { return rows_.size(); }
+
+  ByteBuffer Serialize() const;
+  static Result<ShapeEncoder> Deserialize(ByteView bytes);
+
+ private:
+  struct Row {
+    uint64_t last_index;
+    TensorShape shape;
+  };
+
+  /// Rebuilds rows_ from an explicit list (used by Set).
+  void Rebuild(const std::vector<TensorShape>& shapes);
+  std::vector<TensorShape> Expand() const;
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace dl::tsf
+
+#endif  // DEEPLAKE_TSF_SHAPE_ENCODER_H_

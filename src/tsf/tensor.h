@@ -1,0 +1,136 @@
+#ifndef DEEPLAKE_TSF_TENSOR_H_
+#define DEEPLAKE_TSF_TENSOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/storage.h"
+#include "tsf/chunk.h"
+#include "tsf/chunk_encoder.h"
+#include "tsf/sample.h"
+#include "tsf/shape_encoder.h"
+#include "tsf/tensor_meta.h"
+#include "tsf/tile_encoder.h"
+
+namespace dl::tsf {
+
+/// One column of a Deep Lake dataset: a typed, ragged, chunked tensor bound
+/// to a storage prefix (paper §3).
+///
+/// Storage layout under the dataset root:
+///   tensors/<name>/tensor_meta.json
+///   tensors/<name>/chunk_encoder.bin
+///   tensors/<name>/shape_encoder.bin
+///   tensors/<name>/tile_encoder.bin
+///   tensors/<name>/chunks/<hex chunk id>
+///
+/// Appends buffer into an open chunk; `Flush` seals it and persists the
+/// encoders. Reads see both flushed and buffered samples. Not thread-safe
+/// for concurrent writes; concurrent reads are safe after Flush (the
+/// streaming dataloader only touches flushed state).
+class Tensor {
+ public:
+  /// Creates a new tensor (fails if one exists at this name).
+  static Result<std::unique_ptr<Tensor>> Create(storage::StoragePtr store,
+                                                const std::string& name,
+                                                const TensorOptions& options);
+
+  /// Opens an existing tensor.
+  static Result<std::unique_ptr<Tensor>> Open(storage::StoragePtr store,
+                                              const std::string& name);
+
+  const TensorMeta& meta() const { return meta_; }
+  const std::string& name() const { return meta_.name; }
+
+  /// Total samples (flushed + buffered in the open chunk).
+  uint64_t NumSamples() const;
+
+  /// Appends one sample. Oversized samples (raw bytes > max_chunk_bytes)
+  /// are tiled across spatial dimensions unless the htype is exempt
+  /// (video). Cheap samples land in the open chunk buffer.
+  Status Append(const Sample& sample);
+
+  /// Ingestion fast path (§5): appends a frame already compressed with the
+  /// tensor's sample compression, skipping decode+re-encode. `shape` is the
+  /// decoded logical shape.
+  Status AppendPrecompressed(ByteView frame, const TensorShape& shape);
+
+  /// Replaces sample `index` in place (§3.5 random-access writes:
+  /// annotators, model predictions). Writing past the end pads the gap with
+  /// empty samples — the sparse/out-of-bounds assignment behaviour.
+  Status Update(uint64_t index, const Sample& sample);
+
+  /// Reads one sample.
+  Result<Sample> Read(uint64_t index);
+
+  /// Reads a sub-region of a *tiled* sample fetching only overlapping
+  /// tiles; falls back to a full read + crop for untiled samples.
+  /// `starts`/`sizes` must have one entry per dimension.
+  Result<Sample> ReadRegion(uint64_t index,
+                            const std::vector<uint64_t>& starts,
+                            const std::vector<uint64_t>& sizes);
+
+  /// Shape without fetching data (served by the shape encoder).
+  Result<TensorShape> ShapeAt(uint64_t index) const;
+
+  /// Seals the open chunk and persists meta + encoders.
+  Status Flush();
+
+  /// Re-packs fragmented chunks into dense ~max_chunk_bytes chunks
+  /// (paper §3.5 "on-the-fly re-chunking algorithm"). Returns the number of
+  /// chunks after optimization.
+  Result<size_t> Rechunk();
+
+  // ---- Streaming/introspection API (used by the dataloader & benches) ----
+
+  const ChunkEncoder& chunk_encoder() const { return chunk_encoder_; }
+  const ShapeEncoder& shape_encoder() const { return shape_encoder_; }
+  const TileEncoder& tile_encoder() const { return tile_encoder_; }
+  storage::StoragePtr store() const { return store_; }
+
+  /// Storage key of a chunk object.
+  std::string ChunkKey(uint64_t chunk_id) const;
+  std::string MetaKey() const;
+
+  /// Number of samples buffered in the open (unflushed) chunk.
+  uint64_t buffered_samples() const {
+    return open_chunk_ ? open_chunk_->num_samples() : 0;
+  }
+
+ private:
+  Tensor(storage::StoragePtr store, TensorMeta meta);
+
+  Status AppendInternal(const Sample& sample, ByteView precompressed);
+  Status AppendTiled(const Sample& sample);
+  Status RewriteSampleInChunk(uint64_t index, const Sample& sample);
+  static void CopyRegion(const Sample& source,
+                         const std::vector<uint64_t>& starts, Sample& out);
+  static void CopyTileRegion(const Sample& tile, const TileLayout& layout,
+                             const std::vector<uint64_t>& coord,
+                             const std::vector<uint64_t>& starts,
+                             const std::vector<uint64_t>& sizes, Sample& out);
+  Status SealOpenChunk();
+  Result<std::shared_ptr<Chunk>> FetchChunk(uint64_t chunk_id);
+  Result<Sample> AssembleTiled(uint64_t index, const TileLayout& layout);
+  uint64_t NextChunkId() { return next_chunk_id_++; }
+  Status PersistEncoders();
+
+  storage::StoragePtr store_;
+  TensorMeta meta_;
+  ChunkEncoder chunk_encoder_;
+  ShapeEncoder shape_encoder_;
+  TileEncoder tile_encoder_;
+  std::unique_ptr<ChunkBuilder> open_chunk_;
+  uint64_t next_chunk_id_ = 0;
+
+  // Single-slot cache of the most recently parsed chunk: sequential reads
+  // decode each chunk once.
+  mutable std::mutex cache_mu_;
+  uint64_t cached_chunk_id_ = 0;
+  std::shared_ptr<Chunk> cached_chunk_;
+};
+
+}  // namespace dl::tsf
+
+#endif  // DEEPLAKE_TSF_TENSOR_H_

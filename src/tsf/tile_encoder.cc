@@ -1,0 +1,186 @@
+#include "tsf/tile_encoder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/macros.h"
+
+namespace dl::tsf {
+
+namespace {
+
+/// Element strides of a row-major array.
+std::vector<uint64_t> Strides(const TensorShape& shape) {
+  std::vector<uint64_t> strides(shape.ndim(), 1);
+  for (size_t d = shape.ndim(); d-- > 1;) {
+    strides[d - 1] = strides[d] * shape[d];
+  }
+  return strides;
+}
+
+}  // namespace
+
+TensorShape TileLayout::TileShapeAt(
+    const std::vector<uint64_t>& coord) const {
+  std::vector<uint64_t> dims(coord.size());
+  for (size_t d = 0; d < coord.size(); ++d) {
+    uint64_t start = coord[d] * tile_dims[d];
+    dims[d] = std::min(tile_dims[d], sample_shape[d] - start);
+  }
+  return TensorShape(std::move(dims));
+}
+
+TileLayout ComputeTileLayout(const TensorShape& shape, size_t dtype_size,
+                             uint64_t max_tile_bytes) {
+  TileLayout layout;
+  layout.sample_shape = shape;
+  layout.tile_dims = shape.dims();
+  // Only the leading spatial dimensions are split (§3.4); channel-like
+  // trailing dims stay whole so tiles remain pixel-aligned.
+  size_t splittable = shape.ndim() >= 3 ? 2 : (shape.ndim() >= 1 ? 1 : 0);
+  auto tile_bytes = [&] {
+    uint64_t n = dtype_size;
+    for (uint64_t d : layout.tile_dims) n *= d;
+    return n;
+  };
+  while (tile_bytes() > max_tile_bytes) {
+    // Halve the largest splittable dim; stop when nothing can shrink.
+    size_t best = SIZE_MAX;
+    for (size_t d = 0; d < splittable; ++d) {
+      if (layout.tile_dims[d] > 1 &&
+          (best == SIZE_MAX || layout.tile_dims[d] > layout.tile_dims[best])) {
+        best = d;
+      }
+    }
+    if (best == SIZE_MAX) break;
+    layout.tile_dims[best] = (layout.tile_dims[best] + 1) / 2;
+  }
+  layout.grid.resize(shape.ndim());
+  for (size_t d = 0; d < shape.ndim(); ++d) {
+    layout.grid[d] =
+        layout.tile_dims[d] == 0
+            ? 1
+            : (shape[d] + layout.tile_dims[d] - 1) / layout.tile_dims[d];
+  }
+  return layout;
+}
+
+namespace {
+
+/// Copies between the full sample buffer and a tile buffer. `to_tile`
+/// selects direction. Generic n-d odometer over all dims but the last;
+/// the innermost run is contiguous in both buffers.
+void CopyTile(uint8_t* full, const TensorShape& full_shape,
+              size_t dtype_size, const TileLayout& layout,
+              const std::vector<uint64_t>& coord, uint8_t* tile,
+              bool to_tile) {
+  size_t ndim = full_shape.ndim();
+  if (ndim == 0) return;
+  TensorShape tile_shape = layout.TileShapeAt(coord);
+  std::vector<uint64_t> full_strides = Strides(full_shape);
+  std::vector<uint64_t> tile_strides = Strides(tile_shape);
+  std::vector<uint64_t> start(ndim);
+  for (size_t d = 0; d < ndim; ++d) start[d] = coord[d] * layout.tile_dims[d];
+
+  size_t inner = ndim - 1;
+  uint64_t run_elems = tile_shape[inner];
+  uint64_t run_bytes = run_elems * dtype_size;
+
+  // Odometer over tile-local coordinates of dims [0, inner); idx[inner]
+  // stays 0 and the innermost dimension is copied as one contiguous run.
+  std::vector<uint64_t> idx(ndim, 0);
+  while (true) {
+    uint64_t full_off = 0;
+    uint64_t tile_off = 0;
+    for (size_t d = 0; d < ndim; ++d) {
+      full_off += (start[d] + idx[d]) * full_strides[d];
+      tile_off += idx[d] * tile_strides[d];
+    }
+    uint8_t* fp = full + full_off * dtype_size;
+    uint8_t* tp = tile + tile_off * dtype_size;
+    if (to_tile) {
+      std::memcpy(tp, fp, run_bytes);
+    } else {
+      std::memcpy(fp, tp, run_bytes);
+    }
+    if (ndim == 1) break;
+    ptrdiff_t d = static_cast<ptrdiff_t>(inner) - 1;
+    while (d >= 0) {
+      if (++idx[d] < tile_shape[d]) break;
+      idx[d] = 0;
+      --d;
+    }
+    if (d < 0) break;  // all tile rows copied
+  }
+}
+
+}  // namespace
+
+ByteBuffer ExtractTile(const Sample& sample, const TileLayout& layout,
+                       const std::vector<uint64_t>& coord) {
+  TensorShape tile_shape = layout.TileShapeAt(coord);
+  size_t dtype_size = DTypeSize(sample.dtype);
+  ByteBuffer out(tile_shape.NumElements() * dtype_size);
+  CopyTile(const_cast<uint8_t*>(sample.data.data()), sample.shape,
+           dtype_size, layout, coord, out.data(), /*to_tile=*/true);
+  return out;
+}
+
+void PlaceTile(ByteBuffer& assembled, const TensorShape& full_shape,
+               size_t dtype_size, const TileLayout& layout,
+               const std::vector<uint64_t>& coord, ByteView tile) {
+  CopyTile(assembled.data(), full_shape, dtype_size, layout, coord,
+           const_cast<uint8_t*>(tile.data()), /*to_tile=*/false);
+}
+
+ByteBuffer TileEncoder::Serialize() const {
+  ByteBuffer out;
+  PutVarint64(out, entries_.size());
+  for (const auto& [idx, layout] : entries_) {
+    PutVarint64(out, idx);
+    layout.sample_shape.Encode(out);
+    for (uint64_t d : layout.tile_dims) PutVarint64(out, d);
+    for (uint64_t g : layout.grid) PutVarint64(out, g);
+    PutVarint64(out, layout.chunk_ids.size());
+    uint64_t prev = 0;
+    for (uint64_t id : layout.chunk_ids) {
+      PutVarintSigned64(out, static_cast<int64_t>(id - prev));
+      prev = id;
+    }
+  }
+  return out;
+}
+
+Result<TileEncoder> TileEncoder::Deserialize(ByteView bytes) {
+  Decoder dec{bytes};
+  DL_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+  TileEncoder enc;
+  for (uint64_t i = 0; i < n; ++i) {
+    DL_ASSIGN_OR_RETURN(uint64_t idx, dec.GetVarint64());
+    TileLayout layout;
+    DL_ASSIGN_OR_RETURN(layout.sample_shape, TensorShape::Decode(dec));
+    size_t ndim = layout.sample_shape.ndim();
+    layout.tile_dims.resize(ndim);
+    for (auto& d : layout.tile_dims) {
+      DL_ASSIGN_OR_RETURN(d, dec.GetVarint64());
+    }
+    layout.grid.resize(ndim);
+    for (auto& g : layout.grid) {
+      DL_ASSIGN_OR_RETURN(g, dec.GetVarint64());
+    }
+    DL_ASSIGN_OR_RETURN(uint64_t count, dec.GetVarint64());
+    layout.chunk_ids.resize(count);
+    uint64_t prev = 0;
+    for (auto& id : layout.chunk_ids) {
+      DL_ASSIGN_OR_RETURN(int64_t delta, dec.GetVarintSigned64());
+      prev += static_cast<uint64_t>(delta);
+      id = prev;
+    }
+    enc.entries_[idx] = std::move(layout);
+  }
+  if (!dec.done()) return Status::Corruption("tile encoder: trailing bytes");
+  return enc;
+}
+
+}  // namespace dl::tsf

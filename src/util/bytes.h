@@ -1,0 +1,75 @@
+#ifndef DEEPLAKE_UTIL_BYTES_H_
+#define DEEPLAKE_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dl {
+
+/// Owning, contiguous byte buffer. The universal currency for chunk
+/// payloads, serialized metadata and storage values.
+using ByteBuffer = std::vector<uint8_t>;
+
+/// Non-owning view over bytes. Cheap to copy; never outlives the buffer it
+/// points into.
+class ByteView {
+ public:
+  ByteView() : data_(nullptr), size_(0) {}
+  ByteView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ByteView(const ByteBuffer& buf)  // NOLINT(runtime/explicit)
+      : data_(buf.data()), size_(buf.size()) {}
+  ByteView(std::string_view sv)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(sv.data())),
+        size_(sv.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Sub-view [offset, offset+len). Clamped to the view's bounds.
+  ByteView subview(size_t offset, size_t len = SIZE_MAX) const {
+    if (offset > size_) offset = size_;
+    if (len > size_ - offset) len = size_ - offset;
+    return ByteView(data_ + offset, len);
+  }
+
+  /// Copies the viewed bytes into a fresh owning buffer.
+  ByteBuffer ToBuffer() const { return ByteBuffer(data_, data_ + size_); }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  friend bool operator==(const ByteView& a, const ByteView& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Appends the bytes of `v` to `out`.
+inline void AppendBytes(ByteBuffer& out, ByteView v) {
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+/// Builds a ByteBuffer from a string payload.
+inline ByteBuffer BufferFromString(std::string_view s) {
+  return ByteBuffer(s.begin(), s.end());
+}
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_BYTES_H_

@@ -1,0 +1,46 @@
+#ifndef DEEPLAKE_UTIL_CLOCK_H_
+#define DEEPLAKE_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace dl {
+
+/// Monotonic wall-clock microseconds.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline void SleepMicros(int64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Spins for `us`, consuming CPU — models compute costs (interpreter time,
+/// kernels) that contend for cores, unlike SleepMicros which models waiting.
+inline void BusyWaitMicros(int64_t us) {
+  int64_t end = NowMicros() + us;
+  while (NowMicros() < end) {
+    // spin
+  }
+}
+
+/// Simple stopwatch for benchmarks and timelines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(NowMicros()) {}
+  void Reset() { start_us_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_us_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  int64_t start_us_;
+};
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_CLOCK_H_

@@ -1,0 +1,157 @@
+#include "util/coding.h"
+
+#include "util/macros.h"
+
+namespace dl {
+
+void PutFixed16(ByteBuffer& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutFixed32(ByteBuffer& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutFixed64(ByteBuffer& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t DecodeFixed16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t DecodeFixed32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t DecodeFixed64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void PutVarint32(ByteBuffer& out, uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutVarint64(ByteBuffer& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutVarintSigned64(ByteBuffer& out, int64_t v) {
+  PutVarint64(out, ZigZagEncode(v));
+}
+
+Result<uint8_t> Decoder::GetByte() {
+  if (pos_ >= view_.size()) {
+    return Status::Corruption("decoder: truncated input (byte)");
+  }
+  return view_[pos_++];
+}
+
+Result<uint16_t> Decoder::GetFixed16() {
+  if (remaining() < 2) {
+    return Status::Corruption("decoder: truncated input (fixed16)");
+  }
+  uint16_t v = DecodeFixed16(view_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Decoder::GetFixed32() {
+  if (remaining() < 4) {
+    return Status::Corruption("decoder: truncated input (fixed32)");
+  }
+  uint32_t v = DecodeFixed32(view_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Decoder::GetFixed64() {
+  if (remaining() < 8) {
+    return Status::Corruption("decoder: truncated input (fixed64)");
+  }
+  uint64_t v = DecodeFixed64(view_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<uint32_t> Decoder::GetVarint32() {
+  DL_ASSIGN_OR_RETURN(uint64_t v, GetVarint64());
+  if (v > UINT32_MAX) {
+    return Status::Corruption("decoder: varint32 overflow");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+Result<uint64_t> Decoder::GetVarint64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= view_.size()) {
+      return Status::Corruption("decoder: truncated varint");
+    }
+    uint8_t b = view_[pos_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7f) > 1)) {
+      return Status::Corruption("decoder: varint64 overflow");
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<int64_t> Decoder::GetVarintSigned64() {
+  DL_ASSIGN_OR_RETURN(uint64_t v, GetVarint64());
+  return ZigZagDecode(v);
+}
+
+Result<ByteView> Decoder::GetBytes(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("decoder: truncated input (bytes)");
+  }
+  ByteView v = view_.subview(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+Result<std::string> Decoder::GetLengthPrefixedString() {
+  DL_ASSIGN_OR_RETURN(uint64_t len, GetVarint64());
+  DL_ASSIGN_OR_RETURN(ByteView v, GetBytes(len));
+  return v.ToString();
+}
+
+Status Decoder::Skip(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("decoder: skip past end");
+  }
+  pos_ += n;
+  return Status::OK();
+}
+
+void PutLengthPrefixedString(ByteBuffer& out, std::string_view s) {
+  PutVarint64(out, s.size());
+  AppendBytes(out, ByteView(s));
+}
+
+}  // namespace dl

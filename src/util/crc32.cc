@@ -1,0 +1,70 @@
+#include "util/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace dl {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // CRC-32C reversed polynomial.
+
+// Slice-by-8 tables: table[0] is the classic byte table; table[k] advances
+// a byte through k additional zero bytes. Processing 8 bytes per step runs
+// ~4-6x faster than the byte-at-a-time loop — chunk writes CRC every byte
+// they store, so this is on the ingestion hot path.
+std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables[0][i] = crc;
+  }
+  for (int t = 1; t < 8; ++t) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[t][i] = (tables[t - 1][i] >> 8) ^ tables[0][tables[t - 1][i] & 0xff];
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const auto* kTables =
+      new std::array<std::array<uint32_t, 256>, 8>(MakeTables());
+  return *kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, ByteView data) {
+  const auto& t = Tables();
+  crc = ~crc;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(ByteView data) { return Crc32cExtend(0, data); }
+
+uint32_t MaskedCrc32c(ByteView data) {
+  uint32_t crc = Crc32c(data);
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+}  // namespace dl

@@ -1,0 +1,24 @@
+#ifndef DEEPLAKE_UTIL_CRC32_H_
+#define DEEPLAKE_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dl {
+
+/// CRC-32C (Castagnoli) over `data`, software table implementation.
+/// Used to checksum chunk payloads and framed records (TFRecord baseline).
+uint32_t Crc32c(ByteView data);
+
+/// Extends a running CRC with more data (init with crc=0 and finished=false
+/// semantics: pass the previous return value back in).
+uint32_t Crc32cExtend(uint32_t crc, ByteView data);
+
+/// Masked CRC as used by the TFRecord framing (rotation + constant), so the
+/// checksum of a checksum-bearing field is unlikely to collide.
+uint32_t MaskedCrc32c(ByteView data);
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_CRC32_H_

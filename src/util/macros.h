@@ -1,0 +1,30 @@
+#ifndef DEEPLAKE_UTIL_MACROS_H_
+#define DEEPLAKE_UTIL_MACROS_H_
+
+#include <utility>
+
+#include "util/status.h"
+
+// Propagates a non-OK Status out of the current function.
+#define DL_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::dl::Status _dl_status = (expr);            \
+    if (!_dl_status.ok()) return _dl_status;     \
+  } while (false)
+
+#define DL_CONCAT_IMPL(x, y) x##y
+#define DL_CONCAT(x, y) DL_CONCAT_IMPL(x, y)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+// moves the value into `lhs`. `lhs` may include a declaration:
+//   DL_ASSIGN_OR_RETURN(auto chunk, ReadChunk(id));
+#define DL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  DL_ASSIGN_OR_RETURN_IMPL(DL_CONCAT(_dl_result_, __LINE__),   \
+                           lhs, rexpr)
+
+#define DL_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                             \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value();
+
+#endif  // DEEPLAKE_UTIL_MACROS_H_

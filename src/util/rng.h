@@ -1,0 +1,61 @@
+#ifndef DEEPLAKE_UTIL_RNG_H_
+#define DEEPLAKE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dl {
+
+/// Deterministic, fast pseudo-random generator (splitmix64 core). Used for
+/// synthetic workloads, shuffling and property tests; seeded explicitly so
+/// every run and every test is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Approximately normal(0,1) via sum of uniforms (Irwin–Hall, n=12).
+  double NextGaussian() {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += NextDouble();
+    return s - 6.0;
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless 64-bit mix hash (fmix64 from MurmurHash3). Handy for stable
+/// sample-id generation and hash-partitioning.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_RNG_H_

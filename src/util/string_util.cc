@@ -1,0 +1,115 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dl {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string PathJoin(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  while (!out.empty() && out.back() == '/') out.pop_back();
+  out += '/';
+  size_t bstart = 0;
+  while (bstart < b.size() && b[bstart] == '/') ++bstart;
+  out += b.substr(bstart);
+  return out;
+}
+
+std::string PathJoin(std::string_view a, std::string_view b,
+                     std::string_view c) {
+  return PathJoin(PathJoin(a, b), c);
+}
+
+std::string PathJoin(std::string_view a, std::string_view b,
+                     std::string_view c, std::string_view d) {
+  return PathJoin(PathJoin(a, b, c), d);
+}
+
+std::string ZeroPad(uint64_t v, int width) {
+  std::string digits = std::to_string(v);
+  if (static_cast<int>(digits.size()) >= width) return digits;
+  return std::string(width - digits.size(), '0') + digits;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace dl

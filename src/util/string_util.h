@@ -1,0 +1,46 @@
+#ifndef DEEPLAKE_UTIL_STRING_UTIL_H_
+#define DEEPLAKE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dl {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower/upper-casing (locale independent).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Joins storage key path segments with '/', collapsing duplicate slashes.
+std::string PathJoin(std::string_view a, std::string_view b);
+std::string PathJoin(std::string_view a, std::string_view b,
+                     std::string_view c);
+std::string PathJoin(std::string_view a, std::string_view b,
+                     std::string_view c, std::string_view d);
+
+/// Fixed-width zero-padded decimal, e.g. ZeroPad(7, 5) -> "00007".
+std::string ZeroPad(uint64_t v, int width);
+
+/// Human-readable byte counts: "8.0 MB", "1.9 TB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Lowercase hex of a 64-bit value, fixed 16 chars.
+std::string Hex64(uint64_t v);
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,87 @@
+#ifndef DEEPLAKE_UTIL_THREAD_POOL_H_
+#define DEEPLAKE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dl {
+
+/// Fixed-size worker pool with a FIFO queue and optional high-priority lane.
+///
+/// The streaming dataloader's "smart scheduler" (paper §4.6) classifies
+/// decode jobs as CPU-intensive and fetch jobs as IO-bound; CPU-intensive
+/// jobs are submitted on the priority lane so decoding never starves behind
+/// a deep prefetch queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a task ahead of normal-priority tasks.
+  void SubmitPriority(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> priority_queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Counting semaphore used to bound in-flight memory (prefetch budget).
+class Semaphore {
+ public:
+  explicit Semaphore(int64_t count) : count_(count) {}
+
+  void Acquire(int64_t n = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ >= n; });
+    count_ -= n;
+  }
+
+  /// Tries to acquire without blocking; returns false if unavailable.
+  bool TryAcquire(int64_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ < n) return false;
+    count_ -= n;
+    return true;
+  }
+
+  void Release(int64_t n = 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      count_ += n;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_;
+};
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_THREAD_POOL_H_

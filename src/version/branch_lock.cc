@@ -1,0 +1,101 @@
+#include "version/branch_lock.h"
+
+#include "util/clock.h"
+#include "util/json.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::version {
+
+namespace {
+
+std::string LockKey(const std::string& branch) {
+  return PathJoin("locks", branch + ".json");
+}
+
+struct Lease {
+  std::string owner;
+  int64_t expires_us = 0;
+};
+
+Result<Lease> ReadLease(storage::StoragePtr store,
+                        const std::string& branch) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store->Get(LockKey(branch)));
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
+  Lease lease;
+  lease.owner = j.Get("owner").as_string();
+  lease.expires_us = j.Get("expires_us").as_int();
+  return lease;
+}
+
+}  // namespace
+
+Status BranchLock::WriteLease() {
+  Json j = Json::MakeObject();
+  j.Set("owner", owner_);
+  j.Set("branch", branch_);
+  j.Set("acquired_us", NowMicros());
+  j.Set("expires_us", NowMicros() + ttl_ms_ * 1000);
+  std::string text = j.Dump();
+  return store_->Put(LockKey(branch_), ByteView(text));
+}
+
+Result<std::unique_ptr<BranchLock>> BranchLock::Acquire(
+    storage::StoragePtr store, const std::string& branch,
+    const std::string& owner, int64_t ttl_ms) {
+  auto existing = ReadLease(store, branch);
+  if (existing.ok() && existing->owner != owner &&
+      existing->expires_us > NowMicros()) {
+    return Status::Aborted("branch '" + branch + "' is locked by '" +
+                           existing->owner + "'");
+  }
+  auto lock = std::unique_ptr<BranchLock>(
+      new BranchLock(std::move(store), branch, owner, ttl_ms));
+  DL_RETURN_IF_ERROR(lock->WriteLease());
+  // Read back: on object storage, last-writer-wins races resolve here —
+  // whoever's lease is visible after the write owns the branch.
+  DL_ASSIGN_OR_RETURN(Lease lease, ReadLease(lock->store_, branch));
+  if (lease.owner != owner) {
+    return Status::Aborted("branch '" + branch + "' lost race to '" +
+                           lease.owner + "'");
+  }
+  return lock;
+}
+
+Status BranchLock::Refresh() {
+  if (released_) {
+    return Status::FailedPrecondition("lock already released");
+  }
+  DL_ASSIGN_OR_RETURN(Lease lease, ReadLease(store_, branch_));
+  if (lease.owner != owner_) {
+    released_ = true;  // lost it; nothing of ours left to release
+    return Status::Aborted("lease on '" + branch_ + "' was taken by '" +
+                           lease.owner + "'");
+  }
+  return WriteLease();
+}
+
+Status BranchLock::Release() {
+  if (released_) return Status::OK();
+  released_ = true;
+  auto lease = ReadLease(store_, branch_);
+  if (lease.ok() && lease->owner != owner_) {
+    return Status::OK();  // someone else took over; leave their lease
+  }
+  return store_->Delete(LockKey(branch_));
+}
+
+BranchLock::~BranchLock() { (void)Release(); }
+
+Result<std::string> BranchLock::HolderOf(storage::StoragePtr store,
+                                         const std::string& branch) {
+  auto lease = ReadLease(store, branch);
+  if (!lease.ok()) {
+    if (lease.status().IsNotFound()) return std::string();
+    return lease.status();
+  }
+  if (lease->expires_us <= NowMicros()) return std::string();
+  return lease->owner;
+}
+
+}  // namespace dl::version

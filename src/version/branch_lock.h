@@ -1,0 +1,70 @@
+#ifndef DEEPLAKE_VERSION_BRANCH_LOCK_H_
+#define DEEPLAKE_VERSION_BRANCH_LOCK_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/storage.h"
+#include "util/result.h"
+
+namespace dl::version {
+
+/// Branch-based writer locks (paper §7.3: "Deep Lake implements
+/// branch-based locks for concurrent access").
+///
+/// An advisory lease object `locks/<branch>.json` marks a branch as owned
+/// by one writer. Leases expire: a crashed writer's lock is broken by the
+/// next Acquire after the TTL passes, so no manual cleanup is needed.
+/// Concurrent readers never take locks — only sessions that intend to
+/// write to the branch's working commit.
+///
+///   auto lock = version::BranchLock::Acquire(store, "main", "worker-3",
+///                                            /*ttl_ms=*/30000);
+///   ...  // write, calling lock->Refresh() periodically
+///   lock->Release();
+class BranchLock {
+ public:
+  /// Acquires the lease. Fails with Aborted when another owner holds a
+  /// live (unexpired) lease; an expired lease is broken and taken over.
+  static Result<std::unique_ptr<BranchLock>> Acquire(
+      storage::StoragePtr store, const std::string& branch,
+      const std::string& owner, int64_t ttl_ms);
+
+  ~BranchLock();
+  BranchLock(const BranchLock&) = delete;
+  BranchLock& operator=(const BranchLock&) = delete;
+
+  /// Extends the lease (heartbeat). Fails with Aborted if the lease was
+  /// lost (expired and taken by another owner).
+  Status Refresh();
+
+  /// Releases the lease; idempotent. Also called by the destructor.
+  Status Release();
+
+  const std::string& branch() const { return branch_; }
+  const std::string& owner() const { return owner_; }
+  bool released() const { return released_; }
+
+  /// Inspection: returns the current lease holder of a branch, or an
+  /// empty string when unlocked/expired.
+  static Result<std::string> HolderOf(storage::StoragePtr store,
+                                      const std::string& branch);
+
+ private:
+  BranchLock(storage::StoragePtr store, std::string branch,
+             std::string owner, int64_t ttl_ms)
+      : store_(std::move(store)), branch_(std::move(branch)),
+        owner_(std::move(owner)), ttl_ms_(ttl_ms) {}
+
+  Status WriteLease();
+
+  storage::StoragePtr store_;
+  std::string branch_;
+  std::string owner_;
+  int64_t ttl_ms_;
+  bool released_ = false;
+};
+
+}  // namespace dl::version
+
+#endif  // DEEPLAKE_VERSION_BRANCH_LOCK_H_

@@ -1,0 +1,638 @@
+#include "version/version_control.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dl::version {
+
+namespace {
+std::string VersionDir(const std::string& commit_id) {
+  return PathJoin("versions", commit_id);
+}
+std::string KeySetKey(const std::string& commit_id) {
+  return PathJoin(VersionDir(commit_id), "keyset.json");
+}
+std::string DiffKey(const std::string& commit_id) {
+  return PathJoin(VersionDir(commit_id), "diff.json");
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VersionedStore
+// ---------------------------------------------------------------------------
+
+VersionedStore::VersionedStore(std::shared_ptr<VersionControl> vc,
+                               std::string commit_id, bool writable)
+    : vc_(std::move(vc)), commit_id_(std::move(commit_id)),
+      writable_(writable) {}
+
+std::string VersionedStore::PhysicalKey(const std::string& commit,
+                                        std::string_view key) const {
+  return PathJoin(VersionDir(commit), key);
+}
+
+std::string VersionedStore::Resolve(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(vc_->mu_);
+  std::string k(key);
+  // Walk the commit chain from this view toward the root; the first commit
+  // whose key set contains the key wins (paper §4.2 traversal).
+  std::string cur = commit_id_;
+  while (!cur.empty()) {
+    auto ks = vc_->key_sets_.find(cur);
+    if (ks != vc_->key_sets_.end() && ks->second.count(k) > 0) return cur;
+    auto ci = vc_->commits_.find(cur);
+    if (ci == vc_->commits_.end()) break;
+    cur = ci->second.parent;
+  }
+  return "";
+}
+
+Result<ByteBuffer> VersionedStore::Get(std::string_view key) {
+  std::string commit = Resolve(key);
+  if (commit.empty()) {
+    return Status::NotFound("versioned: no object '" + std::string(key) +
+                            "' in chain of " + commit_id_);
+  }
+  return vc_->base_->Get(PhysicalKey(commit, key));
+}
+
+Result<ByteBuffer> VersionedStore::GetRange(std::string_view key,
+                                            uint64_t offset,
+                                            uint64_t length) {
+  std::string commit = Resolve(key);
+  if (commit.empty()) {
+    return Status::NotFound("versioned: no object '" + std::string(key) +
+                            "'");
+  }
+  return vc_->base_->GetRange(PhysicalKey(commit, key), offset, length);
+}
+
+Status VersionedStore::Put(std::string_view key, ByteView value) {
+  if (!writable_) {
+    return Status::FailedPrecondition(
+        "versioned store at sealed commit is read-only");
+  }
+  DL_RETURN_IF_ERROR(vc_->base_->Put(PhysicalKey(commit_id_, key), value));
+  std::lock_guard<std::mutex> lock(vc_->mu_);
+  vc_->key_sets_[commit_id_].insert(std::string(key));
+  return Status::OK();
+}
+
+Status VersionedStore::Delete(std::string_view key) {
+  if (!writable_) {
+    return Status::FailedPrecondition(
+        "versioned store at sealed commit is read-only");
+  }
+  // Only keys written in the working commit can be deleted; history is
+  // immutable by design.
+  std::lock_guard<std::mutex> lock(vc_->mu_);
+  auto& ks = vc_->key_sets_[commit_id_];
+  auto it = ks.find(std::string(key));
+  if (it == ks.end()) return Status::OK();
+  ks.erase(it);
+  return vc_->base_->Delete(PhysicalKey(commit_id_, key));
+}
+
+Result<bool> VersionedStore::Exists(std::string_view key) {
+  return !Resolve(key).empty();
+}
+
+Result<uint64_t> VersionedStore::SizeOf(std::string_view key) {
+  std::string commit = Resolve(key);
+  if (commit.empty()) {
+    return Status::NotFound("versioned: no object '" + std::string(key) +
+                            "'");
+  }
+  return vc_->base_->SizeOf(PhysicalKey(commit, key));
+}
+
+Result<std::vector<std::string>> VersionedStore::ListPrefix(
+    std::string_view prefix) {
+  std::set<std::string> keys;
+  std::lock_guard<std::mutex> lock(vc_->mu_);
+  std::string cur = commit_id_;
+  while (!cur.empty()) {
+    auto ks = vc_->key_sets_.find(cur);
+    if (ks != vc_->key_sets_.end()) {
+      for (const auto& k : ks->second) {
+        if (StartsWith(k, prefix)) keys.insert(k);
+      }
+    }
+    auto ci = vc_->commits_.find(cur);
+    if (ci == vc_->commits_.end()) break;
+    cur = ci->second.parent;
+  }
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+// ---------------------------------------------------------------------------
+// VersionControl
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<VersionControl>> VersionControl::OpenOrInit(
+    storage::StoragePtr base) {
+  auto vc = std::shared_ptr<VersionControl>(new VersionControl(base));
+  DL_ASSIGN_OR_RETURN(bool exists, base->Exists(kInfoKey));
+  if (exists) {
+    DL_RETURN_IF_ERROR(vc->LoadInfo());
+    return vc;
+  }
+  // Fresh tree: main branch with an empty working commit.
+  std::string root_id = vc->NewCommitId();
+  CommitInfo root;
+  root.id = root_id;
+  root.branch = kDefaultBranch;
+  root.timestamp_us = NowMicros();
+  vc->commits_[root_id] = root;
+  vc->branches_[kDefaultBranch] = root_id;
+  vc->current_branch_ = kDefaultBranch;
+  vc->current_commit_ = root_id;
+  vc->key_sets_[root_id] = {};
+  DL_RETURN_IF_ERROR(vc->Flush());
+  return vc;
+}
+
+std::string VersionControl::NewCommitId() {
+  uint64_t entropy =
+      Mix64(static_cast<uint64_t>(NowMicros()) ^ (++id_counter_ << 40));
+  return Hex64(entropy);
+}
+
+storage::StoragePtr VersionControl::working_store() {
+  return std::make_shared<VersionedStore>(shared_from_this(),
+                                          current_commit_,
+                                          /*writable=*/!detached());
+}
+
+Result<storage::StoragePtr> VersionControl::StoreAt(
+    const std::string& commit_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (commits_.count(commit_id) == 0) {
+      return Status::NotFound("no commit '" + commit_id + "'");
+    }
+  }
+  return std::static_pointer_cast<storage::StorageProvider>(
+      std::make_shared<VersionedStore>(shared_from_this(), commit_id,
+                                       /*writable=*/false));
+}
+
+Result<std::string> VersionControl::Commit(const std::string& message) {
+  if (detached()) {
+    return Status::FailedPrecondition(
+        "cannot commit in detached state; checkout a branch first");
+  }
+  std::string sealed_id = current_commit_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CommitInfo& info = commits_[sealed_id];
+    info.committed = true;
+    info.message = message;
+    info.timestamp_us = NowMicros();
+  }
+  DL_RETURN_IF_ERROR(PersistKeySet(sealed_id));
+  DL_RETURN_IF_ERROR(WriteDiffFile(sealed_id));
+
+  // Open the next working commit on the branch.
+  std::string next_id = NewCommitId();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CommitInfo next;
+    next.id = next_id;
+    next.parent = sealed_id;
+    next.branch = current_branch_;
+    next.timestamp_us = NowMicros();
+    commits_[next_id] = next;
+    branches_[current_branch_] = next_id;
+    key_sets_[next_id] = {};
+    current_commit_ = next_id;
+  }
+  DL_RETURN_IF_ERROR(Flush());
+  return sealed_id;
+}
+
+Status VersionControl::CheckoutBranch(const std::string& branch,
+                                      bool create) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = branches_.find(branch);
+    if (it != branches_.end()) {
+      if (create) {
+        return Status::AlreadyExists("branch '" + branch + "' exists");
+      }
+      current_branch_ = branch;
+      current_commit_ = it->second;
+    } else if (!create) {
+      return Status::NotFound("no branch '" + branch + "'");
+    }
+    if (it != branches_.end()) {
+      // fallthrough to persist outside the lock
+      create = false;
+    }
+  }
+  if (!create) {
+    return Flush();
+  }
+  // Creating a branch from a working commit with writes would let two
+  // branches share a mutable directory; seal it first (auto-commit, the
+  // behaviour of checkout -b on a dirty working set).
+  bool dirty;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty = !detached() && !key_sets_[current_commit_].empty() &&
+            !commits_[current_commit_].committed;
+  }
+  if (dirty) {
+    DL_ASSIGN_OR_RETURN(std::string sealed,
+                        Commit("auto commit before branching"));
+    (void)sealed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string fork_point = current_commit_;
+    // If the working head is empty and uncommitted, fork from its parent so
+    // the two branches do not share the mutable directory.
+    if (!commits_[fork_point].committed) {
+      std::string parent = commits_[fork_point].parent;
+      if (!parent.empty()) fork_point = parent;
+    }
+    std::string id = NewCommitId();
+    CommitInfo info;
+    info.id = id;
+    info.parent = fork_point;
+    info.branch = branch;
+    info.timestamp_us = NowMicros();
+    commits_[id] = info;
+    branches_[branch] = id;
+    key_sets_[id] = {};
+    current_branch_ = branch;
+    current_commit_ = id;
+  }
+  return PersistInfo();
+}
+
+Status VersionControl::CheckoutCommit(const std::string& commit_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = commits_.find(commit_id);
+  if (it == commits_.end()) {
+    return Status::NotFound("no commit '" + commit_id + "'");
+  }
+  if (!it->second.committed) {
+    return Status::FailedPrecondition(
+        "cannot detach onto an unsealed working commit; use its branch");
+  }
+  current_branch_.clear();
+  current_commit_ = commit_id;
+  return Status::OK();
+}
+
+std::vector<std::string> VersionControl::Branches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [b, head] : branches_) names.push_back(b);
+  return names;
+}
+
+Result<CommitInfo> VersionControl::GetCommit(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = commits_.find(id);
+  if (it == commits_.end()) {
+    return Status::NotFound("no commit '" + id + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> VersionControl::Chain(
+    const std::string& commit_id) const {
+  std::vector<std::string> chain;
+  std::string cur = commit_id;
+  while (!cur.empty()) {
+    chain.push_back(cur);
+    auto it = commits_.find(cur);
+    if (it == commits_.end()) break;
+    cur = it->second.parent;
+  }
+  return chain;
+}
+
+std::vector<CommitInfo> VersionControl::Log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommitInfo> log;
+  for (const std::string& id : Chain(current_commit_)) {
+    auto it = commits_.find(id);
+    if (it != commits_.end()) log.push_back(it->second);
+  }
+  return log;
+}
+
+Result<std::vector<std::string>> VersionControl::ChunkSetOf(
+    const std::string& commit_id, const std::string& tensor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = key_sets_.find(commit_id);
+  if (it == key_sets_.end()) {
+    return Status::NotFound("no key set for commit '" + commit_id + "'");
+  }
+  std::string prefix = PathJoin("tensors", tensor, "chunks") + "/";
+  std::vector<std::string> chunks;
+  for (const auto& k : it->second) {
+    if (StartsWith(k, prefix)) chunks.push_back(k.substr(prefix.size()));
+  }
+  return chunks;
+}
+
+Status VersionControl::Flush() {
+  DL_RETURN_IF_ERROR(PersistKeySet(current_commit_));
+  return PersistInfo();
+}
+
+Status VersionControl::PersistInfo() {
+  Json j = Json::MakeObject();
+  Json branches = Json::MakeObject();
+  Json commits = Json::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [b, head] : branches_) branches.Set(b, head);
+    for (const auto& [id, info] : commits_) {
+      Json c = Json::MakeObject();
+      c.Set("parent", info.parent);
+      c.Set("branch", info.branch);
+      c.Set("message", info.message);
+      c.Set("committed", info.committed);
+      c.Set("timestamp_us", info.timestamp_us);
+      commits.Set(id, std::move(c));
+    }
+    j.Set("current_branch", current_branch_);
+    j.Set("current_commit", current_commit_);
+  }
+  j.Set("branches", std::move(branches));
+  j.Set("commits", std::move(commits));
+  std::string text = j.Dump(2);
+  return base_->Put(kInfoKey, ByteView(text));
+}
+
+Status VersionControl::LoadInfo() {
+  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, base_->Get(kInfoKey));
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
+  std::lock_guard<std::mutex> lock(mu_);
+  branches_.clear();
+  commits_.clear();
+  for (const auto& [b, head] : j.Get("branches").object()) {
+    branches_[b] = head.as_string();
+  }
+  for (const auto& [id, c] : j.Get("commits").object()) {
+    CommitInfo info;
+    info.id = id;
+    info.parent = c.Get("parent").as_string();
+    info.branch = c.Get("branch").as_string();
+    info.message = c.Get("message").as_string();
+    info.committed = c.Get("committed").as_bool(false);
+    info.timestamp_us = c.Get("timestamp_us").as_int(0);
+    commits_[id] = info;
+  }
+  current_branch_ = j.Get("current_branch").as_string();
+  current_commit_ = j.Get("current_commit").as_string();
+  // Load key sets for every commit (small JSON manifests).
+  for (const auto& [id, info] : commits_) {
+    auto bytes_r = base_->Get(KeySetKey(id));
+    if (!bytes_r.ok()) {
+      key_sets_[id] = {};
+      continue;
+    }
+    auto ks_json = Json::Parse(ByteView(*bytes_r).ToStringView());
+    if (!ks_json.ok()) return ks_json.status();
+    std::set<std::string> keys;
+    const Json& arr = ks_json->Get("keys");
+    for (size_t i = 0; i < arr.size(); ++i) keys.insert(arr[i].as_string());
+    key_sets_[id] = std::move(keys);
+  }
+  return Status::OK();
+}
+
+Status VersionControl::PersistKeySet(const std::string& commit_id) {
+  Json j = Json::MakeObject();
+  Json arr = Json::MakeArray();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& k : key_sets_[commit_id]) arr.Append(k);
+  }
+  j.Set("keys", std::move(arr));
+  std::string text = j.Dump();
+  return base_->Put(KeySetKey(commit_id), ByteView(text));
+}
+
+Status VersionControl::LoadKeySet(const std::string& commit_id) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, base_->Get(KeySetKey(commit_id)));
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
+  std::set<std::string> keys;
+  const Json& arr = j.Get("keys");
+  for (size_t i = 0; i < arr.size(); ++i) keys.insert(arr[i].as_string());
+  std::lock_guard<std::mutex> lock(mu_);
+  key_sets_[commit_id] = std::move(keys);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Tensor names listed in dataset_meta.json at a given versioned view.
+Result<std::vector<std::string>> TensorNamesAt(storage::StoragePtr store) {
+  auto bytes = store->Get(tsf::Dataset::kMetaKey);
+  if (!bytes.ok()) return std::vector<std::string>{};  // no dataset yet
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(*bytes).ToStringView()));
+  std::vector<std::string> names;
+  const Json& arr = j.Get("tensors");
+  for (size_t i = 0; i < arr.size(); ++i) names.push_back(arr[i].as_string());
+  return names;
+}
+
+/// Chunk id of the chunk holding `index`, by walking encoder entries.
+void ModifiedRangesBetween(const tsf::ChunkEncoder& a,
+                           const tsf::ChunkEncoder& b,
+                           std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  uint64_t overlap = std::min(a.num_samples(), b.num_samples());
+  if (overlap == 0) return;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t ia = 0, ib = 0;
+  uint64_t pos = 0;
+  while (pos < overlap) {
+    while (ea[ia].last_index < pos) ++ia;
+    while (eb[ib].last_index < pos) ++ib;
+    uint64_t end = std::min({ea[ia].last_index, eb[ib].last_index,
+                             overlap - 1});
+    if (ea[ia].chunk_id != eb[ib].chunk_id) {
+      if (!out->empty() && out->back().second + 1 == pos) {
+        out->back().second = end;
+      } else {
+        out->push_back({pos, end});
+      }
+    }
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+Result<std::map<std::string, TensorDiff>> VersionControl::Diff(
+    const std::string& commit_a, const std::string& commit_b) {
+  DL_ASSIGN_OR_RETURN(storage::StoragePtr store_a, StoreAt(commit_a));
+  DL_ASSIGN_OR_RETURN(storage::StoragePtr store_b, StoreAt(commit_b));
+  DL_ASSIGN_OR_RETURN(auto names_a, TensorNamesAt(store_a));
+  DL_ASSIGN_OR_RETURN(auto names_b, TensorNamesAt(store_b));
+  std::set<std::string> all(names_a.begin(), names_a.end());
+  all.insert(names_b.begin(), names_b.end());
+
+  std::map<std::string, TensorDiff> diffs;
+  for (const auto& name : all) {
+    TensorDiff d;
+    std::unique_ptr<tsf::Tensor> ta, tb;
+    auto ra = tsf::Tensor::Open(store_a, name);
+    if (ra.ok()) {
+      ta = std::move(ra).value();
+      d.length_a = ta->NumSamples();
+    }
+    auto rb = tsf::Tensor::Open(store_b, name);
+    if (rb.ok()) {
+      tb = std::move(rb).value();
+      d.length_b = tb->NumSamples();
+    }
+    if (ta && tb) {
+      ModifiedRangesBetween(ta->chunk_encoder(), tb->chunk_encoder(),
+                            &d.modified_ranges);
+    }
+    if (d.length_a != d.length_b || !d.modified_ranges.empty() ||
+        (ta == nullptr) != (tb == nullptr)) {
+      diffs[name] = std::move(d);
+    }
+  }
+  return diffs;
+}
+
+Status VersionControl::WriteDiffFile(const std::string& commit_id) {
+  std::string parent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parent = commits_[commit_id].parent;
+  }
+  Json j = Json::MakeObject();
+  j.Set("commit", commit_id);
+  j.Set("parent", parent);
+  Json tensors = Json::MakeObject();
+  if (!parent.empty()) {
+    DL_ASSIGN_OR_RETURN(auto diffs, Diff(parent, commit_id));
+    for (const auto& [name, d] : diffs) {
+      Json t = Json::MakeObject();
+      t.Set("length_before", d.length_a);
+      t.Set("length_after", d.length_b);
+      Json ranges = Json::MakeArray();
+      for (const auto& [lo, hi] : d.modified_ranges) {
+        Json r = Json::MakeArray();
+        r.Append(lo);
+        r.Append(hi);
+        ranges.Append(std::move(r));
+      }
+      t.Set("modified_ranges", std::move(ranges));
+      tensors.Set(name, std::move(t));
+    }
+  }
+  j.Set("tensors", std::move(tensors));
+  std::string text = j.Dump(2);
+  return base_->Put(DiffKey(commit_id), ByteView(text));
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+Result<MergeStats> VersionControl::Merge(const std::string& source_branch,
+                                         MergePolicy policy) {
+  if (detached()) {
+    return Status::FailedPrecondition("cannot merge in detached state");
+  }
+  if (source_branch == current_branch_) {
+    return Status::InvalidArgument("cannot merge a branch into itself");
+  }
+  std::string source_head;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = branches_.find(source_branch);
+    if (it == branches_.end()) {
+      return Status::NotFound("no branch '" + source_branch + "'");
+    }
+    source_head = it->second;
+  }
+  DL_ASSIGN_OR_RETURN(storage::StoragePtr src_store, StoreAt(source_head));
+  DL_ASSIGN_OR_RETURN(auto src, tsf::Dataset::Open(src_store));
+  DL_ASSIGN_OR_RETURN(auto tgt, tsf::Dataset::Open(working_store()));
+
+  // Create tensors that only exist on the source branch.
+  for (const auto& name : src->TensorNames()) {
+    if (tgt->HasTensor(name)) continue;
+    DL_ASSIGN_OR_RETURN(tsf::Tensor * st, src->GetTensor(name));
+    tsf::TensorOptions opts;
+    opts.htype = st->meta().htype.ToString();
+    opts.dtype = std::string(tsf::DTypeName(st->meta().dtype));
+    opts.sample_compression =
+        std::string(compress::CompressionName(st->meta().sample_compression));
+    opts.chunk_compression =
+        std::string(compress::CompressionName(st->meta().chunk_compression));
+    opts.max_chunk_bytes = st->meta().max_chunk_bytes;
+    DL_RETURN_IF_ERROR(tgt->CreateTensor(name, opts).status());
+  }
+
+  // Index target rows by sample id.
+  MergeStats stats;
+  std::map<uint64_t, uint64_t> tgt_ids;
+  for (uint64_t i = 0; i < tgt->NumRows(); ++i) {
+    DL_ASSIGN_OR_RETURN(uint64_t id, tgt->SampleIdAt(i));
+    if (id != 0) tgt_ids[id] = i;
+  }
+  for (uint64_t i = 0; i < src->NumRows(); ++i) {
+    DL_ASSIGN_OR_RETURN(uint64_t id, src->SampleIdAt(i));
+    auto it = tgt_ids.find(id);
+    if (id == 0 || it == tgt_ids.end()) {
+      // New row on the source branch: append, preserving the sample id.
+      DL_ASSIGN_OR_RETURN(auto row, src->ReadRow(i));
+      DL_RETURN_IF_ERROR(tgt->AppendWithId(row, id));
+      stats.rows_appended++;
+      continue;
+    }
+    // Row exists on both sides: cell-level conflict detection.
+    uint64_t ti = it->second;
+    for (const auto& name : src->TensorNames()) {
+      DL_ASSIGN_OR_RETURN(tsf::Tensor * st, src->GetTensor(name));
+      DL_ASSIGN_OR_RETURN(tsf::Tensor * tt, tgt->GetTensor(name));
+      if (i >= st->NumSamples()) continue;
+      DL_ASSIGN_OR_RETURN(tsf::Sample sv, st->Read(i));
+      tsf::Sample tv;
+      if (ti < tt->NumSamples()) {
+        DL_ASSIGN_OR_RETURN(tv, tt->Read(ti));
+      }
+      if (sv == tv) continue;
+      stats.conflicts++;
+      switch (policy) {
+        case MergePolicy::kOurs:
+          break;  // keep target cell
+        case MergePolicy::kTheirs:
+          DL_RETURN_IF_ERROR(tt->Update(ti, sv));
+          stats.cells_overwritten++;
+          break;
+        case MergePolicy::kError:
+          return Status::Aborted("merge conflict in tensor '" + name +
+                                 "' row " + std::to_string(ti));
+      }
+    }
+  }
+  DL_RETURN_IF_ERROR(tgt->Flush());
+  DL_RETURN_IF_ERROR(Flush());
+  return stats;
+}
+
+}  // namespace dl::version

@@ -1,0 +1,182 @@
+#ifndef DEEPLAKE_VERSION_VERSION_CONTROL_H_
+#define DEEPLAKE_VERSION_VERSION_CONTROL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/storage.h"
+#include "tsf/dataset.h"
+#include "util/json.h"
+
+namespace dl::version {
+
+/// One node of the branching version tree (paper §4.2, Fig. 4).
+struct CommitInfo {
+  std::string id;
+  std::string parent;   // empty for the root
+  std::string branch;
+  std::string message;  // empty while the commit is the working head
+  bool committed = false;
+  int64_t timestamp_us = 0;
+};
+
+/// Per-tensor difference between two versions, the content of the paper's
+/// "commit diff file ... stored per tensor".
+struct TensorDiff {
+  uint64_t length_a = 0;
+  uint64_t length_b = 0;
+  /// Index ranges [first, last] whose chunks differ between the versions.
+  std::vector<std::pair<uint64_t, uint64_t>> modified_ranges;
+
+  uint64_t samples_added() const {
+    return length_b > length_a ? length_b - length_a : 0;
+  }
+};
+
+/// Conflict policy for Merge (paper §4.2: "resolving conflicts according to
+/// the policy defined by the user").
+enum class MergePolicy {
+  kOurs,    // keep the target branch's cell
+  kTheirs,  // take the source branch's cell
+  kError,   // fail on the first conflict
+};
+
+struct MergeStats {
+  uint64_t rows_appended = 0;
+  uint64_t conflicts = 0;
+  uint64_t cells_overwritten = 0;
+};
+
+/// Git-like version control built *into* the storage layout, no external
+/// dependency (paper §4.2). Each commit owns a sub-directory
+/// `versions/<id>/` holding only the objects written while it was the
+/// working head, plus a key-set manifest (the generalized chunk_set).
+/// Reading a key walks the commit chain from the current commit toward the
+/// root and serves the first hit — exactly the traversal the paper
+/// describes.
+class VersionControl
+    : public std::enable_shared_from_this<VersionControl> {
+ public:
+  static constexpr char kInfoKey[] = "version_control_info.json";
+  static constexpr char kDefaultBranch[] = "main";
+
+  /// Opens existing version-control state or initializes a fresh tree with
+  /// a `main` branch and an empty working commit.
+  static Result<std::shared_ptr<VersionControl>> OpenOrInit(
+      storage::StoragePtr base);
+
+  // ---- Position ----
+
+  const std::string& current_branch() const { return current_branch_; }
+  const std::string& current_commit() const { return current_commit_; }
+  bool detached() const { return current_branch_.empty(); }
+
+  /// Writable store for the current working commit. Datasets opened over
+  /// this store transparently read through the version chain.
+  storage::StoragePtr working_store();
+
+  /// Read-only store view pinned at any commit (time travel).
+  Result<storage::StoragePtr> StoreAt(const std::string& commit_id);
+
+  // ---- Commands (paper §4.2: Commit / Checkout / Diff / Merge) ----
+
+  /// Seals the working commit with `message`, writes its diff-vs-parent
+  /// file, and opens a fresh working commit on the same branch. Returns the
+  /// sealed commit id.
+  Result<std::string> Commit(const std::string& message);
+
+  /// Checks out a branch; with `create`, forks a new branch at the current
+  /// commit (its working commit starts empty).
+  Status CheckoutBranch(const std::string& branch, bool create = false);
+
+  /// Detached checkout of a sealed commit (read-only time travel).
+  Status CheckoutCommit(const std::string& commit_id);
+
+  /// Per-tensor diff between two commits (either may be a working head).
+  Result<std::map<std::string, TensorDiff>> Diff(const std::string& commit_a,
+                                                 const std::string& commit_b);
+
+  /// Merges `source_branch`'s head into the current working commit. Rows
+  /// are matched by the hidden `_sample_id` tensor (paper §4.2: ids "keep
+  /// track of the same samples during merge operations").
+  Result<MergeStats> Merge(const std::string& source_branch,
+                           MergePolicy policy);
+
+  // ---- Introspection ----
+
+  std::vector<std::string> Branches() const;
+  Result<CommitInfo> GetCommit(const std::string& id) const;
+  /// Commit chain from the current commit to the root (newest first).
+  std::vector<CommitInfo> Log() const;
+  /// Chunk names of `tensor` written in `commit_id` — the paper's per-
+  /// tensor chunk_set.
+  Result<std::vector<std::string>> ChunkSetOf(const std::string& commit_id,
+                                              const std::string& tensor);
+
+  /// Persists version_control_info.json and the working commit's key set.
+  Status Flush();
+
+ private:
+  friend class VersionedStore;
+
+  explicit VersionControl(storage::StoragePtr base)
+      : base_(std::move(base)) {}
+
+  std::string NewCommitId();
+  Status LoadInfo();
+  Status PersistInfo();
+  Status LoadKeySet(const std::string& commit_id);
+  Status PersistKeySet(const std::string& commit_id);
+  /// Commit chain (ids) from `commit_id` to the root.
+  std::vector<std::string> Chain(const std::string& commit_id) const;
+  Status WriteDiffFile(const std::string& commit_id);
+
+  storage::StoragePtr base_;
+  mutable std::mutex mu_;
+  std::map<std::string, CommitInfo> commits_;
+  std::map<std::string, std::string> branches_;  // branch -> head commit id
+  // commit id -> keys written in that commit (the generalized chunk_set).
+  std::map<std::string, std::set<std::string>> key_sets_;
+  std::string current_branch_;
+  std::string current_commit_;
+  std::atomic<uint64_t> id_counter_{0};
+};
+
+/// StorageProvider that routes reads through the version chain and writes
+/// into the current working commit's sub-directory.
+class VersionedStore : public storage::StorageProvider {
+ public:
+  VersionedStore(std::shared_ptr<VersionControl> vc, std::string commit_id,
+                 bool writable);
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override {
+    return "versioned@" + commit_id_.substr(0, 8);
+  }
+
+ private:
+  /// Finds which commit in the chain holds `key`; empty if none.
+  std::string Resolve(std::string_view key) const;
+  std::string PhysicalKey(const std::string& commit,
+                          std::string_view key) const;
+
+  std::shared_ptr<VersionControl> vc_;
+  std::string commit_id_;
+  bool writable_;
+};
+
+}  // namespace dl::version
+
+#endif  // DEEPLAKE_VERSION_VERSION_CONTROL_H_

@@ -1,0 +1,379 @@
+#include "viz/visualizer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dl::viz {
+
+namespace {
+
+PanelRole RoleForHtype(const tsf::Htype& htype) {
+  if (htype.is_link) return PanelRole::kSidebar;
+  switch (htype.kind) {
+    case tsf::HtypeKind::kImage:
+    case tsf::HtypeKind::kVideo:
+    case tsf::HtypeKind::kAudio:
+    case tsf::HtypeKind::kDicom:
+      return PanelRole::kPrimary;
+    case tsf::HtypeKind::kBBox:
+    case tsf::HtypeKind::kBinaryMask:
+      return PanelRole::kOverlay;
+    default:
+      return PanelRole::kSidebar;
+  }
+}
+
+}  // namespace
+
+Json LayoutPlan::ToJson() const {
+  Json arr = Json::MakeArray();
+  for (const auto& p : panels) {
+    Json j = Json::MakeObject();
+    j.Set("tensor", p.tensor);
+    j.Set("htype", p.htype.ToString());
+    j.Set("role", p.role == PanelRole::kPrimary
+                      ? "primary"
+                      : (p.role == PanelRole::kOverlay ? "overlay"
+                                                       : "sidebar"));
+    j.Set("sequence_view", p.sequence_view);
+    arr.Append(std::move(j));
+  }
+  Json out = Json::MakeObject();
+  out.Set("panels", std::move(arr));
+  return out;
+}
+
+LayoutPlan PlanLayout(const tsf::Dataset& dataset) {
+  LayoutPlan plan;
+  bool have_primary = false;
+  // Two passes: primaries first (§4.3 "primary tensors ... are displayed
+  // first"), then overlays and sidebars.
+  auto names = dataset.TensorNames();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& name : names) {
+      auto tensor = const_cast<tsf::Dataset&>(dataset).GetTensor(name);
+      if (!tensor.ok()) continue;
+      const tsf::Htype& htype = (*tensor)->meta().htype;
+      PanelRole role = RoleForHtype(htype);
+      bool is_primary_pass = role == PanelRole::kPrimary;
+      if ((pass == 0) != is_primary_pass) continue;
+      Panel panel;
+      panel.tensor = name;
+      panel.htype = htype;
+      // Only the first primary drives the canvas; later ones are sidebars
+      // (side-by-side comparison panels).
+      if (is_primary_pass && have_primary) role = PanelRole::kSidebar;
+      if (is_primary_pass && !have_primary) have_primary = true;
+      panel.role = role;
+      panel.sequence_view = htype.is_sequence;
+      plan.panels.push_back(std::move(panel));
+    }
+  }
+  return plan;
+}
+
+std::string PyramidTensorName(const std::string& tensor, int level) {
+  return "_pyr/" + tensor + "/" + std::to_string(level);
+}
+
+namespace {
+
+/// 2x box-filter downsample of an HxWxC uint8 image.
+tsf::Sample Downsample2x(const tsf::Sample& src) {
+  uint64_t h = src.shape[0], w = src.shape[1];
+  uint64_t c = src.shape.ndim() >= 3 ? src.shape[2] : 1;
+  uint64_t oh = std::max<uint64_t>(1, h / 2);
+  uint64_t ow = std::max<uint64_t>(1, w / 2);
+  tsf::Sample out(src.dtype, tsf::TensorShape{oh, ow, c}, {});
+  out.data.resize(oh * ow * c);
+  for (uint64_t y = 0; y < oh; ++y) {
+    for (uint64_t x = 0; x < ow; ++x) {
+      for (uint64_t ch = 0; ch < c; ++ch) {
+        uint32_t acc = 0;
+        int n = 0;
+        for (uint64_t dy = 0; dy < 2; ++dy) {
+          for (uint64_t dx = 0; dx < 2; ++dx) {
+            uint64_t sy = std::min(h - 1, y * 2 + dy);
+            uint64_t sx = std::min(w - 1, x * 2 + dx);
+            acc += src.data[(sy * w + sx) * c + ch];
+            ++n;
+          }
+        }
+        out.data[(y * ow + x) * c + ch] = static_cast<uint8_t>(acc / n);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> BuildPyramid(tsf::Dataset& dataset,
+                                              const std::string& tensor_name,
+                                              int levels) {
+  DL_ASSIGN_OR_RETURN(tsf::Tensor * tensor, dataset.GetTensor(tensor_name));
+  if (tensor->meta().htype.kind != tsf::HtypeKind::kImage) {
+    return Status::FailedPrecondition("pyramid: tensor '" + tensor_name +
+                                      "' is not an image tensor");
+  }
+  std::vector<std::string> created;
+  // Hidden pyramid tensors are created, filled and flushed here; readers
+  // reopen them by name.
+  std::vector<std::unique_ptr<tsf::Tensor>> owned;
+  std::vector<tsf::Tensor*> level_tensors;
+  for (int level = 1; level <= levels; ++level) {
+    std::string name = PyramidTensorName(tensor_name, level);
+    tsf::TensorOptions opts;
+    opts.htype = "image";
+    opts.sample_compression = "image";
+    opts.hidden = true;
+    DL_ASSIGN_OR_RETURN(
+        auto t, tsf::Tensor::Create(dataset.store(), name, opts));
+    level_tensors.push_back(t.get());
+    created.push_back(name);
+    owned.push_back(std::move(t));
+  }
+  for (uint64_t row = 0; row < tensor->NumSamples(); ++row) {
+    DL_ASSIGN_OR_RETURN(tsf::Sample img, tensor->Read(row));
+    tsf::Sample current = std::move(img);
+    for (int level = 0; level < levels; ++level) {
+      current = Downsample2x(current);
+      DL_RETURN_IF_ERROR(level_tensors[level]->Append(current));
+    }
+  }
+  for (auto* t : level_tensors) {
+    DL_RETURN_IF_ERROR(t->Flush());
+  }
+  dataset.LogProvenance("built " + std::to_string(levels) +
+                        "-level pyramid for '" + tensor_name + "'");
+  return created;
+}
+
+Json RenderReport::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("row", row);
+  j.Set("primary_tensor", primary_tensor);
+  j.Set("pyramid_level_used", pyramid_level_used);
+  j.Set("boxes_drawn", boxes_drawn);
+  j.Set("mask_overlaid", mask_overlaid);
+  Json labels = Json::MakeArray();
+  for (const auto& t : label_texts) labels.Append(t);
+  j.Set("labels", std::move(labels));
+  return j;
+}
+
+namespace {
+
+void DrawRectOutline(Framebuffer& fb, int64_t x0, int64_t y0, int64_t x1,
+                     int64_t y1, const uint8_t rgb[3]) {
+  auto plot = [&](int64_t x, int64_t y) {
+    if (x < 0 || y < 0 || x >= static_cast<int64_t>(fb.width) ||
+        y >= static_cast<int64_t>(fb.height)) {
+      return;
+    }
+    uint8_t* p = fb.PixelAt(static_cast<uint64_t>(x),
+                            static_cast<uint64_t>(y));
+    p[0] = rgb[0];
+    p[1] = rgb[1];
+    p[2] = rgb[2];
+    p[3] = 255;
+  };
+  for (int64_t x = x0; x <= x1; ++x) {
+    plot(x, y0);
+    plot(x, y1);
+  }
+  for (int64_t y = y0; y <= y1; ++y) {
+    plot(x0, y);
+    plot(x1, y);
+  }
+}
+
+}  // namespace
+
+Result<Framebuffer> RenderRow(tsf::Dataset& dataset, const LayoutPlan& plan,
+                              uint64_t row, const RenderOptions& options,
+                              RenderReport* report) {
+  const Panel* primary = plan.primary();
+  if (primary == nullptr) {
+    return Status::FailedPrecondition("render: layout has no primary panel");
+  }
+  RenderReport local_report;
+  RenderReport& rep = report ? *report : local_report;
+  rep.row = row;
+  rep.primary_tensor = primary->tensor;
+
+  DL_ASSIGN_OR_RETURN(tsf::Tensor * tensor,
+                      dataset.GetTensor(primary->tensor));
+  DL_ASSIGN_OR_RETURN(tsf::TensorShape full_shape, tensor->ShapeAt(row));
+  bool is_sequence = primary->sequence_view;
+  size_t spatial0 = is_sequence ? 1 : 0;
+  uint64_t img_h = full_shape[spatial0];
+  uint64_t img_w = full_shape[spatial0 + 1];
+  uint64_t channels =
+      full_shape.ndim() > spatial0 + 2 ? full_shape[spatial0 + 2] : 1;
+
+  uint64_t src_x = options.src_x, src_y = options.src_y;
+  uint64_t src_w = options.src_w > 0 ? options.src_w : img_w;
+  uint64_t src_h = options.src_h > 0 ? options.src_h : img_h;
+  src_w = std::min(src_w, img_w - std::min(src_x, img_w));
+  src_h = std::min(src_h, img_h - std::min(src_y, img_h));
+  if (src_w == 0 || src_h == 0) {
+    return Status::InvalidArgument("render: empty source window");
+  }
+
+  // Pick a pyramid level: stepping down while the window is >= 2x the
+  // viewport keeps fetched bytes proportional to the viewport.
+  tsf::Tensor* source_tensor = tensor;
+  std::vector<std::unique_ptr<tsf::Tensor>> opened_pyramids;
+  int level = 0;
+  if (options.use_pyramid && !is_sequence) {
+    while (src_w / 2 >= options.viewport_width &&
+           src_h / 2 >= options.viewport_height) {
+      std::string name = PyramidTensorName(primary->tensor, level + 1);
+      auto pyr = tsf::Tensor::Open(dataset.store(), name);
+      if (!pyr.ok()) break;
+      ++level;
+      src_x /= 2;
+      src_y /= 2;
+      src_w /= 2;
+      src_h /= 2;
+      opened_pyramids.push_back(std::move(pyr).value());
+      source_tensor = opened_pyramids.back().get();
+    }
+  }
+  rep.pyramid_level_used = level;
+
+  // Fetch only the visible window (tiled samples fetch only overlapping
+  // tiles via ReadRegion).
+  tsf::Sample window;
+  if (is_sequence) {
+    DL_ASSIGN_OR_RETURN(tsf::Sample seq, source_tensor->Read(row));
+    // Slice one sequence step without fetching per-step (sequence samples
+    // are stored whole; step extraction is a memory view copy).
+    uint64_t step = std::min(options.sequence_position, full_shape[0] - 1);
+    uint64_t step_bytes = img_h * img_w * channels;
+    window = tsf::Sample(
+        seq.dtype, tsf::TensorShape{img_h, img_w, channels},
+        ByteBuffer(seq.data.begin() + step * step_bytes,
+                   seq.data.begin() + (step + 1) * step_bytes));
+  } else {
+    std::vector<uint64_t> starts = {src_y, src_x};
+    std::vector<uint64_t> sizes = {src_h, src_w};
+    DL_ASSIGN_OR_RETURN(tsf::TensorShape src_shape,
+                        source_tensor->ShapeAt(row));
+    if (src_shape.ndim() >= 3) {
+      starts.push_back(0);
+      sizes.push_back(channels);
+    }
+    DL_ASSIGN_OR_RETURN(window, source_tensor->ReadRegion(row, starts, sizes));
+  }
+
+  // Nearest-neighbour blit into the viewport.
+  Framebuffer fb;
+  fb.width = options.viewport_width;
+  fb.height = options.viewport_height;
+  fb.rgba.assign(fb.width * fb.height * 4, 0);
+  for (uint64_t y = 0; y < fb.height; ++y) {
+    uint64_t sy = y * src_h / fb.height;
+    for (uint64_t x = 0; x < fb.width; ++x) {
+      uint64_t sx = x * src_w / fb.width;
+      const uint8_t* src = window.data.data() +
+                           (sy * src_w + sx) * channels;
+      uint8_t* dst = fb.PixelAt(x, y);
+      if (channels >= 3) {
+        dst[0] = src[0];
+        dst[1] = src[1];
+        dst[2] = src[2];
+      } else {
+        dst[0] = dst[1] = dst[2] = src[0];
+      }
+      dst[3] = 255;
+    }
+  }
+
+  // Overlays.
+  double scale_x = static_cast<double>(fb.width) / src_w;
+  double scale_y = static_cast<double>(fb.height) / src_h;
+  double origin_x = static_cast<double>(src_x) * (1 << level);
+  double origin_y = static_cast<double>(src_y) * (1 << level);
+  double level_scale = 1.0 / (1 << level);
+  for (const auto& panel : plan.panels) {
+    if (panel.role == PanelRole::kOverlay) {
+      auto overlay_tensor = dataset.GetTensor(panel.tensor);
+      if (!overlay_tensor.ok()) continue;
+      if (row >= (*overlay_tensor)->NumSamples()) continue;
+      auto cell = (*overlay_tensor)->Read(row);
+      if (!cell.ok() || cell->shape.IsEmptySample()) continue;
+      if (panel.htype.kind == tsf::HtypeKind::kBBox) {
+        // (n, 4) boxes in full-resolution (x, y, w, h).
+        size_t n = cell->shape.ndim() == 2 ? cell->shape[0] : 1;
+        static const uint8_t kBoxColors[4][3] = {
+            {255, 64, 64}, {64, 255, 64}, {64, 128, 255}, {255, 200, 0}};
+        for (size_t b = 0; b < n; ++b) {
+          double bx = cell->At(b * 4 + 0), by = cell->At(b * 4 + 1);
+          double bw = cell->At(b * 4 + 2), bh = cell->At(b * 4 + 3);
+          int64_t x0 = static_cast<int64_t>(
+              ((bx - origin_x) * level_scale) * scale_x);
+          int64_t y0 = static_cast<int64_t>(
+              ((by - origin_y) * level_scale) * scale_y);
+          int64_t x1 = static_cast<int64_t>(
+              ((bx + bw - origin_x) * level_scale) * scale_x);
+          int64_t y1 = static_cast<int64_t>(
+              ((by + bh - origin_y) * level_scale) * scale_y);
+          DrawRectOutline(fb, x0, y0, x1, y1, kBoxColors[b % 4]);
+          rep.boxes_drawn++;
+        }
+      } else if (panel.htype.kind == tsf::HtypeKind::kBinaryMask) {
+        // Tint masked pixels red; mask is full-resolution (h, w).
+        uint64_t mh = cell->shape[0], mw = cell->shape[1];
+        for (uint64_t y = 0; y < fb.height; ++y) {
+          uint64_t sy = static_cast<uint64_t>(
+              (origin_y + y * src_h / static_cast<double>(fb.height) *
+                              (1 << level)));
+          if (sy >= mh) continue;
+          for (uint64_t x = 0; x < fb.width; ++x) {
+            uint64_t sx = static_cast<uint64_t>(
+                (origin_x + x * src_w / static_cast<double>(fb.width) *
+                                (1 << level)));
+            if (sx >= mw) continue;
+            if (cell->data[sy * mw + sx] != 0) {
+              uint8_t* p = fb.PixelAt(x, y);
+              p[0] = static_cast<uint8_t>(std::min(255, p[0] + 96));
+            }
+          }
+        }
+        rep.mask_overlaid = true;
+      }
+    } else if (panel.role == PanelRole::kSidebar) {
+      auto t = dataset.GetTensor(panel.tensor);
+      if (!t.ok() || row >= (*t)->NumSamples()) continue;
+      auto cell = (*t)->Read(row);
+      if (!cell.ok() || cell->shape.IsEmptySample()) continue;
+      if (panel.htype.kind == tsf::HtypeKind::kText) {
+        rep.label_texts.push_back(panel.tensor + ": " + cell->AsString());
+      } else if (panel.htype.kind == tsf::HtypeKind::kClassLabel) {
+        rep.label_texts.push_back(panel.tensor + ": " +
+                                  std::to_string(cell->AsInt()));
+      }
+    }
+  }
+  return fb;
+}
+
+ByteBuffer ToPpm(const Framebuffer& fb) {
+  std::string header = "P6\n" + std::to_string(fb.width) + " " +
+                       std::to_string(fb.height) + "\n255\n";
+  ByteBuffer out = BufferFromString(header);
+  out.reserve(out.size() + fb.width * fb.height * 3);
+  for (uint64_t i = 0; i < fb.width * fb.height; ++i) {
+    out.push_back(fb.rgba[i * 4]);
+    out.push_back(fb.rgba[i * 4 + 1]);
+    out.push_back(fb.rgba[i * 4 + 2]);
+  }
+  return out;
+}
+
+}  // namespace dl::viz

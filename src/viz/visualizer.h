@@ -1,0 +1,114 @@
+#ifndef DEEPLAKE_VIZ_VISUALIZER_H_
+#define DEEPLAKE_VIZ_VISUALIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsf/dataset.h"
+#include "util/json.h"
+
+namespace dl::viz {
+
+/// The visualization engine (paper §4.3), minus the final WebGL blit: an
+/// htype-driven layout planner, a downsample-pyramid builder (hidden
+/// tensors), and a software compositor that renders rows — image plus
+/// bbox/mask/label overlays — into RGBA framebuffers, streaming only the
+/// data the viewport needs.
+
+/// Role a tensor plays in the layout: primary tensors (image/video/audio)
+/// "are displayed first, while secondary data and annotations ... are
+/// overlayed" (§4.3).
+enum class PanelRole { kPrimary, kOverlay, kSidebar };
+
+struct Panel {
+  std::string tensor;
+  tsf::Htype htype;
+  PanelRole role = PanelRole::kSidebar;
+  /// Sequences get a player with frame scrubbing (§4.3).
+  bool sequence_view = false;
+};
+
+/// The render plan a browser client would receive.
+struct LayoutPlan {
+  std::vector<Panel> panels;
+
+  const Panel* primary() const {
+    for (const auto& p : panels) {
+      if (p.role == PanelRole::kPrimary) return &p;
+    }
+    return nullptr;
+  }
+  Json ToJson() const;
+};
+
+/// Derives the layout from the dataset's htypes. Hidden tensors are
+/// excluded; the first image/video/audio tensor becomes the primary panel.
+LayoutPlan PlanLayout(const tsf::Dataset& dataset);
+
+// ---------------------------------------------------------------------------
+// Downsample pyramid (hidden tensors, §3.4)
+// ---------------------------------------------------------------------------
+
+/// Builds `levels` hidden tensors `_pyr/<name>/<level>`, each a 2x
+/// box-filter downsample of the previous, enabling zoomed-out browsing
+/// without fetching full-resolution chunks. Returns the created tensor
+/// names.
+Result<std::vector<std::string>> BuildPyramid(tsf::Dataset& dataset,
+                                              const std::string& tensor,
+                                              int levels);
+
+/// Name of the pyramid tensor for a level (level >= 1).
+std::string PyramidTensorName(const std::string& tensor, int level);
+
+// ---------------------------------------------------------------------------
+// Compositor
+// ---------------------------------------------------------------------------
+
+/// RGBA8 framebuffer.
+struct Framebuffer {
+  uint64_t width = 0;
+  uint64_t height = 0;
+  ByteBuffer rgba;  // width * height * 4
+
+  uint8_t* PixelAt(uint64_t x, uint64_t y) {
+    return rgba.data() + (y * width + x) * 4;
+  }
+};
+
+struct RenderOptions {
+  uint64_t viewport_width = 512;
+  uint64_t viewport_height = 512;
+  /// Source-image window to show (zoom/pan); zeros = whole image.
+  uint64_t src_x = 0, src_y = 0, src_w = 0, src_h = 0;
+  /// Use pyramid levels when zoomed out (needs BuildPyramid).
+  bool use_pyramid = true;
+  /// For sequence tensors: which step of the sequence to show.
+  uint64_t sequence_position = 0;
+};
+
+/// What the renderer drew — the structured overlay report a UI would bind
+/// tooltips to.
+struct RenderReport {
+  uint64_t row = 0;
+  std::string primary_tensor;
+  int pyramid_level_used = 0;
+  uint64_t boxes_drawn = 0;
+  bool mask_overlaid = false;
+  std::vector<std::string> label_texts;
+  Json ToJson() const;
+};
+
+/// Renders one dataset row per the layout: the primary image resampled
+/// (nearest) into the viewport, bbox outlines, binary-mask tint, and label
+/// side-data collected into the report.
+Result<Framebuffer> RenderRow(tsf::Dataset& dataset, const LayoutPlan& plan,
+                              uint64_t row, const RenderOptions& options,
+                              RenderReport* report);
+
+/// Serializes a framebuffer as binary PPM (P6, RGB) for the examples.
+ByteBuffer ToPpm(const Framebuffer& fb);
+
+}  // namespace dl::viz
+
+#endif  // DEEPLAKE_VIZ_VISUALIZER_H_

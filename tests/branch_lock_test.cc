@@ -1,0 +1,90 @@
+// Tests for branch-based writer locks (paper §7.3).
+
+#include <gtest/gtest.h>
+
+#include "storage/storage.h"
+#include "util/clock.h"
+#include "version/branch_lock.h"
+
+namespace dl::version {
+namespace {
+
+storage::StoragePtr Mem() { return std::make_shared<storage::MemoryStore>(); }
+
+TEST(BranchLockTest, AcquireReleaseCycle) {
+  auto store = Mem();
+  auto lock = BranchLock::Acquire(store, "main", "alice", 60000);
+  ASSERT_TRUE(lock.ok()) << lock.status();
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "alice");
+  ASSERT_TRUE((*lock)->Release().ok());
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "");
+  // Release is idempotent.
+  EXPECT_TRUE((*lock)->Release().ok());
+}
+
+TEST(BranchLockTest, SecondWriterIsRejected) {
+  auto store = Mem();
+  auto alice = BranchLock::Acquire(store, "main", "alice", 60000);
+  ASSERT_TRUE(alice.ok());
+  auto bob = BranchLock::Acquire(store, "main", "bob", 60000);
+  EXPECT_TRUE(bob.status().IsAborted());
+  // Different branch is independent.
+  auto bob2 = BranchLock::Acquire(store, "experiment", "bob", 60000);
+  EXPECT_TRUE(bob2.ok());
+  // Re-entrant for the same owner.
+  auto alice2 = BranchLock::Acquire(store, "main", "alice", 60000);
+  EXPECT_TRUE(alice2.ok());
+}
+
+TEST(BranchLockTest, ExpiredLeaseIsBroken) {
+  auto store = Mem();
+  {
+    auto crashed = BranchLock::Acquire(store, "main", "crashed-worker", 1);
+    ASSERT_TRUE(crashed.ok());
+    // Simulate the crash: the lock object leaks without Release.
+    (void)crashed->release();  // take ownership away from the unique_ptr
+  }
+  SleepMicros(3000);  // past the 1ms TTL
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "");
+  auto taker = BranchLock::Acquire(store, "main", "bob", 60000);
+  ASSERT_TRUE(taker.ok()) << taker.status();
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "bob");
+}
+
+TEST(BranchLockTest, RefreshExtendsAndDetectsLoss) {
+  auto store = Mem();
+  auto lock = BranchLock::Acquire(store, "main", "alice", 20);
+  ASSERT_TRUE(lock.ok());
+  // Heartbeats keep the short lease alive well past its original TTL.
+  for (int i = 0; i < 5; ++i) {
+    SleepMicros(10000);
+    ASSERT_TRUE((*lock)->Refresh().ok());
+  }
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "alice");
+
+  // Let it expire, have bob take it, and alice's refresh must fail.
+  SleepMicros(30000);
+  auto bob = BranchLock::Acquire(store, "main", "bob", 60000);
+  ASSERT_TRUE(bob.ok());
+  EXPECT_TRUE((*lock)->Refresh().IsAborted());
+  // Alice releasing must not clobber bob's lease.
+  ASSERT_TRUE((*lock)->Release().ok());
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "bob");
+}
+
+TEST(BranchLockTest, DestructorReleases) {
+  auto store = Mem();
+  {
+    auto lock = BranchLock::Acquire(store, "main", "alice", 60000);
+    ASSERT_TRUE(lock.ok());
+  }  // destructor
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "");
+}
+
+TEST(BranchLockTest, HolderOfUnlockedBranch) {
+  auto store = Mem();
+  EXPECT_EQ(*BranchLock::HolderOf(store, "never-locked"), "");
+}
+
+}  // namespace
+}  // namespace dl::version

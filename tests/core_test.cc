@@ -1,0 +1,168 @@
+// End-to-end tests of the DeepLake façade: the full ML loop of the paper's
+// Fig. 2 — ingest, version, query, stream, visualize — through one handle.
+
+#include <gtest/gtest.h>
+
+#include "core/deeplake.h"
+#include "sim/workload.h"
+#include "storage/storage.h"
+
+namespace dl {
+namespace {
+
+using tsf::DType;
+using tsf::Sample;
+using tsf::TensorOptions;
+using tsf::TensorShape;
+
+std::shared_ptr<DeepLake> NewLake(storage::StoragePtr store = nullptr) {
+  if (!store) store = std::make_shared<storage::MemoryStore>();
+  auto lake = DeepLake::Open(store);
+  EXPECT_TRUE(lake.ok()) << lake.status();
+  return *lake;
+}
+
+Status FillClassified(DeepLake& lake, int n) {
+  TensorOptions img;
+  img.htype = "image";
+  img.sample_compression = "none";
+  DL_RETURN_IF_ERROR(lake.CreateTensor("images", img).status());
+  TensorOptions lbl;
+  lbl.htype = "class_label";
+  DL_RETURN_IF_ERROR(lake.CreateTensor("labels", lbl).status());
+  for (int i = 0; i < n; ++i) {
+    std::map<std::string, Sample> row;
+    row["images"] = Sample(DType::kUInt8, TensorShape{8, 8, 3},
+                           ByteBuffer(192, static_cast<uint8_t>(i)));
+    row["labels"] = Sample::Scalar(i % 4, DType::kInt32);
+    DL_RETURN_IF_ERROR(lake.Append(row));
+  }
+  return lake.Flush();
+}
+
+TEST(DeepLakeTest, OpenCreatesAndReopens) {
+  auto store = std::make_shared<storage::MemoryStore>();
+  {
+    auto lake = NewLake(store);
+    ASSERT_TRUE(FillClassified(*lake, 10).ok());
+    ASSERT_TRUE(lake->Flush().ok());
+  }
+  auto lake = DeepLake::Open(store);
+  ASSERT_TRUE(lake.ok()) << lake.status();
+  EXPECT_EQ((*lake)->NumRows(), 10u);
+  // create_if_missing=false on an empty root fails.
+  DeepLake::OpenOptions opts;
+  opts.create_if_missing = false;
+  auto missing =
+      DeepLake::Open(std::make_shared<storage::MemoryStore>(), opts);
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(DeepLakeTest, FullMlLoop) {
+  auto lake = NewLake();
+  ASSERT_TRUE(FillClassified(*lake, 24).ok());
+
+  // Commit, branch, modify, time-travel query (Fig. 2 loop).
+  auto v1 = lake->Commit("raw data");
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_TRUE(lake->Checkout("relabel", /*create=*/true).ok());
+  auto labels = lake->dataset().GetTensor("labels").MoveValue();
+  ASSERT_TRUE(labels->Update(0, Sample::Scalar(9, DType::kInt32)).ok());
+  ASSERT_TRUE(lake->Flush().ok());
+  ASSERT_TRUE(lake->Commit("fixed label 0").ok());
+
+  // Query on the branch sees the fix; VERSION query sees the original.
+  auto now = lake->Query("SELECT * FROM ds WHERE labels = 9");
+  ASSERT_TRUE(now.ok()) << now.status();
+  EXPECT_EQ(now->size(), 1u);
+  auto old = lake->Query("SELECT * FROM ds VERSION '" + *v1 +
+                         "' WHERE labels = 9");
+  ASSERT_TRUE(old.ok()) << old.status();
+  EXPECT_EQ(old->size(), 0u);
+
+  // Merge back to main with theirs policy.
+  ASSERT_TRUE(lake->Checkout("main").ok());
+  auto stats = lake->Merge("relabel", version::MergePolicy::kTheirs);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(lake->ReadRow(0)->at("labels").AsInt(), 9);
+
+  // Stream a filtered view.
+  auto view = lake->Query("SELECT * FROM ds WHERE labels = 2");
+  ASSERT_TRUE(view.ok());
+  stream::DataloaderOptions lopts;
+  lopts.batch_size = 4;
+  auto loader = lake->Dataloader(*view, lopts);
+  stream::Batch batch;
+  uint64_t seen = 0;
+  while (*loader->Next(&batch)) seen += batch.size;
+  EXPECT_EQ(seen, view->size());
+
+  // Log reflects history.
+  auto log = lake->Log();
+  EXPECT_GE(log.size(), 2u);
+}
+
+TEST(DeepLakeTest, WithoutVersionControl) {
+  DeepLake::OpenOptions opts;
+  opts.with_version_control = false;
+  auto lake = DeepLake::Open(std::make_shared<storage::MemoryStore>(), opts);
+  ASSERT_TRUE(lake.ok());
+  ASSERT_TRUE(FillClassified(**lake, 8).ok());
+  EXPECT_TRUE((*lake)->Commit("x").status().IsFailedPrecondition());
+  EXPECT_TRUE((*lake)->Checkout("b").IsFailedPrecondition());
+  EXPECT_FALSE((*lake)->has_version_control());
+  // Queries still work.
+  auto view = (*lake)->Query("SELECT * FROM ds WHERE labels = 1");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2u);
+}
+
+TEST(DeepLakeTest, MaterializeViewViaFacade) {
+  auto lake = NewLake();
+  ASSERT_TRUE(FillClassified(*lake, 16).ok());
+  auto view = lake->Query(
+      "SELECT images AS thumbs, labels FROM ds WHERE labels = 3");
+  ASSERT_TRUE(view.ok());
+  auto target = std::make_shared<storage::MemoryStore>();
+  auto mat = lake->Materialize(*view, target);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_EQ((*mat)->NumRows(), 4u);
+}
+
+TEST(DeepLakeTest, BranchLockThroughFacade) {
+  auto store = std::make_shared<storage::MemoryStore>();
+  auto lake = NewLake(store);
+  auto lock = lake->LockBranch("trainer-1");
+  ASSERT_TRUE(lock.ok()) << lock.status();
+  // A second writer against the same storage is rejected on this branch.
+  auto other = DeepLake::Open(store);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE((*other)->LockBranch("trainer-2").status().IsAborted());
+  ASSERT_TRUE((*lock)->Release().ok());
+  EXPECT_TRUE((*other)->LockBranch("trainer-2").ok());
+  // No version control -> no locks.
+  DeepLake::OpenOptions opts;
+  opts.with_version_control = false;
+  auto plain = DeepLake::Open(std::make_shared<storage::MemoryStore>(), opts);
+  EXPECT_TRUE(
+      (*plain)->LockBranch("x").status().IsFailedPrecondition());
+}
+
+TEST(DeepLakeTest, RenderThroughFacade) {
+  auto lake = NewLake();
+  ASSERT_TRUE(FillClassified(*lake, 2).ok());
+  viz::RenderOptions ropts;
+  ropts.viewport_width = 16;
+  ropts.viewport_height = 16;
+  ropts.use_pyramid = false;
+  viz::RenderReport report;
+  auto fb = lake->Render(1, ropts, &report);
+  ASSERT_TRUE(fb.ok()) << fb.status();
+  EXPECT_EQ(fb->width, 16u);
+  EXPECT_EQ(report.primary_tensor, "images");
+  // Pixel value equals the row's fill byte.
+  EXPECT_EQ(fb->PixelAt(8, 8)[0], 1);
+}
+
+}  // namespace
+}  // namespace dl

@@ -1,0 +1,260 @@
+// Tests for storage providers: Memory, Posix, Prefix, LRU cache, fault
+// injection. The same behavioural suite runs against every provider via a
+// parameterized fixture (paper §3.6: format is provider-agnostic).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "storage/storage.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dl::storage {
+namespace {
+
+using Factory = std::function<StoragePtr()>;
+
+StoragePtr MakePosix() {
+  static int counter = 0;
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("dl_storage_test_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return std::make_shared<PosixStore>(dir);
+}
+
+struct ProviderCase {
+  std::string label;
+  Factory factory;
+};
+
+class StorageProviderTest : public ::testing::TestWithParam<ProviderCase> {
+ protected:
+  void SetUp() override { store_ = GetParam().factory(); }
+  StoragePtr store_;
+};
+
+TEST_P(StorageProviderTest, PutGetRoundTrip) {
+  ByteBuffer value = BufferFromString("tensor chunk payload");
+  ASSERT_TRUE(store_->Put("tensors/images/chunks/c0", ByteView(value)).ok());
+  auto got = store_->Get("tensors/images/chunks/c0");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, value);
+}
+
+TEST_P(StorageProviderTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(store_->Get("nope").status().IsNotFound());
+  EXPECT_TRUE(store_->SizeOf("nope").status().IsNotFound());
+  EXPECT_FALSE(*store_->Exists("nope"));
+}
+
+TEST_P(StorageProviderTest, OverwriteReplaces) {
+  ASSERT_TRUE(store_->Put("k", ByteView(std::string_view("v1"))).ok());
+  ASSERT_TRUE(store_->Put("k", ByteView(std::string_view("value2"))).ok());
+  EXPECT_EQ(store_->Get("k")->size(), 6u);
+  EXPECT_EQ(*store_->SizeOf("k"), 6u);
+}
+
+TEST_P(StorageProviderTest, RangeReads) {
+  ByteBuffer value = BufferFromString("0123456789");
+  ASSERT_TRUE(store_->Put("obj", ByteView(value)).ok());
+  EXPECT_EQ(store_->GetRange("obj", 2, 3)->size(), 3u);
+  EXPECT_EQ(ByteView(*store_->GetRange("obj", 2, 3)).ToString(), "234");
+  // Length clamped to the object end.
+  EXPECT_EQ(ByteView(*store_->GetRange("obj", 8, 100)).ToString(), "89");
+  // Start past the end is OutOfRange.
+  EXPECT_TRUE(store_->GetRange("obj", 11, 1).status().IsOutOfRange());
+  // Empty range at the exact end is fine.
+  EXPECT_EQ(store_->GetRange("obj", 10, 5)->size(), 0u);
+}
+
+TEST_P(StorageProviderTest, DeleteRemoves) {
+  ASSERT_TRUE(store_->Put("k", ByteView(std::string_view("v"))).ok());
+  ASSERT_TRUE(*store_->Exists("k"));
+  ASSERT_TRUE(store_->Delete("k").ok());
+  EXPECT_FALSE(*store_->Exists("k"));
+  // Deleting a missing key is idempotent.
+  EXPECT_TRUE(store_->Delete("k").ok());
+}
+
+TEST_P(StorageProviderTest, ListPrefixSorted) {
+  for (const char* k : {"t/a/c1", "t/a/c0", "t/b/c0", "u/x"}) {
+    ASSERT_TRUE(store_->Put(k, ByteView(std::string_view("x"))).ok());
+  }
+  auto keys = store_->ListPrefix("t/");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 3u);
+  EXPECT_EQ((*keys)[0], "t/a/c0");
+  EXPECT_EQ((*keys)[1], "t/a/c1");
+  EXPECT_EQ((*keys)[2], "t/b/c0");
+  auto all = store_->ListPrefix("");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 4u);
+}
+
+TEST_P(StorageProviderTest, EmptyValueOk) {
+  ASSERT_TRUE(store_->Put("empty", ByteView()).ok());
+  EXPECT_EQ(store_->Get("empty")->size(), 0u);
+  EXPECT_EQ(*store_->SizeOf("empty"), 0u);
+}
+
+TEST_P(StorageProviderTest, LargeBinaryRoundTrip) {
+  Rng rng(11);
+  ByteBuffer value(1 << 20);
+  for (auto& b : value) b = static_cast<uint8_t>(rng.Next());
+  ASSERT_TRUE(store_->Put("big", ByteView(value)).ok());
+  EXPECT_EQ(*store_->Get("big"), value);
+  auto mid = store_->GetRange("big", 500000, 1024);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(ByteView(*mid),
+            ByteView(value.data() + 500000, 1024));
+}
+
+TEST_P(StorageProviderTest, ConcurrentReadersAndWriters) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "c/" + std::to_string(t) + "/" + std::to_string(i);
+        std::string val = "value-" + key;
+        if (!store_->Put(key, ByteView(std::string_view(val))).ok()) {
+          failures++;
+          continue;
+        }
+        auto got = store_->Get(key);
+        if (!got.ok() || ByteView(*got).ToString() != val) failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Providers, StorageProviderTest,
+    ::testing::Values(
+        ProviderCase{"memory", [] { return std::make_shared<MemoryStore>(); }},
+        ProviderCase{"posix", MakePosix},
+        ProviderCase{"prefix",
+                     [] {
+                       return std::make_shared<PrefixStore>(
+                           std::make_shared<MemoryStore>(), "ns/ds1");
+                     }},
+        ProviderCase{"lru",
+                     [] {
+                       return std::make_shared<LruCacheStore>(
+                           std::make_shared<MemoryStore>(), 64 << 20);
+                     }}),
+    [](const ::testing::TestParamInfo<ProviderCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// LRU-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(LruCacheStoreTest, ServesHitsWithoutBase) {
+  auto base = std::make_shared<MemoryStore>();
+  LruCacheStore cache(base, 1 << 20);
+  ASSERT_TRUE(cache.Put("k", ByteView(std::string_view("v"))).ok());
+  uint64_t base_gets_before = base->stats().get_requests.load();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(cache.Get("k").ok());
+  EXPECT_EQ(base->stats().get_requests.load(), base_gets_before);
+  EXPECT_GE(cache.hits(), 5u);
+}
+
+TEST(LruCacheStoreTest, EvictsLeastRecentlyUsed) {
+  auto base = std::make_shared<MemoryStore>();
+  LruCacheStore cache(base, 300);
+  ByteBuffer blob(100, 0xAB);
+  ASSERT_TRUE(cache.Put("a", ByteView(blob)).ok());
+  ASSERT_TRUE(cache.Put("b", ByteView(blob)).ok());
+  ASSERT_TRUE(cache.Put("c", ByteView(blob)).ok());
+  // Touch "a" so "b" becomes the LRU victim.
+  ASSERT_TRUE(cache.Get("a").ok());
+  ASSERT_TRUE(cache.Put("d", ByteView(blob)).ok());  // evicts b
+  EXPECT_LE(cache.cached_bytes(), 300u);
+  uint64_t misses_before = cache.misses();
+  ASSERT_TRUE(cache.Get("b").ok());  // must go to base
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(LruCacheStoreTest, OversizeObjectsBypassCache) {
+  auto base = std::make_shared<MemoryStore>();
+  LruCacheStore cache(base, 10);
+  ByteBuffer blob(100, 1);
+  ASSERT_TRUE(cache.Put("big", ByteView(blob)).ok());
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+  EXPECT_EQ(cache.Get("big")->size(), 100u);
+}
+
+TEST(LruCacheStoreTest, DeleteInvalidates) {
+  auto base = std::make_shared<MemoryStore>();
+  LruCacheStore cache(base, 1 << 20);
+  ASSERT_TRUE(cache.Put("k", ByteView(std::string_view("v"))).ok());
+  ASSERT_TRUE(cache.Delete("k").ok());
+  EXPECT_TRUE(cache.Get("k").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// PrefixStore namespacing
+// ---------------------------------------------------------------------------
+
+TEST(PrefixStoreTest, NamespacesKeys) {
+  auto base = std::make_shared<MemoryStore>();
+  PrefixStore ns(base, "datasets/mnist");
+  ASSERT_TRUE(ns.Put("meta.json", ByteView(std::string_view("{}"))).ok());
+  EXPECT_TRUE(*base->Exists("datasets/mnist/meta.json"));
+  auto keys = ns.ListPrefix("");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0], "meta.json");
+}
+
+TEST(PrefixStoreTest, SiblingsInvisible) {
+  auto base = std::make_shared<MemoryStore>();
+  PrefixStore a(base, "a");
+  PrefixStore b(base, "b");
+  ASSERT_TRUE(a.Put("k", ByteView(std::string_view("va"))).ok());
+  EXPECT_TRUE(b.Get("k").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionStoreTest, FailsEveryNth) {
+  auto base = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(base->Put("k", ByteView(std::string_view("v"))).ok());
+  FaultInjectionStore faulty(base, 3);
+  int failures = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (!faulty.Get("k").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Chaining: LRU in front of prefix in front of posix (paper §3.6 chain)
+// ---------------------------------------------------------------------------
+
+TEST(ChainingTest, FullChainRoundTrip) {
+  auto posix = MakePosix();
+  auto ns = std::make_shared<PrefixStore>(posix, "org/project");
+  auto cache = std::make_shared<LruCacheStore>(ns, 1 << 20);
+  ByteBuffer value = BufferFromString("chained payload");
+  ASSERT_TRUE(cache->Put("t/chunk0", ByteView(value)).ok());
+  EXPECT_EQ(*cache->Get("t/chunk0"), value);
+  // The object actually lives under the prefix on the posix store.
+  EXPECT_TRUE(*posix->Exists("org/project/t/chunk0"));
+}
+
+}  // namespace
+}  // namespace dl::storage

@@ -1,0 +1,264 @@
+// Property tests for the TQL evaluator: randomly generated arithmetic /
+// comparison expressions are evaluated both by the engine (through a
+// dataset round trip) and by a direct C++ oracle; results must agree.
+// Plus slice-property sweeps against a brute-force slicer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "storage/storage.h"
+#include "tql/executor.h"
+#include "tql/parser.h"
+#include "tsf/dataset.h"
+#include "util/rng.h"
+
+namespace dl::tql {
+namespace {
+
+using tsf::Dataset;
+using tsf::DType;
+using tsf::Sample;
+using tsf::TensorOptions;
+
+/// Dataset with two scalar float tensors a, b whose values per row are
+/// known to the oracle.
+struct Fixture {
+  std::shared_ptr<Dataset> ds;
+  std::vector<double> a, b;
+
+  explicit Fixture(uint64_t seed, int n = 25) {
+    Rng rng(seed);
+    ds = Dataset::Create(std::make_shared<storage::MemoryStore>())
+             .MoveValue();
+    TensorOptions opts;
+    opts.dtype = "float64";
+    EXPECT_TRUE(ds->CreateTensor("a", opts).ok());
+    EXPECT_TRUE(ds->CreateTensor("b", opts).ok());
+    for (int i = 0; i < n; ++i) {
+      // Small integers keep float comparisons exact.
+      double av = static_cast<double>(rng.UniformInt(-8, 8));
+      double bv = static_cast<double>(rng.UniformInt(1, 9));  // b > 0
+      a.push_back(av);
+      b.push_back(bv);
+      EXPECT_TRUE(ds->Append({{"a", Sample::Scalar(av, DType::kFloat64)},
+                              {"b", Sample::Scalar(bv, DType::kFloat64)}})
+                      .ok());
+    }
+    EXPECT_TRUE(ds->Flush().ok());
+  }
+};
+
+/// A random expression over a, b and integer literals, built as both TQL
+/// text and a C++ evaluation closure.
+struct GenExpr {
+  std::string text;
+  std::function<double(double, double)> eval;
+};
+
+GenExpr RandomExpr(Rng& rng, int depth) {
+  if (depth == 0) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        return {"a", [](double a, double) { return a; }};
+      case 1:
+        return {"b", [](double, double b) { return b; }};
+      default: {
+        int64_t lit = rng.UniformInt(1, 6);
+        return {std::to_string(lit),
+                [lit](double, double) { return static_cast<double>(lit); }};
+      }
+    }
+  }
+  GenExpr lhs = RandomExpr(rng, depth - 1);
+  GenExpr rhs = RandomExpr(rng, depth - 1);
+  switch (rng.Uniform(4)) {
+    case 0:
+      return {"(" + lhs.text + " + " + rhs.text + ")",
+              [l = lhs.eval, r = rhs.eval](double a, double b) {
+                return l(a, b) + r(a, b);
+              }};
+    case 1:
+      return {"(" + lhs.text + " - " + rhs.text + ")",
+              [l = lhs.eval, r = rhs.eval](double a, double b) {
+                return l(a, b) - r(a, b);
+              }};
+    case 2:
+      return {"(" + lhs.text + " * " + rhs.text + ")",
+              [l = lhs.eval, r = rhs.eval](double a, double b) {
+                return l(a, b) * r(a, b);
+              }};
+    default:
+      // Division by the always-positive b avoids div-by-zero divergence.
+      return {"(" + lhs.text + " / b)",
+              [l = lhs.eval](double a, double b) { return l(a, b) / b; }};
+  }
+}
+
+class TqlOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TqlOracleTest, RandomWhereExpressionsMatchOracle) {
+  Fixture f(GetParam());
+  Rng rng(GetParam() * 977 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    GenExpr lhs = RandomExpr(rng, 2);
+    GenExpr rhs = RandomExpr(rng, 1);
+    const char* ops[] = {">", ">=", "<", "<=", "=", "!="};
+    int op = static_cast<int>(rng.Uniform(6));
+    std::string where = lhs.text + " " + ops[op] + " " + rhs.text;
+
+    auto view = RunQuery(f.ds, "SELECT a FROM ds WHERE " + where);
+    ASSERT_TRUE(view.ok()) << where << ": " << view.status();
+
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < f.a.size(); ++i) {
+      double l = lhs.eval(f.a[i], f.b[i]);
+      double r = rhs.eval(f.a[i], f.b[i]);
+      bool keep = false;
+      switch (op) {
+        case 0: keep = l > r; break;
+        case 1: keep = l >= r; break;
+        case 2: keep = l < r; break;
+        case 3: keep = l <= r; break;
+        case 4: keep = l == r; break;
+        case 5: keep = l != r; break;
+      }
+      if (keep) expected.push_back(i);
+    }
+    ASSERT_EQ(view->size(), expected.size()) << "WHERE " << where;
+    for (size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(view->source_row(k), expected[k]) << "WHERE " << where;
+    }
+  }
+}
+
+TEST_P(TqlOracleTest, RandomProjectionsMatchOracle) {
+  Fixture f(GetParam() ^ 0xABCD);
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    GenExpr e = RandomExpr(rng, 3);
+    auto view = RunQuery(f.ds, "SELECT " + e.text + " AS v FROM ds");
+    ASSERT_TRUE(view.ok()) << e.text << ": " << view.status();
+    ASSERT_EQ(view->size(), f.a.size());
+    for (size_t i = 0; i < f.a.size(); ++i) {
+      auto v = view->Cell(i, "v");
+      ASSERT_TRUE(v.ok());
+      EXPECT_NEAR(v->array().AsScalar(), e.eval(f.a[i], f.b[i]), 1e-9)
+          << e.text << " at row " << i;
+    }
+  }
+}
+
+TEST_P(TqlOracleTest, OrderByMatchesOracleSort) {
+  Fixture f(GetParam() ^ 0x5151);
+  Rng rng(GetParam() * 131 + 3);
+  GenExpr key = RandomExpr(rng, 2);
+  auto view =
+      RunQuery(f.ds, "SELECT a FROM ds ORDER BY " + key.text + " DESC");
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_EQ(view->size(), f.a.size());
+  double prev = HUGE_VAL;
+  for (size_t i = 0; i < view->size(); ++i) {
+    uint64_t row = view->source_row(i);
+    double k = key.eval(f.a[row], f.b[row]);
+    EXPECT_LE(k, prev + 1e-9) << "key not non-increasing at " << i;
+    prev = k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TqlOracleTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------------
+// Slice property sweep vs brute force
+// ---------------------------------------------------------------------------
+
+class SlicePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlicePropertyTest, RandomSlicesMatchBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random 2-d or 3-d array.
+    size_t nd = 2 + rng.Uniform(2);
+    std::vector<uint64_t> shape(nd);
+    uint64_t elems = 1;
+    for (auto& d : shape) {
+      d = 1 + rng.Uniform(7);
+      elems *= d;
+    }
+    std::vector<double> data(elems);
+    for (size_t i = 0; i < elems; ++i) data[i] = static_cast<double>(i);
+    NdArray arr(shape, data);
+
+    // Random slice specs (mix of indices and ranges with steps).
+    std::vector<SliceSpec> specs;
+    size_t nspecs = 1 + rng.Uniform(nd);
+    for (size_t d = 0; d < nspecs; ++d) {
+      SliceSpec spec;
+      if (rng.NextBool(0.3)) {
+        spec.is_index = true;
+        spec.index = rng.UniformInt(-static_cast<int64_t>(shape[d]),
+                                    static_cast<int64_t>(shape[d]) - 1);
+      } else {
+        if (rng.NextBool()) {
+          spec.has_start = true;
+          spec.start = rng.UniformInt(0, static_cast<int64_t>(shape[d]));
+        }
+        if (rng.NextBool()) {
+          spec.has_stop = true;
+          spec.stop = rng.UniformInt(0, static_cast<int64_t>(shape[d]) + 2);
+        }
+        if (rng.NextBool(0.3)) {
+          spec.has_step = true;
+          spec.step = rng.UniformInt(1, 3);
+        }
+      }
+      specs.push_back(spec);
+    }
+    auto sliced = SliceArray(arr, specs);
+    ASSERT_TRUE(sliced.ok()) << sliced.status();
+
+    // Brute force: walk every input coordinate; keep those selected, in
+    // row-major output order (the slicer's order by construction).
+    std::vector<double> expected;
+    std::function<void(size_t, uint64_t)> walk = [&](size_t d,
+                                                     uint64_t offset) {
+      if (d == nd) {
+        expected.push_back(arr.data()[offset]);
+        return;
+      }
+      uint64_t stride = 1;
+      for (size_t k = d + 1; k < nd; ++k) stride *= shape[k];
+      if (d < specs.size()) {
+        const SliceSpec& s = specs[d];
+        if (s.is_index) {
+          int64_t idx = s.index < 0
+                            ? s.index + static_cast<int64_t>(shape[d])
+                            : s.index;
+          walk(d + 1, offset + static_cast<uint64_t>(idx) * stride);
+          return;
+        }
+        int64_t lo = s.has_start ? std::min<int64_t>(s.start, shape[d]) : 0;
+        int64_t hi = s.has_stop ? std::min<int64_t>(s.stop, shape[d])
+                                : static_cast<int64_t>(shape[d]);
+        int64_t step = s.has_step ? s.step : 1;
+        for (int64_t i = lo; i < hi; i += step) {
+          walk(d + 1, offset + static_cast<uint64_t>(i) * stride);
+        }
+        return;
+      }
+      for (uint64_t i = 0; i < shape[d]; ++i) {
+        walk(d + 1, offset + i * stride);
+      }
+    };
+    walk(0, 0);
+    EXPECT_EQ(sliced->data(), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicePropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dl::tql

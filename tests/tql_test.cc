@@ -1,0 +1,569 @@
+// TQL tests: lexer/parser, NdArray kernels, end-to-end queries (including
+// the paper's Fig. 5 query), GROUP BY, ARRANGE BY, version queries,
+// materialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/storage.h"
+#include "tql/executor.h"
+#include "tql/lexer.h"
+#include "tql/parser.h"
+#include "tsf/dataset.h"
+#include "version/version_control.h"
+
+namespace dl::tql {
+namespace {
+
+using tsf::Dataset;
+using tsf::DType;
+using tsf::Sample;
+using tsf::TensorOptions;
+using tsf::TensorShape;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto tokens = Lex("SELECT a[1:2, :] WHERE x >= 3.5 AND y != 'txt'");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kIdent);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+  // Find the >=, !=, string.
+  bool saw_ge = false, saw_ne = false, saw_str = false;
+  for (const auto& t : *tokens) {
+    if (t.kind == TokenKind::kGe) saw_ge = true;
+    if (t.kind == TokenKind::kNe) saw_ne = true;
+    if (t.kind == TokenKind::kString && t.text == "txt") saw_str = true;
+  }
+  EXPECT_TRUE(saw_ge);
+  EXPECT_TRUE(saw_ne);
+  EXPECT_TRUE(saw_str);
+}
+
+TEST(LexerTest, CommentsAndErrors) {
+  auto ok = Lex("a -- trailing comment\n + 1");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok).size(), 4u);  // a, +, 1, end
+  EXPECT_FALSE(Lex("a ! b").ok());
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("a # b").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, PaperFigure5QueryParses) {
+  const char* kQuery = R"(
+    SELECT
+      images[100:500, 100:500, 0:2] as crop,
+      NORMALIZE(
+        boxes,
+        [100, 100, 400, 400]) as box
+    FROM
+      dataset
+    WHERE IOU(boxes, "training/boxes") > 0.95
+    ORDER BY IOU(boxes, "training/boxes")
+    ARRANGE BY labels
+  )";
+  auto q = ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].alias, "crop");
+  EXPECT_EQ(q->select[0].expr->kind, Expr::Kind::kIndex);
+  EXPECT_EQ(q->select[1].alias, "box");
+  EXPECT_EQ(q->select[1].expr->text, "NORMALIZE");
+  EXPECT_EQ(q->from, "dataset");
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->bop, BinaryOp::kGt);
+  ASSERT_NE(q->order_by, nullptr);
+  ASSERT_NE(q->arrange_by, nullptr);
+  EXPECT_EQ(q->arrange_by->text, "labels");
+}
+
+TEST(ParserTest, ClausesAndDefaults) {
+  auto q = ParseQuery("SELECT * FROM ds WHERE a = 1 LIMIT 10 OFFSET 5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->SelectsAll());
+  EXPECT_EQ(q->limit, 10);
+  EXPECT_EQ(q->offset, 5);
+  EXPECT_FALSE(q->order_desc);
+
+  auto q2 = ParseQuery("SELECT a FROM ds ORDER BY a DESC");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->order_desc);
+
+  auto q3 = ParseQuery("SELECT labels, COUNT() FROM ds GROUP BY labels");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(q3->group_by.size(), 1u);
+}
+
+TEST(ParserTest, VersionClause) {
+  auto q = ParseQuery("SELECT * FROM ds VERSION 'abc123'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->version, "abc123");
+}
+
+TEST(ParserTest, DottedNamesBecomeGroupPaths) {
+  auto e = ParseExpression("training.boxes");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kColumn);
+  EXPECT_EQ((*e)->text, "training/boxes");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // 1 + 2 * 3 = 7 (not 9); comparisons bind looser than arithmetic.
+  auto e = ParseExpression("1 + 2 * 3 = 7");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bop, BinaryOp::kEq);
+  // AND binds looser than comparison.
+  auto e2 = ParseExpression("a > 1 AND b < 2 OR NOT c");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e2)->bop, BinaryOp::kOr);
+}
+
+TEST(ParserTest, MalformedQueriesRejected) {
+  for (const char* bad :
+       {"", "SELECT", "SELECT a FROM", "SELECT a WHERE", "SELECT a LIMIT x",
+        "FROM ds", "SELECT a[", "SELECT f(", "SELECT a ORDER a",
+        "SELECT a,", "SELECT a b c"}) {
+    auto q = ParseQuery(bad);
+    EXPECT_FALSE(q.ok()) << "input: " << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+TEST(NdArrayTest, SampleRoundTrip) {
+  Sample s = Sample::FromVector<int32_t>({1, -2, 3}, DType::kInt32);
+  NdArray a = NdArray::FromSample(s);
+  EXPECT_EQ(a.shape(), (std::vector<uint64_t>{3}));
+  EXPECT_DOUBLE_EQ(a.data()[1], -2);
+  Sample back = a.ToSample(DType::kInt32);
+  EXPECT_EQ(back.data, s.data);
+}
+
+TEST(NdArrayTest, SliceMatchesNumpySemantics) {
+  // 4x5 array of v = r*5+c.
+  std::vector<double> data(20);
+  for (int i = 0; i < 20; ++i) data[i] = i;
+  NdArray a({4, 5}, data);
+  // a[1:3, 2:4] -> [[7,8],[12,13]]
+  auto r = SliceArray(a, {{false, 0, true, true, false, 1, 3, 1},
+                          {false, 0, true, true, false, 2, 4, 1}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->shape(), (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(r->data(), (std::vector<double>{7, 8, 12, 13}));
+  // Single index drops the dim: a[2] -> row of 5.
+  SliceSpec idx;
+  idx.is_index = true;
+  idx.index = 2;
+  auto row = SliceArray(a, {idx});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->shape(), (std::vector<uint64_t>{5}));
+  EXPECT_EQ(row->data()[0], 10);
+  // Negative index.
+  idx.index = -1;
+  auto last = SliceArray(a, {idx});
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->data()[0], 15);
+  // Step.
+  SliceSpec step;
+  step.has_step = true;
+  step.step = 2;
+  auto every_other = SliceArray(a, {step});
+  ASSERT_TRUE(every_other.ok());
+  EXPECT_EQ(every_other->shape(), (std::vector<uint64_t>{2, 5}));
+  // Clamping beyond bounds.
+  SliceSpec wide;
+  wide.has_start = true;
+  wide.start = 2;
+  wide.has_stop = true;
+  wide.stop = 100;
+  auto clamped = SliceArray(a, {wide});
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->shape()[0], 2u);
+  // Errors.
+  EXPECT_FALSE(SliceArray(a, {idx, idx, idx}).ok());
+  idx.index = 7;
+  EXPECT_TRUE(SliceArray(a, {idx}).status().IsOutOfRange());
+}
+
+TEST(NdArrayTest, Reductions) {
+  NdArray a({4}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ReduceSum(a), 10);
+  EXPECT_DOUBLE_EQ(ReduceMean(a), 2.5);
+  EXPECT_DOUBLE_EQ(ReduceMin(a), 1);
+  EXPECT_DOUBLE_EQ(ReduceMax(a), 4);
+  EXPECT_NEAR(ReduceStd(a), std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(ReduceL2(a), std::sqrt(30.0), 1e-12);
+  EXPECT_TRUE(ReduceAny(a));
+  EXPECT_TRUE(ReduceAll(a));
+  NdArray zeros({2}, {0, 0});
+  EXPECT_FALSE(ReduceAny(zeros));
+  NdArray mixed({2}, {0, 1});
+  EXPECT_TRUE(ReduceAny(mixed));
+  EXPECT_FALSE(ReduceAll(mixed));
+}
+
+TEST(NdArrayTest, IouKernel) {
+  // Identical boxes -> 1.0. Disjoint -> 0.0. Half overlap known value.
+  NdArray a({1, 4}, {0, 0, 10, 10});
+  NdArray b({1, 4}, {0, 0, 10, 10});
+  EXPECT_DOUBLE_EQ(*MeanBestIou(a, b), 1.0);
+  NdArray c({1, 4}, {100, 100, 5, 5});
+  EXPECT_DOUBLE_EQ(*MeanBestIou(a, c), 0.0);
+  // Shifted by half: intersection 50, union 150 -> 1/3.
+  NdArray d({1, 4}, {5, 0, 10, 10});
+  EXPECT_NEAR(*MeanBestIou(a, d), 50.0 / 150.0, 1e-12);
+  // Multi-box: best match per lhs box, averaged.
+  NdArray many({2, 4}, {0, 0, 10, 10, 100, 100, 5, 5});
+  EXPECT_NEAR(*MeanBestIou(many, a), 0.5, 1e-12);
+  // Bad shapes rejected.
+  NdArray bad({3}, {1, 2, 3});
+  EXPECT_FALSE(MeanBestIou(bad, a).ok());
+}
+
+TEST(NdArrayTest, NormalizeKernel) {
+  NdArray boxes({1, 4}, {150, 200, 50, 100});
+  NdArray window({4}, {100, 100, 400, 400});
+  auto out = NormalizeBoxes(boxes, window);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->data()[0], (150.0 - 100) / 400);
+  EXPECT_DOUBLE_EQ(out->data()[1], (200.0 - 100) / 400);
+  EXPECT_DOUBLE_EQ(out->data()[2], 50.0 / 400);
+  EXPECT_DOUBLE_EQ(out->data()[3], 100.0 / 400);
+  NdArray degenerate({4}, {0, 0, 0, 0});
+  EXPECT_FALSE(NormalizeBoxes(boxes, degenerate).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end queries
+// ---------------------------------------------------------------------------
+
+/// Builds a small detection dataset: images (ragged), labels, boxes and a
+/// ground-truth group tensor training/boxes.
+std::shared_ptr<Dataset> MakeDetectionDataset(int n) {
+  auto store = std::make_shared<storage::MemoryStore>();
+  auto ds = Dataset::Create(store).MoveValue();
+  TensorOptions img;
+  img.htype = "image";
+  img.sample_compression = "none";
+  EXPECT_TRUE(ds->CreateTensor("images", img).ok());
+  TensorOptions lbl;
+  lbl.htype = "class_label";
+  EXPECT_TRUE(ds->CreateTensor("labels", lbl).ok());
+  TensorOptions box;
+  box.htype = "bbox";
+  EXPECT_TRUE(ds->CreateTensor("boxes", box).ok());
+  EXPECT_TRUE(ds->CreateTensor("training/boxes", box).ok());
+  TensorOptions txt;
+  txt.htype = "text";
+  EXPECT_TRUE(ds->CreateTensor("captions", txt).ok());
+
+  for (int i = 0; i < n; ++i) {
+    uint64_t side = 600;
+    ByteBuffer pixels(side * side * 3);
+    for (size_t p = 0; p < pixels.size(); ++p) {
+      pixels[p] = static_cast<uint8_t>((p + i) & 0xff);
+    }
+    // Ground truth box fixed; predicted box drifts with i so IOU decays.
+    std::vector<float> gt = {100, 100, 200, 200};
+    std::vector<float> pred = {100.f + i * 10, 100, 200, 200};
+    std::map<std::string, Sample> row;
+    row["images"] = Sample(DType::kUInt8, TensorShape{side, side, 3},
+                           std::move(pixels));
+    row["labels"] = Sample::Scalar(i % 3, DType::kInt32);
+    row["boxes"] = Sample(DType::kFloat32, TensorShape{1, 4}, [&] {
+      ByteBuffer b(16);
+      memcpy(b.data(), pred.data(), 16);
+      return b;
+    }());
+    row["training/boxes"] = Sample(DType::kFloat32, TensorShape{1, 4}, [&] {
+      ByteBuffer b(16);
+      memcpy(b.data(), gt.data(), 16);
+      return b;
+    }());
+    row["captions"] = Sample::FromString(
+        i % 2 == 0 ? "a photo of a cat #" + std::to_string(i)
+                   : "a photo of a dog #" + std::to_string(i));
+    EXPECT_TRUE(ds->Append(row).ok());
+  }
+  EXPECT_TRUE(ds->Flush().ok());
+  return ds;
+}
+
+TEST(QueryTest, SelectStarWhereFilter) {
+  auto ds = MakeDetectionDataset(9);
+  auto view = RunQuery(ds, "SELECT * FROM ds WHERE labels = 1");
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->size(), 3u);  // labels cycle 0,1,2
+  for (size_t i = 0; i < view->size(); ++i) {
+    auto v = view->Cell(i, "labels");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->array().AsScalar(), 1);
+  }
+  // Source rows are 1, 4, 7.
+  EXPECT_EQ(view->source_row(0), 1u);
+  EXPECT_EQ(view->source_row(2), 7u);
+  EXPECT_TRUE(view->IsSparseOver(ds->NumRows()));
+}
+
+TEST(QueryTest, PaperFigure5EndToEnd) {
+  auto ds = MakeDetectionDataset(10);
+  const char* kQuery = R"(
+    SELECT
+      images[100:500, 100:500, 0:2] as crop,
+      NORMALIZE(boxes, [100, 100, 400, 400]) as box
+    FROM dataset
+    WHERE IOU(boxes, "training/boxes") > 0.5
+    ORDER BY IOU(boxes, "training/boxes") DESC
+    ARRANGE BY labels
+  )";
+  auto view = RunQuery(ds, kQuery);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // IOU decays with i: row i has pred box shifted by 10*i on a 200-wide
+  // box; IOU > 0.5 holds while shift < ~66 => rows 0..6.
+  EXPECT_EQ(view->size(), 7u);
+  ASSERT_EQ(view->columns().size(), 2u);
+  EXPECT_EQ(view->columns()[0], "crop");
+  EXPECT_EQ(view->columns()[1], "box");
+  // Crop has the sliced shape.
+  auto crop = view->Cell(0, "crop");
+  ASSERT_TRUE(crop.ok()) << crop.status();
+  EXPECT_EQ(crop->array().shape(), (std::vector<uint64_t>{400, 400, 2}));
+  // Normalized box values are in window units.
+  auto box = view->Cell(0, "box");
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->array().shape(), (std::vector<uint64_t>{1, 4}));
+  EXPECT_NEAR(box->array().data()[2], 0.5, 1e-9);  // 200/400
+  // CellSample keeps uint8 for the image crop (slice of a column).
+  auto crop_sample = view->CellSample(0, "crop");
+  ASSERT_TRUE(crop_sample.ok());
+  EXPECT_EQ(crop_sample->dtype, DType::kUInt8);
+  EXPECT_EQ(crop_sample->shape, (TensorShape{400, 400, 2}));
+}
+
+TEST(QueryTest, OrderBySortsAndLimitApplies) {
+  auto ds = MakeDetectionDataset(9);
+  auto view = RunQuery(
+      ds, "SELECT labels FROM ds ORDER BY labels DESC LIMIT 4");
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_EQ(view->size(), 4u);
+  EXPECT_EQ(view->Cell(0, "labels")->array().AsScalar(), 2);
+  EXPECT_EQ(view->Cell(3, "labels")->array().AsScalar(), 1);
+}
+
+TEST(QueryTest, ArrangeByInterleavesClasses) {
+  auto ds = MakeDetectionDataset(9);
+  auto view = RunQuery(ds, "SELECT labels FROM ds ARRANGE BY labels");
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_EQ(view->size(), 9u);
+  // Round-robin over classes: every consecutive triple covers {0,1,2}.
+  for (size_t i = 0; i + 2 < 9; i += 3) {
+    std::set<int> seen;
+    for (size_t k = 0; k < 3; ++k) {
+      seen.insert(static_cast<int>(
+          view->Cell(i + k, "labels")->array().AsScalar()));
+    }
+    EXPECT_EQ(seen.size(), 3u) << "window at " << i;
+  }
+}
+
+TEST(QueryTest, StringFunctionsAndContains) {
+  auto ds = MakeDetectionDataset(6);
+  auto view = RunQuery(
+      ds, "SELECT captions FROM ds WHERE CONTAINS(captions, 'cat')");
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->size(), 3u);
+  auto v = view->Cell(0, "captions");
+  ASSERT_TRUE(v.ok());
+  EXPECT_NE(v->str().find("cat"), std::string::npos);
+
+  auto upper = RunQuery(
+      ds, "SELECT UPPER(captions) AS shout FROM ds LIMIT 1");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_NE(upper->Cell(0, "shout")->str().find("A PHOTO"),
+            std::string::npos);
+}
+
+TEST(QueryTest, ShapeFunctionUsesShapeEncoder) {
+  auto ds = MakeDetectionDataset(3);
+  auto view = RunQuery(
+      ds, "SELECT SHAPE(images) AS s FROM ds WHERE SHAPE(images)[0] = 600");
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->size(), 3u);
+  auto s = view->Cell(0, "s");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->array().data(), (std::vector<double>{600, 600, 3}));
+}
+
+TEST(QueryTest, GroupByAggregates) {
+  auto ds = MakeDetectionDataset(9);
+  auto view = RunQuery(ds,
+                       "SELECT labels, COUNT() AS n, MEAN(labels) AS m "
+                       "FROM ds GROUP BY labels");
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_TRUE(view->computed());
+  ASSERT_EQ(view->size(), 3u);
+  double total = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    auto n = view->Cell(i, "n");
+    ASSERT_TRUE(n.ok());
+    total += n->array().AsScalar();
+    auto lbl = view->Cell(i, "labels");
+    auto mean = view->Cell(i, "m");
+    EXPECT_DOUBLE_EQ(lbl->array().AsScalar(), mean->array().AsScalar());
+  }
+  EXPECT_DOUBLE_EQ(total, 9);
+}
+
+TEST(QueryTest, ArithmeticAndLogicInWhere) {
+  auto ds = MakeDetectionDataset(9);
+  auto view = RunQuery(
+      ds, "SELECT labels FROM ds WHERE labels % 2 = 0 AND NOT labels = 2");
+  ASSERT_TRUE(view.ok()) << view.status();
+  for (size_t i = 0; i < view->size(); ++i) {
+    EXPECT_EQ(view->Cell(i, "labels")->array().AsScalar(), 0);
+  }
+  EXPECT_EQ(view->size(), 3u);
+}
+
+TEST(QueryTest, VersionQueryTimeTravels) {
+  auto base = std::make_shared<storage::MemoryStore>();
+  auto vc = version::VersionControl::OpenOrInit(base).MoveValue();
+  auto ds = Dataset::Create(vc->working_store()).MoveValue();
+  TensorOptions lbl;
+  lbl.htype = "class_label";
+  ASSERT_TRUE(ds->CreateTensor("labels", lbl).ok());
+  ASSERT_TRUE(ds->Append({{"labels", Sample::Scalar(1, DType::kInt32)}}).ok());
+  ASSERT_TRUE(ds->Flush().ok());
+  std::string v1 = vc->Commit("v1").MoveValue();
+  ds = Dataset::Open(vc->working_store()).MoveValue();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        ds->Append({{"labels", Sample::Scalar(2, DType::kInt32)}}).ok());
+  }
+  ASSERT_TRUE(ds->Flush().ok());
+
+  QueryOptions opts;
+  opts.version_resolver =
+      [&](const std::string& commit) -> Result<std::shared_ptr<Dataset>> {
+    DL_ASSIGN_OR_RETURN(auto store, vc->StoreAt(commit));
+    return Dataset::Open(store);
+  };
+  auto now = RunQuery(ds, "SELECT * FROM ds", opts);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->size(), 5u);
+  auto old = RunQuery(ds, "SELECT * FROM ds VERSION '" + v1 + "'", opts);
+  ASSERT_TRUE(old.ok()) << old.status();
+  EXPECT_EQ(old->size(), 1u);
+  // Without a resolver, version queries fail cleanly.
+  auto no_resolver = RunQuery(ds, "SELECT * FROM ds VERSION 'x'");
+  EXPECT_TRUE(no_resolver.status().IsNotImplemented());
+}
+
+TEST(QueryTest, MaterializeViewProducesDenseDataset) {
+  auto ds = MakeDetectionDataset(9);
+  auto view = RunQuery(ds,
+                       "SELECT images[0:50, 0:50, :] AS thumb, labels "
+                       "FROM ds WHERE labels = 2");
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_EQ(view->size(), 3u);
+
+  auto target = std::make_shared<storage::MemoryStore>();
+  auto mat = MaterializeView(*view, target);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_EQ((*mat)->NumRows(), 3u);
+  // Dense: row i of the materialized dataset is view row i.
+  auto reopened = Dataset::Open(target);
+  ASSERT_TRUE(reopened.ok());
+  auto thumb = (*reopened)->GetTensor("thumb").MoveValue()->Read(0);
+  ASSERT_TRUE(thumb.ok());
+  EXPECT_EQ(thumb->shape, (TensorShape{50, 50, 3}));
+  EXPECT_EQ(thumb->dtype, DType::kUInt8);
+  auto labels = (*reopened)->GetTensor("labels").MoveValue();
+  EXPECT_EQ(labels->Read(2)->AsInt(), 2);
+  // Passthrough column kept its htype.
+  EXPECT_EQ(labels->meta().htype.kind, tsf::HtypeKind::kClassLabel);
+}
+
+TEST(QueryTest, JoinAcrossDatasets) {
+  // §7.3 extension: join a detection dataset against a metadata table by
+  // class id.
+  auto ds = MakeDetectionDataset(6);  // labels cycle 0,1,2
+
+  auto meta_store = std::make_shared<storage::MemoryStore>();
+  auto meta = Dataset::Create(meta_store).MoveValue();
+  TensorOptions id;
+  id.dtype = "int32";
+  ASSERT_TRUE(meta->CreateTensor("class_id", id).ok());
+  TensorOptions name;
+  name.htype = "text";
+  ASSERT_TRUE(meta->CreateTensor("class_name", name).ok());
+  const char* kNames[] = {"cat", "dog", "bird"};
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(meta->Append({{"class_id", Sample::Scalar(c, DType::kInt32)},
+                              {"class_name", Sample::FromString(kNames[c])}})
+                    .ok());
+  }
+  ASSERT_TRUE(meta->Flush().ok());
+
+  QueryOptions opts;
+  opts.datasets["classes"] = meta;
+  auto view = RunQuery(ds,
+                       "SELECT d.labels AS label, classes.class_name AS name "
+                       "FROM d JOIN classes ON d.labels = classes.class_id "
+                       "ORDER BY d.labels",
+                       opts);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_TRUE(view->computed());
+  ASSERT_EQ(view->size(), 6u);  // every row matches exactly one class
+  EXPECT_EQ(view->Cell(0, "label")->array().AsScalar(), 0);
+  EXPECT_EQ(view->Cell(0, "name")->str(), "cat");
+  EXPECT_EQ(view->Cell(5, "name")->str(), "bird");
+
+  // WHERE composes with the join.
+  auto cats = RunQuery(ds,
+                       "SELECT d.captions AS c FROM d JOIN classes "
+                       "ON d.labels = classes.class_id "
+                       "WHERE classes.class_name = 'dog'",
+                       opts);
+  ASSERT_TRUE(cats.ok()) << cats.status();
+  EXPECT_EQ(cats->size(), 2u);
+
+  // Errors: unregistered dataset, SELECT *, multiple joins.
+  EXPECT_TRUE(RunQuery(ds,
+                       "SELECT d.labels FROM d JOIN ghost ON d.labels = "
+                       "ghost.x",
+                       opts)
+                  .status()
+                  .IsNotFound());
+  EXPECT_FALSE(RunQuery(ds,
+                        "SELECT * FROM d JOIN classes ON d.labels = "
+                        "classes.class_id",
+                        opts)
+                   .ok());
+}
+
+TEST(QueryTest, ErrorsSurfaceCleanly) {
+  auto ds = MakeDetectionDataset(3);
+  // Unknown tensor.
+  EXPECT_FALSE(RunQuery(ds, "SELECT nope FROM ds WHERE nope = 1").ok());
+  // Unknown function.
+  EXPECT_TRUE(RunQuery(ds, "SELECT FFT(labels) FROM ds")
+                  .status()
+                  .IsNotImplemented());
+  // Aggregate without GROUP BY select list restriction.
+  EXPECT_FALSE(RunQuery(ds, "SELECT * FROM ds GROUP BY labels").ok());
+}
+
+}  // namespace
+}  // namespace dl::tql

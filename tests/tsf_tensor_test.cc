@@ -1,0 +1,495 @@
+// End-to-end tests for Tensor and Dataset over real storage providers:
+// append/read/flush/reopen, compression modes, tiling, updates, sparse
+// writes, re-chunking, rows, groups, links.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/storage.h"
+#include "tsf/dataset.h"
+#include "tsf/tensor.h"
+#include "util/rng.h"
+
+namespace dl::tsf {
+namespace {
+
+storage::StoragePtr Mem() { return std::make_shared<storage::MemoryStore>(); }
+
+Sample Image(uint64_t h, uint64_t w, uint64_t seed) {
+  Rng rng(seed);
+  ByteBuffer data(h * w * 3);
+  uint32_t noise = static_cast<uint32_t>(rng.Next()) | 1;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if ((i & 15) == 0) noise = noise * 1664525u + 1013904223u;
+    data[i] = static_cast<uint8_t>((i / 5 + (noise >> 24)) & 0xff);
+  }
+  return Sample(DType::kUInt8, TensorShape{h, w, 3}, std::move(data));
+}
+
+TEST(TensorTest, CreateAppendReadFlushReopen) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.htype = "image";
+  opts.sample_compression = "image";  // lossless for exact comparison
+  auto tensor = Tensor::Create(store, "images", opts);
+  ASSERT_TRUE(tensor.ok()) << tensor.status();
+
+  std::vector<Sample> originals;
+  for (int i = 0; i < 20; ++i) {
+    originals.push_back(Image(30 + i, 40, i));
+    ASSERT_TRUE((*tensor)->Append(originals.back()).ok());
+  }
+  EXPECT_EQ((*tensor)->NumSamples(), 20u);
+
+  // Reads hit both flushed chunks and the open buffer.
+  for (int i = 0; i < 20; ++i) {
+    auto s = (*tensor)->Read(i);
+    ASSERT_TRUE(s.ok()) << s.status();
+    EXPECT_EQ(s->data, originals[i].data) << i;
+    EXPECT_EQ(*(*tensor)->ShapeAt(i), originals[i].shape);
+  }
+  ASSERT_TRUE((*tensor)->Flush().ok());
+
+  // Reopen from storage: state fully persisted.
+  auto reopened = Tensor::Open(store, "images");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->NumSamples(), 20u);
+  EXPECT_EQ((*reopened)->meta().length, 20u);
+  EXPECT_EQ((*reopened)->meta().htype.kind, HtypeKind::kImage);
+  for (int i : {0, 7, 19}) {
+    EXPECT_EQ((*reopened)->Read(i)->data, originals[i].data);
+  }
+  EXPECT_TRUE((*reopened)->Read(20).status().IsOutOfRange());
+}
+
+TEST(TensorTest, CreateTwiceFails) {
+  auto store = Mem();
+  ASSERT_TRUE(Tensor::Create(store, "t", {}).ok());
+  EXPECT_TRUE(Tensor::Create(store, "t", {}).status().IsAlreadyExists());
+}
+
+TEST(TensorTest, OpenMissingFails) {
+  EXPECT_TRUE(Tensor::Open(Mem(), "nope").status().IsNotFound());
+}
+
+TEST(TensorTest, HtypeValidationRejectsBadSamples) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.htype = "image";
+  auto tensor = Tensor::Create(store, "images", opts);
+  ASSERT_TRUE(tensor.ok());
+  // Wrong ndim.
+  Sample bad1 = Sample::FromVector<uint8_t>({1, 2, 3}, DType::kUInt8);
+  EXPECT_TRUE((*tensor)->Append(bad1).IsInvalidArgument());
+  // Wrong dtype.
+  Sample bad2(DType::kFloat32, TensorShape{2, 2, 3}, ByteBuffer(48));
+  EXPECT_TRUE((*tensor)->Append(bad2).IsInvalidArgument());
+  // Grayscale (alt ndim) accepted.
+  Sample gray(DType::kUInt8, TensorShape{4, 4}, ByteBuffer(16));
+  EXPECT_TRUE((*tensor)->Append(gray).ok());
+}
+
+TEST(TensorTest, ChunkPackingRespectsUpperBound) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.max_chunk_bytes = 4096;
+  opts.sample_compression = "none";
+  auto tensor = Tensor::Create(store, "t", opts);
+  ASSERT_TRUE(tensor.ok());
+  // 1KB samples -> ~4 per chunk.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        (*tensor)
+            ->Append(Sample(DType::kUInt8, TensorShape{1024},
+                            ByteBuffer(1024, static_cast<uint8_t>(i))))
+            .ok());
+  }
+  ASSERT_TRUE((*tensor)->Flush().ok());
+  EXPECT_EQ((*tensor)->chunk_encoder().num_samples(), 20u);
+  EXPECT_EQ((*tensor)->chunk_encoder().num_chunks(), 5u);
+  // Chunk ids are sequential (delta-friendly).
+  const auto& entries = (*tensor)->chunk_encoder().entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].chunk_id, entries[i - 1].chunk_id + 1);
+  }
+}
+
+TEST(TensorTest, LabelsWithChunkCompression) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.htype = "class_label";  // int32 + LZ77 chunk compression by default
+  auto tensor = Tensor::Create(store, "labels", opts);
+  ASSERT_TRUE(tensor.ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        (*tensor)->Append(Sample::Scalar(i % 10, DType::kInt32)).ok());
+  }
+  ASSERT_TRUE((*tensor)->Flush().ok());
+  for (int i : {0, 123, 999}) {
+    EXPECT_EQ((*tensor)->Read(i)->AsInt(), i % 10);
+  }
+}
+
+TEST(TensorTest, OversizedSampleIsTiled) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.htype = "image";
+  opts.sample_compression = "none";
+  opts.max_chunk_bytes = 64 * 1024;  // force tiling of a ~270KB sample
+  auto tensor = Tensor::Create(store, "aerial", opts);
+  ASSERT_TRUE(tensor.ok());
+
+  Sample small = Image(20, 20, 1);
+  Sample big = Image(300, 300, 2);  // 270000 bytes > 64KB
+  ASSERT_TRUE((*tensor)->Append(small).ok());
+  ASSERT_TRUE((*tensor)->Append(big).ok());
+  ASSERT_TRUE((*tensor)->Append(small).ok());
+  ASSERT_TRUE((*tensor)->Flush().ok());
+
+  EXPECT_EQ((*tensor)->tile_encoder().num_tiled_samples(), 1u);
+  EXPECT_TRUE((*tensor)->tile_encoder().IsTiled(1));
+  // Shape encoder reports the real (untiled) shape.
+  EXPECT_EQ(*(*tensor)->ShapeAt(1), big.shape);
+
+  auto got = (*tensor)->Read(1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->shape, big.shape);
+  EXPECT_EQ(got->data, big.data);
+  EXPECT_EQ((*tensor)->Read(0)->data, small.data);
+  EXPECT_EQ((*tensor)->Read(2)->data, small.data);
+
+  // Persisted across reopen.
+  auto reopened = Tensor::Open(store, "aerial");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Read(1)->data, big.data);
+}
+
+TEST(TensorTest, ReadRegionOnTiledSampleFetchesSubset) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.sample_compression = "none";
+  opts.max_chunk_bytes = 32 * 1024;
+  auto tensor = Tensor::Create(store, "t", opts);
+  ASSERT_TRUE(tensor.ok());
+  Sample big = Image(256, 256, 5);  // 196KB -> multiple tiles
+  ASSERT_TRUE((*tensor)->Append(big).ok());
+  ASSERT_TRUE((*tensor)->Flush().ok());
+
+  uint64_t gets_before = store->stats().get_requests.load();
+  auto region = (*tensor)->ReadRegion(0, {10, 20, 0}, {30, 40, 3});
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_EQ(region->shape, (TensorShape{30, 40, 3}));
+  // Verify contents against the original.
+  for (uint64_t y = 0; y < 30; ++y) {
+    for (uint64_t x = 0; x < 40; ++x) {
+      for (uint64_t c = 0; c < 3; ++c) {
+        ASSERT_EQ(region->data[(y * 40 + x) * 3 + c],
+                  big.data[((y + 10) * 256 + (x + 20)) * 3 + c]);
+      }
+    }
+  }
+  // Only a subset of tile chunks was fetched (tiles are ~100x100; the
+  // region touches at most 1 tile + neighbors, not the full grid).
+  uint64_t gets = store->stats().get_requests.load() - gets_before;
+  TileLayout layout = ComputeTileLayout(big.shape, 1, 32 * 1024);
+  EXPECT_LT(gets, layout.num_tiles());
+}
+
+TEST(TensorTest, ReadRegionUntiledCrops) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.sample_compression = "none";
+  auto tensor = Tensor::Create(store, "t", opts);
+  ASSERT_TRUE(tensor.ok());
+  Sample img = Image(50, 60, 9);
+  ASSERT_TRUE((*tensor)->Append(img).ok());
+  auto region = (*tensor)->ReadRegion(0, {5, 6, 1}, {10, 12, 2});
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->shape, (TensorShape{10, 12, 2}));
+  EXPECT_EQ(region->data[0], img.data[(5 * 60 + 6) * 3 + 1]);
+  // Bounds are checked.
+  EXPECT_TRUE(
+      (*tensor)->ReadRegion(0, {45, 0, 0}, {10, 5, 3}).status().IsOutOfRange());
+}
+
+TEST(TensorTest, UpdateRewritesSampleInPlace) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.sample_compression = "none";
+  opts.max_chunk_bytes = 8192;
+  auto tensor = Tensor::Create(store, "t", opts);
+  ASSERT_TRUE(tensor.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*tensor)->Append(Image(10, 10, i)).ok());
+  }
+  ASSERT_TRUE((*tensor)->Flush().ok());
+
+  Sample replacement = Image(12, 8, 99);
+  ASSERT_TRUE((*tensor)->Update(4, replacement).ok());
+  EXPECT_EQ((*tensor)->Read(4)->data, replacement.data);
+  EXPECT_EQ(*(*tensor)->ShapeAt(4), replacement.shape);
+  // Neighbors untouched.
+  EXPECT_EQ((*tensor)->Read(3)->data, Image(10, 10, 3).data);
+  EXPECT_EQ((*tensor)->Read(5)->data, Image(10, 10, 5).data);
+  EXPECT_EQ((*tensor)->NumSamples(), 10u);
+
+  // Update persists across reopen.
+  auto reopened = Tensor::Open(store, "t");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Read(4)->data, replacement.data);
+}
+
+TEST(TensorTest, SparseOutOfBoundsAssignmentPads) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.sample_compression = "none";
+  auto tensor = Tensor::Create(store, "preds", opts);
+  ASSERT_TRUE(tensor.ok());
+  ASSERT_TRUE((*tensor)->Append(Image(5, 5, 0)).ok());
+  // Assign index 4: indices 1..3 become empty samples (§3.5).
+  Sample s = Image(6, 6, 4);
+  ASSERT_TRUE((*tensor)->Update(4, s).ok());
+  EXPECT_EQ((*tensor)->NumSamples(), 5u);
+  EXPECT_TRUE((*tensor)->Read(2)->shape.IsEmptySample());
+  EXPECT_EQ((*tensor)->Read(4)->data, s.data);
+}
+
+TEST(TensorTest, RechunkCompactsFragmentedLayout) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.sample_compression = "none";
+  opts.max_chunk_bytes = 16 * 1024;
+  auto tensor = Tensor::Create(store, "t", opts);
+  ASSERT_TRUE(tensor.ok());
+  // Fragment: many flushes produce many small chunks.
+  std::vector<Sample> originals;
+  for (int i = 0; i < 30; ++i) {
+    originals.push_back(Image(8, 8, i));  // 192B each
+    ASSERT_TRUE((*tensor)->Append(originals.back()).ok());
+    ASSERT_TRUE((*tensor)->Flush().ok());  // one chunk per sample
+  }
+  EXPECT_EQ((*tensor)->chunk_encoder().num_chunks(), 30u);
+
+  auto after = (*tensor)->Rechunk();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*after, 1u);  // 30 * 192B packs into one 16KB chunk
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ((*tensor)->Read(i)->data, originals[i].data) << i;
+  }
+}
+
+TEST(TensorTest, VideoHtypeNeverTiled) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.htype = "video";
+  opts.sample_compression = "none";
+  opts.max_chunk_bytes = 4096;
+  auto tensor = Tensor::Create(store, "clips", opts);
+  ASSERT_TRUE(tensor.ok());
+  // 10 frames of 20x20x3 = 12000 bytes > 4096, but videos stay whole.
+  Sample video(DType::kUInt8, TensorShape{10, 20, 20, 3},
+               ByteBuffer(12000, 7));
+  ASSERT_TRUE((*tensor)->Append(video).ok());
+  ASSERT_TRUE((*tensor)->Flush().ok());
+  EXPECT_EQ((*tensor)->tile_encoder().num_tiled_samples(), 0u);
+  EXPECT_EQ((*tensor)->Read(0)->data, video.data);
+}
+
+TEST(TensorTest, PrecompressedIngestFastPath) {
+  auto store = Mem();
+  TensorOptions opts;
+  opts.htype = "image";
+  opts.sample_compression = "image";
+  auto tensor = Tensor::Create(store, "images", opts);
+  ASSERT_TRUE(tensor.ok());
+  Sample img = Image(32, 32, 3);
+  auto frame = compress::CompressBytes(
+      compress::Compression::kImage, ByteView(img.data),
+      ContextForSample(DType::kUInt8, img.shape));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE((*tensor)->AppendPrecompressed(ByteView(*frame), img.shape).ok());
+  EXPECT_EQ((*tensor)->Read(0)->data, img.data);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, CreateOpenAppendRows) {
+  auto store = Mem();
+  auto ds = Dataset::Create(store);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  TensorOptions img_opts;
+  img_opts.htype = "image";
+  img_opts.sample_compression = "image";
+  ASSERT_TRUE((*ds)->CreateTensor("images", img_opts).ok());
+  TensorOptions lbl_opts;
+  lbl_opts.htype = "class_label";
+  ASSERT_TRUE((*ds)->CreateTensor("labels", lbl_opts).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    std::map<std::string, Sample> row;
+    row["images"] = Image(16, 16, i);
+    row["labels"] = Sample::Scalar(i % 3, DType::kInt32);
+    ASSERT_TRUE((*ds)->Append(row).ok());
+  }
+  EXPECT_EQ((*ds)->NumRows(), 10u);
+  ASSERT_TRUE((*ds)->Flush().ok());
+
+  auto reopened = Dataset::Open(store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->NumRows(), 10u);
+  auto row = (*reopened)->ReadRow(7);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at("images").data, Image(16, 16, 7).data);
+  EXPECT_EQ(row->at("labels").AsInt(), 1);
+  // Hidden sample-id tensor exists but is not listed or in rows.
+  EXPECT_EQ(row->count("_sample_id"), 0u);
+  auto names = (*reopened)->TensorNames();
+  EXPECT_EQ(names.size(), 2u);
+  auto all = (*reopened)->TensorNames(/*include_hidden=*/true);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(DatasetTest, SampleIdsAreUniqueAndStable) {
+  auto store = Mem();
+  auto ds = Dataset::Create(store);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE((*ds)->CreateTensor("x", {}).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        (*ds)->Append({{"x", Sample::Scalar(i, DType::kUInt8)}}).ok());
+  }
+  ASSERT_TRUE((*ds)->Flush().ok());
+  auto ids = (*ds)->GetTensor(Dataset::kSampleIdTensor);
+  ASSERT_TRUE(ids.ok());
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(static_cast<uint64_t>((*ids)->Read(i)->AsDouble()));
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(DatasetTest, MissingCellsBecomeEmpty) {
+  auto ds = Dataset::Create(Mem());
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE((*ds)->CreateTensor("a", {}).ok());
+  ASSERT_TRUE((*ds)->CreateTensor("b", {}).ok());
+  ASSERT_TRUE(
+      (*ds)->Append({{"a", Sample::Scalar(1, DType::kUInt8)}}).ok());
+  auto row = (*ds)->ReadRow(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->at("b").shape.IsEmptySample());
+  // Appending to an unknown tensor is an error.
+  EXPECT_TRUE((*ds)
+                  ->Append({{"zzz", Sample::Scalar(1, DType::kUInt8)}})
+                  .IsNotFound());
+}
+
+TEST(DatasetTest, GroupsAreSyntactic) {
+  auto ds = Dataset::Create(Mem());
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE((*ds)->CreateTensor("frames/left", {}).ok());
+  ASSERT_TRUE((*ds)->CreateTensor("frames/right", {}).ok());
+  ASSERT_TRUE((*ds)->CreateTensor("labels", {}).ok());
+  auto groups = (*ds)->GroupNames();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], "frames");
+  EXPECT_EQ((*ds)->TensorsInGroup("frames").size(), 2u);
+}
+
+TEST(DatasetTest, ReservedAndDuplicateNamesRejected) {
+  auto ds = Dataset::Create(Mem());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE((*ds)->CreateTensor("_secret", {}).status().IsInvalidArgument());
+  EXPECT_TRUE((*ds)->CreateTensor("", {}).status().IsInvalidArgument());
+  ASSERT_TRUE((*ds)->CreateTensor("x", {}).ok());
+  EXPECT_TRUE((*ds)->CreateTensor("x", {}).status().IsAlreadyExists());
+}
+
+TEST(DatasetTest, LinkedTensorsResolve) {
+  auto raw_bucket = Mem();  // "external" storage holding original files
+  ASSERT_TRUE(
+      raw_bucket->Put("imgs/0.bin", ByteView(std::string_view("rawbytes0")))
+          .ok());
+  auto ds = Dataset::Create(Mem());
+  ASSERT_TRUE(ds.ok());
+  TensorOptions opts;
+  opts.htype = "link[image]";
+  ASSERT_TRUE((*ds)->CreateTensor("image_links", opts).ok());
+  ASSERT_TRUE((*ds)->AppendLink("image_links", "s3://imgs/0.bin").ok());
+
+  StoreLinkResolver resolver;
+  resolver.Register("s3", raw_bucket);
+  auto bytes = (*ds)->ReadLinked("image_links", 0, resolver);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  EXPECT_EQ(ByteView(*bytes).ToString(), "rawbytes0");
+  // Unregistered scheme fails cleanly.
+  ASSERT_TRUE((*ds)->AppendLink("image_links", "gcs://imgs/0.bin").ok());
+  EXPECT_TRUE(
+      (*ds)->ReadLinked("image_links", 1, resolver).status().IsNotFound());
+  // Non-link tensors refuse link ops.
+  ASSERT_TRUE((*ds)->CreateTensor("plain", {}).ok());
+  EXPECT_TRUE(
+      (*ds)->AppendLink("plain", "s3://x").IsFailedPrecondition());
+}
+
+TEST(DatasetTest, ProvenanceLogGrows) {
+  auto store = Mem();
+  auto ds = Dataset::Create(store);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE((*ds)->CreateTensor("x", {}).ok());
+  (*ds)->LogProvenance("custom event");
+  ASSERT_TRUE((*ds)->Flush().ok());
+  auto reopened = Dataset::Open(store);
+  ASSERT_TRUE(reopened.ok());
+  const Json& prov = (*reopened)->meta().Get("provenance");
+  ASSERT_GE(prov.size(), 3u);  // created + tensor + custom
+  bool found = false;
+  for (size_t i = 0; i < prov.size(); ++i) {
+    if (prov[i].Get("event").as_string() == "custom event") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DatasetTest, WorksOverPosixAndFaultyStores) {
+  // Posix round trip.
+  std::string dir = std::string("/tmp/dl_ds_test_") + std::to_string(getpid());
+  auto posix = std::make_shared<storage::PosixStore>(dir);
+  auto ds = Dataset::Create(posix);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE((*ds)->CreateTensor("x", {}).ok());
+  ASSERT_TRUE((*ds)->Append({{"x", Sample::Scalar(5, DType::kUInt8)}}).ok());
+  ASSERT_TRUE((*ds)->Flush().ok());
+  auto back = Dataset::Open(posix);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->ReadRow(0)->at("x").AsInt(), 5);
+
+  // Faulty store: operations surface IOError instead of corrupting.
+  auto faulty = std::make_shared<storage::FaultInjectionStore>(
+      std::make_shared<storage::MemoryStore>(), 2);
+  bool saw_error = false;
+  auto ds2 = Dataset::Create(faulty);
+  if (!ds2.ok()) {
+    saw_error = true;
+  } else {
+    auto t = (*ds2)->CreateTensor("x", {});
+    if (!t.ok()) {
+      saw_error = true;
+    } else {
+      for (int i = 0; i < 10 && !saw_error; ++i) {
+        if (!(*ds2)
+                 ->Append({{"x", Sample::Scalar(i, DType::kUInt8)}})
+                 .ok() ||
+            !(*ds2)->Flush().ok()) {
+          saw_error = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_error);
+}
+
+}  // namespace
+}  // namespace dl::tsf

@@ -1,0 +1,231 @@
+// Visualizer tests: htype-driven layout, pyramid construction, rendering
+// with bbox/mask overlays, viewport/zoom economics, PPM output.
+
+#include <gtest/gtest.h>
+
+#include "storage/storage.h"
+#include "tsf/dataset.h"
+#include "viz/visualizer.h"
+
+namespace dl::viz {
+namespace {
+
+using tsf::Dataset;
+using tsf::DType;
+using tsf::Sample;
+using tsf::TensorOptions;
+using tsf::TensorShape;
+
+std::shared_ptr<Dataset> MakeVizDataset() {
+  auto ds = Dataset::Create(std::make_shared<storage::MemoryStore>())
+                .MoveValue();
+  TensorOptions img;
+  img.htype = "image";
+  img.sample_compression = "none";
+  EXPECT_TRUE(ds->CreateTensor("images", img).ok());
+  TensorOptions box;
+  box.htype = "bbox";
+  EXPECT_TRUE(ds->CreateTensor("boxes", box).ok());
+  TensorOptions mask;
+  mask.htype = "binary_mask";
+  EXPECT_TRUE(ds->CreateTensor("mask", mask).ok());
+  TensorOptions lbl;
+  lbl.htype = "class_label";
+  EXPECT_TRUE(ds->CreateTensor("labels", lbl).ok());
+  TensorOptions txt;
+  txt.htype = "text";
+  EXPECT_TRUE(ds->CreateTensor("caption", txt).ok());
+
+  // One 256x256 gray image with a white square at (64..128, 64..128).
+  uint64_t side = 256;
+  ByteBuffer pixels(side * side * 3, 40);
+  for (uint64_t y = 64; y < 128; ++y) {
+    for (uint64_t x = 64; x < 128; ++x) {
+      for (int c = 0; c < 3; ++c) pixels[(y * side + x) * 3 + c] = 230;
+    }
+  }
+  std::map<std::string, Sample> row;
+  row["images"] = Sample(DType::kUInt8, TensorShape{side, side, 3},
+                         std::move(pixels));
+  std::vector<float> box_data = {64, 64, 64, 64};
+  ByteBuffer bb(16);
+  memcpy(bb.data(), box_data.data(), 16);
+  row["boxes"] = Sample(DType::kFloat32, TensorShape{1, 4}, std::move(bb));
+  ByteBuffer mask_data(side * side, 0);
+  for (uint64_t y = 0; y < 32; ++y) {
+    for (uint64_t x = 0; x < 32; ++x) mask_data[y * side + x] = 1;
+  }
+  row["mask"] = Sample(DType::kBool, TensorShape{side, side},
+                       std::move(mask_data));
+  row["labels"] = Sample::Scalar(3, DType::kInt32);
+  row["caption"] = Sample::FromString("a bright square");
+  EXPECT_TRUE(ds->Append(row).ok());
+  EXPECT_TRUE(ds->Flush().ok());
+  return ds;
+}
+
+TEST(LayoutTest, HtypesDriveRoles) {
+  auto ds = MakeVizDataset();
+  LayoutPlan plan = PlanLayout(*ds);
+  ASSERT_EQ(plan.panels.size(), 5u);
+  const Panel* primary = plan.primary();
+  ASSERT_NE(primary, nullptr);
+  EXPECT_EQ(primary->tensor, "images");
+  // The layout lists the primary first (§4.3).
+  EXPECT_EQ(plan.panels[0].tensor, "images");
+  int overlays = 0, sidebars = 0;
+  for (const auto& p : plan.panels) {
+    if (p.role == PanelRole::kOverlay) ++overlays;
+    if (p.role == PanelRole::kSidebar) ++sidebars;
+  }
+  EXPECT_EQ(overlays, 2);  // boxes + mask
+  EXPECT_EQ(sidebars, 2);  // labels + caption
+  // Serializes for the (browser) client.
+  EXPECT_EQ(plan.ToJson().Get("panels").size(), 5u);
+}
+
+TEST(LayoutTest, SequenceGetsPlayerView) {
+  auto ds = Dataset::Create(std::make_shared<storage::MemoryStore>())
+                .MoveValue();
+  TensorOptions seq;
+  seq.htype = "sequence[image]";
+  seq.sample_compression = "none";
+  ASSERT_TRUE(ds->CreateTensor("frames", seq).ok());
+  LayoutPlan plan = PlanLayout(*ds);
+  ASSERT_EQ(plan.panels.size(), 1u);
+  EXPECT_TRUE(plan.panels[0].sequence_view);
+  EXPECT_EQ(plan.panels[0].role, PanelRole::kPrimary);
+}
+
+TEST(RenderTest, BlitsImageWithOverlays) {
+  auto ds = MakeVizDataset();
+  LayoutPlan plan = PlanLayout(*ds);
+  RenderOptions opts;
+  opts.viewport_width = 256;
+  opts.viewport_height = 256;
+  opts.use_pyramid = false;
+  RenderReport report;
+  auto fb = RenderRow(*ds, plan, 0, opts, &report);
+  ASSERT_TRUE(fb.ok()) << fb.status();
+  EXPECT_EQ(fb->width, 256u);
+  // Bright square visible at its location.
+  EXPECT_GT(fb->PixelAt(96, 96)[0], 200);
+  EXPECT_LT(fb->PixelAt(200, 200)[1], 100);
+  // Box outline drawn on the square's border (red-ish).
+  EXPECT_EQ(fb->PixelAt(64, 64)[0], 255);
+  EXPECT_EQ(report.boxes_drawn, 1u);
+  // Mask tint applied in the top-left corner.
+  EXPECT_TRUE(report.mask_overlaid);
+  EXPECT_GT(fb->PixelAt(5, 5)[0], 40 + 60);
+  // Labels collected (caption + class label, in layout order).
+  ASSERT_EQ(report.label_texts.size(), 2u);
+  bool found_caption = false;
+  for (const auto& t : report.label_texts) {
+    if (t.find("a bright square") != std::string::npos) found_caption = true;
+  }
+  EXPECT_TRUE(found_caption);
+}
+
+TEST(RenderTest, ViewportCropFetchesWindowOnly) {
+  auto ds = MakeVizDataset();
+  LayoutPlan plan = PlanLayout(*ds);
+  RenderOptions opts;
+  opts.viewport_width = 64;
+  opts.viewport_height = 64;
+  opts.src_x = 64;
+  opts.src_y = 64;
+  opts.src_w = 64;
+  opts.src_h = 64;
+  opts.use_pyramid = false;
+  auto fb = RenderRow(*ds, plan, 0, opts, nullptr);
+  ASSERT_TRUE(fb.ok()) << fb.status();
+  // The window covers exactly the bright square -> all bright.
+  EXPECT_GT(fb->PixelAt(32, 32)[0], 200);
+  EXPECT_GT(fb->PixelAt(2, 2)[0], 200);
+}
+
+TEST(PyramidTest, BuildAndUseForZoomedOutView) {
+  auto ds = MakeVizDataset();
+  auto created = BuildPyramid(*ds, "images", 2);
+  ASSERT_TRUE(created.ok()) << created.status();
+  ASSERT_EQ(created->size(), 2u);
+  EXPECT_EQ((*created)[0], PyramidTensorName("images", 1));
+  // Pyramid tensors exist, are hidden, and have halved shapes.
+  auto l1 = tsf::Tensor::Open(ds->store(), (*created)[0]);
+  ASSERT_TRUE(l1.ok());
+  EXPECT_TRUE((*l1)->meta().hidden);
+  EXPECT_EQ(*(*l1)->ShapeAt(0), (TensorShape{128, 128, 3}));
+  auto l2 = tsf::Tensor::Open(ds->store(), (*created)[1]);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(*(*l2)->ShapeAt(0), (TensorShape{64, 64, 3}));
+
+  // A small viewport over the whole image picks a pyramid level.
+  LayoutPlan plan = PlanLayout(*ds);
+  RenderOptions opts;
+  opts.viewport_width = 64;
+  opts.viewport_height = 64;
+  RenderReport report;
+  auto fb = RenderRow(*ds, plan, 0, opts, &report);
+  ASSERT_TRUE(fb.ok()) << fb.status();
+  EXPECT_EQ(report.pyramid_level_used, 2);
+  // Bright square still visible at the scaled location.
+  EXPECT_GT(fb->PixelAt(24, 24)[0], 150);
+}
+
+TEST(RenderTest, SequenceViewShowsRequestedStep) {
+  auto ds = Dataset::Create(std::make_shared<storage::MemoryStore>())
+                .MoveValue();
+  TensorOptions seq;
+  seq.htype = "sequence[image]";
+  seq.sample_compression = "none";
+  ASSERT_TRUE(ds->CreateTensor("frames", seq).ok());
+  // 3-step sequence, step s filled with value 50*s.
+  uint64_t steps = 3, side = 16;
+  ByteBuffer data(steps * side * side * 3);
+  for (uint64_t s = 0; s < steps; ++s) {
+    std::fill(data.begin() + s * side * side * 3,
+              data.begin() + (s + 1) * side * side * 3,
+              static_cast<uint8_t>(50 * s + 10));
+  }
+  ASSERT_TRUE(ds->Append({{"frames",
+                           Sample(DType::kUInt8,
+                                  TensorShape{steps, side, side, 3},
+                                  std::move(data))}})
+                  .ok());
+  ASSERT_TRUE(ds->Flush().ok());
+  LayoutPlan plan = PlanLayout(*ds);
+  RenderOptions opts;
+  opts.viewport_width = 16;
+  opts.viewport_height = 16;
+  opts.sequence_position = 2;
+  auto fb = RenderRow(*ds, plan, 0, opts, nullptr);
+  ASSERT_TRUE(fb.ok()) << fb.status();
+  EXPECT_EQ(fb->PixelAt(8, 8)[0], 110);  // 50*2+10
+}
+
+TEST(PpmTest, EncodesHeaderAndPixels) {
+  Framebuffer fb;
+  fb.width = 2;
+  fb.height = 1;
+  fb.rgba = {255, 0, 0, 255, 0, 255, 0, 255};
+  ByteBuffer ppm = ToPpm(fb);
+  std::string text = ByteView(ppm).ToString();
+  EXPECT_EQ(text.substr(0, 3), "P6\n");
+  EXPECT_NE(text.find("2 1"), std::string::npos);
+  // 6 pixel bytes at the end: R,0,0, 0,G,0.
+  ASSERT_GE(ppm.size(), 6u);
+  EXPECT_EQ(ppm[ppm.size() - 6], 255);
+  EXPECT_EQ(ppm[ppm.size() - 2], 255);
+}
+
+TEST(PyramidTest, RejectsNonImageTensor) {
+  auto ds = Dataset::Create(std::make_shared<storage::MemoryStore>())
+                .MoveValue();
+  TensorOptions lbl;
+  lbl.htype = "class_label";
+  ASSERT_TRUE(ds->CreateTensor("labels", lbl).ok());
+  EXPECT_TRUE(BuildPyramid(*ds, "labels", 1).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace dl::viz
