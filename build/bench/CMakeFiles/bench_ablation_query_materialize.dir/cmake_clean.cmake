@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_query_materialize.dir/bench_ablation_query_materialize.cc.o"
+  "CMakeFiles/bench_ablation_query_materialize.dir/bench_ablation_query_materialize.cc.o.d"
+  "bench_ablation_query_materialize"
+  "bench_ablation_query_materialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_query_materialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rechunk.dir/bench_ablation_rechunk.cc.o"
+  "CMakeFiles/bench_ablation_rechunk.dir/bench_ablation_rechunk.cc.o.d"
+  "bench_ablation_rechunk"
+  "bench_ablation_rechunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rechunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_distributed_clip.dir/bench_fig10_distributed_clip.cc.o"
+  "CMakeFiles/bench_fig10_distributed_clip.dir/bench_fig10_distributed_clip.cc.o.d"
+  "bench_fig10_distributed_clip"
+  "bench_fig10_distributed_clip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_distributed_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

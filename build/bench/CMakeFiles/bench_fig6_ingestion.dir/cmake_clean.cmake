@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ingestion.dir/bench_fig6_ingestion.cc.o"
+  "CMakeFiles/bench_fig6_ingestion.dir/bench_fig6_ingestion.cc.o.d"
+  "bench_fig6_ingestion"
+  "bench_fig6_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_local_loader.dir/bench_fig7_local_loader.cc.o"
+  "CMakeFiles/bench_fig7_local_loader.dir/bench_fig7_local_loader.cc.o.d"
+  "bench_fig7_local_loader"
+  "bench_fig7_local_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_local_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_local_loader.
+# This may be replaced when dependencies are built.

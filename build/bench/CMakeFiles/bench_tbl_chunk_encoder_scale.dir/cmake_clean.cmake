@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_chunk_encoder_scale.dir/bench_tbl_chunk_encoder_scale.cc.o"
+  "CMakeFiles/bench_tbl_chunk_encoder_scale.dir/bench_tbl_chunk_encoder_scale.cc.o.d"
+  "bench_tbl_chunk_encoder_scale"
+  "bench_tbl_chunk_encoder_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_chunk_encoder_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_training.dir/cloud_training.cpp.o"
+  "CMakeFiles/cloud_training.dir/cloud_training.cpp.o.d"
+  "cloud_training"
+  "cloud_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

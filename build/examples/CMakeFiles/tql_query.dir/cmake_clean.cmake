@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_query.dir/tql_query.cpp.o"
+  "CMakeFiles/tql_query.dir/tql_query.cpp.o.d"
+  "tql_query"
+  "tql_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/beton.cc" "src/CMakeFiles/dl_baselines.dir/baselines/beton.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/beton.cc.o.d"
+  "/root/repo/src/baselines/chunk_grid.cc" "src/CMakeFiles/dl_baselines.dir/baselines/chunk_grid.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/chunk_grid.cc.o.d"
+  "/root/repo/src/baselines/folder.cc" "src/CMakeFiles/dl_baselines.dir/baselines/folder.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/folder.cc.o.d"
+  "/root/repo/src/baselines/format.cc" "src/CMakeFiles/dl_baselines.dir/baselines/format.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/format.cc.o.d"
+  "/root/repo/src/baselines/framed_shards.cc" "src/CMakeFiles/dl_baselines.dir/baselines/framed_shards.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/framed_shards.cc.o.d"
+  "/root/repo/src/baselines/loader_engine.cc" "src/CMakeFiles/dl_baselines.dir/baselines/loader_engine.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/loader_engine.cc.o.d"
+  "/root/repo/src/baselines/parquet_like.cc" "src/CMakeFiles/dl_baselines.dir/baselines/parquet_like.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/parquet_like.cc.o.d"
+  "/root/repo/src/baselines/tar.cc" "src/CMakeFiles/dl_baselines.dir/baselines/tar.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/tar.cc.o.d"
+  "/root/repo/src/baselines/webdataset.cc" "src/CMakeFiles/dl_baselines.dir/baselines/webdataset.cc.o" "gcc" "src/CMakeFiles/dl_baselines.dir/baselines/webdataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

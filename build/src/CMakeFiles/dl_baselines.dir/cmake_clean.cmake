@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_baselines.dir/baselines/beton.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/beton.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/chunk_grid.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/chunk_grid.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/folder.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/folder.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/format.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/format.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/framed_shards.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/framed_shards.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/loader_engine.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/loader_engine.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/parquet_like.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/parquet_like.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/tar.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/tar.cc.o.d"
+  "CMakeFiles/dl_baselines.dir/baselines/webdataset.cc.o"
+  "CMakeFiles/dl_baselines.dir/baselines/webdataset.cc.o.d"
+  "libdl_baselines.a"
+  "libdl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/dl_compress.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/dl_compress.dir/compress/codec.cc.o.d"
+  "/root/repo/src/compress/image_codec.cc" "src/CMakeFiles/dl_compress.dir/compress/image_codec.cc.o" "gcc" "src/CMakeFiles/dl_compress.dir/compress/image_codec.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/CMakeFiles/dl_compress.dir/compress/lz77.cc.o" "gcc" "src/CMakeFiles/dl_compress.dir/compress/lz77.cc.o.d"
+  "/root/repo/src/compress/simple_codecs.cc" "src/CMakeFiles/dl_compress.dir/compress/simple_codecs.cc.o" "gcc" "src/CMakeFiles/dl_compress.dir/compress/simple_codecs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

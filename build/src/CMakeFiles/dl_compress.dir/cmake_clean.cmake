@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_compress.dir/compress/codec.cc.o"
+  "CMakeFiles/dl_compress.dir/compress/codec.cc.o.d"
+  "CMakeFiles/dl_compress.dir/compress/image_codec.cc.o"
+  "CMakeFiles/dl_compress.dir/compress/image_codec.cc.o.d"
+  "CMakeFiles/dl_compress.dir/compress/lz77.cc.o"
+  "CMakeFiles/dl_compress.dir/compress/lz77.cc.o.d"
+  "CMakeFiles/dl_compress.dir/compress/simple_codecs.cc.o"
+  "CMakeFiles/dl_compress.dir/compress/simple_codecs.cc.o.d"
+  "libdl_compress.a"
+  "libdl_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

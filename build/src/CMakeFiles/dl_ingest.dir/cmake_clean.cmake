@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_ingest.dir/ingest/connectors.cc.o"
+  "CMakeFiles/dl_ingest.dir/ingest/connectors.cc.o.d"
+  "CMakeFiles/dl_ingest.dir/ingest/pipeline.cc.o"
+  "CMakeFiles/dl_ingest.dir/ingest/pipeline.cc.o.d"
+  "libdl_ingest.a"
+  "libdl_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

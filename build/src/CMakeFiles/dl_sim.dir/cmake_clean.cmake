@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_sim.dir/sim/gpu_model.cc.o"
+  "CMakeFiles/dl_sim.dir/sim/gpu_model.cc.o.d"
+  "CMakeFiles/dl_sim.dir/sim/network_model.cc.o"
+  "CMakeFiles/dl_sim.dir/sim/network_model.cc.o.d"
+  "CMakeFiles/dl_sim.dir/sim/workload.cc.o"
+  "CMakeFiles/dl_sim.dir/sim/workload.cc.o.d"
+  "libdl_sim.a"
+  "libdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

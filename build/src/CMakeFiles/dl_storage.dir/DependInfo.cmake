@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/layered_store.cc" "src/CMakeFiles/dl_storage.dir/storage/layered_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/layered_store.cc.o.d"
+  "/root/repo/src/storage/memory_store.cc" "src/CMakeFiles/dl_storage.dir/storage/memory_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/memory_store.cc.o.d"
+  "/root/repo/src/storage/posix_store.cc" "src/CMakeFiles/dl_storage.dir/storage/posix_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/posix_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_storage.dir/storage/layered_store.cc.o"
+  "CMakeFiles/dl_storage.dir/storage/layered_store.cc.o.d"
+  "CMakeFiles/dl_storage.dir/storage/memory_store.cc.o"
+  "CMakeFiles/dl_storage.dir/storage/memory_store.cc.o.d"
+  "CMakeFiles/dl_storage.dir/storage/posix_store.cc.o"
+  "CMakeFiles/dl_storage.dir/storage/posix_store.cc.o.d"
+  "libdl_storage.a"
+  "libdl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

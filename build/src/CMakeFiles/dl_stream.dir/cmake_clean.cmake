@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_stream.dir/stream/dataloader.cc.o"
+  "CMakeFiles/dl_stream.dir/stream/dataloader.cc.o.d"
+  "libdl_stream.a"
+  "libdl_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

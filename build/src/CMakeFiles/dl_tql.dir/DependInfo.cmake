@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tql/executor.cc" "src/CMakeFiles/dl_tql.dir/tql/executor.cc.o" "gcc" "src/CMakeFiles/dl_tql.dir/tql/executor.cc.o.d"
+  "/root/repo/src/tql/lexer.cc" "src/CMakeFiles/dl_tql.dir/tql/lexer.cc.o" "gcc" "src/CMakeFiles/dl_tql.dir/tql/lexer.cc.o.d"
+  "/root/repo/src/tql/parser.cc" "src/CMakeFiles/dl_tql.dir/tql/parser.cc.o" "gcc" "src/CMakeFiles/dl_tql.dir/tql/parser.cc.o.d"
+  "/root/repo/src/tql/value.cc" "src/CMakeFiles/dl_tql.dir/tql/value.cc.o" "gcc" "src/CMakeFiles/dl_tql.dir/tql/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_tsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_version.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

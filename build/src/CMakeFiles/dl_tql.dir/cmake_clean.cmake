@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_tql.dir/tql/executor.cc.o"
+  "CMakeFiles/dl_tql.dir/tql/executor.cc.o.d"
+  "CMakeFiles/dl_tql.dir/tql/lexer.cc.o"
+  "CMakeFiles/dl_tql.dir/tql/lexer.cc.o.d"
+  "CMakeFiles/dl_tql.dir/tql/parser.cc.o"
+  "CMakeFiles/dl_tql.dir/tql/parser.cc.o.d"
+  "CMakeFiles/dl_tql.dir/tql/value.cc.o"
+  "CMakeFiles/dl_tql.dir/tql/value.cc.o.d"
+  "libdl_tql.a"
+  "libdl_tql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_tql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

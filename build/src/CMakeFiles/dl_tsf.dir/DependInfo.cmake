@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsf/chunk.cc" "src/CMakeFiles/dl_tsf.dir/tsf/chunk.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/chunk.cc.o.d"
+  "/root/repo/src/tsf/chunk_encoder.cc" "src/CMakeFiles/dl_tsf.dir/tsf/chunk_encoder.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/chunk_encoder.cc.o.d"
+  "/root/repo/src/tsf/dataset.cc" "src/CMakeFiles/dl_tsf.dir/tsf/dataset.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/dataset.cc.o.d"
+  "/root/repo/src/tsf/dtype.cc" "src/CMakeFiles/dl_tsf.dir/tsf/dtype.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/dtype.cc.o.d"
+  "/root/repo/src/tsf/htype.cc" "src/CMakeFiles/dl_tsf.dir/tsf/htype.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/htype.cc.o.d"
+  "/root/repo/src/tsf/shape.cc" "src/CMakeFiles/dl_tsf.dir/tsf/shape.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/shape.cc.o.d"
+  "/root/repo/src/tsf/shape_encoder.cc" "src/CMakeFiles/dl_tsf.dir/tsf/shape_encoder.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/shape_encoder.cc.o.d"
+  "/root/repo/src/tsf/tensor.cc" "src/CMakeFiles/dl_tsf.dir/tsf/tensor.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/tensor.cc.o.d"
+  "/root/repo/src/tsf/tensor_meta.cc" "src/CMakeFiles/dl_tsf.dir/tsf/tensor_meta.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/tensor_meta.cc.o.d"
+  "/root/repo/src/tsf/tile_encoder.cc" "src/CMakeFiles/dl_tsf.dir/tsf/tile_encoder.cc.o" "gcc" "src/CMakeFiles/dl_tsf.dir/tsf/tile_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_tsf.dir/tsf/chunk.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/chunk.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/chunk_encoder.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/chunk_encoder.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/dataset.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/dataset.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/dtype.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/dtype.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/htype.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/htype.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/shape.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/shape.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/shape_encoder.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/shape_encoder.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/tensor.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/tensor.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/tensor_meta.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/tensor_meta.cc.o.d"
+  "CMakeFiles/dl_tsf.dir/tsf/tile_encoder.cc.o"
+  "CMakeFiles/dl_tsf.dir/tsf/tile_encoder.cc.o.d"
+  "libdl_tsf.a"
+  "libdl_tsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_tsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_util.dir/util/coding.cc.o"
+  "CMakeFiles/dl_util.dir/util/coding.cc.o.d"
+  "CMakeFiles/dl_util.dir/util/crc32.cc.o"
+  "CMakeFiles/dl_util.dir/util/crc32.cc.o.d"
+  "CMakeFiles/dl_util.dir/util/json.cc.o"
+  "CMakeFiles/dl_util.dir/util/json.cc.o.d"
+  "CMakeFiles/dl_util.dir/util/status.cc.o"
+  "CMakeFiles/dl_util.dir/util/status.cc.o.d"
+  "CMakeFiles/dl_util.dir/util/string_util.cc.o"
+  "CMakeFiles/dl_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/dl_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/dl_util.dir/util/thread_pool.cc.o.d"
+  "libdl_util.a"
+  "libdl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/version/branch_lock.cc" "src/CMakeFiles/dl_version.dir/version/branch_lock.cc.o" "gcc" "src/CMakeFiles/dl_version.dir/version/branch_lock.cc.o.d"
+  "/root/repo/src/version/version_control.cc" "src/CMakeFiles/dl_version.dir/version/version_control.cc.o" "gcc" "src/CMakeFiles/dl_version.dir/version/version_control.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_tsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dl_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_version.dir/version/branch_lock.cc.o"
+  "CMakeFiles/dl_version.dir/version/branch_lock.cc.o.d"
+  "CMakeFiles/dl_version.dir/version/version_control.cc.o"
+  "CMakeFiles/dl_version.dir/version/version_control.cc.o.d"
+  "libdl_version.a"
+  "libdl_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

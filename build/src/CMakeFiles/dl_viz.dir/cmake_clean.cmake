@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_viz.dir/viz/visualizer.cc.o"
+  "CMakeFiles/dl_viz.dir/viz/visualizer.cc.o.d"
+  "libdl_viz.a"
+  "libdl_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

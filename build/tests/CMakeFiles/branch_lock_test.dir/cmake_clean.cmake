@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_lock_test.dir/branch_lock_test.cc.o"
+  "CMakeFiles/branch_lock_test.dir/branch_lock_test.cc.o.d"
+  "branch_lock_test"
+  "branch_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

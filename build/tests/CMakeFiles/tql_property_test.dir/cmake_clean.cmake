@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_property_test.dir/tql_property_test.cc.o"
+  "CMakeFiles/tql_property_test.dir/tql_property_test.cc.o.d"
+  "tql_property_test"
+  "tql_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

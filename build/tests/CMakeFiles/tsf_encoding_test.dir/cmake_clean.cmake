@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_encoding_test.dir/tsf_encoding_test.cc.o"
+  "CMakeFiles/tsf_encoding_test.dir/tsf_encoding_test.cc.o.d"
+  "tsf_encoding_test"
+  "tsf_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

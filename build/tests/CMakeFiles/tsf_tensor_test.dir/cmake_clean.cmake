@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_tensor_test.dir/tsf_tensor_test.cc.o"
+  "CMakeFiles/tsf_tensor_test.dir/tsf_tensor_test.cc.o.d"
+  "tsf_tensor_test"
+  "tsf_tensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
