@@ -74,16 +74,19 @@ inline std::string PerSec(double v) { return Fmt("%.0f", v); }
 
 /// Builds a Deep Lake dataset (images + labels) from a workload generator.
 /// `compression` "jpeg" stores lossy frames (Fig. 7/8 datasets), "none"
-/// stores raw arrays (Fig. 6).
+/// stores raw arrays (Fig. 6). `max_chunk_bytes` 0 keeps the library
+/// default; a small cap forces many chunks (= many storage ops per epoch).
 inline Status BuildTsfDataset(storage::StoragePtr store,
                               const sim::WorkloadGenerator& gen, int n,
-                              const std::string& compression) {
+                              const std::string& compression,
+                              uint64_t max_chunk_bytes = 0) {
   DeepLake::OpenOptions oopts;
   oopts.with_version_control = false;  // benches measure the format alone
   DL_ASSIGN_OR_RETURN(auto lake, DeepLake::Open(store, oopts));
   tsf::TensorOptions img;
   img.htype = "image";
   img.sample_compression = compression;
+  if (max_chunk_bytes > 0) img.max_chunk_bytes = max_chunk_bytes;
   DL_RETURN_IF_ERROR(lake->CreateTensor("images", img).status());
   tsf::TensorOptions lbl;
   lbl.htype = "class_label";

@@ -206,17 +206,25 @@ bench/CMakeFiles/bench_fig8_remote_streaming.dir/bench_fig8_remote_streaming.cc.
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/status.h \
  /root/repo/src/storage/storage.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/bench/bench_util.h \
- /root/repo/src/core/deeplake.h /root/repo/src/stream/dataloader.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/rng.h \
+ /root/repo/bench/bench_util.h /root/repo/src/core/deeplake.h \
+ /root/repo/src/stream/dataloader.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -224,14 +232,6 @@ bench/CMakeFiles/bench_fig8_remote_streaming.dir/bench_fig8_remote_streaming.cc.
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/tql/executor.h /root/repo/src/tql/ast.h \
  /root/repo/src/tql/value.h /root/repo/src/tsf/sample.h \
  /root/repo/src/tsf/dtype.h /root/repo/src/tsf/shape.h \
@@ -241,10 +241,10 @@ bench/CMakeFiles/bench_fig8_remote_streaming.dir/bench_fig8_remote_streaming.cc.
  /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
  /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
  /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
- /root/repo/src/util/rng.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/version/branch_lock.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
+ /root/repo/src/version/branch_lock.h \
  /root/repo/src/version/version_control.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/viz/visualizer.h \

@@ -224,12 +224,12 @@ src/CMakeFiles/dl_ingest.dir/ingest/connectors.cc.o: \
  /root/repo/src/util/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /root/repo/src/util/status.h /root/repo/src/tsf/tensor.h \
- /root/repo/src/tsf/chunk.h /root/repo/src/compress/codec.h \
- /root/repo/src/tsf/sample.h /root/repo/src/tsf/dtype.h \
- /root/repo/src/tsf/shape.h /root/repo/src/util/coding.h \
- /root/repo/src/util/macros.h /root/repo/src/tsf/chunk_encoder.h \
- /root/repo/src/tsf/shape_encoder.h /root/repo/src/tsf/tensor_meta.h \
- /root/repo/src/tsf/htype.h /root/repo/src/util/json.h \
- /root/repo/src/tsf/tile_encoder.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/status.h /root/repo/src/util/rng.h \
+ /root/repo/src/tsf/tensor.h /root/repo/src/tsf/chunk.h \
+ /root/repo/src/compress/codec.h /root/repo/src/tsf/sample.h \
+ /root/repo/src/tsf/dtype.h /root/repo/src/tsf/shape.h \
+ /root/repo/src/util/coding.h /root/repo/src/util/macros.h \
+ /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
+ /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
+ /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
  /root/repo/src/util/string_util.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/storage/layered_store.cc" "src/CMakeFiles/dl_storage.dir/storage/layered_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/layered_store.cc.o.d"
   "/root/repo/src/storage/memory_store.cc" "src/CMakeFiles/dl_storage.dir/storage/memory_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/memory_store.cc.o.d"
   "/root/repo/src/storage/posix_store.cc" "src/CMakeFiles/dl_storage.dir/storage/posix_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/posix_store.cc.o.d"
+  "/root/repo/src/storage/retrying_store.cc" "src/CMakeFiles/dl_storage.dir/storage/retrying_store.cc.o" "gcc" "src/CMakeFiles/dl_storage.dir/storage/retrying_store.cc.o.d"
   )
 
 # Targets to which this target links.

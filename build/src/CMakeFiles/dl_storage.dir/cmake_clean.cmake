@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dl_storage.dir/storage/memory_store.cc.o.d"
   "CMakeFiles/dl_storage.dir/storage/posix_store.cc.o"
   "CMakeFiles/dl_storage.dir/storage/posix_store.cc.o.d"
+  "CMakeFiles/dl_storage.dir/storage/retrying_store.cc.o"
+  "CMakeFiles/dl_storage.dir/storage/retrying_store.cc.o.d"
   "libdl_storage.a"
   "libdl_storage.pdb"
 )

@@ -232,12 +232,12 @@ src/CMakeFiles/dl_stream.dir/stream/dataloader.cc.o: \
  /root/repo/src/util/coding.h /root/repo/src/util/macros.h \
  /root/repo/src/tsf/dataset.h /root/repo/src/storage/storage.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/tsf/tensor.h \
- /root/repo/src/tsf/chunk.h /root/repo/src/compress/codec.h \
- /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
- /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
- /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
- /root/repo/src/util/rng.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/util/rng.h \
+ /root/repo/src/tsf/tensor.h /root/repo/src/tsf/chunk.h \
+ /root/repo/src/compress/codec.h /root/repo/src/tsf/chunk_encoder.h \
+ /root/repo/src/tsf/shape_encoder.h /root/repo/src/tsf/tensor_meta.h \
+ /root/repo/src/tsf/htype.h /root/repo/src/util/json.h \
+ /root/repo/src/tsf/tile_encoder.h /root/repo/src/util/thread_pool.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /usr/include/c++/12/algorithm \

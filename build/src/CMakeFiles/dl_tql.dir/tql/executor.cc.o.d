@@ -224,12 +224,12 @@ src/CMakeFiles/dl_tql.dir/tql/executor.cc.o: \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/tsf/tensor.h \
- /root/repo/src/tsf/chunk.h /root/repo/src/compress/codec.h \
- /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
- /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
- /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/rng.h \
+ /root/repo/src/tsf/tensor.h /root/repo/src/tsf/chunk.h \
+ /root/repo/src/compress/codec.h /root/repo/src/tsf/chunk_encoder.h \
+ /root/repo/src/tsf/shape_encoder.h /root/repo/src/tsf/tensor_meta.h \
+ /root/repo/src/tsf/htype.h /root/repo/src/util/json.h \
+ /root/repo/src/tsf/tile_encoder.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

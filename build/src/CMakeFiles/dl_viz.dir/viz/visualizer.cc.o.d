@@ -203,7 +203,16 @@ src/CMakeFiles/dl_viz.dir/viz/visualizer.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/storage/storage.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/list \
+ /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
@@ -213,20 +222,15 @@ src/CMakeFiles/dl_viz.dir/viz/visualizer.cc.o: \
  /root/repo/src/util/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/util/status.h /root/repo/src/tsf/tensor.h \
- /root/repo/src/tsf/chunk.h /root/repo/src/compress/codec.h \
- /root/repo/src/tsf/sample.h /root/repo/src/tsf/dtype.h \
- /root/repo/src/tsf/shape.h /root/repo/src/util/coding.h \
- /root/repo/src/util/macros.h /root/repo/src/tsf/chunk_encoder.h \
- /root/repo/src/tsf/shape_encoder.h /root/repo/src/tsf/tensor_meta.h \
- /root/repo/src/tsf/htype.h /root/repo/src/util/json.h \
- /root/repo/src/tsf/tile_encoder.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/status.h /root/repo/src/util/rng.h \
+ /root/repo/src/tsf/tensor.h /root/repo/src/tsf/chunk.h \
+ /root/repo/src/compress/codec.h /root/repo/src/tsf/sample.h \
+ /root/repo/src/tsf/dtype.h /root/repo/src/tsf/shape.h \
+ /root/repo/src/util/coding.h /root/repo/src/util/macros.h \
+ /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
+ /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
+ /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/util/string_util.h

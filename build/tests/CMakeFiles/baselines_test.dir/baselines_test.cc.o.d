@@ -300,4 +300,4 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/baselines/tar.h
+ /root/repo/src/util/rng.h /root/repo/src/baselines/tar.h

@@ -299,10 +299,10 @@ tests/CMakeFiles/branch_lock_test.dir/branch_lock_test.cc.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/bytes.h /usr/include/c++/12/cstring \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/clock.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

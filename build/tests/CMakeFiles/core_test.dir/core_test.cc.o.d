@@ -299,7 +299,8 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/bytes.h \
  /usr/include/c++/12/cstring /root/repo/src/util/result.h \
- /root/repo/src/util/status.h /root/repo/src/stream/dataloader.h \
+ /root/repo/src/util/status.h /root/repo/src/util/rng.h \
+ /root/repo/src/stream/dataloader.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -316,9 +317,8 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
  /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
  /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
- /root/repo/src/util/rng.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
- /root/repo/src/version/branch_lock.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/version/branch_lock.h \
  /root/repo/src/version/version_control.h /root/repo/src/viz/visualizer.h \
  /root/repo/src/sim/workload.h

@@ -308,6 +308,7 @@ tests/CMakeFiles/sim_test.dir/sim_test.cc.o: /root/repo/tests/sim_test.cc \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/util/bytes.h /usr/include/c++/12/cstring \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/workload.h
+ /root/repo/src/util/rng.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/sim/workload.h

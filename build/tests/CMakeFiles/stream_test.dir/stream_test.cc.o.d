@@ -295,16 +295,16 @@ tests/CMakeFiles/stream_test.dir/stream_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/sim/network_model.h /root/repo/src/storage/storage.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /root/repo/src/sim/network_model.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/bytes.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/storage.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/util/bytes.h \
  /usr/include/c++/12/cstring /root/repo/src/util/result.h \
- /root/repo/src/util/status.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/util/status.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -320,5 +320,4 @@ tests/CMakeFiles/stream_test.dir/stream_test.cc.o: \
  /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
  /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
  /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
- /root/repo/src/util/rng.h /root/repo/src/util/clock.h \
- /usr/include/c++/12/chrono
+ /root/repo/src/util/clock.h /usr/include/c++/12/chrono

@@ -299,12 +299,12 @@ tests/CMakeFiles/viz_test.dir/viz_test.cc.o: /root/repo/tests/viz_test.cc \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/bytes.h /usr/include/c++/12/cstring \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/tsf/dataset.h /root/repo/src/tsf/tensor.h \
- /root/repo/src/tsf/chunk.h /root/repo/src/compress/codec.h \
- /root/repo/src/tsf/sample.h /root/repo/src/tsf/dtype.h \
- /root/repo/src/tsf/shape.h /root/repo/src/util/coding.h \
- /root/repo/src/util/macros.h /root/repo/src/tsf/chunk_encoder.h \
- /root/repo/src/tsf/shape_encoder.h /root/repo/src/tsf/tensor_meta.h \
- /root/repo/src/tsf/htype.h /root/repo/src/util/json.h \
- /root/repo/src/tsf/tile_encoder.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/rng.h /root/repo/src/tsf/dataset.h \
+ /root/repo/src/tsf/tensor.h /root/repo/src/tsf/chunk.h \
+ /root/repo/src/compress/codec.h /root/repo/src/tsf/sample.h \
+ /root/repo/src/tsf/dtype.h /root/repo/src/tsf/shape.h \
+ /root/repo/src/util/coding.h /root/repo/src/util/macros.h \
+ /root/repo/src/tsf/chunk_encoder.h /root/repo/src/tsf/shape_encoder.h \
+ /root/repo/src/tsf/tensor_meta.h /root/repo/src/tsf/htype.h \
+ /root/repo/src/util/json.h /root/repo/src/tsf/tile_encoder.h \
  /root/repo/src/viz/visualizer.h

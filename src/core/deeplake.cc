@@ -8,6 +8,10 @@ Result<std::shared_ptr<DeepLake>> DeepLake::Open(storage::StoragePtr storage,
                                                  OpenOptions options) {
   auto lake = std::shared_ptr<DeepLake>(new DeepLake());
   lake->base_ = std::move(storage);
+  if (options.retry_transient_errors) {
+    lake->base_ = std::make_shared<storage::RetryingStore>(
+        lake->base_, options.retry_policy);
+  }
   storage::StoragePtr data_store = lake->base_;
   if (options.with_version_control) {
     DL_ASSIGN_OR_RETURN(lake->vc_,

@@ -38,6 +38,14 @@ class DeepLake {
     /// lives directly at the root (no commits/branches).
     bool with_version_control = true;
     std::string description;
+    /// Wrap the storage in a storage::RetryingStore before anything else
+    /// touches it, so transient backend faults (timeouts, 5xx — anything
+    /// Status::IsRetryable) are absorbed with capped exponential backoff
+    /// instead of failing opens, commits and epoch streams. The retry layer
+    /// sits at the bottom of the decorator chain (cache → prefix → retry →
+    /// base); see DESIGN.md §6.
+    bool retry_transient_errors = false;
+    storage::RetryPolicy retry_policy;
   };
 
   /// Opens (or creates) a Deep Lake at the storage root.

@@ -54,7 +54,22 @@ SimulatedObjectStore::SimulatedObjectStore(storage::StoragePtr base,
                                            NetworkModel model)
     : base_(std::move(base)),
       model_(std::move(model)),
-      slots_(model_.max_concurrent_requests) {}
+      slots_(model_.max_concurrent_requests),
+      fault_rng_(model_.failure_seed) {}
+
+Status SimulatedObjectStore::MaybeInjectTransientFault() {
+  if (model_.transient_failure_rate <= 0.0) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    fail = fault_rng_.NextBool(model_.transient_failure_rate);
+  }
+  if (!fail) return Status::OK();
+  // The failed request still costs a round trip before the error lands.
+  SimulateTransfer(0);
+  return Status::Transient("sim: transient " + model_.label +
+                           " fault (injected)");
+}
 
 void SimulatedObjectStore::SimulateTransfer(uint64_t bytes,
                                             int64_t extra_us) {
@@ -66,6 +81,7 @@ void SimulatedObjectStore::SimulateTransfer(uint64_t bytes,
 }
 
 Result<ByteBuffer> SimulatedObjectStore::Get(std::string_view key) {
+  DL_RETURN_IF_ERROR(MaybeInjectTransientFault());
   DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->Get(key));
   SimulateTransfer(buf.size());
   stats_.get_requests++;
@@ -76,6 +92,7 @@ Result<ByteBuffer> SimulatedObjectStore::Get(std::string_view key) {
 Result<ByteBuffer> SimulatedObjectStore::GetRange(std::string_view key,
                                                   uint64_t offset,
                                                   uint64_t length) {
+  DL_RETURN_IF_ERROR(MaybeInjectTransientFault());
   DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->GetRange(key, offset, length));
   SimulateTransfer(buf.size());
   stats_.get_range_requests++;
@@ -84,6 +101,7 @@ Result<ByteBuffer> SimulatedObjectStore::GetRange(std::string_view key,
 }
 
 Status SimulatedObjectStore::Put(std::string_view key, ByteView value) {
+  DL_RETURN_IF_ERROR(MaybeInjectTransientFault());
   SimulateTransfer(value.size(), model_.put_overhead_us);
   stats_.put_requests++;
   stats_.bytes_written += value.size();

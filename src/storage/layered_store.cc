@@ -135,9 +135,11 @@ Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
       return ByteBuffer(buf.begin() + offset, buf.begin() + offset + len);
     }
   }
-  misses_++;
   // Range requests bypass cache fill: caching partial objects under the full
-  // key would corrupt later full reads.
+  // key would corrupt later full reads. Not a miss — the cache never
+  // intended to serve this; tracked separately so bench miss rates stay
+  // honest.
+  range_bypasses_++;
   return base_->GetRange(key, offset, length);
 }
 
@@ -194,10 +196,14 @@ uint64_t LruCacheStore::cached_bytes() const {
 // FaultInjectionStore
 // ---------------------------------------------------------------------------
 
-FaultInjectionStore::FaultInjectionStore(StoragePtr base, uint64_t fail_every)
-    : base_(std::move(base)), fail_every_(fail_every == 0 ? 1 : fail_every) {}
+FaultInjectionStore::FaultInjectionStore(StoragePtr base, uint64_t fail_every,
+                                         uint32_t op_mask)
+    : base_(std::move(base)),
+      fail_every_(fail_every == 0 ? 1 : fail_every),
+      op_mask_(op_mask) {}
 
-Status FaultInjectionStore::MaybeFail() {
+Status FaultInjectionStore::MaybeFail(FaultOp op) {
+  if ((op_mask_ & op) == 0) return Status::OK();
   uint64_t n = ++op_count_;
   if (n % fail_every_ == 0) {
     return Status::IOError("injected fault on operation " +
@@ -207,36 +213,40 @@ Status FaultInjectionStore::MaybeFail() {
 }
 
 Result<ByteBuffer> FaultInjectionStore::Get(std::string_view key) {
-  DL_RETURN_IF_ERROR(MaybeFail());
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultGet));
   return base_->Get(key);
 }
 
 Result<ByteBuffer> FaultInjectionStore::GetRange(std::string_view key,
                                                  uint64_t offset,
                                                  uint64_t length) {
-  DL_RETURN_IF_ERROR(MaybeFail());
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultGetRange));
   return base_->GetRange(key, offset, length);
 }
 
 Status FaultInjectionStore::Put(std::string_view key, ByteView value) {
-  DL_RETURN_IF_ERROR(MaybeFail());
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultPut));
   return base_->Put(key, value);
 }
 
 Status FaultInjectionStore::Delete(std::string_view key) {
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultDelete));
   return base_->Delete(key);
 }
 
 Result<bool> FaultInjectionStore::Exists(std::string_view key) {
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultExists));
   return base_->Exists(key);
 }
 
 Result<uint64_t> FaultInjectionStore::SizeOf(std::string_view key) {
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultSizeOf));
   return base_->SizeOf(key);
 }
 
 Result<std::vector<std::string>> FaultInjectionStore::ListPrefix(
     std::string_view prefix) {
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultList));
   return base_->ListPrefix(prefix);
 }
 

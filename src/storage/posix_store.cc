@@ -6,11 +6,42 @@
 #include <system_error>
 
 #include "storage/storage.h"
+#include "util/macros.h"
 #include "util/string_util.h"
 
 namespace dl::storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Maps an `fopen`-style errno to a Status. Only a genuinely missing path
+/// is NotFound; everything else (EACCES, EMFILE, EIO, EISDIR, ...) is an
+/// environment problem reported as IOError — which Status::IsRetryable
+/// classifies as transient, so a RetryingStore re-attempts it instead of
+/// callers treating a momentary fd-limit or I/O hiccup as "no such object".
+Status ErrnoStatus(int err, const std::string& context) {
+  std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT || err == ENOTDIR) return Status::NotFound(std::move(msg));
+  return Status::IOError(std::move(msg));
+}
+
+/// `fopen(dir, "rb")` succeeds on Linux and fseek/ftell then report a
+/// garbage size — reject non-regular-file paths up front instead.
+Status CheckRegularFile(const std::string& path) {
+  std::error_code ec;
+  fs::file_status st = fs::status(path, ec);
+  if (ec) return ErrnoStatus(ec.value(), "posix: cannot stat '" + path + "'");
+  if (!fs::exists(st)) {
+    return Status::NotFound("posix: no file '" + path + "'");
+  }
+  if (!fs::is_regular_file(st)) {
+    return Status::IOError("posix: not a regular file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 PosixStore::PosixStore(std::string root) : root_(std::move(root)) {
   std::error_code ec;
@@ -23,14 +54,17 @@ std::string PosixStore::FilePath(std::string_view key) const {
 
 Result<ByteBuffer> PosixStore::Get(std::string_view key) {
   std::string path = FilePath(key);
+  DL_RETURN_IF_ERROR(CheckRegularFile(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::NotFound("posix: cannot open '" + path +
-                            "': " + std::strerror(errno));
+    return ErrnoStatus(errno, "posix: cannot open '" + path + "'");
   }
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  long size = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("posix: cannot size '" + path + "'");
+  }
   ByteBuffer buf(static_cast<size_t>(size));
   size_t n = size > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
   std::fclose(f);
@@ -45,19 +79,27 @@ Result<ByteBuffer> PosixStore::Get(std::string_view key) {
 Result<ByteBuffer> PosixStore::GetRange(std::string_view key, uint64_t offset,
                                         uint64_t length) {
   std::string path = FilePath(key);
+  DL_RETURN_IF_ERROR(CheckRegularFile(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::NotFound("posix: cannot open '" + path +
-                            "': " + std::strerror(errno));
+    return ErrnoStatus(errno, "posix: cannot open '" + path + "'");
   }
-  std::fseek(f, 0, SEEK_END);
-  uint64_t size = static_cast<uint64_t>(std::ftell(f));
+  long end = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError("posix: cannot size '" + path + "'");
+  }
+  uint64_t size = static_cast<uint64_t>(end);
   if (offset > size) {
     std::fclose(f);
     return Status::OutOfRange("posix: range start past file end");
   }
   uint64_t len = std::min<uint64_t>(length, size - offset);
-  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("posix: cannot seek in '" + path + "'");
+  }
   ByteBuffer buf(static_cast<size_t>(len));
   size_t n = len > 0 ? std::fread(buf.data(), 1, buf.size(), f) : 0;
   std::fclose(f);
@@ -104,7 +146,12 @@ Result<uint64_t> PosixStore::SizeOf(std::string_view key) {
   std::error_code ec;
   uint64_t size = fs::file_size(FilePath(key), ec);
   if (ec) {
-    return Status::NotFound("posix: no file '" + FilePath(key) + "'");
+    if (ec == std::errc::no_such_file_or_directory ||
+        ec == std::errc::not_a_directory) {
+      return Status::NotFound("posix: no file '" + FilePath(key) + "'");
+    }
+    return Status::IOError("posix: cannot stat '" + FilePath(key) +
+                           "': " + ec.message());
   }
   return size;
 }

@@ -1,0 +1,95 @@
+// RetryingStore: absorbs transient faults from the wrapped provider with
+// capped exponential backoff and deterministic jitter (see DESIGN.md §6,
+// "Storage decorator chain & error taxonomy").
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/storage.h"
+#include "util/clock.h"
+
+namespace dl::storage {
+
+namespace {
+
+// Uniform status extraction so one retry loop serves both Status-returning
+// and Result<T>-returning operations.
+inline Status StatusOf(const Status& s) { return s; }
+template <typename T>
+inline Status StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace
+
+RetryingStore::RetryingStore(StoragePtr base, RetryPolicy policy,
+                             SleepFn sleep)
+    : base_(std::move(base)),
+      policy_(policy),
+      sleep_(sleep ? std::move(sleep) : [](int64_t us) { SleepMicros(us); }),
+      rng_(policy.seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
+
+int64_t RetryingStore::NextBackoffMicros(int retry) {
+  double backoff = static_cast<double>(policy_.initial_backoff_us);
+  for (int i = 1; i < retry; ++i) backoff *= policy_.multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy_.max_backoff_us));
+  double u;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    u = rng_.NextDouble();
+  }
+  // backoff * [1-jitter, 1+jitter), uniformly.
+  double jittered = backoff * (1.0 - policy_.jitter + 2.0 * policy_.jitter * u);
+  return std::max<int64_t>(0, static_cast<int64_t>(jittered));
+}
+
+template <typename Op>
+auto RetryingStore::WithRetry(Op&& op) -> decltype(op()) {
+  auto result = op();
+  int attempt = 1;
+  while (!StatusOf(result).ok() && StatusOf(result).IsRetryable()) {
+    if (attempt >= policy_.max_attempts) {
+      stats_.retries_exhausted++;
+      break;
+    }
+    stats_.retries_attempted++;
+    sleep_(NextBackoffMicros(attempt));
+    result = op();
+    ++attempt;
+  }
+  return result;
+}
+
+Result<ByteBuffer> RetryingStore::Get(std::string_view key) {
+  return WithRetry([&] { return base_->Get(key); });
+}
+
+Result<ByteBuffer> RetryingStore::GetRange(std::string_view key,
+                                           uint64_t offset, uint64_t length) {
+  return WithRetry([&] { return base_->GetRange(key, offset, length); });
+}
+
+Status RetryingStore::Put(std::string_view key, ByteView value) {
+  return WithRetry([&] { return base_->Put(key, value); });
+}
+
+Status RetryingStore::Delete(std::string_view key) {
+  return WithRetry([&] { return base_->Delete(key); });
+}
+
+Result<bool> RetryingStore::Exists(std::string_view key) {
+  return WithRetry([&] { return base_->Exists(key); });
+}
+
+Result<uint64_t> RetryingStore::SizeOf(std::string_view key) {
+  return WithRetry([&] { return base_->SizeOf(key); });
+}
+
+Result<std::vector<std::string>> RetryingStore::ListPrefix(
+    std::string_view prefix) {
+  return WithRetry([&] { return base_->ListPrefix(prefix); });
+}
+
+}  // namespace dl::storage

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -13,6 +14,7 @@
 
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace dl::storage {
 
@@ -24,6 +26,11 @@ struct StorageStats {
   std::atomic<uint64_t> put_requests{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  /// Extra attempts issued by a RetryingStore after a retryable failure.
+  std::atomic<uint64_t> retries_attempted{0};
+  /// Operations a RetryingStore gave up on: every attempt failed with a
+  /// retryable error and the per-op attempt budget ran out.
+  std::atomic<uint64_t> retries_exhausted{0};
 
   void Reset() {
     get_requests = 0;
@@ -31,6 +38,8 @@ struct StorageStats {
     put_requests = 0;
     bytes_read = 0;
     bytes_written = 0;
+    retries_attempted = 0;
+    retries_exhausted = 0;
   }
 };
 
@@ -168,6 +177,10 @@ class LruCacheStore : public StorageProvider {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Range reads served directly by the base because the full object was
+  /// not cached. By design these never populate the cache, so they are not
+  /// misses — counting them as such would inflate reported miss rates.
+  uint64_t range_bypasses() const { return range_bypasses_; }
   uint64_t cached_bytes() const;
 
  private:
@@ -188,13 +201,44 @@ class LruCacheStore : public StorageProvider {
   uint64_t current_bytes_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> range_bypasses_{0};
 };
 
+/// Which operations a FaultInjectionStore injects faults into. Combine as
+/// a bitmask.
+enum FaultOp : uint32_t {
+  kFaultGet = 1u << 0,
+  kFaultGetRange = 1u << 1,
+  kFaultPut = 1u << 2,
+  kFaultDelete = 1u << 3,
+  kFaultExists = 1u << 4,
+  kFaultSizeOf = 1u << 5,
+  kFaultList = 1u << 6,
+};
+inline constexpr uint32_t kFaultReads = kFaultGet | kFaultGetRange;
+inline constexpr uint32_t kFaultWrites = kFaultPut | kFaultDelete;
+inline constexpr uint32_t kFaultAllOps =
+    kFaultReads | kFaultWrites | kFaultExists | kFaultSizeOf | kFaultList;
+
 /// Wraps a provider and injects failures for robustness tests: every
-/// `fail_every`-th read fails with IOError.
+/// `fail_every`-th operation covered by `op_mask` fails with IOError
+/// (a retryable error, see Status::IsRetryable). Operations outside the
+/// mask pass through untouched and do not advance the fault counter.
+///
+/// The default mask covers reads and Put — the data-path operations a
+/// flaky object store fails in practice. Pass an explicit mask to target
+/// metadata ops (Exists/SizeOf/ListPrefix) or Delete as well.
 class FaultInjectionStore : public StorageProvider {
  public:
-  FaultInjectionStore(StoragePtr base, uint64_t fail_every);
+  FaultInjectionStore(StoragePtr base, uint64_t fail_every,
+                      uint32_t op_mask = kFaultReads | kFaultPut);
+
+  /// Changes the fault period mid-run (0 is normalized to 1, like the
+  /// constructor). Lets tests open a dataset cleanly with a huge period,
+  /// then arm a tight one for the epoch under test.
+  void set_fail_every(uint64_t fail_every) {
+    fail_every_ = fail_every == 0 ? 1 : fail_every;
+  }
 
   Result<ByteBuffer> Get(std::string_view key) override;
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
@@ -210,11 +254,82 @@ class FaultInjectionStore : public StorageProvider {
   }
 
  private:
-  Status MaybeFail();
+  Status MaybeFail(FaultOp op);
 
   StoragePtr base_;
-  uint64_t fail_every_;
+  std::atomic<uint64_t> fail_every_;
+  uint32_t op_mask_;
   std::atomic<uint64_t> op_count_{0};
+};
+
+/// Backoff schedule for RetryingStore: capped exponential growth with
+/// deterministic jitter. All randomness comes from a seeded Rng, so a given
+/// (policy, seed) always produces the same sleep sequence — tests assert on
+/// it exactly.
+struct RetryPolicy {
+  /// Total attempts per operation, including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  int64_t initial_backoff_us = 1000;
+  /// Cap applied to the exponential growth.
+  int64_t max_backoff_us = 256 * 1000;
+  /// Backoff growth factor per retry.
+  double multiplier = 2.0;
+  /// Each sleep is drawn uniformly from backoff * [1-jitter, 1+jitter],
+  /// de-synchronizing concurrent retriers (thundering-herd avoidance).
+  double jitter = 0.25;
+  uint64_t seed = 0x5eed;
+};
+
+/// Decorator that absorbs transient faults from the wrapped provider
+/// (paper §4.6 robustness: remote object stores throw 5xx/timeouts
+/// routinely; the streaming loader must not lose an epoch to one).
+///
+/// Every operation is re-attempted while it fails with a retryable status
+/// (Status::IsRetryable) until `policy.max_attempts` is reached, sleeping a
+/// jittered, capped-exponential backoff between attempts. Permanent errors
+/// (NotFound, Corruption, ...) return immediately. On exhaustion the last
+/// error is returned unchanged so callers see the root cause.
+///
+/// Chain it *under* any cache (cache → retry → base): retrying above the
+/// cache would re-count hits and re-fetch objects the cache already holds.
+/// Counters land in stats(): retries_attempted / retries_exhausted.
+class RetryingStore : public StorageProvider {
+ public:
+  /// Injectable sleep for tests (runs instantly with a recording lambda);
+  /// defaults to a real SleepMicros.
+  using SleepFn = std::function<void(int64_t micros)>;
+
+  explicit RetryingStore(StoragePtr base, RetryPolicy policy = {},
+                         SleepFn sleep = {});
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override { return "retry(" + base_->name() + ")"; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// The jittered backoff (µs) for retry number `retry` (1-based). Consumes
+  /// one draw from the seeded Rng; exposed so tests can derive the expected
+  /// sleep sequence.
+  int64_t NextBackoffMicros(int retry);
+
+ private:
+  template <typename Op>
+  auto WithRetry(Op&& op) -> decltype(op());
+
+  StoragePtr base_;
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  std::mutex rng_mu_;
+  Rng rng_;
 };
 
 }  // namespace dl::storage

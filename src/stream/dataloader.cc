@@ -180,6 +180,23 @@ void Dataloader::ProcessUnit(const Unit& unit) {
     }
     ready_cv_.notify_all();
   };
+  // Bounded re-fetch on retryable storage errors: a transient object-store
+  // fault recovers instead of poisoning the whole epoch. Retries are
+  // immediate — backoff belongs to the RetryingStore decorator underneath;
+  // permanent errors (NotFound, Corruption, ...) still fail fast.
+  auto fetch_with_retry = [&](auto&& fetch) {
+    auto r = fetch();
+    for (int attempt = 0; attempt < options_.max_transient_retries &&
+                          !r.ok() && r.status().IsRetryable();
+         ++attempt) {
+      r = fetch();
+      if (r.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.transient_errors_recovered++;
+      }
+    }
+    return r;
+  };
   // Per-unit, per-tensor chunk cache: each chunk is fetched and parsed
   // once even when it serves many rows.
   std::map<std::string, std::map<uint64_t, std::shared_ptr<tsf::Chunk>>>
@@ -198,7 +215,7 @@ void Dataloader::ProcessUnit(const Unit& unit) {
         continue;
       }
       if (t->tile_encoder().IsTiled(row_idx)) {
-        auto s = t->Read(row_idx);
+        auto s = fetch_with_retry([&] { return t->Read(row_idx); });
         if (!s.ok()) {
           status = s.status();
           break;
@@ -209,7 +226,7 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       auto loc = t->chunk_encoder().Find(row_idx);
       if (!loc.ok()) {
         // Buffered (unflushed) tail: serve through the tensor.
-        auto s = t->Read(row_idx);
+        auto s = fetch_with_retry([&] { return t->Read(row_idx); });
         if (!s.ok()) {
           status = s.status();
           break;
@@ -220,7 +237,8 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       auto& tensor_cache = cache[name];
       auto it = tensor_cache.find(loc->chunk_id);
       if (it == tensor_cache.end()) {
-        auto bytes = t->store()->Get(t->ChunkKey(loc->chunk_id));
+        auto bytes = fetch_with_retry(
+            [&] { return t->store()->Get(t->ChunkKey(loc->chunk_id)); });
         if (!bytes.ok()) {
           status = bytes.status();
           break;

@@ -51,6 +51,13 @@ struct DataloaderOptions {
   /// Tensors to stream; empty = all visible tensors.
   std::vector<std::string> tensors;
   TransformFn transform;
+  /// Extra fetch attempts per chunk/sample read that fails with a
+  /// retryable status (Status::IsRetryable). 0 (default) preserves
+  /// fail-fast: the first storage error poisons the epoch. Retries are
+  /// immediate — chain a storage::RetryingStore under the dataset for
+  /// backoff between attempts; this knob is the last line of defense when
+  /// even the store-level budget runs out mid-epoch.
+  int max_transient_retries = 0;
 };
 
 struct DataloaderStats {
@@ -60,6 +67,9 @@ struct DataloaderStats {
   int64_t stall_micros = 0;
   /// Work units (chunk-aligned ranges) processed.
   uint64_t units = 0;
+  /// Fetches that failed with a retryable error but succeeded on a retry
+  /// (max_transient_retries > 0) — the epoch survived these.
+  uint64_t transient_errors_recovered = 0;
 };
 
 /// Streaming dataloader (paper §4.6): schedules chunk-aligned fetches,

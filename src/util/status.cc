@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kTransient:
+      return "Transient";
   }
   return "InvalidCode";
 }

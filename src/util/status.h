@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kAborted = 9,
   kResourceExhausted = 10,
   kUnknown = 11,
+  /// A fault that is expected to clear on its own: object-store 5xx,
+  /// connection reset, request timeout. Always retryable.
+  kTransient = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("IOError", ...).
@@ -78,6 +81,9 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status Transient(std::string msg) {
+    return Status(StatusCode::kTransient, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -100,6 +106,18 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsTransient() const { return code_ == StatusCode::kTransient; }
+
+  /// Transient-vs-permanent classification for retry layers
+  /// (storage::RetryingStore, the dataloader's fetch retries). Retryable:
+  /// explicit transient faults, I/O errors (network hiccups, throttled or
+  /// flaky backends) and resource exhaustion. Permanent input/state errors
+  /// (NotFound, InvalidArgument, Corruption, ...) must not be retried —
+  /// repeating them cannot succeed and hides real bugs.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kTransient || code_ == StatusCode::kIOError ||
+           code_ == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CodeName>: <message>".
