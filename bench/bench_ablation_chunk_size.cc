@@ -90,6 +90,10 @@ int main() {
                   std::to_string(s3->stats().get_requests.load())});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("ablation_chunk_size", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

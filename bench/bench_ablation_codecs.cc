@@ -82,6 +82,10 @@ int main(int argc, char** argv) {
                   Secs(r.scan_secs)});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("ablation_codecs", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\nper-codec compression microbenchmarks "
               "(google-benchmark):\n");
 

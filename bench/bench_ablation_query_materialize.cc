@@ -87,6 +87,10 @@ int main() {
   table.AddRow({"materialized view", std::to_string((*mat)->NumRows()),
                 Secs(dense_secs), HumanBytes(dense_bytes)});
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("ablation_query_materialize", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\nmaterialization cost (one-off): %.2f s; it pays for itself "
               "once the view is streamed repeatedly (every training epoch)\n\n",
               mat_secs);

@@ -89,6 +89,10 @@ int main() {
   table.AddRow({"re-chunked", std::to_string(chunks_after),
                 Secs(after_secs), std::to_string(after_reqs)});
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("ablation_rechunk", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

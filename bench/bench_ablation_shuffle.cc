@@ -83,6 +83,10 @@ int main() {
                   Fmt("%.1f%", 100.0 / chunks)});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("ablation_shuffle", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

@@ -106,6 +106,10 @@ int main() {
                   std::to_string(retried.retries)});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("fault_recovery", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

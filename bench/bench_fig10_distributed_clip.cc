@@ -132,6 +132,10 @@ int main() {
                   std::to_string(gpus[g]->samples_processed()), spark});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("fig10_distributed_clip", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\naggregate: %.0f img/s with model (%.1f%% mean GPU "
               "utilization)\n",
               total_imgs / with_model_secs, total_util / kGpus * 100);

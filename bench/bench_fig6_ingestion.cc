@@ -93,6 +93,10 @@ int main() {
     table.AddRow({e.name, Secs(e.secs), Fmt("%.2fx", e.secs / deeplake_secs)});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("fig6_ingestion", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

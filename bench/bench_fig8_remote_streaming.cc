@@ -131,6 +131,10 @@ int main() {
     table.AddRow(row);
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("fig8_remote_streaming", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

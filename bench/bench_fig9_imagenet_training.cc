@@ -187,6 +187,10 @@ int main() {
   }
 
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("fig9_imagenet_training", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\n");
   return 0;
 }

@@ -59,6 +59,10 @@ int main() {
                   Fmt("%.0f", ns), HumanBytes(chunks * (8ull << 20))});
   }
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("tbl_chunk_encoder_scale", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
 
   double pb_chunks = (1ull << 50) / static_cast<double>(8 << 20);
   double pb_encoder = pb_chunks * bytes_per_chunk_at_scale;

@@ -97,6 +97,10 @@ int main() {
   table.AddRow({"ingest to TSF", Secs(ingest_secs),
                 PerSec(rows_out / ingest_secs)});
   table.Print();
+  if (dl::Status report_st = dl::bench::WriteJsonReport("tbl_laion_ingest", table);
+      !report_st.ok()) {
+    std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
   std::printf("\ndownload/ingest ratio: %.1fx (paper: 100h/6h = 16.7x)\n\n",
               download_secs / ingest_secs);
   return 0;

@@ -6,11 +6,15 @@
 // paper figure it reproduces and the scale factors applied.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/deeplake.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/workload.h"
 #include "storage/storage.h"
 #include "util/clock.h"
@@ -59,10 +63,85 @@ class Table {
     for (const auto& row : rows_) print_row(row);
   }
 
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// {"columns": [...], "rows": [[...], ...]} — the printed table, verbatim,
+  /// for machine consumption alongside the metrics snapshot.
+  Json ToJson() const {
+    Json cols = Json::MakeArray();
+    for (const auto& c : columns_) cols.Append(c);
+    Json rows = Json::MakeArray();
+    for (const auto& row : rows_) {
+      Json r = Json::MakeArray();
+      for (const auto& cell : row) r.Append(cell);
+      rows.Append(std::move(r));
+    }
+    Json doc = Json::MakeObject();
+    doc.Set("columns", std::move(cols));
+    doc.Set("rows", std::move(rows));
+    return doc;
+  }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Where machine-readable reports land: $DL_BENCH_JSON_DIR when set (CI
+/// points this at its artifact dir), else the current working directory.
+inline std::string BenchJsonDir() {
+  const char* dir = std::getenv("DL_BENCH_JSON_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : ".";
+}
+
+/// Writes `BENCH_<name>.json` next to the human-readable table:
+///
+///   {"bench": name, "schema_version": 1,
+///    "table": {"columns": [...], "rows": [[...], ...]},
+///    "metrics": <obs::MetricsRegistry::Global().SnapshotJson()>,
+///    "extra": <bench-specific payload, omitted when null>}
+///
+/// The metrics key carries every counter/gauge/histogram the run touched —
+/// storage op latencies, loader stage timings, sim utilization — so a bench
+/// result is diagnosable after the fact without rerunning it. Call after
+/// the measured phase; pair with MetricsRegistry::Global().Reset() before
+/// it so setup noise stays out of the report.
+inline Status WriteJsonReport(const std::string& name, const Table& table,
+                              Json extra = Json()) {
+  Json doc = Json::MakeObject();
+  doc.Set("bench", name);
+  doc.Set("schema_version", 1);
+  doc.Set("table", table.ToJson());
+  doc.Set("metrics", obs::MetricsRegistry::Global().SnapshotJson());
+  if (!extra.is_null()) doc.Set("extra", std::move(extra));
+  std::string path = BenchJsonDir() + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << doc.Dump(2) << "\n";
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  std::printf("  report:     %s\n", path.c_str());
+  return Status::OK();
+}
+
+/// Writes `TRACE_<name>.json` (Chrome trace_event format, loadable by
+/// chrome://tracing / ui.perfetto.dev) from the global span recorder.
+/// No-op returning OK when nothing was recorded.
+inline Status WriteChromeTrace(const std::string& name) {
+  auto& recorder = obs::TraceRecorder::Global();
+  if (recorder.Events().empty()) return Status::OK();
+  std::string path = BenchJsonDir() + "/TRACE_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << recorder.ChromeTraceJson().Dump() << "\n";
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  std::printf("  trace:      %s (%zu spans, %llu dropped)\n", path.c_str(),
+              recorder.Events().size(),
+              static_cast<unsigned long long>(recorder.dropped()));
+  return Status::OK();
+}
 
 inline std::string Fmt(const char* fmt, double v) {
   char buf[64];

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Smoke-checks a bench binary's machine-readable output: runs the bench in a
+# scratch directory with DL_BENCH_JSON_DIR pointed there, then validates the
+# emitted BENCH_<name>.json is parseable and carries the report schema
+# (bench / schema_version / table / metrics with counters+gauges+histograms).
+#
+# Usage: check_bench_json.sh <bench-binary> [bench args...]
+# Registered with ctest (label "obs") against bench_fig7_local_loader.
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <bench-binary> [args...]" >&2
+  exit 2
+fi
+
+bench="$1"
+shift
+if [[ ! -x "$bench" ]]; then
+  echo "FAIL: bench binary not executable: $bench" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+(cd "$workdir" && DL_BENCH_JSON_DIR=. "$bench" "$@") >"$workdir/stdout.log" 2>&1 || {
+  echo "FAIL: bench exited non-zero; output:" >&2
+  cat "$workdir/stdout.log" >&2
+  exit 1
+}
+
+shopt -s nullglob
+reports=("$workdir"/BENCH_*.json)
+if [[ ${#reports[@]} -eq 0 ]]; then
+  echo "FAIL: bench emitted no BENCH_*.json in $workdir" >&2
+  cat "$workdir/stdout.log" >&2
+  exit 1
+fi
+report="${reports[0]}"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$report" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+def need(cond, msg):
+    if not cond:
+        print(f"FAIL: {path}: {msg}", file=sys.stderr)
+        sys.exit(1)
+
+for key in ("bench", "schema_version", "table", "metrics"):
+    need(key in doc, f"missing key '{key}'")
+need(doc["schema_version"] == 1, f"unexpected schema_version {doc['schema_version']}")
+table = doc["table"]
+need(isinstance(table.get("columns"), list) and table["columns"],
+     "table.columns missing or empty")
+need(isinstance(table.get("rows"), list) and table["rows"],
+     "table.rows missing or empty")
+for row in table["rows"]:
+    need(len(row) == len(table["columns"]),
+         f"row width {len(row)} != {len(table['columns'])} columns")
+metrics = doc["metrics"]
+for key in ("counters", "gauges", "histograms"):
+    need(isinstance(metrics.get(key), list), f"metrics.{key} missing")
+for h in metrics["histograms"]:
+    need(len(h["buckets"]) == len(h["bounds"]) + 1,
+         f"histogram {h['name']}: buckets/bounds length mismatch")
+    need(sum(h["buckets"]) == h["count"],
+         f"histogram {h['name']}: bucket sum != count")
+print(f"OK: {path} valid "
+      f"({len(metrics['counters'])} counters, "
+      f"{len(metrics['histograms'])} histograms)")
+PYEOF
+else
+  # Fallback without python3: structural greps only.
+  for key in '"bench"' '"schema_version"' '"table"' '"metrics"' \
+             '"counters"' '"gauges"' '"histograms"'; do
+    grep -q "$key" "$report" || {
+      echo "FAIL: $report missing $key" >&2
+      exit 1
+    }
+  done
+  echo "OK: $report has required keys (python3 unavailable; shallow check)"
+fi

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/storage.h"
 #include "stream/dataloader.h"
 #include "tql/executor.h"
@@ -117,6 +118,14 @@ class DeepLake {
       const tql::DatasetView& view, stream::DataloaderOptions options) {
     return std::make_unique<stream::Dataloader>(dataset_, view, options);
   }
+
+  // ---- Observability ----
+
+  /// One JSON document describing everything measured so far: the global
+  /// obs::MetricsRegistry snapshot (counters/gauges/latency histograms from
+  /// storage, loader, TQL, ingest and sim) plus this lake's base-storage
+  /// request/byte counters. The payload benches embed in BENCH_*.json.
+  Json MetricsSnapshot() const;
 
   // ---- Visualization (§4.3) ----
 

@@ -3,6 +3,9 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
 #include "util/macros.h"
 #include "util/thread_pool.h"
 
@@ -17,6 +20,10 @@ Result<bool> DatasetSource::Next(Row* row) {
 
 Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
                                     const PipelineOptions& options) {
+  obs::ScopedSpan run_span("ingest.run", "ingest");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* transform_hist = registry.GetHistogram("ingest.task_us");
+  obs::Histogram* append_hist = registry.GetHistogram("ingest.append_us");
   PipelineStats stats;
   ThreadPool pool(options.num_workers);
   std::mutex mu;
@@ -50,13 +57,18 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
       --inflight;
       cv.notify_all();
       lock.unlock();
-      for (auto& row : rows) {
-        Status s = out.Append(row);
-        if (!s.ok()) {
-          lock.lock();
-          return s;
+      {
+        obs::ScopedSpan span("ingest.append", "ingest");
+        int64_t t0 = NowMicros();
+        for (auto& row : rows) {
+          Status s = out.Append(row);
+          if (!s.ok()) {
+            lock.lock();
+            return s;
+          }
+          ++stats.rows_out;
         }
-        ++stats.rows_out;
+        append_hist->ObserveSinceMicros(t0);
       }
       lock.lock();
     }
@@ -87,6 +99,8 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
       uint64_t this_seq = seq++;
       lock.unlock();
       pool.Submit([&, this_seq, rows = std::move(task_rows)]() mutable {
+        obs::ScopedSpan span("ingest.transform", "ingest");
+        obs::ScopedTimerUs timer(transform_hist);
         std::vector<Row> outputs;
         Status s = apply_stages(std::move(rows), &outputs);
         std::lock_guard<std::mutex> inner(mu);
@@ -111,7 +125,13 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
     }
     if (!first_error.ok()) return first_error;
   }
-  DL_RETURN_IF_ERROR(out.Flush());
+  {
+    obs::ScopedSpan span("ingest.flush", "ingest");
+    obs::ScopedTimerUs timer(registry.GetHistogram("ingest.flush_us"));
+    DL_RETURN_IF_ERROR(out.Flush());
+  }
+  registry.GetCounter("ingest.rows_in")->Add(stats.rows_in);
+  registry.GetCounter("ingest.rows_out")->Add(stats.rows_out);
   out.LogProvenance("pipeline ingested " + std::to_string(stats.rows_out) +
                     " rows from " + std::to_string(stats.rows_in) +
                     " inputs");

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dl::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; past-the-end = overflow.
+  size_t idx = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+               bounds_.begin();
+  // upper_bound gives the first bound strictly greater than v; a value
+  // equal to a bound belongs in that bound's bucket (inclusive upper).
+  if (idx > 0 && bounds_[idx - 1] == v) --idx;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cumulative + counts[i]) >= rank) {
+      if (i == bounds_.size()) return Max();  // overflow bucket
+      double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      double upper = bounds_[i];
+      double within =
+          (rank - static_cast<double>(cumulative)) / counts[i];
+      return lower + within * (upper - lower);
+    }
+    cumulative += counts[i];
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 16'777'216.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = counters_[Key(name, labels)];
+  if (entry.metric == nullptr) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.metric = std::make_unique<Counter>();
+  }
+  return entry.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = gauges_[Key(name, labels)];
+  if (entry.metric == nullptr) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.metric = std::make_unique<Gauge>();
+  }
+  return entry.metric.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = histograms_[Key(name, labels)];
+  if (entry.metric == nullptr) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.metric = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return entry.metric.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, e] : counters_) e.metric->Reset();
+  for (auto& [k, e] : gauges_) e.metric->Reset();
+  for (auto& [k, e] : histograms_) e.metric->Reset();
+}
+
+namespace {
+
+Json LabelsJson(const Labels& labels) {
+  Json obj = Json::MakeObject();
+  for (const auto& [k, v] : labels) obj.Set(k, v);
+  return obj;
+}
+
+}  // namespace
+
+Json MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::MakeArray();
+  for (const auto& [key, e] : counters_) {
+    Json item = Json::MakeObject();
+    item.Set("name", e.name);
+    item.Set("labels", LabelsJson(e.labels));
+    item.Set("value", e.metric->Value());
+    counters.Append(std::move(item));
+  }
+  Json gauges = Json::MakeArray();
+  for (const auto& [key, e] : gauges_) {
+    Json item = Json::MakeObject();
+    item.Set("name", e.name);
+    item.Set("labels", LabelsJson(e.labels));
+    item.Set("value", e.metric->Value());
+    gauges.Append(std::move(item));
+  }
+  Json histograms = Json::MakeArray();
+  for (const auto& [key, e] : histograms_) {
+    const Histogram& h = *e.metric;
+    Json item = Json::MakeObject();
+    item.Set("name", e.name);
+    item.Set("labels", LabelsJson(e.labels));
+    item.Set("count", h.Count());
+    item.Set("sum", h.Sum());
+    item.Set("max", h.Max());
+    item.Set("p50", h.Quantile(0.50));
+    item.Set("p90", h.Quantile(0.90));
+    item.Set("p99", h.Quantile(0.99));
+    Json bounds = Json::MakeArray();
+    for (double b : h.bounds()) bounds.Append(b);
+    item.Set("bounds", std::move(bounds));
+    Json buckets = Json::MakeArray();
+    for (uint64_t c : h.BucketCounts()) buckets.Append(c);
+    item.Set("buckets", std::move(buckets));
+    histograms.Append(std::move(item));
+  }
+  Json snapshot = Json::MakeObject();
+  snapshot.Set("counters", std::move(counters));
+  snapshot.Set("gauges", std::move(gauges));
+  snapshot.Set("histograms", std::move(histograms));
+  return snapshot;
+}
+
+}  // namespace dl::obs

@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace dl::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Enable(size_t ring_capacity) {
+  ring_capacity_.store(std::max<size_t>(1, ring_capacity),
+                       std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+TraceRecorder::Ring* TraceRecorder::ThreadRing() {
+  // One ring per (thread, recorder). The raw pointer stays valid for the
+  // process lifetime: rings are owned by the recorder and never destroyed
+  // (Clear only empties them).
+  thread_local Ring* ring = nullptr;
+  thread_local TraceRecorder* owner = nullptr;
+  if (ring == nullptr || owner != this) {
+    auto fresh =
+        std::make_unique<Ring>(ring_capacity_.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    fresh->tid = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(std::move(fresh));
+    ring = rings_.back().get();
+    owner = this;
+  }
+  return ring;
+}
+
+void TraceRecorder::Record(std::string name, std::string cat, int64_t ts_us,
+                           int64_t dur_us) {
+  if (!enabled()) return;
+  Ring* ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring->mu);  // uncontended except vs export
+  TraceEvent& slot = ring->events[ring->next];
+  if (ring->wrapped) ++ring->overwritten;
+  slot.name = std::move(name);
+  slot.cat = std::move(cat);
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.tid = ring->tid;
+  ring->next = (ring->next + 1) % ring->events.size();
+  if (ring->next == 0) ring->wrapped = true;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      size_t n = ring->wrapped ? ring->events.size() : ring->next;
+      size_t first = ring->wrapped ? ring->next : 0;
+      for (size_t i = 0; i < n; ++i) {
+        out.push_back(ring->events[(first + i) % ring->events.size()]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+Json TraceRecorder::ChromeTraceJson() const {
+  Json events = Json::MakeArray();
+  for (const TraceEvent& e : Events()) {
+    Json item = Json::MakeObject();
+    item.Set("name", e.name);
+    item.Set("cat", e.cat);
+    item.Set("ph", "X");
+    item.Set("ts", e.ts_us);
+    item.Set("dur", e.dur_us);
+    item.Set("pid", 1);
+    item.Set("tid", static_cast<uint64_t>(e.tid));
+    events.Append(std::move(item));
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->next = 0;
+    ring->wrapped = false;
+    ring->overwritten = 0;
+    for (auto& e : ring->events) e = TraceEvent{};
+  }
+}
+
+uint64_t TraceRecorder::dropped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->overwritten;
+  }
+  return total;
+}
+
+}  // namespace dl::obs

@@ -1,0 +1,123 @@
+#ifndef DEEPLAKE_OBS_TRACE_H_
+#define DEEPLAKE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace dl::obs {
+
+/// One completed span: a named interval on one thread. Timestamps are
+/// steady-clock microseconds (NowMicros), matching every other timer in the
+/// repo.
+struct TraceEvent {
+  std::string name;  // "loader.fetch", "storage.get", ...
+  std::string cat;   // subsystem: "loader", "storage", "tql", ...
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  uint32_t tid = 0;  // small sequential id, assigned per recording thread
+};
+
+/// Process-wide span recorder. Disabled by default: a disabled recorder
+/// costs one relaxed atomic load per span site, so instrumentation can stay
+/// compiled-in everywhere (same trick as Chrome's trace_event macros).
+///
+/// When enabled, each recording thread appends into its own fixed-capacity
+/// ring buffer (no cross-thread contention on the hot path; a ring keeps
+/// the *most recent* `capacity` spans and counts what it overwrote). Rings
+/// are owned by the recorder and survive thread exit, so an export after a
+/// ThreadPool joins still sees worker spans.
+///
+/// Export is Chrome trace_event format ("ph":"X" complete events):
+/// chrome://tracing and https://ui.perfetto.dev load the file directly.
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 15;  // 32768 spans
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  /// Starts recording. `ring_capacity` applies to rings created after the
+  /// call; existing rings keep their size.
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span on the calling thread. No-op when disabled.
+  void Record(std::string name, std::string cat, int64_t ts_us,
+              int64_t dur_us);
+
+  /// All recorded spans, sorted by start time.
+  std::vector<TraceEvent> Events() const;
+
+  /// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid"}...],
+  ///  "displayTimeUnit":"ms"} — loadable by chrome://tracing.
+  Json ChromeTraceJson() const;
+
+  /// Drops recorded spans (rings stay allocated and registered).
+  void Clear();
+
+  /// Spans overwritten because a ring wrapped. Non-zero means the export
+  /// is missing the *oldest* spans — size rings for one epoch's volume
+  /// (see DESIGN.md §7).
+  uint64_t dropped() const;
+
+ private:
+  struct Ring {
+    explicit Ring(size_t capacity) : events(capacity) {}
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;  // fixed-size circular storage
+    size_t next = 0;
+    bool wrapped = false;
+    uint64_t overwritten = 0;
+    uint32_t tid = 0;
+  };
+
+  Ring* ThreadRing();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> ring_capacity_{kDefaultRingCapacity};
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: records [construction, destruction) into the global recorder.
+/// When the recorder is disabled at construction, the span is free (no
+/// clock reads, nothing recorded at destruction).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat)
+      : active_(TraceRecorder::Global().enabled()), name_(name), cat_(cat) {
+    if (active_) start_us_ = NowMicros();
+  }
+  ~ScopedSpan() { End(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    int64_t now = NowMicros();
+    TraceRecorder::Global().Record(name_, cat_, start_us_, now - start_us_);
+  }
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* cat_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace dl::obs
+
+#endif  // DEEPLAKE_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace dl::sim {
@@ -25,7 +26,13 @@ class GpuModel {
  public:
   /// `samples_per_sec`: the model's compute throughput when never starved.
   explicit GpuModel(double samples_per_sec, std::string label = "gpu0")
-      : samples_per_sec_(samples_per_sec), label_(std::move(label)) {}
+      : samples_per_sec_(samples_per_sec), label_(std::move(label)) {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::Labels labels = {{"gpu", label_}};
+    util_gauge_ = registry.GetGauge("sim.gpu.utilization", labels);
+    idle_gauge_ = registry.GetGauge("sim.gpu.idle_us", labels);
+    samples_counter_ = registry.GetCounter("sim.gpu.samples", labels);
+  }
 
   /// Blocks for the simulated step duration and records the interval.
   /// Thread-safe: each GpuModel instance represents one device consumed by
@@ -45,7 +52,12 @@ class GpuModel {
       last_end_us_ = now + step_us;
       samples_ += batch_size;
       steps_ += 1;
+      int64_t total = busy_us_ + idle_us_;
+      util_gauge_->Set(
+          total > 0 ? static_cast<double>(busy_us_) / total : 0.0);
+      idle_gauge_->Set(static_cast<double>(idle_us_));
     }
+    samples_counter_->Add(batch_size);
     SleepMicros(step_us);
   }
 
@@ -93,6 +105,11 @@ class GpuModel {
   int64_t last_end_us_ = 0;
   uint64_t samples_ = 0;
   uint64_t steps_ = 0;
+  // Registry instruments (family `sim.gpu.*`, labeled {gpu=<label>}):
+  // live utilization/starvation, refreshed every TrainStep.
+  obs::Gauge* util_gauge_;
+  obs::Gauge* idle_gauge_;
+  obs::Counter* samples_counter_;
 };
 
 }  // namespace dl::sim

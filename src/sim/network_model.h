@@ -93,6 +93,11 @@ class SimulatedObjectStore : public storage::StorageProvider {
   Semaphore slots_;
   std::mutex fault_mu_;
   Rng fault_rng_;
+  // Registry instruments (family `sim.net.*`, labeled {net=<label>}):
+  // connection-pool queueing and service time, the knobs Fig. 8 varies.
+  obs::Gauge* inflight_gauge_;
+  obs::Histogram* queue_hist_;
+  obs::Histogram* transfer_hist_;
 };
 
 }  // namespace dl::sim

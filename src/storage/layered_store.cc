@@ -66,7 +66,21 @@ Result<std::vector<std::string>> PrefixStore::ListPrefix(
 // ---------------------------------------------------------------------------
 
 LruCacheStore::LruCacheStore(StoragePtr base, uint64_t capacity_bytes)
-    : base_(std::move(base)), capacity_bytes_(capacity_bytes) {}
+    : base_(std::move(base)), capacity_bytes_(capacity_bytes) {
+  // Per-instance label: counters are registry-global and live forever, so
+  // sharing one label across caches (or across tests in one binary) would
+  // silently aggregate counts the accessors promise are per-cache.
+  static std::atomic<uint64_t> next_id{0};
+  std::string id = "lru#" + std::to_string(next_id.fetch_add(1)) + "(" +
+                   base_->name() + ")";
+  auto& registry = obs::MetricsRegistry::Global();
+  hits_ = registry.GetCounter("storage.lru.hits", {{"cache", id}});
+  misses_ = registry.GetCounter("storage.lru.misses", {{"cache", id}});
+  range_bypasses_ =
+      registry.GetCounter("storage.lru.range_bypasses", {{"cache", id}});
+  bytes_gauge_ =
+      registry.GetGauge("storage.lru.cached_bytes", {{"cache", id}});
+}
 
 void LruCacheStore::Touch(const std::string& key) {
   auto it = entries_.find(key);
@@ -88,6 +102,7 @@ void LruCacheStore::Insert(const std::string& key, ByteBuffer value) {
   current_bytes_ += value.size();
   entries_[key] = Entry{std::move(value), lru_.begin()};
   EvictIfNeeded();
+  bytes_gauge_->Set(static_cast<double>(current_bytes_));
 }
 
 void LruCacheStore::EvictIfNeeded() {
@@ -105,12 +120,12 @@ Result<ByteBuffer> LruCacheStore::Get(std::string_view key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      hits_++;
+      hits_->Increment();
       Touch(it->first);
       return it->second.value;
     }
   }
-  misses_++;
+  misses_->Increment();
   DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->Get(key));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -125,7 +140,7 @@ Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      hits_++;
+      hits_->Increment();
       Touch(it->first);
       const ByteBuffer& buf = it->second.value;
       if (offset > buf.size()) {
@@ -139,7 +154,7 @@ Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
   // key would corrupt later full reads. Not a miss — the cache never
   // intended to serve this; tracked separately so bench miss rates stay
   // honest.
-  range_bypasses_++;
+  range_bypasses_->Increment();
   return base_->GetRange(key, offset, length);
 }
 
@@ -158,6 +173,7 @@ Status LruCacheStore::Delete(std::string_view key) {
       current_bytes_ -= it->second.value.size();
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
+      bytes_gauge_->Set(static_cast<double>(current_bytes_));
     }
   }
   return base_->Delete(key);

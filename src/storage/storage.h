@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -175,12 +176,16 @@ class LruCacheStore : public StorageProvider {
       std::string_view prefix) override;
   std::string name() const override { return "lru(" + base_->name() + ")"; }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Hit/miss/bypass counts live in the obs::MetricsRegistry (family
+  // `storage.lru.*`, labeled with this instance's cache id) so bench
+  // reports pick them up with every other metric; these accessors are thin
+  // wrappers over the registry counters for test compatibility.
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
   /// Range reads served directly by the base because the full object was
   /// not cached. By design these never populate the cache, so they are not
   /// misses — counting them as such would inflate reported miss rates.
-  uint64_t range_bypasses() const { return range_bypasses_; }
+  uint64_t range_bypasses() const { return range_bypasses_->Value(); }
   uint64_t cached_bytes() const;
 
  private:
@@ -199,9 +204,12 @@ class LruCacheStore : public StorageProvider {
   std::map<std::string, Entry, std::less<>> entries_;
   std::list<std::string> lru_;  // front = most recently used
   uint64_t current_bytes_ = 0;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> range_bypasses_{0};
+  // Registry-owned counters; the label carries a per-instance id so two
+  // caches in one process (or consecutive tests) never share counts.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* range_bypasses_;
+  obs::Gauge* bytes_gauge_;
 };
 
 /// Which operations a FaultInjectionStore injects faults into. Combine as
@@ -330,6 +338,55 @@ class RetryingStore : public StorageProvider {
   SleepFn sleep_;
   std::mutex rng_mu_;
   Rng rng_;
+};
+
+/// Decorator that publishes per-operation latency histograms, request/byte
+/// counters and error counters into the obs::MetricsRegistry, and emits
+/// `storage.*` trace spans when tracing is enabled — the measurement layer
+/// behind the paper's Fig. 7/8 request-count plots.
+///
+/// Chain it *outermost* (instrumented → cache → retry → base): the numbers
+/// then describe exactly what the caller experiences — cache hits show up
+/// as microsecond ops, retries as one slow op. Wrap an inner layer with a
+/// second InstrumentedStore (distinct `layer` label) to measure what the
+/// backend sees instead; see DESIGN.md §7.
+///
+/// Metric families (all labeled {store=<layer>}):
+///   storage.op_us{op=get|get_range|put|delete|exists|size_of|list}
+///   storage.ops{op=...}   storage.errors{op=...}
+///   storage.bytes_read    storage.bytes_written
+class InstrumentedStore : public StorageProvider {
+ public:
+  /// `layer` names the metrics label; empty uses base->name().
+  explicit InstrumentedStore(StoragePtr base, std::string layer = "");
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override { return "obs(" + base_->name() + ")"; }
+
+  const std::string& layer() const { return layer_; }
+
+ private:
+  struct OpInstruments {
+    obs::Histogram* latency_us;
+    obs::Counter* ops;
+    obs::Counter* errors;
+  };
+
+  OpInstruments MakeOp(const char* op) const;
+
+  StoragePtr base_;
+  std::string layer_;
+  OpInstruments get_, get_range_, put_, delete_, exists_, size_of_, list_;
+  obs::Counter* bytes_read_;
+  obs::Counter* bytes_written_;
 };
 
 }  // namespace dl::storage

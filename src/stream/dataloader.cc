@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/macros.h"
 
@@ -126,6 +127,12 @@ std::vector<Dataloader::Unit> Dataloader::PlanUnits(
 void Dataloader::Start() {
   if (started_) return;
   started_ = true;
+  auto& registry = obs::MetricsRegistry::Global();
+  fetch_hist_ = registry.GetHistogram("loader.fetch_us");
+  decode_hist_ = registry.GetHistogram("loader.decode_us");
+  transform_hist_ = registry.GetHistogram("loader.transform_us");
+  stall_hist_ = registry.GetHistogram("loader.stall_us");
+  rows_counter_ = registry.GetCounter("loader.rows");
   // Visit units in shuffled order for shuffled streams (chunk-level
   // shuffle); the reservoir adds sample-level randomness (§3.5).
   std::vector<size_t> visit(units_.size());
@@ -163,6 +170,20 @@ void Dataloader::Start() {
 void Dataloader::ProcessUnit(const Unit& unit) {
   Status status;
   size_t cap = std::max<size_t>(1, options_.shuffle_buffer_rows);
+  // Per-stage timing, accumulated locally and merged into stats_ once at
+  // unit end (workers never contend on the mutex per sample). Each op also
+  // lands in a registry histogram and, when tracing is on, a span.
+  int64_t fetch_us = 0, decode_us = 0, transform_us = 0;
+  auto timed = [](obs::Histogram* hist, int64_t* acc, const char* span_name,
+                  auto&& fn) {
+    obs::ScopedSpan span(span_name, "loader");
+    int64_t t0 = NowMicros();
+    auto r = fn();
+    int64_t dt = NowMicros() - t0;
+    *acc += dt;
+    hist->Observe(static_cast<double>(dt));
+    return r;
+  };
   // Publishes one decoded row immediately (shuffle: into the reservoir,
   // honoring its capacity; sequential: into the unit's progress entry), so
   // consumption overlaps decoding from the first sample.
@@ -215,7 +236,11 @@ void Dataloader::ProcessUnit(const Unit& unit) {
         continue;
       }
       if (t->tile_encoder().IsTiled(row_idx)) {
-        auto s = fetch_with_retry([&] { return t->Read(row_idx); });
+        // Tensor-level reads fetch and decode in one call; the whole cost
+        // is attributed to fetch (see DataloaderStats doc).
+        auto s = timed(fetch_hist_, &fetch_us, "loader.fetch",
+                       [&] { return fetch_with_retry([&] {
+                         return t->Read(row_idx); }); });
         if (!s.ok()) {
           status = s.status();
           break;
@@ -226,7 +251,9 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       auto loc = t->chunk_encoder().Find(row_idx);
       if (!loc.ok()) {
         // Buffered (unflushed) tail: serve through the tensor.
-        auto s = fetch_with_retry([&] { return t->Read(row_idx); });
+        auto s = timed(fetch_hist_, &fetch_us, "loader.fetch",
+                       [&] { return fetch_with_retry([&] {
+                         return t->Read(row_idx); }); });
         if (!s.ok()) {
           status = s.status();
           break;
@@ -237,14 +264,18 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       auto& tensor_cache = cache[name];
       auto it = tensor_cache.find(loc->chunk_id);
       if (it == tensor_cache.end()) {
-        auto bytes = fetch_with_retry(
-            [&] { return t->store()->Get(t->ChunkKey(loc->chunk_id)); });
+        auto bytes = timed(fetch_hist_, &fetch_us, "loader.fetch",
+                           [&] { return fetch_with_retry([&] {
+                             return t->store()->Get(
+                                 t->ChunkKey(loc->chunk_id)); }); });
         if (!bytes.ok()) {
           status = bytes.status();
           break;
         }
-        auto chunk = tsf::Chunk::Parse(std::move(bytes).value(),
-                                       /*verify_checksum=*/false);
+        auto chunk = timed(decode_hist_, &decode_us, "loader.decode",
+                           [&] { return tsf::Chunk::Parse(
+                               std::move(bytes).value(),
+                               /*verify_checksum=*/false); });
         if (!chunk.ok()) {
           status = chunk.status();
           break;
@@ -254,7 +285,8 @@ void Dataloader::ProcessUnit(const Unit& unit) {
                                              std::move(chunk).value()))
                  .first;
       }
-      auto s = it->second->ReadSample(loc->local_index);
+      auto s = timed(decode_hist_, &decode_us, "loader.decode",
+                     [&] { return it->second->ReadSample(loc->local_index); });
       if (!s.ok()) {
         status = s.status();
         break;
@@ -263,7 +295,8 @@ void Dataloader::ProcessUnit(const Unit& unit) {
     }
     if (!status.ok()) break;
     if (options_.transform) {
-      status = options_.transform(row);
+      status = timed(transform_hist_, &transform_us, "loader.transform",
+                     [&] { return options_.transform(row); });
       if (!status.ok()) break;
     }
     publish(std::move(row));
@@ -275,12 +308,16 @@ void Dataloader::ProcessUnit(const Unit& unit) {
     if (!options_.shuffle) completed_[unit.seq].done = true;
     units_done_++;
     if (options_.shuffle) ++start_allowance_;
+    stats_.fetch_micros += fetch_us;
+    stats_.decode_micros += decode_us;
+    stats_.transform_micros += transform_us;
   }
   if (options_.shuffle) gate_cv_.notify_all();
   ready_cv_.notify_all();
 }
 
 Result<bool> Dataloader::Next(Batch* out) {
+  obs::ScopedSpan next_span("loader.next", "loader");
   out->columns.clear();
   out->size = 0;
   int64_t wait_start = NowMicros();
@@ -329,7 +366,17 @@ Result<bool> Dataloader::Next(Batch* out) {
     }
     ready_cv_.wait(lock);
   }
-  if (stalled) stats_.stall_micros += NowMicros() - wait_start;
+  if (stalled) {
+    int64_t stall = NowMicros() - wait_start;
+    stats_.stall_micros += stall;
+    stall_hist_->Observe(static_cast<double>(stall));
+    // The consumer-starved interval the paper's utilization plots hinge
+    // on: visible as a gap-filling span on the consumer thread's track.
+    auto& recorder = obs::TraceRecorder::Global();
+    if (recorder.enabled()) {
+      recorder.Record("loader.stall", "loader", wait_start, stall);
+    }
+  }
 
   if (pending_rows_.empty()) return false;  // end of stream
   uint64_t take = std::min<uint64_t>(options_.batch_size,
@@ -347,6 +394,7 @@ Result<bool> Dataloader::Next(Batch* out) {
   out->size = take;
   stats_.rows_delivered += take;
   stats_.batches_delivered += 1;
+  rows_counter_->Add(take);
   return true;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tql/executor.h"
 #include "tsf/dataset.h"
 #include "util/rng.h"
@@ -60,6 +61,23 @@ struct DataloaderOptions {
   int max_transient_retries = 0;
 };
 
+/// Epoch counters. Thread-safety contract (all fields are also mirrored
+/// into the obs::MetricsRegistry, family `loader.*`):
+///
+///  - *Consumer-thread-only*: `rows_delivered`, `batches_delivered`,
+///    `stall_micros`, `units` are written exclusively inside Next() while
+///    holding the loader mutex. The consumer thread may read them between
+///    Next() calls without synchronization; other threads may not.
+///
+///  - *Mutex-guarded (worker-written)*: `fetch_micros`, `decode_micros`,
+///    `transform_micros`, `transient_errors_recovered` are accumulated by
+///    worker threads under the loader mutex. Read them only after the
+///    epoch has drained (Next() returned false, or the loader was
+///    destroyed) — a mid-epoch read from the consumer thread races with
+///    workers.
+///
+/// The per-stage micros sum CPU/IO time *across all workers*: with N
+/// workers their total can legitimately exceed wall time (stages overlap).
 struct DataloaderStats {
   uint64_t rows_delivered = 0;
   uint64_t batches_delivered = 0;
@@ -70,6 +88,13 @@ struct DataloaderStats {
   /// Fetches that failed with a retryable error but succeeded on a retry
   /// (max_transient_retries > 0) — the epoch survived these.
   uint64_t transient_errors_recovered = 0;
+  /// Worker time spent in storage reads (chunk Get + tiled/tail reads;
+  /// the tiled/tail path folds its decode into this figure).
+  int64_t fetch_micros = 0;
+  /// Worker time spent parsing chunks and materializing samples.
+  int64_t decode_micros = 0;
+  /// Worker time spent inside the user transform.
+  int64_t transform_micros = 0;
 };
 
 /// Streaming dataloader (paper §4.6): schedules chunk-aligned fetches,
@@ -152,6 +177,14 @@ class Dataloader {
   Rng shuffle_rng_{42};
 
   DataloaderStats stats_;
+  // Registry instruments (family `loader.*`), cached once in Start() so
+  // the hot path touches only atomics. Workers observe per-op latencies;
+  // stats_ aggregates per-stage totals for the epoch summary.
+  obs::Histogram* fetch_hist_ = nullptr;
+  obs::Histogram* decode_hist_ = nullptr;
+  obs::Histogram* transform_hist_ = nullptr;
+  obs::Histogram* stall_hist_ = nullptr;
+  obs::Counter* rows_counter_ = nullptr;
 };
 
 }  // namespace dl::stream

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tql/parser.h"
+#include "util/clock.h"
 #include "util/macros.h"
 #include "util/string_util.h"
 
@@ -674,9 +677,11 @@ Result<DatasetView> ExecuteJoin(std::shared_ptr<tsf::Dataset> left,
 
 }  // namespace
 
-Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
-                                 const Query& query,
-                                 const QueryOptions& options) {
+namespace {
+
+Result<DatasetView> ExecuteQueryImpl(std::shared_ptr<tsf::Dataset> dataset,
+                                     const Query& query,
+                                     const QueryOptions& options) {
   std::shared_ptr<tsf::Dataset> ds = dataset;
   {
     auto named = options.datasets.find(query.from);
@@ -692,7 +697,10 @@ Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
     }
     DL_ASSIGN_OR_RETURN(ds, options.version_resolver(query.version));
   }
-  // Static validation of every expression in the query.
+  // Static validation of every expression in the query — the "plan" phase:
+  // all schema errors surface here, before any row is touched.
+  obs::ScopedSpan plan_span("tql.plan", "tql");
+  int64_t plan_start = NowMicros();
   if (!query.SelectsAll()) {
     for (const auto& item : query.select) {
       DL_RETURN_IF_ERROR(ValidateExpr(*item.expr, ds.get()));
@@ -708,7 +716,11 @@ Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
   for (const auto& g : query.group_by) {
     DL_RETURN_IF_ERROR(ValidateExpr(*g, ds.get()));
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetHistogram("tql.plan_us")->ObserveSinceMicros(plan_start);
+  plan_span.End();
   uint64_t n = ds->NumRows();
+  registry.GetCounter("tql.rows_scanned")->Add(n);
 
   // Filter.
   std::vector<uint64_t> rows;
@@ -791,11 +803,36 @@ Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
                      query.SelectsAll());
 }
 
+}  // namespace
+
+Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
+                                 const Query& query,
+                                 const QueryOptions& options) {
+  obs::ScopedSpan span("tql.execute", "tql");
+  auto& registry = obs::MetricsRegistry::Global();
+  int64_t start = NowMicros();
+  auto view = ExecuteQueryImpl(std::move(dataset), query, options);
+  registry.GetHistogram("tql.execute_us")->ObserveSinceMicros(start);
+  if (view.ok()) {
+    registry.GetCounter("tql.queries")->Increment();
+    registry.GetCounter("tql.rows_selected")->Add(view->size());
+  } else {
+    registry.GetCounter("tql.errors")->Increment();
+  }
+  return view;
+}
+
 Result<DatasetView> RunQuery(std::shared_ptr<tsf::Dataset> dataset,
                              const std::string& query_text,
                              const QueryOptions& options) {
-  DL_ASSIGN_OR_RETURN(Query q, ParseQuery(query_text));
-  return ExecuteQuery(std::move(dataset), q, options);
+  Result<Query> parsed = [&] {
+    obs::ScopedSpan span("tql.parse", "tql");
+    obs::ScopedTimerUs timer(
+        obs::MetricsRegistry::Global().GetHistogram("tql.parse_us"));
+    return ParseQuery(query_text);
+  }();
+  if (!parsed.ok()) return parsed.status();
+  return ExecuteQuery(std::move(dataset), *parsed, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -804,6 +841,10 @@ Result<DatasetView> RunQuery(std::shared_ptr<tsf::Dataset> dataset,
 
 Result<std::shared_ptr<tsf::Dataset>> MaterializeView(
     DatasetView& view, storage::StoragePtr target) {
+  obs::ScopedSpan span("tql.materialize", "tql");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::ScopedTimerUs timer(registry.GetHistogram("tql.materialize_us"));
+  registry.GetCounter("tql.rows_materialized")->Add(view.size());
   tsf::Dataset::Options opts;
   opts.description = "materialized view";
   DL_ASSIGN_OR_RETURN(auto out, tsf::Dataset::Create(target, opts));
