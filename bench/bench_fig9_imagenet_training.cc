@@ -16,6 +16,7 @@
 
 #include "baselines/format.h"
 #include "bench/bench_util.h"
+#include "obs/flight_recorder.h"
 #include "sim/gpu_model.h"
 #include "sim/network_model.h"
 #include "stream/dataloader.h"
@@ -154,10 +155,25 @@ int main() {
   }
 
   // --- Deep Lake streaming straight from S3. ---
+  Json deeplake_extra = Json::MakeObject();
   {
     auto s3 = std::make_shared<sim::SimulatedObjectStore>(s3_base, S3());
     auto ds = OpenTsfDataset(s3);
     sim::GpuModel gpu(kGpuImagesPerSec);
+    // Flight-record the streaming run: loader throughput vs GPU
+    // utilization vs stall latency, 10 ms ticks — the over-time view the
+    // paper's Fig. 9 narrative ("as if data is local") is really about.
+    obs::FlightRecorder::Options fr_opts;
+    fr_opts.interval_us = 10'000;
+    obs::FlightRecorder recorder(&obs::MetricsRegistry::Global(), fr_opts);
+    recorder.WatchCounter("loader.rows", {}, "loader_rows");
+    recorder.WatchGauge("loader.queued_rows", {}, "queued_rows");
+    recorder.WatchGauge("sim.gpu.utilization", {{"gpu", "gpu0"}},
+                        "gpu_utilization");
+    recorder.WatchHistogram("loader.stall_us", {}, "stall_us");
+    if (Status fr_st = recorder.Start(); !fr_st.ok()) {
+      std::printf("flight recorder error: %s\n", fr_st.ToString().c_str());
+    }
     std::vector<std::string> row = {"deeplake (stream)", Secs(0)};
     double total = 0;
     for (int e = 0; e < kEpochs; ++e) {
@@ -167,6 +183,13 @@ int main() {
     }
     row.push_back(Secs(total));
     table.AddRow(row);
+    (void)recorder.Stop();
+    Json timeline = recorder.TimelineJson();
+    deeplake_extra.Set("timeline_interval_us", timeline.Get("interval_us"));
+    deeplake_extra.Set("timeline_dropped", timeline.Get("dropped"));
+    deeplake_extra.Set("timeline", timeline.Get("samples"));
+    deeplake_extra.Set("gpu_utilization_windows",
+                       gpu.UtilizationTimelineJson(100'000));
     std::printf("deeplake GPU utilization: %.1f%%\n",
                 gpu.Utilization() * 100);
   }
@@ -187,9 +210,19 @@ int main() {
   }
 
   table.Print();
-  if (dl::Status report_st = dl::bench::WriteJsonReport("fig9_imagenet_training", table);
+  Json extra = Json::MakeObject();
+  extra.Set("images", kImages);
+  extra.Set("epochs", kEpochs);
+  extra.Set("deeplake", std::move(deeplake_extra));
+  if (dl::Status report_st = dl::bench::WriteJsonReport(
+          "fig9_imagenet_training", table, std::move(extra));
       !report_st.ok()) {
     std::printf("report error: %s\n", report_st.ToString().c_str());
+  }
+  if (dl::Status prom_st =
+          dl::bench::WritePromSnapshot("fig9_imagenet_training");
+      !prom_st.ok()) {
+    std::printf("prom error: %s\n", prom_st.ToString().c_str());
   }
   std::printf("\n");
   return 0;

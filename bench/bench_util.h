@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/deeplake.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/workload.h"
@@ -140,6 +141,20 @@ inline Status WriteChromeTrace(const std::string& name) {
   std::printf("  trace:      %s (%zu spans, %llu dropped)\n", path.c_str(),
               recorder.Events().size(),
               static_cast<unsigned long long>(recorder.dropped()));
+  return Status::OK();
+}
+
+/// Writes `METRICS_<name>.prom` — the registry in Prometheus text
+/// exposition format — so a bench run's final counters can be scraped or
+/// diffed with standard tooling (validated by scripts/check_prom_text.sh).
+inline Status WritePromSnapshot(const std::string& name) {
+  std::string path = BenchJsonDir() + "/METRICS_" + name + ".prom";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << obs::PrometheusText(obs::MetricsRegistry::Global());
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  std::printf("  prom:       %s\n", path.c_str());
   return Status::OK();
 }
 

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Smoke-checks a bench binary's Prometheus text exposition output: runs the
+# bench in a scratch directory with DL_BENCH_JSON_DIR pointed there, then
+# validates the emitted METRICS_<name>.prom against the exposition format
+# (text format 0.0.4): every sample line parses, every family has a # TYPE
+# line before its samples, histogram buckets are cumulative and end with an
+# le="+Inf" bucket equal to <family>_count, and _sum/_count are present.
+#
+# Usage: check_prom_text.sh <bench-binary> [bench args...]
+# Registered with ctest (label "obs") against bench_fig7_local_loader.
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <bench-binary> [args...]" >&2
+  exit 2
+fi
+
+bench="$1"
+shift
+if [[ ! -x "$bench" ]]; then
+  echo "FAIL: bench binary not executable: $bench" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+(cd "$workdir" && DL_BENCH_JSON_DIR=. "$bench" "$@") >"$workdir/stdout.log" 2>&1 || {
+  echo "FAIL: bench exited non-zero; output:" >&2
+  cat "$workdir/stdout.log" >&2
+  exit 1
+}
+
+shopt -s nullglob
+proms=("$workdir"/METRICS_*.prom)
+if [[ ${#proms[@]} -eq 0 ]]; then
+  echo "FAIL: bench emitted no METRICS_*.prom in $workdir" >&2
+  cat "$workdir/stdout.log" >&2
+  exit 1
+fi
+prom="${proms[0]}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  # Fallback without python3: structural greps only.
+  grep -q '^# TYPE ' "$prom" || {
+    echo "FAIL: $prom has no # TYPE lines" >&2
+    exit 1
+  }
+  echo "OK: $prom has TYPE lines (python3 unavailable; shallow check)"
+  exit 0
+fi
+
+python3 - "$prom" <<'PYEOF'
+import math
+import re
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    lines = f.read().splitlines()
+
+def fail(msg):
+    print(f"FAIL: {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+TYPE_RE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary|untyped)$")
+# name{label="value",...} value  — label values may contain escaped \" \\ \n
+SAMPLE_RE = re.compile(
+    rf"^({NAME})"
+    rf'(\{{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    rf'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}})?'
+    rf" (\S+)$")
+LE_RE = re.compile(r'le="((?:[^"\\]|\\.)*)"')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+def series_key(labels_text, drop_le=False):
+    """Canonical non-positional key for a label block ('' and '{}' match)."""
+    pairs = [(k, v) for k, v in LABEL_RE.findall(labels_text)
+             if not (drop_le and k == "le")]
+    return ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+
+typed = {}          # family -> declared type
+samples = []        # (name, labels_text, value)
+for i, line in enumerate(lines, 1):
+    if not line:
+        continue
+    if line.startswith("#"):
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail(f"line {i}: malformed TYPE line: {line!r}")
+            family = m.group(1)
+            if family in typed:
+                fail(f"line {i}: duplicate TYPE for family {family}")
+            typed[family] = m.group(2)
+        continue  # other comments (# HELP) are legal
+    m = SAMPLE_RE.match(line)
+    if not m:
+        fail(f"line {i}: malformed sample line: {line!r}")
+    name, labels_text, value = m.group(1), m.group(2) or "", m.group(3)
+    try:
+        float(value)
+    except ValueError:
+        fail(f"line {i}: non-numeric value {value!r}")
+    family = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in typed:
+            family = name[: -len(suffix)]
+            break
+    if family not in typed:
+        fail(f"line {i}: sample {name!r} has no preceding TYPE line")
+    samples.append((name, labels_text, value))
+
+if not samples:
+    fail("no sample lines")
+
+# Histogram invariants: cumulative buckets, closing +Inf == _count, and
+# _sum/_count present, checked per (family, non-le label set).
+hist_families = [f for f, t in typed.items() if t == "histogram"]
+for family in hist_families:
+    series = {}  # non-le labels -> {"buckets": [(le, v)...], "sum": v, "count": v}
+    for name, labels_text, value in samples:
+        if not name.startswith(family):
+            continue
+        suffix = name[len(family):]
+        if suffix == "_bucket":
+            le_m = LE_RE.search(labels_text)
+            if not le_m:
+                fail(f"{family}_bucket sample without le label: {labels_text!r}")
+            key = series_key(labels_text, drop_le=True)
+            le = le_m.group(1)
+            bound = math.inf if le == "+Inf" else float(le)
+            series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            series[key]["buckets"].append((bound, float(value)))
+        elif suffix in ("_sum", "_count"):
+            key = series_key(labels_text)
+            series.setdefault(key, {"buckets": [], "sum": None,
+                                    "count": None})
+            series[key][suffix[1:]] = float(value)
+    if not series:
+        fail(f"histogram family {family} declared but has no samples")
+    for key, s in series.items():
+        if s["sum"] is None or s["count"] is None:
+            fail(f"{family}{key}: missing _sum or _count")
+        buckets = s["buckets"]
+        if not buckets or buckets[-1][0] != math.inf:
+            fail(f"{family}{key}: buckets missing le=\"+Inf\"")
+        for (b0, v0), (b1, v1) in zip(buckets, buckets[1:]):
+            if b1 <= b0:
+                fail(f"{family}{key}: le bounds not increasing")
+            if v1 < v0:
+                fail(f"{family}{key}: bucket counts not cumulative")
+        if buckets[-1][1] != s["count"]:
+            fail(f"{family}{key}: le=\"+Inf\" bucket {buckets[-1][1]} "
+                 f"!= _count {s['count']}")
+
+print(f"OK: {path} valid ({len(typed)} families, {len(samples)} samples, "
+      f"{len(hist_families)} histograms)")
+PYEOF

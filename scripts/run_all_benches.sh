@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Builds the tree (unless --no-build), runs every bench binary with
+# DL_BENCH_JSON_DIR pointed at one output directory, then aggregates all
+# emitted BENCH_*.json reports into a single BENCH_SUMMARY.json keyed by
+# bench name — the one artifact a CI run archives or a before/after
+# comparison diffs.
+#
+# Usage: run_all_benches.sh [--build-dir DIR] [--out-dir DIR] [--no-build]
+#                           [--quick]
+#   --build-dir DIR  cmake build tree (default: build)
+#   --out-dir DIR    where BENCH_*.json / TRACE_* / METRICS_* / the summary
+#                    land (default: bench_out)
+#   --no-build       skip the cmake configure+build step
+#   --quick          pass small-scale flags to benches that accept them
+set -euo pipefail
+
+build_dir="build"
+out_dir="bench_out"
+do_build=1
+quick=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out-dir) out_dir="$2"; shift 2 ;;
+    --no-build) do_build=0; shift ;;
+    --quick) quick=1; shift ;;
+    *) echo "usage: $0 [--build-dir DIR] [--out-dir DIR] [--no-build]" \
+            "[--quick]" >&2; exit 2 ;;
+  esac
+done
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [[ $do_build -eq 1 ]]; then
+  cmake -B "$build_dir" -S . >/dev/null
+  cmake --build "$build_dir" -j >/dev/null
+fi
+
+mkdir -p "$out_dir"
+out_dir="$(cd "$out_dir" && pwd)"
+
+shopt -s nullglob
+benches=("$build_dir"/bench/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "FAIL: no bench binaries under $build_dir/bench" >&2
+  exit 1
+fi
+
+failures=()
+for bench in "${benches[@]}"; do
+  [[ -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  args=()
+  if [[ $quick -eq 1 ]]; then
+    # Only pass flags to binaries known to take them.
+    case "$name" in
+      bench_fig7_local_loader) args=(--images 200) ;;
+    esac
+  fi
+  echo "=== $name ${args[*]:-}"
+  if ! (cd "$out_dir" && DL_BENCH_JSON_DIR="$out_dir" \
+        "$repo_root/$bench" "${args[@]}"); then
+    echo "!!! $name exited non-zero" >&2
+    failures+=("$name")
+  fi
+done
+
+# Aggregate every BENCH_*.json into BENCH_SUMMARY.json.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_dir" "${failures[@]+"${failures[@]}"}" <<'PYEOF'
+import glob
+import json
+import os
+import sys
+
+out_dir = sys.argv[1]
+failures = sys.argv[2:]
+summary = {"schema_version": 1, "benches": {}, "failures": failures}
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+    if os.path.basename(path) == "BENCH_SUMMARY.json":
+        continue
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        summary["failures"].append(f"{os.path.basename(path)}: {e}")
+        continue
+    summary["benches"][doc.get("bench", os.path.basename(path))] = doc
+out_path = os.path.join(out_dir, "BENCH_SUMMARY.json")
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"summary: {out_path} ({len(summary['benches'])} benches, "
+      f"{len(summary['failures'])} failures)")
+PYEOF
+else
+  echo "python3 unavailable; skipping BENCH_SUMMARY.json aggregation" >&2
+fi
+
+if [[ ${#failures[@]} -gt 0 ]]; then
+  echo "FAIL: ${#failures[@]} bench(es) failed: ${failures[*]}" >&2
+  exit 1
+fi
+echo "all ${#benches[@]} benches OK; reports in $out_dir"

@@ -131,6 +131,46 @@ Result<tql::DatasetView> DeepLake::Query(const std::string& query_text) {
   return tql::RunQuery(dataset_, query_text, options);
 }
 
+Result<tql::QueryProfile> DeepLake::ExplainQuery(
+    const std::string& query_text) {
+  tql::QueryOptions options;
+  if (vc_) {
+    auto vc = vc_;
+    options.version_resolver =
+        [vc](const std::string& commit)
+        -> Result<std::shared_ptr<tsf::Dataset>> {
+      DL_ASSIGN_OR_RETURN(auto store, vc->StoreAt(commit));
+      return tsf::Dataset::Open(store);
+    };
+  }
+  tql::QueryProfile profile;
+  options.profile = &profile;
+  DL_RETURN_IF_ERROR(tql::RunQuery(dataset_, query_text, options).status());
+  return profile;
+}
+
+Status DeepLake::StartFlightRecorder(obs::FlightRecorder::Options options) {
+  if (flight_ != nullptr && flight_->running()) {
+    return Status::FailedPrecondition("flight recorder already running");
+  }
+  flight_ = std::make_unique<obs::FlightRecorder>(
+      &obs::MetricsRegistry::Global(), options);
+  flight_->WatchCounter("loader.rows", {}, "loader_rows");
+  flight_->WatchCounter("tql.queries", {}, "tql_queries");
+  flight_->WatchGauge("loader.queued_rows", {}, "queued_rows");
+  flight_->WatchGauge("sim.gpu.utilization", {{"gpu", "gpu0"}},
+                      "gpu_utilization");
+  flight_->WatchHistogram("loader.fetch_us", {}, "fetch_us");
+  flight_->WatchHistogram("loader.stall_us", {}, "stall_us");
+  return flight_->Start();
+}
+
+Json DeepLake::StopFlightRecorder() {
+  if (flight_ == nullptr) return Json();
+  (void)flight_->Stop();
+  return flight_->TimelineJson();
+}
+
 Json DeepLake::MetricsSnapshot() const {
   Json doc = Json::MakeObject();
   doc.Set("registry", obs::MetricsRegistry::Global().SnapshotJson());

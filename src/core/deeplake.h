@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/storage.h"
 #include "stream/dataloader.h"
@@ -102,6 +103,11 @@ class DeepLake {
   /// clauses resolve through version control automatically.
   Result<tql::DatasetView> Query(const std::string& query_text);
 
+  /// Profiles `query_text` and returns its per-operator profile — the
+  /// programmatic twin of `EXPLAIN ANALYZE <query>` (which returns the
+  /// rendered plan as a view instead). The query executes fully.
+  Result<tql::QueryProfile> ExplainQuery(const std::string& query_text);
+
   /// Materializes a view into a fresh dense dataset (§4.5).
   Result<std::shared_ptr<tsf::Dataset>> Materialize(
       tql::DatasetView& view, storage::StoragePtr target) {
@@ -127,6 +133,21 @@ class DeepLake {
   /// request/byte counters. The payload benches embed in BENCH_*.json.
   Json MetricsSnapshot() const;
 
+  /// Starts a flight recorder (DESIGN.md §7) over the global registry,
+  /// watching the default instrument set a training run cares about:
+  /// loader rows/queue depth, TQL query counts, fetch/stall latency, GPU
+  /// utilization. Fails if one is already running on this lake.
+  Status StartFlightRecorder(obs::FlightRecorder::Options options = {});
+
+  /// Stops the recorder and returns its timeline JSON ({"interval_us",
+  /// "dropped", "samples": [...]}); returns a null Json when no recorder
+  /// was ever started.
+  Json StopFlightRecorder();
+
+  /// The active recorder, or nullptr — for callers that want to add
+  /// watches (before Start) or read samples mid-run.
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+
   // ---- Visualization (§4.3) ----
 
   viz::LayoutPlan PlanLayout() const { return viz::PlanLayout(*dataset_); }
@@ -143,6 +164,7 @@ class DeepLake {
   storage::StoragePtr base_;
   std::shared_ptr<version::VersionControl> vc_;
   std::shared_ptr<tsf::Dataset> dataset_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
 };
 
 }  // namespace dl

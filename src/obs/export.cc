@@ -1,0 +1,168 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dl::obs {
+
+namespace {
+
+/// Prometheus metric/label names allow [a-zA-Z_:][a-zA-Z0-9_:]*; registry
+/// names use dots, which map to underscores. Anything else degrades to '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out.empty() ? "_" : out;
+}
+
+/// Escapes a label value per the exposition format: backslash, quote and
+/// newline are the three characters the spec requires escaping.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LabelBlock(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += SanitizeName(k);
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra pair (the histogram `le` bucket label).
+std::string LabelBlockWith(const Labels& labels, const std::string& key,
+                           const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return LabelBlock(all);
+}
+
+std::string NumberText(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string BoundText(double b) {
+  // Integral bounds print without an exponent so `le` values stay readable.
+  if (b == static_cast<double>(static_cast<int64_t>(b))) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(b));
+    return buf;
+  }
+  return NumberText(b);
+}
+
+void TypeLine(std::string& out, const std::string& prom_name,
+              const char* type, std::string* last_typed) {
+  // One # TYPE line per metric family, before its first sample, even when
+  // several label sets share the name.
+  if (*last_typed == prom_name) return;
+  *last_typed = prom_name;
+  out += "# TYPE ";
+  out += prom_name;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  RegistrySnapshot snap = registry.Snapshot();
+  std::string out;
+  std::string last_typed;
+
+  for (const auto& c : snap.counters) {
+    std::string prom_name = SanitizeName(c.name) + "_total";
+    TypeLine(out, prom_name, "counter", &last_typed);
+    out += prom_name + LabelBlock(c.labels) + " " +
+           std::to_string(c.value) + "\n";
+  }
+  last_typed.clear();
+  for (const auto& g : snap.gauges) {
+    std::string prom_name = SanitizeName(g.name);
+    TypeLine(out, prom_name, "gauge", &last_typed);
+    out += prom_name + LabelBlock(g.labels) + " " + NumberText(g.value) +
+           "\n";
+  }
+  last_typed.clear();
+  for (const auto& h : snap.histograms) {
+    std::string prom_name = SanitizeName(h.name);
+    TypeLine(out, prom_name, "histogram", &last_typed);
+    // Exposition buckets are cumulative; the registry's are per-bucket.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += prom_name + "_bucket" +
+             LabelBlockWith(h.labels, "le", BoundText(h.bounds[i])) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom_name + "_bucket" + LabelBlockWith(h.labels, "le", "+Inf") +
+           " " + std::to_string(h.count) + "\n";
+    out += prom_name + "_sum" + LabelBlock(h.labels) + " " +
+           NumberText(h.sum) + "\n";
+    out += prom_name + "_count" + LabelBlock(h.labels) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string EventsJsonl(const TraceRecorder& recorder) {
+  std::string out;
+  for (const TraceEvent& e : recorder.Events()) {
+    Json line = Json::MakeObject();
+    line.Set("type", e.cat == "error" ? "error" : "span");
+    line.Set("name", e.name);
+    line.Set("cat", e.cat);
+    line.Set("ts_us", e.ts_us);
+    line.Set("dur_us", e.dur_us);
+    line.Set("tid", static_cast<uint64_t>(e.tid));
+    out += line.Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+void RecordErrorEvent(TraceRecorder& recorder, const std::string& name,
+                      const std::string& detail) {
+  if (!recorder.enabled()) return;
+  std::string full = detail.empty() ? name : name + ": " + detail;
+  recorder.Record(std::move(full), "error", NowMicros(), 0);
+}
+
+}  // namespace dl::obs

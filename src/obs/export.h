@@ -1,0 +1,44 @@
+#ifndef DEEPLAKE_OBS_EXPORT_H_
+#define DEEPLAKE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dl::obs {
+
+/// Standard exporters over the observability layer (DESIGN.md §7): the
+/// Prometheus text exposition format for instruments, and a JSONL event log
+/// for spans/errors. Both are pure functions over point-in-time snapshots —
+/// safe to call from any thread, including while instruments are hot.
+
+/// Renders every instrument in `registry` in Prometheus text exposition
+/// format (version 0.0.4). Naming convention (DESIGN.md §7): dots in
+/// registry names become underscores (`storage.op_us` → `storage_op_us`),
+/// counters gain the conventional `_total` suffix, histograms expand to
+/// cumulative `<name>_bucket{le="..."}` series plus `<name>_sum` /
+/// `<name>_count`. Label values are escaped per the exposition spec
+/// (backslash, double-quote, newline).
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// Structured JSONL event log: one JSON object per line, one line per
+/// recorded span, oldest first:
+///
+///   {"type":"span","name":"loader.fetch","cat":"loader",
+///    "ts_us":123,"dur_us":45,"tid":0}
+///
+/// Spans recorded in category "error" (see RecordErrorEvent) are emitted
+/// with "type":"error". Returns an empty string when nothing was recorded.
+std::string EventsJsonl(const TraceRecorder& recorder);
+
+/// Records an instant error event (category "error", zero duration) so
+/// failures land on the same timeline as spans and surface in EventsJsonl
+/// as "type":"error" lines. No-op while the recorder is disabled, like
+/// every other span site.
+void RecordErrorEvent(TraceRecorder& recorder, const std::string& name,
+                      const std::string& detail);
+
+}  // namespace dl::obs
+
+#endif  // DEEPLAKE_OBS_EXPORT_H_

@@ -1,0 +1,206 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/clock.h"
+
+namespace dl::obs {
+
+namespace {
+
+/// Quantile over one interval's bucket deltas, mirroring
+/// Histogram::Quantile (linear interpolation inside the owning bucket).
+/// `fallback_max` stands in for overflow-bucket hits — the per-interval
+/// true max is unknowable from bucket deltas, so the cumulative tracked
+/// max is the best available bound.
+double DeltaQuantile(const std::vector<double>& bounds,
+                     const std::vector<uint64_t>& delta, double q,
+                     double fallback_max) {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  for (uint64_t c : delta) total += c;
+  if (total == 0) return 0.0;
+  double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (delta[i] == 0) continue;
+    if (static_cast<double>(cumulative + delta[i]) >= rank) {
+      if (i == bounds.size()) return fallback_max;  // overflow bucket
+      double lower = i == 0 ? 0.0 : bounds[i - 1];
+      double upper = bounds[i];
+      double within = (rank - static_cast<double>(cumulative)) / delta[i];
+      return lower + within * (upper - lower);
+    }
+    cumulative += delta[i];
+  }
+  return fallback_max;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(MetricsRegistry* registry)
+    : FlightRecorder(registry, Options()) {}
+
+FlightRecorder::FlightRecorder(MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  options_.interval_us = std::max<int64_t>(1000, options_.interval_us);
+  options_.max_samples = std::max<size_t>(2, options_.max_samples);
+}
+
+FlightRecorder::~FlightRecorder() { (void)Stop(); }
+
+void FlightRecorder::WatchCounter(const std::string& name,
+                                  const Labels& labels, std::string alias) {
+  CounterWatch w;
+  w.alias = alias.empty() ? name : std::move(alias);
+  w.counter = registry_->GetCounter(name, labels);
+  counters_.push_back(std::move(w));
+}
+
+void FlightRecorder::WatchGauge(const std::string& name, const Labels& labels,
+                                std::string alias) {
+  GaugeWatch w;
+  w.alias = alias.empty() ? name : std::move(alias);
+  w.gauge = registry_->GetGauge(name, labels);
+  gauges_.push_back(std::move(w));
+}
+
+void FlightRecorder::WatchHistogram(const std::string& name,
+                                    const Labels& labels, std::string alias) {
+  HistogramWatch w;
+  w.alias = alias.empty() ? name : std::move(alias);
+  w.hist = registry_->GetHistogram(name, labels);
+  histograms_.push_back(std::move(w));
+}
+
+Status FlightRecorder::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("flight recorder already running");
+  }
+  samples_.clear();
+  dropped_ = 0;
+  stop_ = false;
+  running_ = true;
+  start_us_ = NowMicros();
+  last_us_ = start_us_;
+  lock.unlock();
+  // Baseline pass: deltas on the first real sample measure from Start(),
+  // not from whatever the instruments accumulated before it.
+  for (auto& w : counters_) w.prev = w.counter->Value();
+  for (auto& w : histograms_) {
+    w.prev_count = w.hist->Count();
+    w.prev_buckets = w.hist->BucketCounts();
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+Status FlightRecorder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::OK();
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample after the thread quiesced: the tail of the run (anything
+  // since the last tick) makes it into the series.
+  SampleOnce();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  return Status::OK();
+}
+
+bool FlightRecorder::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void FlightRecorder::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::microseconds(options_.interval_us),
+                 [&] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void FlightRecorder::SampleOnce() {
+  int64_t now = NowMicros();
+  Sample s;
+  s.t_us = now - start_us_;
+  s.dt_us = std::max<int64_t>(1, now - last_us_);
+  last_us_ = now;
+  double per_sec_scale = 1e6 / static_cast<double>(s.dt_us);
+  for (auto& w : counters_) {
+    uint64_t cur = w.counter->Value();
+    // Reset() mid-run makes the counter go backwards; clamp to zero
+    // rather than emitting a huge unsigned wraparound.
+    uint64_t delta = cur >= w.prev ? cur - w.prev : 0;
+    w.prev = cur;
+    s.values[w.alias] = static_cast<double>(delta);
+    s.values[w.alias + "_per_sec"] =
+        static_cast<double>(delta) * per_sec_scale;
+  }
+  for (auto& w : gauges_) {
+    s.values[w.alias] = w.gauge->Value();
+  }
+  for (auto& w : histograms_) {
+    uint64_t count = w.hist->Count();
+    std::vector<uint64_t> buckets = w.hist->BucketCounts();
+    std::vector<uint64_t> delta(buckets.size(), 0);
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      uint64_t prev =
+          i < w.prev_buckets.size() ? w.prev_buckets[i] : 0;
+      delta[i] = buckets[i] >= prev ? buckets[i] - prev : 0;
+    }
+    uint64_t count_delta = count >= w.prev_count ? count - w.prev_count : 0;
+    w.prev_count = count;
+    w.prev_buckets = std::move(buckets);
+    double max = w.hist->Max();
+    s.values[w.alias + "_count"] = static_cast<double>(count_delta);
+    s.values[w.alias + "_p50"] =
+        DeltaQuantile(w.hist->bounds(), delta, 0.50, max);
+    s.values[w.alias + "_p99"] =
+        DeltaQuantile(w.hist->bounds(), delta, 0.99, max);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(std::move(s));
+  while (samples_.size() > options_.max_samples) {
+    samples_.erase(samples_.begin());
+    ++dropped_;
+  }
+}
+
+std::vector<FlightRecorder::Sample> FlightRecorder::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+Json FlightRecorder::TimelineJson() const {
+  Json samples = Json::MakeArray();
+  for (const Sample& s : Samples()) {
+    Json item = Json::MakeObject();
+    item.Set("t_us", s.t_us);
+    item.Set("dt_us", s.dt_us);
+    for (const auto& [k, v] : s.values) item.Set(k, v);
+    samples.Append(std::move(item));
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("interval_us", options_.interval_us);
+  doc.Set("dropped", dropped());
+  doc.Set("samples", std::move(samples));
+  return doc;
+}
+
+}  // namespace dl::obs

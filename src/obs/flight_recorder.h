@@ -1,0 +1,144 @@
+#ifndef DEEPLAKE_OBS_FLIGHT_RECORDER_H_
+#define DEEPLAKE_OBS_FLIGHT_RECORDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace dl::obs {
+
+/// Flight recorder: a background sampler thread that snapshots a chosen
+/// set of registry instruments at a fixed interval into a bounded
+/// in-memory time-series (DESIGN.md §7). Aggregate counters answer "how
+/// much, total"; the flight recorder answers "what did throughput /
+/// utilization / latency look like *over the run*" — the Fig. 9/10 style
+/// over-time view benches embed as a `timeline` array in BENCH_*.json.
+///
+/// Semantics per instrument kind:
+///   - counters:   per-interval delta (and a derived `<alias>_per_sec`
+///                 rate using the interval's actual elapsed time)
+///   - gauges:     value at sample time
+///   - histograms: per-interval count delta plus p50/p99 computed over
+///                 the *interval's* bucket deltas (not cumulative), so a
+///                 latency spike shows up in the sample where it happened
+///
+/// Usage:
+///
+///   FlightRecorder fr(&MetricsRegistry::Global(), {.interval_us = 5000});
+///   fr.WatchCounter("loader.rows");
+///   fr.WatchGauge("sim.gpu.utilization", {{"gpu", "gpu0"}}, "gpu_util");
+///   fr.Start();
+///   ... run the epoch ...
+///   fr.Stop();                       // takes a final sample and joins
+///   Json timeline = fr.TimelineJson();
+///
+/// The series is bounded: when `max_samples` is exceeded the *oldest*
+/// samples are discarded (most-recent-wins, like the trace rings) and
+/// `dropped()` counts the loss.
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Sampling period. The sampler wakes this often; actual per-sample
+    /// elapsed time is recorded as `dt_us` (sleep jitter is measured, not
+    /// assumed away).
+    int64_t interval_us = 100'000;  // 10 Hz
+    /// Ring bound on retained samples; oldest dropped first.
+    size_t max_samples = 4096;
+  };
+
+  /// One snapshot tick. `values` keys are watch aliases plus derived
+  /// suffixes (`_per_sec` for counters; `_count`/`_p50`/`_p99` for
+  /// histograms).
+  struct Sample {
+    int64_t t_us = 0;   // since Start()
+    int64_t dt_us = 0;  // actual elapsed since the previous sample
+    std::map<std::string, double> values;
+  };
+
+  explicit FlightRecorder(MetricsRegistry* registry);
+  FlightRecorder(MetricsRegistry* registry, Options options);
+  ~FlightRecorder();  // stops if running
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Watch registration. Call before Start(); instruments are created in
+  /// the registry on registration (watching a not-yet-reporting name is
+  /// fine — it reads zeros until the subsystem starts). `alias` names the
+  /// series in samples; empty defaults to the instrument name.
+  void WatchCounter(const std::string& name, const Labels& labels = {},
+                    std::string alias = "");
+  void WatchGauge(const std::string& name, const Labels& labels = {},
+                  std::string alias = "");
+  void WatchHistogram(const std::string& name, const Labels& labels = {},
+                      std::string alias = "");
+
+  /// Starts the sampler thread. Clears any previous series and re-baselines
+  /// counter/histogram deltas. Fails if already running.
+  Status Start();
+
+  /// Takes one final sample, stops the sampler and joins it. Idempotent.
+  Status Stop();
+
+  bool running() const;
+
+  /// Retained samples, oldest first.
+  std::vector<Sample> Samples() const;
+
+  /// Samples discarded because the ring bound was exceeded.
+  uint64_t dropped() const;
+
+  /// {"interval_us": ..., "dropped": ...,
+  ///  "samples": [{"t_us", "dt_us", "<alias>": v, ...}, ...]}
+  Json TimelineJson() const;
+
+ private:
+  struct CounterWatch {
+    std::string alias;
+    Counter* counter;
+    uint64_t prev = 0;
+  };
+  struct GaugeWatch {
+    std::string alias;
+    Gauge* gauge;
+  };
+  struct HistogramWatch {
+    std::string alias;
+    Histogram* hist;
+    uint64_t prev_count = 0;
+    std::vector<uint64_t> prev_buckets;
+  };
+
+  void Run();
+  void SampleOnce();
+
+  MetricsRegistry* registry_;
+  Options options_;
+
+  std::vector<CounterWatch> counters_;
+  std::vector<GaugeWatch> gauges_;
+  std::vector<HistogramWatch> histograms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  int64_t start_us_ = 0;
+  int64_t last_us_ = 0;
+  std::vector<Sample> samples_;  // bounded; oldest dropped first
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace dl::obs
+
+#endif  // DEEPLAKE_OBS_FLIGHT_RECORDER_H_

@@ -157,41 +157,70 @@ Json LabelsJson(const Labels& labels) {
 
 }  // namespace
 
-Json MetricsRegistry::SnapshotJson() const {
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
-  Json counters = Json::MakeArray();
+  snap.counters.reserve(counters_.size());
   for (const auto& [key, e] : counters_) {
+    snap.counters.push_back({e.name, e.labels, e.metric->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, e] : gauges_) {
+    snap.gauges.push_back({e.name, e.labels, e.metric->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, e] : histograms_) {
+    const Histogram& h = *e.metric;
+    RegistrySnapshot::HistogramRow row;
+    row.name = e.name;
+    row.labels = e.labels;
+    row.count = h.Count();
+    row.sum = h.Sum();
+    row.max = h.Max();
+    row.p50 = h.Quantile(0.50);
+    row.p90 = h.Quantile(0.90);
+    row.p99 = h.Quantile(0.99);
+    row.bounds = h.bounds();
+    row.buckets = h.BucketCounts();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+Json MetricsRegistry::SnapshotJson() const {
+  RegistrySnapshot snap = Snapshot();
+  Json counters = Json::MakeArray();
+  for (const auto& c : snap.counters) {
     Json item = Json::MakeObject();
-    item.Set("name", e.name);
-    item.Set("labels", LabelsJson(e.labels));
-    item.Set("value", e.metric->Value());
+    item.Set("name", c.name);
+    item.Set("labels", LabelsJson(c.labels));
+    item.Set("value", c.value);
     counters.Append(std::move(item));
   }
   Json gauges = Json::MakeArray();
-  for (const auto& [key, e] : gauges_) {
+  for (const auto& g : snap.gauges) {
     Json item = Json::MakeObject();
-    item.Set("name", e.name);
-    item.Set("labels", LabelsJson(e.labels));
-    item.Set("value", e.metric->Value());
+    item.Set("name", g.name);
+    item.Set("labels", LabelsJson(g.labels));
+    item.Set("value", g.value);
     gauges.Append(std::move(item));
   }
   Json histograms = Json::MakeArray();
-  for (const auto& [key, e] : histograms_) {
-    const Histogram& h = *e.metric;
+  for (const auto& h : snap.histograms) {
     Json item = Json::MakeObject();
-    item.Set("name", e.name);
-    item.Set("labels", LabelsJson(e.labels));
-    item.Set("count", h.Count());
-    item.Set("sum", h.Sum());
-    item.Set("max", h.Max());
-    item.Set("p50", h.Quantile(0.50));
-    item.Set("p90", h.Quantile(0.90));
-    item.Set("p99", h.Quantile(0.99));
+    item.Set("name", h.name);
+    item.Set("labels", LabelsJson(h.labels));
+    item.Set("count", h.count);
+    item.Set("sum", h.sum);
+    item.Set("max", h.max);
+    item.Set("p50", h.p50);
+    item.Set("p90", h.p90);
+    item.Set("p99", h.p99);
     Json bounds = Json::MakeArray();
-    for (double b : h.bounds()) bounds.Append(b);
+    for (double b : h.bounds) bounds.Append(b);
     item.Set("bounds", std::move(bounds));
     Json buckets = Json::MakeArray();
-    for (uint64_t c : h.BucketCounts()) buckets.Append(c);
+    for (uint64_t c : h.buckets) buckets.Append(c);
     item.Set("buckets", std::move(buckets));
     histograms.Append(std::move(item));
   }

@@ -96,6 +96,36 @@ class Histogram {
 /// slow cross-region request with ≤2x quantile error.
 std::vector<double> LatencyBucketsUs();
 
+/// Point-in-time copy of every instrument in a registry, in canonical
+/// (name, sorted-labels) order. The structured form behind SnapshotJson()
+/// and the exporters in obs/export.h; rows own their strings, so a snapshot
+/// stays valid however long the caller holds it.
+struct RegistrySnapshot {
+  struct CounterRow {
+    std::string name;
+    Labels labels;
+    uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    Labels labels;
+    double value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    Labels labels;
+    uint64_t count = 0;
+    double sum = 0;
+    double max = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
 /// Process-wide registry of named, labeled instruments.
 ///
 /// Naming scheme (see DESIGN.md §7): dot-separated `<subsystem>.<what>[_us]`
@@ -126,6 +156,10 @@ class MetricsRegistry {
   /// Zeroes every instrument (handles stay valid). Benches call this after
   /// setup so reports cover only the measured phase.
   void Reset();
+
+  /// Structured point-in-time copy of every instrument (exporters and the
+  /// flight recorder consume this; SnapshotJson() is built on top of it).
+  RegistrySnapshot Snapshot() const;
 
   /// Machine-readable dump:
   ///   {"counters": [{"name","labels","value"}...],

@@ -28,4 +28,14 @@ std::vector<double> GpuModel::UtilizationSeries(int64_t window_us) const {
   return busy;
 }
 
+Json GpuModel::UtilizationTimelineJson(int64_t window_us) const {
+  Json series = Json::MakeArray();
+  for (double u : UtilizationSeries(window_us)) series.Append(u);
+  Json doc = Json::MakeObject();
+  doc.Set("gpu", label_);
+  doc.Set("window_us", window_us);
+  doc.Set("utilization", std::move(series));
+  return doc;
+}
+
 }  // namespace dl::sim

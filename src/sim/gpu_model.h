@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "util/clock.h"
+#include "util/json.h"
 
 namespace dl::sim {
 
@@ -32,6 +33,7 @@ class GpuModel {
     util_gauge_ = registry.GetGauge("sim.gpu.utilization", labels);
     idle_gauge_ = registry.GetGauge("sim.gpu.idle_us", labels);
     samples_counter_ = registry.GetCounter("sim.gpu.samples", labels);
+    step_hist_ = registry.GetHistogram("sim.gpu.step_us", labels);
   }
 
   /// Blocks for the simulated step duration and records the interval.
@@ -58,6 +60,7 @@ class GpuModel {
       idle_gauge_->Set(static_cast<double>(idle_us_));
     }
     samples_counter_->Add(batch_size);
+    step_hist_->Observe(static_cast<double>(step_us));
     SleepMicros(step_us);
   }
 
@@ -95,6 +98,10 @@ class GpuModel {
   /// Fig. 10-style utilization-over-time series.
   std::vector<double> UtilizationSeries(int64_t window_us) const;
 
+  /// UtilizationSeries as a bench-embeddable JSON document:
+  /// {"gpu","window_us","utilization":[...]}.
+  Json UtilizationTimelineJson(int64_t window_us) const;
+
  private:
   double samples_per_sec_;
   std::string label_;
@@ -110,6 +117,7 @@ class GpuModel {
   obs::Gauge* util_gauge_;
   obs::Gauge* idle_gauge_;
   obs::Counter* samples_counter_;
+  obs::Histogram* step_hist_;
 };
 
 }  // namespace dl::sim

@@ -82,6 +82,16 @@ Dataloader::~Dataloader() {
   reservoir_cv_.notify_all();
   gate_cv_.notify_all();
   pool_.reset();  // joins workers
+  // Undeliverable rows still buffered at teardown would otherwise leave
+  // the queue-depth gauge stuck above zero for the next epoch's loader.
+  if (queued_gauge_ != nullptr) {
+    double leftover = static_cast<double>(reservoir_.size()) +
+                      static_cast<double>(pending_rows_.size());
+    for (const auto& [seq, p] : completed_) {
+      leftover += static_cast<double>(p.rows.size() - p.taken);
+    }
+    if (leftover > 0) queued_gauge_->Sub(leftover);
+  }
 }
 
 std::vector<Dataloader::Unit> Dataloader::PlanUnits(
@@ -133,6 +143,7 @@ void Dataloader::Start() {
   transform_hist_ = registry.GetHistogram("loader.transform_us");
   stall_hist_ = registry.GetHistogram("loader.stall_us");
   rows_counter_ = registry.GetCounter("loader.rows");
+  queued_gauge_ = registry.GetGauge("loader.queued_rows");
   // Visit units in shuffled order for shuffled streams (chunk-level
   // shuffle); the reservoir adds sample-level randomness (§3.5).
   std::vector<size_t> visit(units_.size());
@@ -199,6 +210,7 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       std::lock_guard<std::mutex> lock(mu_);
       completed_[unit.seq].rows.push_back(std::move(row));
     }
+    queued_gauge_->Add(1);
     ready_cv_.notify_all();
   };
   // Bounded re-fetch on retryable storage errors: a transient object-store
@@ -395,6 +407,7 @@ Result<bool> Dataloader::Next(Batch* out) {
   stats_.rows_delivered += take;
   stats_.batches_delivered += 1;
   rows_counter_->Add(take);
+  queued_gauge_->Sub(static_cast<double>(take));
   return true;
 }
 

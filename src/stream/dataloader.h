@@ -185,6 +185,10 @@ class Dataloader {
   obs::Histogram* transform_hist_ = nullptr;
   obs::Histogram* stall_hist_ = nullptr;
   obs::Counter* rows_counter_ = nullptr;
+  // Decoded-but-undelivered rows (reservoir + completed units + pending).
+  // A rising series means the consumer is the bottleneck; pinned at zero
+  // means the loader is — the flight-recorder signal for Fig. 9 plots.
+  obs::Gauge* queued_gauge_ = nullptr;
 };
 
 }  // namespace dl::stream

@@ -101,8 +101,14 @@ struct JoinClause {
   ExprPtr on;
 };
 
+/// EXPLAIN prefix on a query (DESIGN.md §7). `kPlan` renders the operator
+/// pipeline without touching any row; `kAnalyze` executes the query and
+/// reports per-operator rows/wall-time/bytes in place of the result rows.
+enum class ExplainMode { kNone, kPlan, kAnalyze };
+
 /// A parsed TQL query (paper Fig. 5 grammar).
 struct Query {
+  ExplainMode explain = ExplainMode::kNone;
   std::vector<SelectItem> select;  // empty or single kStarAll = all tensors
   std::string from;                // dataset identifier (informational)
   std::string from_alias;          // alias for qualified column refs
@@ -122,6 +128,11 @@ struct Query {
             select[0].expr->kind == Expr::Kind::kStarAll);
   }
 };
+
+/// Renders an expression back to TQL-ish text — used for EXPLAIN operator
+/// detail strings ("filter (MEAN(images) > 0.5)"). Round-trip fidelity is
+/// not a goal; readability is.
+std::string ExprToString(const Expr& expr);
 
 }  // namespace dl::tql
 

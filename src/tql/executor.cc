@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tql/parser.h"
@@ -96,7 +97,10 @@ Status ValidateExpr(const Expr& expr, tsf::Dataset* ds) {
 
 Result<Value> EvalContext::Column(const std::string& name) {
   auto it = cache_.find(name);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    if (io_ != nullptr) ++io_->cache_hits;
+    return it->second;
+  }
   // Qualified JOIN reference: "alias/tensor" -> the bound dataset/row.
   size_t slash = name.find('/');
   if (slash != std::string::npos) {
@@ -121,6 +125,10 @@ Result<Value> EvalContext::Load(tsf::Dataset* dataset, uint64_t row,
     return Value::Null();
   }
   DL_ASSIGN_OR_RETURN(tsf::Sample s, tensor->Read(row));
+  if (io_ != nullptr) {
+    ++io_->loads;
+    io_->bytes_loaded += s.data.size();
+  }
   Value v;
   if (s.shape.IsEmptySample() && s.data.empty() && s.shape.ndim() > 0) {
     v = Value::Null();
@@ -513,6 +521,65 @@ bool DatasetView::IsSparseOver(uint64_t dataset_rows) const {
 }
 
 // ---------------------------------------------------------------------------
+// QueryProfile
+// ---------------------------------------------------------------------------
+
+std::string QueryProfile::ToTreeString() const {
+  std::string out = analyzed ? "EXPLAIN ANALYZE" : "EXPLAIN";
+  if (analyzed) {
+    out += " (total " + std::to_string(total_us) + " us, parse " +
+           std::to_string(parse_us) + " us)";
+  }
+  out += "\n";
+  for (const auto& op : operators) {
+    out += "-> " + op.op;
+    if (!op.detail.empty()) out += " (" + op.detail + ")";
+    if (analyzed) {
+      out += " [rows " + std::to_string(op.rows_in) + " -> " +
+             std::to_string(op.rows_out) + ", wall " +
+             std::to_string(op.wall_us) + " us";
+      if (op.bytes_read > 0) {
+        out += ", bytes " + std::to_string(op.bytes_read);
+      }
+      if (op.cache_hits > 0) {
+        out += ", cache_hits " + std::to_string(op.cache_hits);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Json QueryProfile::ToJson() const {
+  Json ops = Json::MakeArray();
+  for (const auto& op : operators) {
+    Json item = Json::MakeObject();
+    item.Set("op", op.op);
+    item.Set("detail", op.detail);
+    item.Set("rows_in", op.rows_in);
+    item.Set("rows_out", op.rows_out);
+    item.Set("wall_us", op.wall_us);
+    item.Set("bytes_read", op.bytes_read);
+    item.Set("cache_hits", op.cache_hits);
+    ops.Append(std::move(item));
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("query", query);
+  doc.Set("analyzed", analyzed);
+  doc.Set("parse_us", parse_us);
+  doc.Set("total_us", total_us);
+  doc.Set("operators", std::move(ops));
+  return doc;
+}
+
+int64_t QueryProfile::OperatorWallSumUs() const {
+  int64_t sum = parse_us;
+  for (const auto& op : operators) sum += op.wall_us;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
 // Query execution
 // ---------------------------------------------------------------------------
 
@@ -679,23 +746,129 @@ Result<DatasetView> ExecuteJoin(std::shared_ptr<tsf::Dataset> left,
 
 namespace {
 
+/// Operator details shared by EXPLAIN (describe) and EXPLAIN ANALYZE
+/// (measure): the two paths must name operators identically.
+std::string GroupByDetail(const Query& query) {
+  std::string detail;
+  for (const auto& g : query.group_by) {
+    if (!detail.empty()) detail += ", ";
+    detail += ExprToString(*g);
+  }
+  return detail;
+}
+
+std::string SortDetail(const Query& query) {
+  return ExprToString(*query.order_by) +
+         (query.order_desc ? " DESC" : " ASC");
+}
+
+std::string LimitDetail(const Query& query) {
+  std::string detail = query.limit >= 0
+                           ? "limit " + std::to_string(query.limit)
+                           : std::string("limit none");
+  if (query.offset > 0) detail += " offset " + std::to_string(query.offset);
+  return detail;
+}
+
+std::string ProjectDetail(const Query& query) {
+  return query.SelectsAll()
+             ? std::string("* (lazy)")
+             : std::to_string(query.select.size()) + " column(s) (lazy)";
+}
+
+/// Plain EXPLAIN: describe the operator pipeline without touching a row.
+/// Mirrors the operator names/order the ANALYZE path produces.
+std::vector<OperatorProfile> DescribePlan(const Query& query,
+                                          tsf::Dataset* ds) {
+  std::vector<OperatorProfile> ops;
+  auto add = [&](const char* op, std::string detail) {
+    OperatorProfile p;
+    p.op = op;
+    p.detail = std::move(detail);
+    ops.push_back(std::move(p));
+  };
+  if (!query.joins.empty()) {
+    add("join", query.joins[0].dataset + " ON " +
+                    ExprToString(*query.joins[0].on));
+    add("project", ProjectDetail(query));
+    return ops;
+  }
+  if (!query.version.empty()) add("version", "'" + query.version + "'");
+  add("plan", "validate expressions");
+  if (query.where) {
+    add("filter", ExprToString(*query.where));
+  } else {
+    add("scan", "full scan of " + std::to_string(ds->NumRows()) + " rows");
+  }
+  if (!query.group_by.empty()) {
+    add("group_by", GroupByDetail(query));
+    return ops;
+  }
+  if (query.order_by) add("sort", SortDetail(query));
+  if (query.arrange_by) add("arrange", ExprToString(*query.arrange_by));
+  if (query.limit >= 0 || query.offset > 0) add("limit", LimitDetail(query));
+  add("project", ProjectDetail(query));
+  return ops;
+}
+
+/// Renders a profile as a computed single-column view — what EXPLAIN and
+/// EXPLAIN ANALYZE return in place of result rows (one line per row).
+DatasetView PlanTextView(const QueryProfile& profile) {
+  std::vector<std::vector<Value>> out_rows;
+  std::string text = profile.ToTreeString();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    out_rows.push_back({Value(text.substr(start, nl - start))});
+    start = nl + 1;
+  }
+  return DatasetView(std::vector<std::string>{"plan"}, std::move(out_rows));
+}
+
 Result<DatasetView> ExecuteQueryImpl(std::shared_ptr<tsf::Dataset> dataset,
                                      const Query& query,
-                                     const QueryOptions& options) {
+                                     const QueryOptions& options,
+                                     QueryProfile* prof) {
   std::shared_ptr<tsf::Dataset> ds = dataset;
   {
     auto named = options.datasets.find(query.from);
     if (named != options.datasets.end()) ds = named->second;
   }
+  auto add_op = [&](const char* op, std::string detail, uint64_t rows_in,
+                    uint64_t rows_out, int64_t wall_us,
+                    EvalContext::IoStats io = {}) {
+    if (prof == nullptr) return;
+    OperatorProfile p;
+    p.op = op;
+    p.detail = std::move(detail);
+    p.rows_in = rows_in;
+    p.rows_out = rows_out;
+    p.wall_us = wall_us;
+    p.bytes_read = io.bytes_loaded;
+    p.cache_hits = io.cache_hits;
+    prof->operators.push_back(std::move(p));
+  };
   if (!query.joins.empty()) {
-    return ExecuteJoin(ds, query, options);
+    int64_t join_start = NowMicros();
+    Result<DatasetView> joined = ExecuteJoin(ds, query, options);
+    if (joined.ok()) {
+      add_op("join",
+             query.joins[0].dataset + " ON " +
+                 ExprToString(*query.joins[0].on),
+             ds->NumRows(), joined->size(), NowMicros() - join_start);
+    }
+    return joined;
   }
   if (!query.version.empty()) {
     if (!options.version_resolver) {
       return Status::NotImplemented(
           "tql: VERSION queries require a version resolver");
     }
+    int64_t version_start = NowMicros();
     DL_ASSIGN_OR_RETURN(ds, options.version_resolver(query.version));
+    add_op("version", "'" + query.version + "'", 0, ds->NumRows(),
+           NowMicros() - version_start);
   }
   // Static validation of every expression in the query — the "plan" phase:
   // all schema errors surface here, before any row is touched.
@@ -719,31 +892,48 @@ Result<DatasetView> ExecuteQueryImpl(std::shared_ptr<tsf::Dataset> dataset,
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetHistogram("tql.plan_us")->ObserveSinceMicros(plan_start);
   plan_span.End();
+  add_op("plan", "validate expressions", 0, 0, NowMicros() - plan_start);
   uint64_t n = ds->NumRows();
   registry.GetCounter("tql.rows_scanned")->Add(n);
 
   // Filter.
   std::vector<uint64_t> rows;
   rows.reserve(n);
+  EvalContext::IoStats filter_io;
+  int64_t filter_start = NowMicros();
   for (uint64_t i = 0; i < n; ++i) {
     if (query.where) {
-      EvalContext ctx(ds.get(), i);
+      EvalContext ctx(ds.get(), i, prof != nullptr ? &filter_io : nullptr);
       DL_ASSIGN_OR_RETURN(Value v, Evaluate(*query.where, ctx));
       if (!v.Truthy()) continue;
     }
     rows.push_back(i);
   }
+  add_op(query.where != nullptr ? "filter" : "scan",
+         query.where != nullptr
+             ? ExprToString(*query.where)
+             : "full scan of " + std::to_string(n) + " rows",
+         n, rows.size(), NowMicros() - filter_start, filter_io);
 
   if (!query.group_by.empty()) {
-    return ExecuteGroupBy(ds, query, rows);
+    int64_t group_start = NowMicros();
+    uint64_t group_in = rows.size();
+    Result<DatasetView> grouped = ExecuteGroupBy(ds, query, rows);
+    if (grouped.ok()) {
+      add_op("group_by", GroupByDetail(query), group_in, grouped->size(),
+             NowMicros() - group_start);
+    }
+    return grouped;
   }
 
   // Order.
   if (query.order_by) {
+    EvalContext::IoStats sort_io;
+    int64_t sort_start = NowMicros();
     std::vector<std::pair<double, uint64_t>> keyed;
     keyed.reserve(rows.size());
     for (uint64_t row : rows) {
-      EvalContext ctx(ds.get(), row);
+      EvalContext ctx(ds.get(), row, prof != nullptr ? &sort_io : nullptr);
       DL_ASSIGN_OR_RETURN(Value v, Evaluate(*query.order_by, ctx));
       double key = v.is_array() ? (v.array().IsScalar()
                                        ? v.array().AsScalar()
@@ -758,15 +948,20 @@ Result<DatasetView> ExecuteQueryImpl(std::shared_ptr<tsf::Dataset> dataset,
                      });
     rows.clear();
     for (const auto& [k, row] : keyed) rows.push_back(row);
+    add_op("sort", SortDetail(query), rows.size(), rows.size(),
+           NowMicros() - sort_start, sort_io);
   }
 
   // Arrange (balancing): bucket by key, then round-robin interleave so
   // every key appears evenly through the stream.
   if (query.arrange_by) {
+    EvalContext::IoStats arrange_io;
+    int64_t arrange_start = NowMicros();
     std::map<std::string, std::vector<uint64_t>> buckets;
     std::vector<std::string> bucket_order;
     for (uint64_t row : rows) {
-      EvalContext ctx(ds.get(), row);
+      EvalContext ctx(ds.get(), row,
+                      prof != nullptr ? &arrange_io : nullptr);
       DL_ASSIGN_OR_RETURN(Value v, Evaluate(*query.arrange_by, ctx));
       std::string key = v.ToString();
       if (buckets.find(key) == buckets.end()) bucket_order.push_back(key);
@@ -785,22 +980,88 @@ Result<DatasetView> ExecuteQueryImpl(std::shared_ptr<tsf::Dataset> dataset,
         }
       }
     }
+    add_op("arrange", ExprToString(*query.arrange_by), rows.size(),
+           rows.size(), NowMicros() - arrange_start, arrange_io);
   }
 
   // Limit / offset.
-  if (query.offset > 0) {
-    size_t off = std::min<size_t>(rows.size(),
-                                  static_cast<size_t>(query.offset));
-    rows.erase(rows.begin(), rows.begin() + off);
-  }
-  if (query.limit >= 0 && rows.size() > static_cast<size_t>(query.limit)) {
-    rows.resize(static_cast<size_t>(query.limit));
+  if (query.offset > 0 || query.limit >= 0) {
+    uint64_t limit_in = rows.size();
+    int64_t limit_start = NowMicros();
+    if (query.offset > 0) {
+      size_t off = std::min<size_t>(rows.size(),
+                                    static_cast<size_t>(query.offset));
+      rows.erase(rows.begin(), rows.begin() + off);
+    }
+    if (query.limit >= 0 && rows.size() > static_cast<size_t>(query.limit)) {
+      rows.resize(static_cast<size_t>(query.limit));
+    }
+    add_op("limit", LimitDetail(query), limit_in, rows.size(),
+           NowMicros() - limit_start);
   }
 
-  return DatasetView(ds, std::move(rows),
-                     query.SelectsAll() ? std::vector<SelectItem>{}
-                                        : query.select,
-                     query.SelectsAll());
+  uint64_t out_rows = rows.size();
+  DatasetView view(ds, std::move(rows),
+                   query.SelectsAll() ? std::vector<SelectItem>{}
+                                      : query.select,
+                   query.SelectsAll());
+  add_op("project", ProjectDetail(query), out_rows, out_rows, 0);
+  return view;
+}
+
+/// Shared execution wrapper: spans/metrics, optional profiling, EXPLAIN
+/// rendering. `query_text`/`parse_us` are known only on the RunQuery path.
+Result<DatasetView> ExecuteQueryTimed(std::shared_ptr<tsf::Dataset> dataset,
+                                      const Query& query,
+                                      const QueryOptions& options,
+                                      const std::string& query_text,
+                                      int64_t parse_us) {
+  obs::ScopedSpan span("tql.execute", "tql");
+  auto& registry = obs::MetricsRegistry::Global();
+  int64_t start = NowMicros();
+
+  std::shared_ptr<QueryProfile> profile;
+  if (options.profile != nullptr || query.explain != ExplainMode::kNone) {
+    profile = std::make_shared<QueryProfile>();
+    profile->query = query_text;
+    profile->analyzed = query.explain != ExplainMode::kPlan;
+    profile->parse_us = parse_us;
+  }
+
+  Result<DatasetView> view = [&]() -> Result<DatasetView> {
+    if (query.explain == ExplainMode::kPlan) {
+      std::shared_ptr<tsf::Dataset> ds = dataset;
+      auto named = options.datasets.find(query.from);
+      if (named != options.datasets.end()) ds = named->second;
+      profile->operators = DescribePlan(query, ds.get());
+      // Placeholder — the rendered plan view is built below, after
+      // total_us is known.
+      return DatasetView(std::vector<std::string>{"plan"}, {});
+    }
+    return ExecuteQueryImpl(std::move(dataset), query, options,
+                            profile != nullptr ? profile.get() : nullptr);
+  }();
+
+  registry.GetHistogram("tql.execute_us")->ObserveSinceMicros(start);
+  if (view.ok()) {
+    registry.GetCounter("tql.queries")->Increment();
+    registry.GetCounter("tql.rows_selected")->Add(view->size());
+  } else {
+    registry.GetCounter("tql.errors")->Increment();
+    obs::RecordErrorEvent(obs::TraceRecorder::Global(), "tql.execute",
+                          view.status().ToString());
+  }
+  if (view.ok() && profile != nullptr) {
+    profile->total_us = NowMicros() - start;
+    if (options.profile != nullptr) *options.profile = *profile;
+    if (query.explain != ExplainMode::kNone) {
+      DatasetView plan_view = PlanTextView(*profile);
+      plan_view.AttachProfile(profile);
+      return plan_view;
+    }
+    view->AttachProfile(profile);
+  }
+  return view;
 }
 
 }  // namespace
@@ -808,23 +1069,13 @@ Result<DatasetView> ExecuteQueryImpl(std::shared_ptr<tsf::Dataset> dataset,
 Result<DatasetView> ExecuteQuery(std::shared_ptr<tsf::Dataset> dataset,
                                  const Query& query,
                                  const QueryOptions& options) {
-  obs::ScopedSpan span("tql.execute", "tql");
-  auto& registry = obs::MetricsRegistry::Global();
-  int64_t start = NowMicros();
-  auto view = ExecuteQueryImpl(std::move(dataset), query, options);
-  registry.GetHistogram("tql.execute_us")->ObserveSinceMicros(start);
-  if (view.ok()) {
-    registry.GetCounter("tql.queries")->Increment();
-    registry.GetCounter("tql.rows_selected")->Add(view->size());
-  } else {
-    registry.GetCounter("tql.errors")->Increment();
-  }
-  return view;
+  return ExecuteQueryTimed(std::move(dataset), query, options, "", 0);
 }
 
 Result<DatasetView> RunQuery(std::shared_ptr<tsf::Dataset> dataset,
                              const std::string& query_text,
                              const QueryOptions& options) {
+  int64_t parse_start = NowMicros();
   Result<Query> parsed = [&] {
     obs::ScopedSpan span("tql.parse", "tql");
     obs::ScopedTimerUs timer(
@@ -832,7 +1083,9 @@ Result<DatasetView> RunQuery(std::shared_ptr<tsf::Dataset> dataset,
     return ParseQuery(query_text);
   }();
   if (!parsed.ok()) return parsed.status();
-  return ExecuteQuery(std::move(dataset), *parsed, options);
+  int64_t parse_us = NowMicros() - parse_start;
+  return ExecuteQueryTimed(std::move(dataset), *parsed, options, query_text,
+                           parse_us);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include "tql/ast.h"
 #include "tsf/dataset.h"
+#include "util/json.h"
 
 namespace dl::tql {
 
@@ -17,8 +18,16 @@ namespace dl::tql {
 /// the same tensor fetch it once).
 class EvalContext {
  public:
-  EvalContext(tsf::Dataset* dataset, uint64_t row)
-      : dataset_(dataset), row_(row) {}
+  /// I/O accounting shared across the contexts of one execution stage —
+  /// feeds the per-operator bytes_read / cache_hits of EXPLAIN ANALYZE.
+  struct IoStats {
+    uint64_t loads = 0;         // tensor cell reads that hit storage
+    uint64_t bytes_loaded = 0;  // sample bytes those reads returned
+    uint64_t cache_hits = 0;    // column refs served from the row cache
+  };
+
+  EvalContext(tsf::Dataset* dataset, uint64_t row, IoStats* io = nullptr)
+      : dataset_(dataset), row_(row), io_(io) {}
 
   uint64_t row() const { return row_; }
   tsf::Dataset* dataset() const { return dataset_; }
@@ -41,8 +50,42 @@ class EvalContext {
 
   tsf::Dataset* dataset_;
   uint64_t row_;
+  IoStats* io_ = nullptr;
   std::map<std::string, std::pair<tsf::Dataset*, uint64_t>> bindings_;
   std::map<std::string, Value> cache_;
+};
+
+/// One operator in an EXPLAIN / EXPLAIN ANALYZE pipeline, in execution
+/// order (upstream first). Counters are zero for plain EXPLAIN (nothing
+/// ran) and populated by EXPLAIN ANALYZE.
+struct OperatorProfile {
+  std::string op;      // "plan", "filter", "sort", "limit", ...
+  std::string detail;  // rendered expression / parameters
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  int64_t wall_us = 0;
+  uint64_t bytes_read = 0;   // sample bytes loaded from tensors
+  uint64_t cache_hits = 0;   // column refs served from the row cache
+};
+
+/// Full profile of one query: the operator pipeline plus end-to-end
+/// timings. Produced by EXPLAIN [ANALYZE] or by QueryOptions::profile;
+/// attached to the returned DatasetView either way.
+struct QueryProfile {
+  std::string query;      // original text when it came through RunQuery
+  bool analyzed = false;  // true = operators carry measured counters
+  int64_t parse_us = 0;
+  int64_t total_us = 0;   // ExecuteQuery wall time
+  std::vector<OperatorProfile> operators;
+
+  /// Human-readable pipeline, one "-> op (detail) [counters]" line per
+  /// operator under a header line (DESIGN.md §7 shows the format).
+  std::string ToTreeString() const;
+  /// {"query","analyzed","parse_us","total_us","operators":[{...}]}
+  Json ToJson() const;
+  /// parse_us + sum of operator wall times — the accounted-for share of
+  /// RunQuery's wall clock.
+  int64_t OperatorWallSumUs() const;
 };
 
 /// Evaluates an expression for one row.
@@ -89,6 +132,13 @@ class DatasetView {
   /// the "sparse view" whose streaming is less efficient (§4.4/§4.5).
   bool IsSparseOver(uint64_t dataset_rows) const;
 
+  /// Execution profile, when the query was profiled (EXPLAIN [ANALYZE] or
+  /// QueryOptions::profile); null otherwise.
+  std::shared_ptr<const QueryProfile> profile() const { return profile_; }
+  void AttachProfile(std::shared_ptr<const QueryProfile> profile) {
+    profile_ = std::move(profile);
+  }
+
  private:
   const SelectItem* FindItem(const std::string& column) const;
 
@@ -99,6 +149,7 @@ class DatasetView {
   bool selects_all_ = true;
   std::vector<std::string> columns_;
   std::vector<std::vector<Value>> rows_;  // computed views
+  std::shared_ptr<const QueryProfile> profile_;
 };
 
 struct QueryOptions {
@@ -111,6 +162,10 @@ struct QueryOptions {
   /// The FROM name falls back to the dataset passed to RunQuery when not
   /// registered here; JOIN names must be registered.
   std::map<std::string, std::shared_ptr<tsf::Dataset>> datasets;
+  /// When set, execution fills this with a per-operator profile even
+  /// without an EXPLAIN prefix — the programmatic way to profile a query
+  /// while still getting its result rows.
+  QueryProfile* profile = nullptr;
 };
 
 /// Parses and executes a query against `dataset`.

@@ -188,4 +188,17 @@ Result<std::vector<Token>> Lex(const std::string& query) {
   return tokens;
 }
 
+bool TokenIsKeyword(const Token& token, const char* keyword) {
+  if (token.kind != TokenKind::kIdent) return false;
+  const std::string& text = token.text;
+  size_t i = 0;
+  for (; i < text.size(); ++i) {
+    if (keyword[i] == '\0') return false;
+    if (std::toupper(static_cast<unsigned char>(text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return keyword[i] == '\0';
+}
+
 }  // namespace dl::tql

@@ -44,6 +44,11 @@ struct Token {
 /// case-insensitively by the parser (SQL style).
 Result<std::vector<Token>> Lex(const std::string& query);
 
+/// True when `token` is an identifier matching `keyword` case-insensitively.
+/// `keyword` must be uppercase. Allocation-free — this is the single point
+/// of keyword recognition for the parser.
+bool TokenIsKeyword(const Token& token, const char* keyword);
+
 }  // namespace dl::tql
 
 #endif  // DEEPLAKE_TQL_LEXER_H_

@@ -1,5 +1,7 @@
 #include "tql/parser.h"
 
+#include <cstdint>
+
 #include "tql/lexer.h"
 #include "util/macros.h"
 #include "util/string_util.h"
@@ -14,6 +16,10 @@ class Parser {
 
   Result<Query> ParseQuery() {
     Query q;
+    if (AcceptKeyword("EXPLAIN")) {
+      q.explain = ExplainMode::kPlan;
+      if (AcceptKeyword("ANALYZE")) q.explain = ExplainMode::kAnalyze;
+    }
     DL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     DL_RETURN_IF_ERROR(ParseSelectList(&q));
     if (AcceptKeyword("FROM")) {
@@ -116,8 +122,7 @@ class Parser {
     return false;
   }
   bool PeekKeyword(const char* kw, size_t ahead = 0) const {
-    const Token& t = Peek(ahead);
-    return t.kind == TokenKind::kIdent && ToUpper(t.text) == kw;
+    return TokenIsKeyword(Peek(ahead), kw);
   }
   bool AcceptKeyword(const char* kw) {
     if (PeekKeyword(kw)) {
@@ -144,7 +149,8 @@ class Parser {
            upper == "ORDER" || upper == "ARRANGE" || upper == "LIMIT" ||
            upper == "OFFSET" || upper == "AS" || upper == "ASC" ||
            upper == "DESC" || upper == "BY" || upper == "VERSION" ||
-           upper == "JOIN" || upper == "ON";
+           upper == "JOIN" || upper == "ON" || upper == "EXPLAIN" ||
+           upper == "ANALYZE";
   }
 
   // ---- grammar ----
@@ -445,6 +451,115 @@ Result<Query> ParseQuery(const std::string& text) {
 Result<ExprPtr> ParseExpression(const std::string& text) {
   DL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
   return Parser(std::move(tokens)).ParseStandaloneExpr();
+}
+
+namespace {
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+std::string NumberToString(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return std::to_string(v);
+}
+
+void AppendExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      *out += NumberToString(e.number);
+      return;
+    case Expr::Kind::kString:
+      *out += "'";
+      *out += e.text;
+      *out += "'";
+      return;
+    case Expr::Kind::kColumn:
+      *out += e.text;
+      return;
+    case Expr::Kind::kStarAll:
+      *out += "*";
+      return;
+    case Expr::Kind::kBinary:
+      *out += "(";
+      AppendExpr(*e.lhs, out);
+      *out += " ";
+      *out += BinaryOpText(e.bop);
+      *out += " ";
+      AppendExpr(*e.rhs, out);
+      *out += ")";
+      return;
+    case Expr::Kind::kUnary:
+      *out += e.uop == UnaryOp::kNot ? "NOT " : "-";
+      AppendExpr(*e.lhs, out);
+      return;
+    case Expr::Kind::kCall: {
+      *out += e.text;
+      *out += "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) *out += ", ";
+        AppendExpr(*e.args[i], out);
+      }
+      *out += ")";
+      return;
+    }
+    case Expr::Kind::kArray: {
+      *out += "[";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) *out += ", ";
+        AppendExpr(*e.args[i], out);
+      }
+      *out += "]";
+      return;
+    }
+    case Expr::Kind::kIndex: {
+      AppendExpr(*e.lhs, out);
+      *out += "[";
+      for (size_t i = 0; i < e.slices.size(); ++i) {
+        if (i > 0) *out += ", ";
+        const Expr::SliceExpr& s = e.slices[i];
+        if (s.is_index) {
+          AppendExpr(*s.index, out);
+          continue;
+        }
+        if (s.start) AppendExpr(*s.start, out);
+        *out += ":";
+        if (s.stop) AppendExpr(*s.stop, out);
+        if (s.step) {
+          *out += ":";
+          AppendExpr(*s.step, out);
+        }
+      }
+      *out += "]";
+      return;
+    }
+  }
+  *out += "?";
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  std::string out;
+  AppendExpr(expr, &out);
+  return out;
 }
 
 }  // namespace dl::tql

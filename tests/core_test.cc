@@ -164,5 +164,58 @@ TEST(DeepLakeTest, RenderThroughFacade) {
   EXPECT_EQ(fb->PixelAt(8, 8)[0], 1);
 }
 
+TEST(DeepLakeTest, ExplainQueryThroughFacade) {
+  auto lake = NewLake();
+  ASSERT_TRUE(FillClassified(*lake, 40).ok());
+  auto profile =
+      lake->ExplainQuery("SELECT labels FROM ds WHERE labels = 3 LIMIT 5");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_TRUE(profile->analyzed);
+  ASSERT_FALSE(profile->operators.empty());
+  bool saw_filter = false;
+  for (const auto& op : profile->operators) {
+    if (op.op == "filter") {
+      saw_filter = true;
+      EXPECT_EQ(op.rows_in, 40u);
+      EXPECT_EQ(op.rows_out, 10u);  // labels cycle 0..3
+    }
+  }
+  EXPECT_TRUE(saw_filter);
+  EXPECT_GE(profile->total_us, profile->OperatorWallSumUs() -
+                                   profile->parse_us);
+  // Malformed queries surface the parse error, not a profile.
+  EXPECT_FALSE(lake->ExplainQuery("SELECT FROM").ok());
+}
+
+TEST(DeepLakeTest, FlightRecorderLifecycle) {
+  auto lake = NewLake();
+  ASSERT_TRUE(FillClassified(*lake, 30).ok());
+  // Stop before any start: null timeline, no crash.
+  EXPECT_TRUE(lake->StopFlightRecorder().is_null());
+  ASSERT_TRUE(lake->StartFlightRecorder().ok());
+  ASSERT_NE(lake->flight_recorder(), nullptr);
+  EXPECT_TRUE(lake->flight_recorder()->running());
+  // Starting twice while running is refused.
+  EXPECT_TRUE(lake->StartFlightRecorder().IsFailedPrecondition());
+  // Generate some watched traffic (tql.queries is in the default watch set).
+  ASSERT_TRUE(lake->Query("SELECT * FROM ds WHERE labels = 1").ok());
+  Json timeline = lake->StopFlightRecorder();
+  ASSERT_FALSE(timeline.is_null());
+  ASSERT_TRUE(timeline.Has("samples"));
+  const auto& samples = timeline.Get("samples").array();
+  ASSERT_GE(samples.size(), 1u);  // Stop() always takes a final sample
+  double queries = 0;
+  for (const Json& s : samples) {
+    ASSERT_TRUE(s.Has("tql_queries"));
+    ASSERT_TRUE(s.Has("gpu_utilization"));
+    ASSERT_TRUE(s.Has("queued_rows"));
+    queries += s.Get("tql_queries").as_number();
+  }
+  EXPECT_GE(queries, 1.0);
+  // The recorder is reusable after Stop.
+  EXPECT_TRUE(lake->StartFlightRecorder().ok());
+  EXPECT_FALSE(lake->StopFlightRecorder().is_null());
+}
+
 }  // namespace
 }  // namespace dl

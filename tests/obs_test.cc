@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/network_model.h"
@@ -225,6 +227,264 @@ TEST(TraceTest, RingKeepsMostRecentSpans) {
   rec.Clear();
   rec.Enable();  // restore default capacity for later ring creations
   rec.Disable();
+}
+
+TEST(TraceTest, RingWraparoundUnderConcurrentWriters) {
+  auto& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Enable(/*ring_capacity=*/8);
+  // Four fresh threads each get their own 8-slot ring and write 100 spans:
+  // wraparound happens concurrently in every ring. Survivors must be each
+  // thread's most recent 8; the global drop counter must account exactly
+  // for the rest. No locks are shared between rings, so this also shakes
+  // out races between Record() and the ring bookkeeping.
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 100;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        rec.Record("t" + std::to_string(t) + "_s" + std::to_string(i),
+                   "test", NowMicros(), 1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  rec.Disable();
+  auto events = rec.Events();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * 8);
+  EXPECT_EQ(rec.dropped(), static_cast<uint64_t>(kThreads) * (kSpans - 8));
+  // Per-thread retention is most-recent-wins: every surviving span index
+  // is from the tail of its thread's sequence.
+  for (const auto& e : events) {
+    auto us = e.name.rfind("_s");
+    ASSERT_NE(us, std::string::npos);
+    EXPECT_GE(std::stoi(e.name.substr(us + 2)), kSpans - 8) << e.name;
+  }
+  rec.Clear();
+  rec.Enable();  // restore default capacity for later ring creations
+  rec.Disable();
+}
+
+// ---- Exporters ----
+
+TEST(ExportTest, PrometheusTextIsWellFormed) {
+  MetricsRegistry reg;
+  reg.GetCounter("loader.rows")->Add(42);
+  reg.GetGauge("sim.gpu.utilization", {{"gpu", "gpu0"}})->Set(0.75);
+  Histogram* h = reg.GetHistogram("storage.op_us", {{"op", "get"}});
+  h->Observe(5);
+  h->Observe(50000);
+  std::string text = PrometheusText(reg);
+  // Dotted registry names are sanitized; counters gain the _total suffix.
+  EXPECT_NE(text.find("# TYPE loader_rows_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("loader_rows_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sim_gpu_utilization gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sim_gpu_utilization{gpu=\"gpu0\"} 0.75\n"),
+            std::string::npos);
+  // Histograms expose cumulative buckets closed by +Inf == _count.
+  EXPECT_NE(text.find("# TYPE storage_op_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("storage_op_us_bucket{op=\"get\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("storage_op_us_count{op=\"get\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("storage_op_us_sum{op=\"get\"} 50005\n"),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesHostileLabelValues) {
+  MetricsRegistry reg;
+  // A label value with a quote, a backslash and a newline must come out
+  // escaped per the exposition format (\" \\ \n) — raw, any of the three
+  // corrupts the line-oriented output.
+  reg.GetCounter("x.ops", {{"path", "a\"b\\c\nd"}})->Add(1);
+  std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("x_ops_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find('\n') == std::string::npos, false);
+  // No raw newline inside a label value: every line must parse as comment
+  // or sample.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << "unparseable: " << line;
+    }
+    start = end == std::string::npos ? text.size() : end + 1;
+  }
+}
+
+TEST(ExportTest, EventsJsonlOneLinePerEventWithErrorType) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.Record("loader.fetch", "loader", 1000, 250);
+  RecordErrorEvent(rec, "tql.execute", "NotFound: tensor 'x'");
+  rec.Disable();
+  std::string jsonl = EventsJsonl(rec);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) break;
+    lines.push_back(jsonl.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  int spans = 0, errors = 0;
+  for (const auto& line : lines) {
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const Json& e = *parsed;
+    ASSERT_TRUE(e.Has("type"));
+    ASSERT_TRUE(e.Has("name"));
+    ASSERT_TRUE(e.Has("ts_us"));
+    if (e.Get("type").as_string() == "error") {
+      ++errors;
+      EXPECT_NE(e.Get("name").as_string().find("NotFound"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(e.Get("type").as_string(), "span");
+      ++spans;
+    }
+  }
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(errors, 1);
+}
+
+TEST(ExportTest, RecordErrorEventNoOpWhenDisabled) {
+  TraceRecorder rec;  // never enabled
+  RecordErrorEvent(rec, "x", "boom");
+  EXPECT_TRUE(rec.Events().empty());
+}
+
+// Regression: metric labels and span names containing JSON-hostile bytes
+// (quotes, backslashes, control chars) must survive SnapshotJson and the
+// Chrome trace export as parseable JSON that round-trips the exact value.
+TEST(ExportTest, SnapshotJsonSurvivesHostileLabelValues) {
+  MetricsRegistry reg;
+  const std::string hostile = "he said \"hi\"\n\\tab\ttail";
+  reg.GetCounter("q.ops", {{"query", hostile}})->Add(5);
+  auto parsed = Json::Parse(reg.SnapshotJson().Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& counters = parsed->Get("counters").array();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].Get("labels").Get("query").as_string(), hostile);
+}
+
+TEST(ExportTest, ChromeTraceSurvivesHostileSpanNames) {
+  TraceRecorder rec;
+  rec.Enable();
+  const std::string hostile = "SELECT \"a\\b\"\nLIMIT 1";
+  rec.Record(hostile, "tql", 10, 5);
+  rec.Disable();
+  auto parsed = Json::Parse(rec.ChromeTraceJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& events = parsed->Get("traceEvents").array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].Get("name").as_string(), hostile);
+}
+
+// ---- Flight recorder ----
+
+TEST(FlightRecorderTest, SamplesCounterDeltasGaugesAndHistograms) {
+  MetricsRegistry reg;
+  Counter* rows = reg.GetCounter("fr.rows");
+  Gauge* depth = reg.GetGauge("fr.depth");
+  Histogram* lat = reg.GetHistogram("fr.lat_us");
+  FlightRecorder::Options opts;
+  opts.interval_us = 2000;  // clamped floor is 1000; 2ms keeps CI fast
+  FlightRecorder fr(&reg, opts);
+  fr.WatchCounter("fr.rows", {}, "rows");
+  fr.WatchGauge("fr.depth", {}, "depth");
+  fr.WatchHistogram("fr.lat_us", {}, "lat");
+  // Pre-Start() traffic must not leak into the series: deltas re-baseline.
+  rows->Add(1000);
+  ASSERT_TRUE(fr.Start().ok());
+  EXPECT_TRUE(fr.running());
+  EXPECT_FALSE(fr.Start().ok());  // double-start refused
+  for (int i = 0; i < 5; ++i) {
+    rows->Add(20);
+    depth->Set(i);
+    lat->Observe(100);
+    SleepMicros(3000);
+  }
+  ASSERT_TRUE(fr.Stop().ok());
+  EXPECT_FALSE(fr.running());
+  ASSERT_TRUE(fr.Stop().ok());  // idempotent
+  auto samples = fr.Samples();
+  ASSERT_GE(samples.size(), 3u);
+  double rows_total = 0, lat_count = 0;
+  for (const auto& s : samples) {
+    ASSERT_TRUE(s.values.count("rows"));
+    ASSERT_TRUE(s.values.count("rows_per_sec"));
+    ASSERT_TRUE(s.values.count("depth"));
+    ASSERT_TRUE(s.values.count("lat_count"));
+    ASSERT_TRUE(s.values.count("lat_p50"));
+    ASSERT_TRUE(s.values.count("lat_p99"));
+    rows_total += s.values.at("rows");
+    lat_count += s.values.at("lat_count");
+    EXPECT_GT(s.dt_us, 0);
+  }
+  // Deltas across the series sum to exactly the traffic since Start() —
+  // the 1000 pre-Start rows are baselined away.
+  EXPECT_DOUBLE_EQ(rows_total, 100.0);
+  EXPECT_DOUBLE_EQ(lat_count, 5.0);
+  // Gauge samples carry the last value set.
+  EXPECT_DOUBLE_EQ(samples.back().values.at("depth"), 4.0);
+  // The timeline document round-trips as JSON.
+  auto parsed = Json::Parse(fr.TimelineJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Get("samples").array().size(), samples.size());
+}
+
+TEST(FlightRecorderTest, BoundedRingDropsOldestSamples) {
+  MetricsRegistry reg;
+  Counter* ticks = reg.GetCounter("fr.ticks");
+  FlightRecorder::Options opts;
+  opts.interval_us = 1000;  // the clamp floor: fastest legal sampling
+  opts.max_samples = 3;
+  FlightRecorder fr(&reg, opts);
+  fr.WatchCounter("fr.ticks", {}, "ticks");
+  ASSERT_TRUE(fr.Start().ok());
+  for (int i = 0; i < 12; ++i) {
+    ticks->Increment();
+    SleepMicros(2000);
+  }
+  ASSERT_TRUE(fr.Stop().ok());
+  auto samples = fr.Samples();
+  EXPECT_EQ(samples.size(), 3u);
+  EXPECT_GT(fr.dropped(), 0u);
+  // Most-recent-wins: retained timestamps are strictly increasing and the
+  // series end reflects the run's tail, not its start.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].t_us, samples[i - 1].t_us);
+  }
+  EXPECT_EQ(fr.TimelineJson().Get("dropped").as_int(),
+            static_cast<int64_t>(fr.dropped()));
+}
+
+TEST(FlightRecorderTest, RestartClearsSeriesAndRebaselines) {
+  MetricsRegistry reg;
+  Counter* n = reg.GetCounter("fr.n");
+  FlightRecorder::Options opts;
+  opts.interval_us = 1000;
+  FlightRecorder fr(&reg, opts);
+  fr.WatchCounter("fr.n");
+  ASSERT_TRUE(fr.Start().ok());
+  n->Add(50);
+  SleepMicros(3000);
+  ASSERT_TRUE(fr.Stop().ok());
+  ASSERT_GE(fr.Samples().size(), 1u);
+  // Second run: the 50 rows of run one must not reappear as a delta.
+  ASSERT_TRUE(fr.Start().ok());
+  SleepMicros(3000);
+  ASSERT_TRUE(fr.Stop().ok());
+  double total = 0;
+  for (const auto& s : fr.Samples()) total += s.values.at("fr.n");
+  EXPECT_DOUBLE_EQ(total, 0.0);
 }
 
 // ---- Instrumented storage ----
