@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Repo-local source lint, registered as the `check_source` ctest target.
+
+Rules (each exists because the pattern has bitten this codebase or defeats
+its tooling — see DESIGN.md §8):
+
+  naked-mutex     std::mutex / std::lock_guard / std::unique_lock /
+                  std::scoped_lock / std::condition_variable outside
+                  src/util/. Everything must go through dl::Mutex /
+                  dl::MutexLock / dl::CondVar so the Clang thread-safety
+                  analysis and the runtime lock-order checker see it.
+  using-ns-header `using namespace` in a header leaks into every includer.
+  raw-new-delete  Raw `new` outside src/compress/ unless it immediately
+                  feeds a smart pointer (`unique_ptr<T>(new ...)`,
+                  `.reset(new ...)`) or a leaky singleton
+                  (`static T* x = new ...`). Raw `delete` expressions are
+                  banned outside src/compress/ entirely (`= delete`
+                  declarations are fine).
+  todo-owner      TODO without an owner: write TODO(name): so stale work
+                  items are attributable.
+
+Usage: check_source.py [repo_root]   (exit 0 clean, 1 with findings)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXTS = {".h", ".cc"}
+
+NAKED_MUTEX = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|condition_variable(_any)?)\b"
+)
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
+NEW_EXPR = re.compile(r"\bnew\b(?!\s*\()")  # `new (place) T` still matches \bnew\b
+DELETE_EXPR = re.compile(r"\bdelete\b\s*(\[\s*\])?")
+TODO = re.compile(r"\bTODO\b(?!\()")
+
+# A raw `new` is fine when the enclosing statement hands it straight to an
+# owner. Checked against the statement text preceding the `new` token.
+OWNED_NEW = re.compile(
+    r"(unique_ptr\s*<[^;]*\(\s*$|shared_ptr\s*<[^;]*\(\s*$|"
+    r"\.reset\s*\(\s*$|static\b[^;]*=\s*$)"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def statement_prefix(code: str, pos: int) -> str:
+    """Text from the last statement boundary up to pos."""
+    start = max(code.rfind(";", 0, pos), code.rfind("{", 0, pos),
+                code.rfind("}", 0, pos))
+    return code[start + 1:pos]
+
+
+def check_file(path: Path, rel: str, findings: list) -> None:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    in_util = rel.startswith("src/util/")
+    in_codecs = rel.startswith("src/compress/")
+    is_header = path.suffix == ".h"
+
+    if not in_util:
+        for m in NAKED_MUTEX.finditer(code):
+            findings.append((rel, line_of(code, m.start()), "naked-mutex",
+                             f"use dl::{{Mutex,MutexLock,CondVar}} instead "
+                             f"of {m.group(0)}"))
+
+    if is_header:
+        for m in USING_NAMESPACE.finditer(code):
+            findings.append((rel, line_of(code, m.start()), "using-ns-header",
+                             "`using namespace` in a header leaks into every "
+                             "includer"))
+
+    if not in_codecs:
+        for m in NEW_EXPR.finditer(code):
+            prefix = statement_prefix(code, m.start()).rstrip()
+            if OWNED_NEW.search(prefix + " "):
+                continue
+            findings.append((rel, line_of(code, m.start()), "raw-new-delete",
+                             "raw `new` must feed a smart pointer or a "
+                             "`static` leaky singleton"))
+        for m in DELETE_EXPR.finditer(code):
+            prefix = statement_prefix(code, m.start())
+            if re.search(r"=\s*$", prefix):  # `= delete;` declaration
+                continue
+            findings.append((rel, line_of(code, m.start()), "raw-new-delete",
+                             "raw `delete` expression; use owning types"))
+
+    # TODO owners live in comments, so scan the raw text.
+    for m in TODO.finditer(raw):
+        findings.append((rel, line_of(raw, m.start()), "todo-owner",
+                         "write TODO(owner): so the item is attributable"))
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    findings = []
+    scanned = 0
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTS and path.is_file():
+                scanned += 1
+                check_file(path, path.relative_to(root).as_posix(), findings)
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    print(f"check_source: {scanned} files scanned, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ ParallelTaskLoader::ParallelTaskLoader(std::vector<Task> tasks,
 
 ParallelTaskLoader::~ParallelTaskLoader() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     abort_ = true;
   }
   if (window_) window_->Release(1 << 20);
@@ -37,11 +37,11 @@ void ParallelTaskLoader::Start(const LoaderOptions& options) {
     pool_->Submit([this, i] {
       window_->Acquire();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (abort_ || !first_error_.ok()) {
           ++tasks_done_;
           window_->Release();
-          cv_.notify_all();
+          cv_.NotifyAll();
           return;
         }
       }
@@ -50,12 +50,12 @@ void ParallelTaskLoader::Start(const LoaderOptions& options) {
         // Interpreter-driven loaders pay a serialized per-sample *CPU*
         // cost (the GIL): only one worker runs the Python layer at a
         // time, and it burns a core while doing so.
-        std::lock_guard<std::mutex> gil(gil_mu_);
+        MutexLock gil(gil_mu_);
         BusyWaitMicros(interpreter_overhead_us_ *
                        static_cast<int64_t>(result.value().size()));
       }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!result.ok()) {
           if (first_error_.ok()) first_error_ = result.status();
         } else {
@@ -64,17 +64,17 @@ void ParallelTaskLoader::Start(const LoaderOptions& options) {
         ++tasks_done_;
       }
       window_->Release();
-      cv_.notify_all();
+      cv_.NotifyAll();
     });
   }
 }
 
 Result<bool> ParallelTaskLoader::Next(LoadedSample* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return !ready_.empty() || tasks_done_ == tasks_.size() ||
-           !first_error_.ok();
-  });
+  MutexLock lock(mu_);
+  while (!(!ready_.empty() || tasks_done_ == tasks_.size() ||
+           !first_error_.ok())) {
+    cv_.Wait(mu_);
+  }
   if (!first_error_.ok()) return first_error_;
   if (ready_.empty()) return false;
   *out = std::move(ready_.front());

@@ -1,15 +1,14 @@
 #ifndef DEEPLAKE_BASELINES_LOADER_ENGINE_H_
 #define DEEPLAKE_BASELINES_LOADER_ENGINE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "baselines/format.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dl::baselines {
@@ -25,7 +24,7 @@ class ParallelTaskLoader : public FormatLoader {
   ParallelTaskLoader(std::vector<Task> tasks, const LoaderOptions& options);
   ~ParallelTaskLoader() override;
 
-  Result<bool> Next(LoadedSample* out) override;
+  Result<bool> Next(LoadedSample* out) override DL_EXCLUDES(mu_);
 
  private:
   void Start(const LoaderOptions& options);
@@ -34,14 +33,15 @@ class ParallelTaskLoader : public FormatLoader {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Semaphore> window_;
   int64_t interpreter_overhead_us_ = 0;
-  std::mutex gil_mu_;  // serializes the simulated interpreter time
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<LoadedSample> ready_;
-  size_t tasks_done_ = 0;
-  size_t consumed_outstanding_ = 0;  // samples taken from finished tasks
-  Status first_error_;
-  bool abort_ = false;
+  // Both leaf locks, never held together: workers take gil_mu_ alone for
+  // the simulated interpreter burn, then mu_ alone to publish results.
+  Mutex gil_mu_{"baselines.loader_engine.gil_mu"};
+  Mutex mu_{"baselines.loader_engine.mu"};
+  CondVar cv_;
+  std::deque<LoadedSample> ready_ DL_GUARDED_BY(mu_);
+  size_t tasks_done_ DL_GUARDED_BY(mu_) = 0;
+  Status first_error_ DL_GUARDED_BY(mu_);
+  bool abort_ DL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dl::baselines

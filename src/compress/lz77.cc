@@ -118,8 +118,15 @@ class Lz77Codec final : public Codec {
   Result<ByteBuffer> Decompress(ByteView frame) const override {
     Decoder dec{frame};
     DL_ASSIGN_OR_RETURN(uint64_t raw_size, dec.GetVarint64());
+    // raw_size comes off the wire: sanity-bound it before allocating.
+    // Each frame byte can contribute at most 255 output bytes (a match
+    // length extension byte of 255), so anything beyond that ratio is a
+    // corrupt header — reject it instead of attempting a huge reserve.
+    if (raw_size > static_cast<uint64_t>(frame.size()) * 255 + 255) {
+      return Status::Corruption("lz77: raw size implausible for frame");
+    }
     ByteBuffer out;
-    out.reserve(raw_size);
+    out.reserve(static_cast<size_t>(raw_size));
     while (out.size() < raw_size) {
       DL_ASSIGN_OR_RETURN(uint8_t token, dec.GetByte());
       size_t lit_len = token >> 4;

@@ -70,8 +70,14 @@ class RleCodec final : public Codec {
   Result<ByteBuffer> Decompress(ByteView frame) const override {
     Decoder dec{frame};
     DL_ASSIGN_OR_RETURN(uint64_t raw_size, dec.GetVarint64());
+    // raw_size is wire-controlled: bound it before allocating. A run
+    // sequence is two frame bytes producing at most 129 output bytes, so
+    // >129x expansion means a corrupt header, not a real frame.
+    if (raw_size > static_cast<uint64_t>(frame.size()) * 129 + 129) {
+      return Status::Corruption("rle: raw size implausible for frame");
+    }
     ByteBuffer out;
-    out.reserve(raw_size);
+    out.reserve(static_cast<size_t>(raw_size));
     while (out.size() < raw_size) {
       DL_ASSIGN_OR_RETURN(uint8_t c, dec.GetByte());
       if (c < 128) {
@@ -110,7 +116,10 @@ class DeltaCodec final : public Codec {
     int64_t prev = 0;
     for (size_t i = 0; i < count; ++i) {
       int64_t v = LoadSigned(raw.data() + i * es, es);
-      PutVarintSigned64(out, v - prev);
+      // Deltas are exact mod 2^64; unsigned subtraction keeps the extreme
+      // case (INT64_MAX after INT64_MIN) defined where `v - prev` is UB.
+      PutVarintSigned64(out, static_cast<int64_t>(static_cast<uint64_t>(v) -
+                                                  static_cast<uint64_t>(prev)));
       prev = v;
     }
     AppendBytes(out, raw.subview(count * es, tail));
@@ -125,12 +134,21 @@ class DeltaCodec final : public Codec {
     }
     DL_ASSIGN_OR_RETURN(uint64_t count, dec.GetVarint64());
     DL_ASSIGN_OR_RETURN(uint64_t tail, dec.GetVarint64());
+    // count/tail are wire-controlled: each element costs at least one delta
+    // varint byte and the tail is stored raw, so both are bounded by the
+    // remaining frame bytes. Checking before the multiply also keeps
+    // count * es from overflowing.
+    if (count > dec.remaining() || tail > dec.remaining()) {
+      return Status::Corruption("delta: counts implausible for frame");
+    }
     ByteBuffer out;
-    out.reserve(count * es + tail);
+    out.reserve(static_cast<size_t>(count * es + tail));
     int64_t prev = 0;
     for (uint64_t i = 0; i < count; ++i) {
       DL_ASSIGN_OR_RETURN(int64_t d, dec.GetVarintSigned64());
-      prev += d;
+      // Mirror of the encoder: accumulate with defined unsigned wraparound.
+      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                  static_cast<uint64_t>(d));
       StoreSigned(out, prev, es);
     }
     DL_ASSIGN_OR_RETURN(ByteView rest, dec.GetBytes(tail));

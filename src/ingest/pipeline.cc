@@ -1,12 +1,10 @@
 #include "ingest/pipeline.h"
 
-#include <condition_variable>
-#include <mutex>
-
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dl::ingest {
@@ -25,13 +23,18 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
   obs::Histogram* transform_hist = registry.GetHistogram("ingest.task_us");
   obs::Histogram* append_hist = registry.GetHistogram("ingest.append_us");
   PipelineStats stats;
-  ThreadPool pool(options.num_workers);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu{"ingest.pipeline.mu"};
+  CondVar cv;
   std::map<uint64_t, std::vector<Row>> done;  // task seq -> outputs
   uint64_t next_append = 0;
   size_t inflight = 0;
   Status first_error;
+  // Declared after every local the worker lambdas capture: an early return
+  // (source error, append failure) destroys locals in reverse order, so the
+  // pool joins its workers *before* mu/cv/done/first_error go away. With
+  // the pool first, a queued task could run during unwinding against
+  // already-destroyed state.
+  ThreadPool pool(options.num_workers);
 
   auto apply_stages = [this](std::vector<Row> rows,
                              std::vector<Row>* out_rows) -> Status {
@@ -46,8 +49,9 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
     return Status::OK();
   };
 
-  // Drains completed tasks in order into the dataset. Called under lock.
-  auto drain_locked = [&](std::unique_lock<std::mutex>& lock) -> Status {
+  // Drains completed tasks in order into the dataset. Called under lock;
+  // drops it around Append so workers keep publishing while rows land.
+  auto drain_locked = [&](MutexLock& lock) -> Status {
     while (true) {
       auto it = done.find(next_append);
       if (it == done.end()) return Status::OK();
@@ -55,22 +59,22 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
       done.erase(it);
       ++next_append;
       --inflight;
-      cv.notify_all();
-      lock.unlock();
+      cv.NotifyAll();
+      lock.Unlock();
       {
         obs::ScopedSpan span("ingest.append", "ingest");
         int64_t t0 = NowMicros();
         for (auto& row : rows) {
           Status s = out.Append(row);
           if (!s.ok()) {
-            lock.lock();
+            lock.Lock();
             return s;
           }
           ++stats.rows_out;
         }
         append_hist->ObserveSinceMicros(t0);
       }
-      lock.lock();
+      lock.Lock();
     }
   };
 
@@ -90,37 +94,40 @@ Result<PipelineStats> Pipeline::Run(RowSource& source, tsf::Dataset& out,
       task_rows.push_back(std::move(row));
     }
     if (!task_rows.empty()) {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] {
-        return inflight < options.max_inflight_tasks || !first_error.ok();
-      });
-      if (!first_error.ok()) break;
-      ++inflight;
-      uint64_t this_seq = seq++;
-      lock.unlock();
+      uint64_t this_seq;
+      {
+        MutexLock lock(mu);
+        while (!(inflight < options.max_inflight_tasks ||
+                 !first_error.ok())) {
+          cv.Wait(mu);
+        }
+        if (!first_error.ok()) break;
+        ++inflight;
+        this_seq = seq++;
+      }
       pool.Submit([&, this_seq, rows = std::move(task_rows)]() mutable {
         obs::ScopedSpan span("ingest.transform", "ingest");
         obs::ScopedTimerUs timer(transform_hist);
         std::vector<Row> outputs;
         Status s = apply_stages(std::move(rows), &outputs);
-        std::lock_guard<std::mutex> inner(mu);
+        MutexLock inner(mu);
         if (!s.ok() && first_error.ok()) first_error = s;
         done[this_seq] = std::move(outputs);
-        cv.notify_all();
+        cv.NotifyAll();
       });
     }
     // Opportunistically drain whatever is ready, keeping append order.
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     DL_RETURN_IF_ERROR(drain_locked(lock));
   }
   // Wait for the tail.
   {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     while (next_append < seq) {
       DL_RETURN_IF_ERROR(drain_locked(lock));
       if (!first_error.ok()) break;
       if (next_append < seq && done.find(next_append) == done.end()) {
-        cv.wait(lock);
+        cv.Wait(mu);
       }
     }
     if (!first_error.ok()) return first_error;

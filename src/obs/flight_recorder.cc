@@ -1,7 +1,6 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "util/clock.h"
 
@@ -48,13 +47,17 @@ FlightRecorder::FlightRecorder(MetricsRegistry* registry, Options options)
   options_.max_samples = std::max<size_t>(2, options_.max_samples);
 }
 
-FlightRecorder::~FlightRecorder() { (void)Stop(); }
+FlightRecorder::~FlightRecorder() {
+  Status s = Stop();  // Stop() on a stopped recorder is OK; never fails
+  (void)s;
+}
 
 void FlightRecorder::WatchCounter(const std::string& name,
                                   const Labels& labels, std::string alias) {
   CounterWatch w;
   w.alias = alias.empty() ? name : std::move(alias);
   w.counter = registry_->GetCounter(name, labels);
+  MutexLock lock(mu_);
   counters_.push_back(std::move(w));
 }
 
@@ -63,6 +66,7 @@ void FlightRecorder::WatchGauge(const std::string& name, const Labels& labels,
   GaugeWatch w;
   w.alias = alias.empty() ? name : std::move(alias);
   w.gauge = registry_->GetGauge(name, labels);
+  MutexLock lock(mu_);
   gauges_.push_back(std::move(w));
 }
 
@@ -71,12 +75,13 @@ void FlightRecorder::WatchHistogram(const std::string& name,
   HistogramWatch w;
   w.alias = alias.empty() ? name : std::move(alias);
   w.hist = registry_->GetHistogram(name, labels);
+  MutexLock lock(mu_);
   histograms_.push_back(std::move(w));
 }
 
 Status FlightRecorder::Start() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (running_) {
+  MutexLock lock(mu_);
+  if (running_ || stopping_) {
     return Status::FailedPrecondition("flight recorder already running");
   }
   samples_.clear();
@@ -85,7 +90,6 @@ Status FlightRecorder::Start() {
   running_ = true;
   start_us_ = NowMicros();
   last_us_ = start_us_;
-  lock.unlock();
   // Baseline pass: deltas on the first real sample measure from Start(),
   // not from whatever the instruments accumulated before it.
   for (auto& w : counters_) w.prev = w.counter->Value();
@@ -93,44 +97,65 @@ Status FlightRecorder::Start() {
     w.prev_count = w.hist->Count();
     w.prev_buckets = w.hist->BucketCounts();
   }
+  // Spawned under the lock: Run() blocks on mu_ until Start() returns, and
+  // no concurrent Start/Stop can observe a half-initialized thread_.
   thread_ = std::thread([this] { Run(); });
   return Status::OK();
 }
 
 Status FlightRecorder::Stop() {
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return Status::OK();
+    if (stopping_) {
+      // Another Stop() owns the shutdown; wait until it completes so every
+      // Stop() caller returns with the recorder fully stopped.
+      while (running_) cv_.Wait(mu_);
+      return Status::OK();
+    }
+    stopping_ = true;
     stop_ = true;
+    to_join = std::move(thread_);
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  cv_.NotifyAll();
+  if (to_join.joinable()) to_join.join();
   // Final sample after the thread quiesced: the tail of the run (anything
   // since the last tick) makes it into the series.
   SampleOnce();
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
+  {
+    MutexLock lock(mu_);
+    running_ = false;
+    stopping_ = false;
+  }
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 bool FlightRecorder::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
 void FlightRecorder::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    cv_.wait_for(lock, std::chrono::microseconds(options_.interval_us),
-                 [&] { return stop_; });
-    if (stop_) break;
-    lock.unlock();
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      int64_t deadline = NowMicros() + options_.interval_us;
+      while (!stop_) {
+        int64_t now = NowMicros();
+        if (now >= deadline) break;
+        bool notified = cv_.WaitForMicros(mu_, deadline - now);
+        (void)notified;  // stop_ is re-checked either way
+      }
+      if (stop_) return;
+    }
     SampleOnce();
-    lock.lock();
   }
 }
 
 void FlightRecorder::SampleOnce() {
+  MutexLock lock(mu_);
   int64_t now = NowMicros();
   Sample s;
   s.t_us = now - start_us_;
@@ -155,8 +180,7 @@ void FlightRecorder::SampleOnce() {
     std::vector<uint64_t> buckets = w.hist->BucketCounts();
     std::vector<uint64_t> delta(buckets.size(), 0);
     for (size_t i = 0; i < buckets.size(); ++i) {
-      uint64_t prev =
-          i < w.prev_buckets.size() ? w.prev_buckets[i] : 0;
+      uint64_t prev = i < w.prev_buckets.size() ? w.prev_buckets[i] : 0;
       delta[i] = buckets[i] >= prev ? buckets[i] - prev : 0;
     }
     uint64_t count_delta = count >= w.prev_count ? count - w.prev_count : 0;
@@ -169,7 +193,6 @@ void FlightRecorder::SampleOnce() {
     s.values[w.alias + "_p99"] =
         DeltaQuantile(w.hist->bounds(), delta, 0.99, max);
   }
-  std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(std::move(s));
   while (samples_.size() > options_.max_samples) {
     samples_.erase(samples_.begin());
@@ -178,12 +201,12 @@ void FlightRecorder::SampleOnce() {
 }
 
 std::vector<FlightRecorder::Sample> FlightRecorder::Samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_;
 }
 
 uint64_t FlightRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 

@@ -1,11 +1,9 @@
 #ifndef DEEPLAKE_OBS_FLIGHT_RECORDER_H_
 #define DEEPLAKE_OBS_FLIGHT_RECORDER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +11,7 @@
 #include "obs/metrics.h"
 #include "util/json.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace dl::obs {
 
@@ -76,26 +75,29 @@ class FlightRecorder {
   /// fine — it reads zeros until the subsystem starts). `alias` names the
   /// series in samples; empty defaults to the instrument name.
   void WatchCounter(const std::string& name, const Labels& labels = {},
-                    std::string alias = "");
+                    std::string alias = "") DL_EXCLUDES(mu_);
   void WatchGauge(const std::string& name, const Labels& labels = {},
-                  std::string alias = "");
+                  std::string alias = "") DL_EXCLUDES(mu_);
   void WatchHistogram(const std::string& name, const Labels& labels = {},
-                      std::string alias = "");
+                      std::string alias = "") DL_EXCLUDES(mu_);
 
   /// Starts the sampler thread. Clears any previous series and re-baselines
   /// counter/histogram deltas. Fails if already running.
-  Status Start();
+  Status Start() DL_EXCLUDES(mu_);
 
-  /// Takes one final sample, stops the sampler and joins it. Idempotent.
-  Status Stop();
+  /// Takes one final sample, stops the sampler and joins it. Idempotent and
+  /// safe to race: concurrent Stop() calls serialize — exactly one joins
+  /// the sampler and takes the final sample, the others block until the
+  /// recorder is fully stopped.
+  Status Stop() DL_EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const DL_EXCLUDES(mu_);
 
   /// Retained samples, oldest first.
-  std::vector<Sample> Samples() const;
+  std::vector<Sample> Samples() const DL_EXCLUDES(mu_);
 
   /// Samples discarded because the ring bound was exceeded.
-  uint64_t dropped() const;
+  uint64_t dropped() const DL_EXCLUDES(mu_);
 
   /// {"interval_us": ..., "dropped": ...,
   ///  "samples": [{"t_us", "dt_us", "<alias>": v, ...}, ...]}
@@ -118,25 +120,30 @@ class FlightRecorder {
     std::vector<uint64_t> prev_buckets;
   };
 
-  void Run();
-  void SampleOnce();
+  void Run() DL_EXCLUDES(mu_);
+  void SampleOnce() DL_EXCLUDES(mu_);
 
   MetricsRegistry* registry_;
   Options options_;
 
-  std::vector<CounterWatch> counters_;
-  std::vector<GaugeWatch> gauges_;
-  std::vector<HistogramWatch> histograms_;
+  // Leaf lock: instrument reads under it are atomics, never other locks.
+  mutable Mutex mu_{"obs.flight_recorder.mu"};
+  CondVar cv_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
-  std::thread thread_;
-  int64_t start_us_ = 0;
-  int64_t last_us_ = 0;
-  std::vector<Sample> samples_;  // bounded; oldest dropped first
-  uint64_t dropped_ = 0;
+  std::vector<CounterWatch> counters_ DL_GUARDED_BY(mu_);
+  std::vector<GaugeWatch> gauges_ DL_GUARDED_BY(mu_);
+  std::vector<HistogramWatch> histograms_ DL_GUARDED_BY(mu_);
+
+  bool stop_ DL_GUARDED_BY(mu_) = false;
+  bool running_ DL_GUARDED_BY(mu_) = false;
+  // True while one Stop() call owns the join + final sample; other Stop()
+  // callers wait on cv_ until running_ drops.
+  bool stopping_ DL_GUARDED_BY(mu_) = false;
+  std::thread thread_ DL_GUARDED_BY(mu_);
+  int64_t start_us_ DL_GUARDED_BY(mu_) = 0;
+  int64_t last_us_ DL_GUARDED_BY(mu_) = 0;
+  std::vector<Sample> samples_ DL_GUARDED_BY(mu_);  // oldest dropped first
+  uint64_t dropped_ DL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dl::obs

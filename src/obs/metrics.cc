@@ -105,7 +105,7 @@ std::string MetricsRegistry::Key(const std::string& name,
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = counters_[Key(name, labels)];
   if (entry.metric == nullptr) {
     entry.name = name;
@@ -117,7 +117,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = gauges_[Key(name, labels)];
   if (entry.metric == nullptr) {
     entry.name = name;
@@ -130,7 +130,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = histograms_[Key(name, labels)];
   if (entry.metric == nullptr) {
     entry.name = name;
@@ -141,7 +141,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [k, e] : counters_) e.metric->Reset();
   for (auto& [k, e] : gauges_) e.metric->Reset();
   for (auto& [k, e] : histograms_) e.metric->Reset();
@@ -159,7 +159,7 @@ Json LabelsJson(const Labels& labels) {
 
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.counters.reserve(counters_.size());
   for (const auto& [key, e] : counters_) {
     snap.counters.push_back({e.name, e.labels, e.metric->Value()});

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/clock.h"
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace dl::obs {
 
@@ -147,19 +147,22 @@ class MetricsRegistry {
   /// assert exact values construct their own local registry instead.
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name, const Labels& labels = {});
-  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Counter* GetCounter(const std::string& name, const Labels& labels = {})
+      DL_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {})
+      DL_EXCLUDES(mu_);
   /// `bounds` is honored only on first creation of (name, labels).
   Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
-                          std::vector<double> bounds = LatencyBucketsUs());
+                          std::vector<double> bounds = LatencyBucketsUs())
+      DL_EXCLUDES(mu_);
 
   /// Zeroes every instrument (handles stay valid). Benches call this after
   /// setup so reports cover only the measured phase.
-  void Reset();
+  void Reset() DL_EXCLUDES(mu_);
 
   /// Structured point-in-time copy of every instrument (exporters and the
   /// flight recorder consume this; SnapshotJson() is built on top of it).
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const DL_EXCLUDES(mu_);
 
   /// Machine-readable dump:
   ///   {"counters": [{"name","labels","value"}...],
@@ -178,10 +181,13 @@ class MetricsRegistry {
 
   static std::string Key(const std::string& name, const Labels& labels);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  // Leaf lock (DESIGN.md §8): no other lock is ever acquired under it.
+  // Instrument *values* are atomics — mu_ guards only the maps, so Get*
+  // hits it once per call site (callers cache the returned pointer).
+  mutable Mutex mu_{"obs.metrics.mu"};
+  std::map<std::string, Entry<Counter>> counters_ DL_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ DL_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Histogram>> histograms_ DL_GUARDED_BY(mu_);
 };
 
 /// RAII microsecond timer: observes the elapsed time into `hist` on

@@ -28,7 +28,7 @@ TraceRecorder::Ring* TraceRecorder::ThreadRing() {
   if (ring == nullptr || owner != this) {
     auto fresh =
         std::make_unique<Ring>(ring_capacity_.load(std::memory_order_relaxed));
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     fresh->tid = static_cast<uint32_t>(rings_.size());
     rings_.push_back(std::move(fresh));
     ring = rings_.back().get();
@@ -41,7 +41,7 @@ void TraceRecorder::Record(std::string name, std::string cat, int64_t ts_us,
                            int64_t dur_us) {
   if (!enabled()) return;
   Ring* ring = ThreadRing();
-  std::lock_guard<std::mutex> lock(ring->mu);  // uncontended except vs export
+  MutexLock lock(ring->mu);  // uncontended except vs export
   TraceEvent& slot = ring->events[ring->next];
   if (ring->wrapped) ++ring->overwritten;
   slot.name = std::move(name);
@@ -56,9 +56,9 @@ void TraceRecorder::Record(std::string name, std::string cat, int64_t ts_us,
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     for (const auto& ring : rings_) {
-      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      MutexLock ring_lock(ring->mu);
       size_t n = ring->wrapped ? ring->events.size() : ring->next;
       size_t first = ring->wrapped ? ring->next : 0;
       for (size_t i = 0; i < n; ++i) {
@@ -93,9 +93,9 @@ Json TraceRecorder::ChromeTraceJson() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(ring->mu);
     ring->next = 0;
     ring->wrapped = false;
     ring->overwritten = 0;
@@ -105,9 +105,9 @@ void TraceRecorder::Clear() {
 
 uint64_t TraceRecorder::dropped() const {
   uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(ring->mu);
     total += ring->overwritten;
   }
   return total;

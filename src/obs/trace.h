@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/clock.h"
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace dl::obs {
 
@@ -74,20 +74,21 @@ class TraceRecorder {
  private:
   struct Ring {
     explicit Ring(size_t capacity) : events(capacity) {}
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;  // fixed-size circular storage
-    size_t next = 0;
-    bool wrapped = false;
-    uint64_t overwritten = 0;
-    uint32_t tid = 0;
+    // Leaf lock, ordered after rings_mu_ (export walks rings under both).
+    mutable Mutex mu{"obs.trace.ring.mu"};
+    std::vector<TraceEvent> events DL_GUARDED_BY(mu);  // circular storage
+    size_t next DL_GUARDED_BY(mu) = 0;
+    bool wrapped DL_GUARDED_BY(mu) = false;
+    uint64_t overwritten DL_GUARDED_BY(mu) = 0;
+    uint32_t tid = 0;  // immutable after registration
   };
 
-  Ring* ThreadRing();
+  Ring* ThreadRing() DL_EXCLUDES(rings_mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> ring_capacity_{kDefaultRingCapacity};
-  mutable std::mutex rings_mu_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable Mutex rings_mu_{"obs.trace.rings_mu"};
+  std::vector<std::unique_ptr<Ring>> rings_ DL_GUARDED_BY(rings_mu_);
 };
 
 /// RAII span: records [construction, destruction) into the global recorder.

@@ -2,13 +2,13 @@
 #define DEEPLAKE_SIM_GPU_MODEL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace dl::sim {
 
@@ -44,7 +44,7 @@ class GpuModel {
     int64_t step_us = static_cast<int64_t>(
         static_cast<double>(batch_size) / samples_per_sec_ * 1e6);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (last_end_us_ != 0 && now > last_end_us_) {
         intervals_.push_back({last_end_us_, now, /*busy=*/false});
         idle_us_ += now - last_end_us_;
@@ -66,31 +66,31 @@ class GpuModel {
 
   /// Busy fraction over the observed span; 0 when nothing ran.
   double Utilization() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     int64_t total = busy_us_ + idle_us_;
     return total > 0 ? static_cast<double>(busy_us_) / total : 0.0;
   }
 
   uint64_t samples_processed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return samples_;
   }
   uint64_t steps() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return steps_;
   }
   int64_t busy_micros() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return busy_us_;
   }
   int64_t idle_micros() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return idle_us_;
   }
   const std::string& label() const { return label_; }
 
   std::vector<TimelineInterval> Timeline() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return intervals_;
   }
 
@@ -105,13 +105,14 @@ class GpuModel {
  private:
   double samples_per_sec_;
   std::string label_;
-  mutable std::mutex mu_;
-  std::vector<TimelineInterval> intervals_;
-  int64_t busy_us_ = 0;
-  int64_t idle_us_ = 0;
-  int64_t last_end_us_ = 0;
-  uint64_t samples_ = 0;
-  uint64_t steps_ = 0;
+  // Leaf lock: gauge writes under it are atomic stores, never other locks.
+  mutable Mutex mu_{"sim.gpu_model.mu"};
+  std::vector<TimelineInterval> intervals_ DL_GUARDED_BY(mu_);
+  int64_t busy_us_ DL_GUARDED_BY(mu_) = 0;
+  int64_t idle_us_ DL_GUARDED_BY(mu_) = 0;
+  int64_t last_end_us_ DL_GUARDED_BY(mu_) = 0;
+  uint64_t samples_ DL_GUARDED_BY(mu_) = 0;
+  uint64_t steps_ DL_GUARDED_BY(mu_) = 0;
   // Registry instruments (family `sim.gpu.*`, labeled {gpu=<label>}):
   // live utilization/starvation, refreshed every TrainStep.
   obs::Gauge* util_gauge_;

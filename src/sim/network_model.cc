@@ -67,7 +67,7 @@ Status SimulatedObjectStore::MaybeInjectTransientFault() {
   if (model_.transient_failure_rate <= 0.0) return Status::OK();
   bool fail;
   {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    MutexLock lock(fault_mu_);
     fail = fault_rng_.NextBool(model_.transient_failure_rate);
   }
   if (!fail) return Status::OK();

@@ -2,11 +2,11 @@
 #define DEEPLAKE_SIM_NETWORK_MODEL_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "storage/storage.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dl::sim {
@@ -91,8 +91,9 @@ class SimulatedObjectStore : public storage::StorageProvider {
   storage::StoragePtr base_;
   NetworkModel model_;
   Semaphore slots_;
-  std::mutex fault_mu_;
-  Rng fault_rng_;
+  // Leaf lock: guards only the failure-draw Rng, never held across sleeps.
+  Mutex fault_mu_{"sim.network_model.fault_mu"};
+  Rng fault_rng_ DL_GUARDED_BY(fault_mu_);
   // Registry instruments (family `sim.net.*`, labeled {net=<label>}):
   // connection-pool queueing and service time, the knobs Fig. 8 varies.
   obs::Gauge* inflight_gauge_;

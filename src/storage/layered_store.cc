@@ -117,7 +117,7 @@ void LruCacheStore::EvictIfNeeded() {
 
 Result<ByteBuffer> LruCacheStore::Get(std::string_view key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_->Increment();
@@ -128,7 +128,7 @@ Result<ByteBuffer> LruCacheStore::Get(std::string_view key) {
   misses_->Increment();
   DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->Get(key));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Insert(std::string(key), buf);
   }
   return buf;
@@ -137,7 +137,7 @@ Result<ByteBuffer> LruCacheStore::Get(std::string_view key) {
 Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
                                            uint64_t offset, uint64_t length) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_->Increment();
@@ -160,14 +160,14 @@ Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
 
 Status LruCacheStore::Put(std::string_view key, ByteView value) {
   DL_RETURN_IF_ERROR(base_->Put(key, value));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Insert(std::string(key), value.ToBuffer());
   return Status::OK();
 }
 
 Status LruCacheStore::Delete(std::string_view key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       current_bytes_ -= it->second.value.size();
@@ -181,7 +181,7 @@ Status LruCacheStore::Delete(std::string_view key) {
 
 Result<bool> LruCacheStore::Exists(std::string_view key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (entries_.find(key) != entries_.end()) return true;
   }
   return base_->Exists(key);
@@ -189,7 +189,7 @@ Result<bool> LruCacheStore::Exists(std::string_view key) {
 
 Result<uint64_t> LruCacheStore::SizeOf(std::string_view key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       return static_cast<uint64_t>(it->second.value.size());
@@ -204,7 +204,7 @@ Result<std::vector<std::string>> LruCacheStore::ListPrefix(
 }
 
 uint64_t LruCacheStore::cached_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_bytes_;
 }
 

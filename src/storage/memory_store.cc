@@ -5,7 +5,7 @@
 namespace dl::storage {
 
 Result<ByteBuffer> MemoryStore::Get(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("memory: no object '" + std::string(key) + "'");
@@ -17,7 +17,7 @@ Result<ByteBuffer> MemoryStore::Get(std::string_view key) {
 
 Result<ByteBuffer> MemoryStore::GetRange(std::string_view key,
                                          uint64_t offset, uint64_t length) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("memory: no object '" + std::string(key) + "'");
@@ -33,7 +33,7 @@ Result<ByteBuffer> MemoryStore::GetRange(std::string_view key,
 }
 
 Status MemoryStore::Put(std::string_view key, ByteView value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.put_requests++;
   stats_.bytes_written += value.size();
   objects_[std::string(key)] = value.ToBuffer();
@@ -41,19 +41,19 @@ Status MemoryStore::Put(std::string_view key, ByteView value) {
 }
 
 Status MemoryStore::Delete(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it != objects_.end()) objects_.erase(it);
   return Status::OK();
 }
 
 Result<bool> MemoryStore::Exists(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.find(key) != objects_.end();
 }
 
 Result<uint64_t> MemoryStore::SizeOf(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("memory: no object '" + std::string(key) + "'");
@@ -63,7 +63,7 @@ Result<uint64_t> MemoryStore::SizeOf(std::string_view key) {
 
 Result<std::vector<std::string>> MemoryStore::ListPrefix(
     std::string_view prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -73,7 +73,7 @@ Result<std::vector<std::string>> MemoryStore::ListPrefix(
 }
 
 uint64_t MemoryStore::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [k, v] : objects_) total += v.size();
   return total;

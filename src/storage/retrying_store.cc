@@ -37,7 +37,7 @@ int64_t RetryingStore::NextBackoffMicros(int retry) {
   backoff = std::min(backoff, static_cast<double>(policy_.max_backoff_us));
   double u;
   {
-    std::lock_guard<std::mutex> lock(rng_mu_);
+    MutexLock lock(rng_mu_);
     u = rng_.NextDouble();
   }
   // backoff * [1-jitter, 1+jitter), uniformly.

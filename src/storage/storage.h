@@ -7,7 +7,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace dl::storage {
 
@@ -106,8 +106,9 @@ class MemoryStore : public StorageProvider {
   uint64_t TotalBytes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, ByteBuffer, std::less<>> objects_;
+  // Leaf lock: held only for map access, never across another store.
+  mutable Mutex mu_{"storage.memory_store.mu"};
+  std::map<std::string, ByteBuffer, std::less<>> objects_ DL_GUARDED_BY(mu_);
 };
 
 /// POSIX-filesystem provider rooted at a directory.
@@ -194,16 +195,20 @@ class LruCacheStore : public StorageProvider {
     std::list<std::string>::iterator lru_it;
   };
 
-  void Touch(const std::string& key);
-  void Insert(const std::string& key, ByteBuffer value);
-  void EvictIfNeeded();
+  void Touch(const std::string& key) DL_REQUIRES(mu_);
+  void Insert(const std::string& key, ByteBuffer value) DL_REQUIRES(mu_);
+  void EvictIfNeeded() DL_REQUIRES(mu_);
 
   StoragePtr base_;
   uint64_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  uint64_t current_bytes_ = 0;
+  // Leaf lock by policy: every method releases mu_ before calling into
+  // base_ (cache lookups must not serialize behind slow base reads, and
+  // the lock order stays trivially acyclic whatever base_ is).
+  mutable Mutex mu_{"storage.lru_cache.mu"};
+  std::map<std::string, Entry, std::less<>> entries_ DL_GUARDED_BY(mu_);
+  // front = most recently used
+  std::list<std::string> lru_ DL_GUARDED_BY(mu_);
+  uint64_t current_bytes_ DL_GUARDED_BY(mu_) = 0;
   // Registry-owned counters; the label carries a per-instance id so two
   // caches in one process (or consecutive tests) never share counts.
   obs::Counter* hits_;
@@ -336,8 +341,9 @@ class RetryingStore : public StorageProvider {
   StoragePtr base_;
   RetryPolicy policy_;
   SleepFn sleep_;
-  std::mutex rng_mu_;
-  Rng rng_;
+  // Leaf lock: guards only the backoff Rng draw, never held across I/O.
+  Mutex rng_mu_{"storage.retrying_store.rng_mu"};
+  Rng rng_ DL_GUARDED_BY(rng_mu_);
 };
 
 /// Decorator that publishes per-operation latency histograms, request/byte

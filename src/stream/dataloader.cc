@@ -76,15 +76,19 @@ Dataloader::Dataloader(std::shared_ptr<tsf::Dataset> dataset,
 
 Dataloader::~Dataloader() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     abort_ = true;
   }
-  reservoir_cv_.notify_all();
-  gate_cv_.notify_all();
+  reservoir_cv_.NotifyAll();
+  gate_cv_.NotifyAll();
+  ready_cv_.NotifyAll();
   pool_.reset();  // joins workers
   // Undeliverable rows still buffered at teardown would otherwise leave
   // the queue-depth gauge stuck above zero for the next epoch's loader.
+  // Workers are joined, but take the lock anyway — it is free here and
+  // keeps the guarded-access annotations honest.
   if (queued_gauge_ != nullptr) {
+    MutexLock lock(mu_);
     double leftover = static_cast<double>(reservoir_.size()) +
                       static_cast<double>(pending_rows_.size());
     for (const auto& [seq, p] : completed_) {
@@ -163,13 +167,13 @@ void Dataloader::Start() {
     const Unit* unit = &units_[visit[pos]];
     pool_->Submit([this, unit, pos] {
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        gate_cv_.wait(lock, [&] {
-          return abort_ || !first_error_.ok() || pos < start_allowance_;
-        });
+        MutexLock lock(mu_);
+        while (!(abort_ || !first_error_.ok() || pos < start_allowance_)) {
+          gate_cv_.Wait(mu_);
+        }
         if (abort_ || !first_error_.ok()) {
           ++units_done_;
-          ready_cv_.notify_all();
+          ready_cv_.NotifyAll();
           return;
         }
       }
@@ -200,18 +204,18 @@ void Dataloader::ProcessUnit(const Unit& unit) {
   // consumption overlaps decoding from the first sample.
   auto publish = [&](Row row) {
     if (options_.shuffle) {
-      std::unique_lock<std::mutex> lock(mu_);
-      reservoir_cv_.wait(lock, [&] {
-        return abort_ || reservoir_.size() < cap;
-      });
+      MutexLock lock(mu_);
+      while (!(abort_ || reservoir_.size() < cap)) {
+        reservoir_cv_.Wait(mu_);
+      }
       if (abort_) return;
       reservoir_.push_back(std::move(row));
     } else {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       completed_[unit.seq].rows.push_back(std::move(row));
     }
     queued_gauge_->Add(1);
-    ready_cv_.notify_all();
+    ready_cv_.NotifyAll();
   };
   // Bounded re-fetch on retryable storage errors: a transient object-store
   // fault recovers instead of poisoning the whole epoch. Retries are
@@ -224,7 +228,7 @@ void Dataloader::ProcessUnit(const Unit& unit) {
          ++attempt) {
       r = fetch();
       if (r.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_.transient_errors_recovered++;
       }
     }
@@ -315,7 +319,7 @@ void Dataloader::ProcessUnit(const Unit& unit) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!status.ok() && first_error_.ok()) first_error_ = status;
     if (!options_.shuffle) completed_[unit.seq].done = true;
     units_done_++;
@@ -324,8 +328,8 @@ void Dataloader::ProcessUnit(const Unit& unit) {
     stats_.decode_micros += decode_us;
     stats_.transform_micros += transform_us;
   }
-  if (options_.shuffle) gate_cv_.notify_all();
-  ready_cv_.notify_all();
+  if (options_.shuffle) gate_cv_.NotifyAll();
+  ready_cv_.NotifyAll();
 }
 
 Result<bool> Dataloader::Next(Batch* out) {
@@ -335,7 +339,7 @@ Result<bool> Dataloader::Next(Batch* out) {
   int64_t wait_start = NowMicros();
   bool stalled = false;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (pending_rows_.size() < options_.batch_size) {
     if (!first_error_.ok()) return first_error_;
     if (options_.shuffle) {
@@ -345,7 +349,7 @@ Result<bool> Dataloader::Next(Batch* out) {
         std::swap(reservoir_[pick], reservoir_.back());
         pending_rows_.push_back(std::move(reservoir_.back()));
         reservoir_.pop_back();
-        reservoir_cv_.notify_one();
+        reservoir_cv_.NotifyOne();
         continue;
       }
       if (units_done_ == units_.size()) break;  // drained
@@ -362,7 +366,7 @@ Result<bool> Dataloader::Next(Batch* out) {
           ++next_seq_;
           ++stats_.units;
           ++start_allowance_;
-          gate_cv_.notify_all();
+          gate_cv_.NotifyAll();
           continue;
         }
         if (progressed) continue;
@@ -376,7 +380,7 @@ Result<bool> Dataloader::Next(Batch* out) {
       for (auto& [k, v] : completed_) fprintf(stderr, "%llu,", (unsigned long long)k);
       fprintf(stderr, "} pending=%zu\n", pending_rows_.size());
     }
-    ready_cv_.wait(lock);
+    ready_cv_.Wait(mu_);
   }
   if (stalled) {
     int64_t stall = NowMicros() - wait_start;

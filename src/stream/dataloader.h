@@ -1,11 +1,9 @@
 #ifndef DEEPLAKE_STREAM_DATALOADER_H_
 #define DEEPLAKE_STREAM_DATALOADER_H_
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +11,7 @@
 #include "tql/executor.h"
 #include "tsf/dataset.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dl::stream {
@@ -123,9 +122,14 @@ class Dataloader {
 
   /// Produces the next batch; returns false at end of stream. On worker
   /// errors, returns the first error and stops.
-  Result<bool> Next(Batch* out);
+  Result<bool> Next(Batch* out) DL_EXCLUDES(mu_);
 
-  const DataloaderStats& stats() const { return stats_; }
+  /// Unlocked by design — see the DataloaderStats thread-safety contract:
+  /// consumer-thread fields are safe between Next() calls; worker-written
+  /// fields only after the epoch drains.
+  const DataloaderStats& stats() const DL_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
 
  private:
   struct Unit {
@@ -134,7 +138,7 @@ class Dataloader {
   };
 
   void Start();
-  void ProcessUnit(const Unit& unit);
+  void ProcessUnit(const Unit& unit) DL_EXCLUDES(mu_);
 
   /// Builds chunk-aligned work units from the ordered row list.
   std::vector<Unit> PlanUnits(const std::vector<uint64_t>& order) const;
@@ -144,16 +148,18 @@ class Dataloader {
   std::vector<std::string> tensors_;
   std::vector<Unit> units_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Leaf lock (DESIGN.md §8): workers and the consumer never acquire
+  // another dl::Mutex while holding it (registry instruments are atomics).
+  Mutex mu_{"stream.dataloader.mu"};
   // Ordered prefetch window: the task at visit position k may start only
   // once k < start_allowance_. Admission strictly by position prevents
   // later units from stealing window slots from the unit the (in-order)
   // consumer is waiting on — a semaphore here can deadlock by priority
   // inversion.
-  size_t start_allowance_ = 0;
-  std::condition_variable gate_cv_;
-
-  std::mutex mu_;
-  std::condition_variable ready_cv_;
+  size_t start_allowance_ DL_GUARDED_BY(mu_) = 0;
+  CondVar gate_cv_;
+  CondVar ready_cv_;
   // Sequential mode: per-unit progress keyed by seq; rows stream in as
   // they decode (the consumer never waits for a whole unit), and are
   // consumed strictly in seq order.
@@ -162,21 +168,23 @@ class Dataloader {
     size_t taken = 0;
     bool done = false;
   };
-  std::map<uint64_t, UnitProgress> completed_;
-  uint64_t next_seq_ = 0;
+  std::map<uint64_t, UnitProgress> completed_ DL_GUARDED_BY(mu_);
+  uint64_t next_seq_ DL_GUARDED_BY(mu_) = 0;
   // Shuffle mode: reservoir of decoded rows.
-  std::vector<Row> reservoir_;
-  std::condition_variable reservoir_cv_;
-  size_t units_done_ = 0;
-  Status first_error_;
-  bool started_ = false;
-  bool abort_ = false;
+  std::vector<Row> reservoir_ DL_GUARDED_BY(mu_);
+  CondVar reservoir_cv_;
+  size_t units_done_ DL_GUARDED_BY(mu_) = 0;
+  Status first_error_ DL_GUARDED_BY(mu_);
+  bool started_ = false;  // ctor-thread only (Start() runs in the ctor)
+  bool abort_ DL_GUARDED_BY(mu_) = false;
 
   // Carry-over rows between Next() calls (batch boundary inside a unit).
-  std::vector<Row> pending_rows_;
-  Rng shuffle_rng_{42};
+  // Touched only by the consumer thread inside Next(), but always under
+  // mu_ anyway (Next() holds it throughout), so the annotation is honest.
+  std::vector<Row> pending_rows_ DL_GUARDED_BY(mu_);
+  Rng shuffle_rng_{42};  // consumer-thread only (used inside Next())
 
-  DataloaderStats stats_;
+  DataloaderStats stats_;  // see stats() for the mixed guarding contract
   // Registry instruments (family `loader.*`), cached once in Start() so
   // the hot path touches only atomics. Workers observe per-op latencies;
   // stats_ aggregates per-stage totals for the epoch summary.

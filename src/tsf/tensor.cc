@@ -197,14 +197,14 @@ Status Tensor::PersistEncoders() {
 
 Result<std::shared_ptr<Chunk>> Tensor::FetchChunk(uint64_t chunk_id) {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     if (cached_chunk_ && cached_chunk_id_ == chunk_id) return cached_chunk_;
   }
   DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store_->Get(ChunkKey(chunk_id)));
   DL_ASSIGN_OR_RETURN(Chunk chunk, Chunk::Parse(std::move(bytes)));
   auto ptr = std::make_shared<Chunk>(std::move(chunk));
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     cached_chunk_id_ = chunk_id;
     cached_chunk_ = ptr;
   }
@@ -456,7 +456,7 @@ Status Tensor::RewriteSampleInChunk(uint64_t index, const Sample& sample) {
   DL_RETURN_IF_ERROR(store_->Put(ChunkKey(new_id), ByteView(obj)));
   DL_RETURN_IF_ERROR(chunk_encoder_.ReplaceChunkId(loc.chunk_ordinal, new_id));
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     cached_chunk_.reset();  // invalidate
   }
   return Status::OK();
@@ -500,7 +500,7 @@ Result<size_t> Tensor::Rechunk() {
   chunk_encoder_.ReplaceAll(
       std::vector<ChunkEntry>(new_encoder.entries()));
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     cached_chunk_.reset();
   }
   DL_RETURN_IF_ERROR(PersistEncoders());

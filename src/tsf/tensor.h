@@ -2,10 +2,10 @@
 #define DEEPLAKE_TSF_TENSOR_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "storage/storage.h"
+#include "util/thread_annotations.h"
 #include "tsf/chunk.h"
 #include "tsf/chunk_encoder.h"
 #include "tsf/sample.h"
@@ -125,10 +125,11 @@ class Tensor {
   uint64_t next_chunk_id_ = 0;
 
   // Single-slot cache of the most recently parsed chunk: sequential reads
-  // decode each chunk once.
-  mutable std::mutex cache_mu_;
-  uint64_t cached_chunk_id_ = 0;
-  std::shared_ptr<Chunk> cached_chunk_;
+  // decode each chunk once. Leaf lock: held only for the slot swap, never
+  // across the store fetch or chunk parse.
+  mutable Mutex cache_mu_{"tsf.tensor.cache_mu"};
+  uint64_t cached_chunk_id_ DL_GUARDED_BY(cache_mu_) = 0;
+  std::shared_ptr<Chunk> cached_chunk_ DL_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace dl::tsf

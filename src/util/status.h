@@ -35,7 +35,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Deep Lake library code never throws; every operation that can fail
 /// returns `Status` (or `Result<T>`, see result.h). The OK status carries
 /// no allocation.
-class Status {
+///
+/// `[[nodiscard]]`: ignoring a returned Status is a compile error
+/// (-Werror=unused-result). Call sites that genuinely cannot propagate —
+/// destructors, best-effort cleanup — must say so explicitly by logging
+/// through obs::RecordErrorEvent or casting to void with a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,172 @@
+// Runtime lock-order checker behind dl::Mutex (see thread_annotations.h).
+//
+// Every acquisition records directed edges "held -> acquiring" into a global
+// order graph. Acquiring B while holding A after some thread once acquired A
+// while holding B is a potential-deadlock inversion: the checker reports both
+// acquisition chains and (by default) aborts — before the schedule that
+// actually deadlocks ever runs. Recursive acquisition of one mutex on one
+// thread is reported the same way.
+
+#include "util/thread_annotations.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dl::lock_order {
+
+namespace {
+
+struct EdgeInfo {
+  // Rendered acquisition chain ("a -> b -> c") of the thread that first
+  // recorded this edge, kept so a later inversion can show the historical
+  // order next to the current one.
+  std::string chain;
+};
+
+struct Graph {
+  // Raw std::mutex (not dl::Mutex): the checker must not recurse into
+  // itself.
+  std::mutex mu;
+  // (earlier, later) mutex pointer pairs, in observed acquisition order.
+  std::map<std::pair<const Mutex*, const Mutex*>, EdgeInfo> edges;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaky singleton: outlives static dtors
+  return *g;
+}
+
+bool DefaultEnabled() {
+#ifdef NDEBUG
+  const char* env = std::getenv("DEEPLAKE_LOCK_ORDER_CHECK");
+  return env != nullptr && env[0] == '1';
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{DefaultEnabled()};
+  return enabled;
+}
+
+void DefaultHandler(const Violation& v) {
+  std::fprintf(stderr,
+               "\n[dl::Mutex] lock-order %s on mutex '%s' (%p)\n"
+               "  this thread's acquisition chain:  %s\n"
+               "  previously recorded chain:        %s\n"
+               "Fix the acquisition order (see DESIGN.md §8 lock hierarchy) "
+               "or break the cycle.\n",
+               v.kind, v.mutex_name, static_cast<const void*>(v.mutex),
+               v.current_chain, v.recorded_chain);
+  std::abort();
+}
+
+std::atomic<ViolationHandler>& HandlerSlot() {
+  static std::atomic<ViolationHandler> handler{&DefaultHandler};
+  return handler;
+}
+
+// Per-thread stack of held dl::Mutexes, in acquisition order. A plain
+// vector: hold depth is tiny (the hierarchy has three levels).
+thread_local std::vector<const Mutex*> held_stack;
+
+std::string RenderChain(const std::vector<const Mutex*>& chain,
+                        const Mutex* last) {
+  std::string out;
+  for (const Mutex* m : chain) {
+    out += m->name();
+    out += " -> ";
+  }
+  out += last->name();
+  return out;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  return HandlerSlot().exchange(handler == nullptr ? &DefaultHandler
+                                                   : handler);
+}
+
+void ResetGraphForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.edges.clear();
+}
+
+void OnAcquire(const Mutex* mu) {
+  for (const Mutex* held : held_stack) {
+    if (held == mu) {
+      std::string chain = RenderChain(held_stack, mu);
+      Violation v{"recursive", mu, mu->name(), chain.c_str(), chain.c_str()};
+      HandlerSlot().load()(v);
+      return;
+    }
+  }
+  if (!held_stack.empty()) {
+    std::string chain = RenderChain(held_stack, mu);
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const Mutex* held : held_stack) {
+      // An inverted edge means some thread once acquired `held` while
+      // holding `mu` — the opposite order to what this thread is doing now.
+      auto inverted = g.edges.find({mu, held});
+      if (inverted != g.edges.end()) {
+        Violation v{"inversion", mu, mu->name(), chain.c_str(),
+                    inverted->second.chain.c_str()};
+        HandlerSlot().load()(v);
+        held_stack.push_back(mu);
+        return;
+      }
+      auto [it, inserted] = g.edges.try_emplace({held, mu});
+      if (inserted) it->second.chain = chain;
+    }
+  }
+  held_stack.push_back(mu);
+}
+
+void OnAcquireTry(const Mutex* mu) {
+  // A successful TryLock cannot deadlock, so it records no ordering edge;
+  // it only registers the hold so later blocking acquisitions under it are
+  // ordered against it.
+  held_stack.push_back(mu);
+}
+
+void OnRelease(const Mutex* mu) {
+  // Usually the top of the stack, but out-of-order release (hand-over-hand
+  // locking) is legal — erase wherever it sits.
+  for (auto it = held_stack.rbegin(); it != held_stack.rend(); ++it) {
+    if (*it == mu) {
+      held_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnDestroy(const Mutex* mu) {
+  // Drop edges touching the dying mutex: heap reuse would otherwise pin
+  // stale orderings onto an unrelated new mutex at the same address.
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (auto it = g.edges.begin(); it != g.edges.end();) {
+    if (it->first.first == mu || it->first.second == mu) {
+      it = g.edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dl::lock_order

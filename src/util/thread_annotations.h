@@ -1,0 +1,243 @@
+#ifndef DEEPLAKE_UTIL_THREAD_ANNOTATIONS_H_
+#define DEEPLAKE_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety-analysis attribute macros.
+//
+// Under Clang these expand to the static-analysis attributes checked by
+// -Wthread-safety (the repo builds with -Werror=thread-safety there, see the
+// top-level CMakeLists); under every other compiler they expand to nothing.
+// Conventions for annotating a class live in DESIGN.md §8.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DL_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef DL_THREAD_ANNOTATION_ATTRIBUTE__
+#define DL_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define DL_CAPABILITY(x) DL_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define DL_SCOPED_CAPABILITY DL_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member is protected by the given mutex.
+#define DL_GUARDED_BY(x) DL_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define DL_PT_GUARDED_BY(x) DL_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Static lock-ordering declarations (checked by Clang; the runtime
+/// lock-order checker in dl::Mutex validates the dynamic order too).
+#define DL_ACQUIRED_BEFORE(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define DL_ACQUIRED_AFTER(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the given capabilities to be held by the caller.
+#define DL_REQUIRES(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define DL_REQUIRES_SHARED(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the given capabilities.
+#define DL_ACQUIRE(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define DL_RELEASE(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define DL_TRY_ACQUIRE(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the given capabilities (anti-deadlock for functions
+/// that acquire them internally).
+#define DL_EXCLUDES(...) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that a capability is held (tells the analysis so).
+#define DL_ASSERT_CAPABILITY(x) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define DL_RETURN_CAPABILITY(x) \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining the contract that makes it safe.
+#define DL_NO_THREAD_SAFETY_ANALYSIS \
+  DL_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace dl {
+
+class Mutex;
+
+namespace lock_order {
+
+/// Violation report produced by the runtime lock-order checker: the lock
+/// chain the current thread holds and the previously recorded chain that
+/// established the opposite edge.
+struct Violation {
+  const char* kind;           // "inversion" or "recursive"
+  const Mutex* mutex;         // the mutex whose acquisition failed the check
+  const char* mutex_name;
+  // "A -> B" style renderings of the two conflicting acquisition chains.
+  // current_chain ends at `mutex`; recorded_chain is the historical order.
+  const char* current_chain;
+  const char* recorded_chain;
+};
+
+using ViolationHandler = void (*)(const Violation&);
+
+/// Enables/disables the runtime checker. Defaults to enabled in debug
+/// builds (!NDEBUG) or when DEEPLAKE_LOCK_ORDER_CHECK=1 is in the
+/// environment; disabled otherwise (release hot paths pay one relaxed
+/// atomic load per lock).
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Replaces the violation response. The default handler prints both chains
+/// to stderr and aborts; tests install a recording handler instead.
+/// Returns the previous handler.
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+/// Drops every recorded acquisition edge (test isolation).
+void ResetGraphForTest();
+
+// Internal hooks called by dl::Mutex. `OnAcquire` runs *before* blocking on
+// the lock, so an order inversion is reported even on runs where the
+// schedule happens not to deadlock.
+void OnAcquire(const Mutex* mu);
+// Registers a hold obtained via TryLock: no ordering edge (a TryLock cannot
+// deadlock), but locks taken while it is held are still ordered under it.
+void OnAcquireTry(const Mutex* mu);
+void OnRelease(const Mutex* mu);
+void OnDestroy(const Mutex* mu);
+
+}  // namespace lock_order
+
+/// Annotated mutex. Wraps std::mutex, participates in Clang thread-safety
+/// analysis, and (in debug builds) feeds the runtime lock-order checker.
+/// Give mutexes that can be held together a `name` so violation reports
+/// read as "loader.mu -> pool.mu" instead of raw addresses.
+class DL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() {
+    if (lock_order::Enabled()) lock_order::OnDestroy(this);
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DL_ACQUIRE() {
+    if (lock_order::Enabled()) lock_order::OnAcquire(this);
+    mu_.lock();
+  }
+
+  void Unlock() DL_RELEASE() {
+    if (lock_order::Enabled()) lock_order::OnRelease(this);
+    mu_.unlock();
+  }
+
+  bool TryLock() DL_TRY_ACQUIRE(true) {
+    // TryLock cannot deadlock, so it records no ordering edge; it still
+    // registers the hold so locks acquired *while it is held* are ordered.
+    if (!mu_.try_lock()) return false;
+    if (lock_order::Enabled()) lock_order::OnAcquireTry(this);
+    return true;
+  }
+
+  /// Documents (and under Clang, asserts to the analysis) that the calling
+  /// thread holds this mutex.
+  void AssertHeld() const DL_ASSERT_CAPABILITY(this) {}
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const char* name_ = "<unnamed>";
+};
+
+/// RAII lock for dl::Mutex, with manual Unlock/Lock for hand-over-hand
+/// sections (Clang tracks the relock).
+class DL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DL_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() DL_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before a blocking call that must not be made
+  /// under the lock).
+  void Unlock() DL_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after an early Unlock().
+  void Lock() DL_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with dl::Mutex. The caller must hold the
+/// mutex (enforced by Clang); waits are written as explicit loops —
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// — rather than predicate lambdas, so the analysis sees every guarded
+/// access in the enclosing function's capability context.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified; re-acquires
+  /// before returning. Spurious wakeups happen — always wait in a loop.
+  void Wait(Mutex& mu) DL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Timed wait; returns false on timeout, true when notified.
+  bool WaitForMicros(Mutex& mu, int64_t timeout_us) DL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    auto result =
+        cv_.wait_for(native, std::chrono::microseconds(timeout_us));
+    native.release();
+    return result == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_THREAD_ANNOTATIONS_H_

@@ -12,44 +12,44 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::SubmitPriority(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     priority_queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] {
-    return queue_.empty() && priority_queue_.empty() && active_ == 0;
-  });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && priority_queue_.empty() && active_ == 0)) {
+    idle_cv_.Wait(mu_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || !queue_.empty() || !priority_queue_.empty();
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty() && priority_queue_.empty()) {
+        work_cv_.Wait(mu_);
+      }
       if (shutdown_ && queue_.empty() && priority_queue_.empty()) return;
       if (!priority_queue_.empty()) {
         task = std::move(priority_queue_.front());
@@ -62,10 +62,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && priority_queue_.empty() && active_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
     }
   }

@@ -1,13 +1,13 @@
 #ifndef DEEPLAKE_UTIL_THREAD_POOL_H_
 #define DEEPLAKE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dl {
 
@@ -26,27 +26,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Thread-safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DL_EXCLUDES(mu_);
 
   /// Enqueues a task ahead of normal-priority tasks.
-  void SubmitPriority(std::function<void()> task);
+  void SubmitPriority(std::function<void()> task) DL_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished and the queue is empty.
-  void Wait();
+  void Wait() DL_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DL_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::deque<std::function<void()>> priority_queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_{"thread_pool.mu"};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ DL_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> priority_queue_ DL_GUARDED_BY(mu_);
+  size_t active_ DL_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DL_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written only in the constructor
 };
 
 /// Counting semaphore used to bound in-flight memory (prefetch budget).
@@ -54,32 +54,32 @@ class Semaphore {
  public:
   explicit Semaphore(int64_t count) : count_(count) {}
 
-  void Acquire(int64_t n = 1) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ >= n; });
+  void Acquire(int64_t n = 1) DL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (count_ < n) cv_.Wait(mu_);
     count_ -= n;
   }
 
   /// Tries to acquire without blocking; returns false if unavailable.
-  bool TryAcquire(int64_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryAcquire(int64_t n = 1) DL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (count_ < n) return false;
     count_ -= n;
     return true;
   }
 
-  void Release(int64_t n = 1) {
+  void Release(int64_t n = 1) DL_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       count_ += n;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t count_;
+  Mutex mu_{"semaphore.mu"};
+  CondVar cv_;
+  int64_t count_ DL_GUARDED_BY(mu_);
 };
 
 }  // namespace dl

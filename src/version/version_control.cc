@@ -36,7 +36,7 @@ std::string VersionedStore::PhysicalKey(const std::string& commit,
 }
 
 std::string VersionedStore::Resolve(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(vc_->mu_);
+  MutexLock lock(vc_->mu_);
   std::string k(key);
   // Walk the commit chain from this view toward the root; the first commit
   // whose key set contains the key wins (paper §4.2 traversal).
@@ -77,7 +77,7 @@ Status VersionedStore::Put(std::string_view key, ByteView value) {
         "versioned store at sealed commit is read-only");
   }
   DL_RETURN_IF_ERROR(vc_->base_->Put(PhysicalKey(commit_id_, key), value));
-  std::lock_guard<std::mutex> lock(vc_->mu_);
+  MutexLock lock(vc_->mu_);
   vc_->key_sets_[commit_id_].insert(std::string(key));
   return Status::OK();
 }
@@ -89,7 +89,7 @@ Status VersionedStore::Delete(std::string_view key) {
   }
   // Only keys written in the working commit can be deleted; history is
   // immutable by design.
-  std::lock_guard<std::mutex> lock(vc_->mu_);
+  MutexLock lock(vc_->mu_);
   auto& ks = vc_->key_sets_[commit_id_];
   auto it = ks.find(std::string(key));
   if (it == ks.end()) return Status::OK();
@@ -113,7 +113,7 @@ Result<uint64_t> VersionedStore::SizeOf(std::string_view key) {
 Result<std::vector<std::string>> VersionedStore::ListPrefix(
     std::string_view prefix) {
   std::set<std::string> keys;
-  std::lock_guard<std::mutex> lock(vc_->mu_);
+  MutexLock lock(vc_->mu_);
   std::string cur = commit_id_;
   while (!cur.empty()) {
     auto ks = vc_->key_sets_.find(cur);
@@ -163,15 +163,21 @@ std::string VersionControl::NewCommitId() {
 }
 
 storage::StoragePtr VersionControl::working_store() {
+  std::string commit;
+  bool writable;
+  {
+    MutexLock lock(mu_);
+    commit = current_commit_;
+    writable = !current_branch_.empty();
+  }
   return std::make_shared<VersionedStore>(shared_from_this(),
-                                          current_commit_,
-                                          /*writable=*/!detached());
+                                          std::move(commit), writable);
 }
 
 Result<storage::StoragePtr> VersionControl::StoreAt(
     const std::string& commit_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (commits_.count(commit_id) == 0) {
       return Status::NotFound("no commit '" + commit_id + "'");
     }
@@ -182,13 +188,14 @@ Result<storage::StoragePtr> VersionControl::StoreAt(
 }
 
 Result<std::string> VersionControl::Commit(const std::string& message) {
-  if (detached()) {
-    return Status::FailedPrecondition(
-        "cannot commit in detached state; checkout a branch first");
-  }
-  std::string sealed_id = current_commit_;
+  std::string sealed_id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    if (current_branch_.empty()) {
+      return Status::FailedPrecondition(
+          "cannot commit in detached state; checkout a branch first");
+    }
+    sealed_id = current_commit_;
     CommitInfo& info = commits_[sealed_id];
     info.committed = true;
     info.message = message;
@@ -200,7 +207,7 @@ Result<std::string> VersionControl::Commit(const std::string& message) {
   // Open the next working commit on the branch.
   std::string next_id = NewCommitId();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CommitInfo next;
     next.id = next_id;
     next.parent = sealed_id;
@@ -218,7 +225,7 @@ Result<std::string> VersionControl::Commit(const std::string& message) {
 Status VersionControl::CheckoutBranch(const std::string& branch,
                                       bool create) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = branches_.find(branch);
     if (it != branches_.end()) {
       if (create) {
@@ -242,8 +249,8 @@ Status VersionControl::CheckoutBranch(const std::string& branch,
   // behaviour of checkout -b on a dirty working set).
   bool dirty;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    dirty = !detached() && !key_sets_[current_commit_].empty() &&
+    MutexLock lock(mu_);
+    dirty = !current_branch_.empty() && !key_sets_[current_commit_].empty() &&
             !commits_[current_commit_].committed;
   }
   if (dirty) {
@@ -252,7 +259,7 @@ Status VersionControl::CheckoutBranch(const std::string& branch,
     (void)sealed;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::string fork_point = current_commit_;
     // If the working head is empty and uncommitted, fork from its parent so
     // the two branches do not share the mutable directory.
@@ -276,7 +283,7 @@ Status VersionControl::CheckoutBranch(const std::string& branch,
 }
 
 Status VersionControl::CheckoutCommit(const std::string& commit_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = commits_.find(commit_id);
   if (it == commits_.end()) {
     return Status::NotFound("no commit '" + commit_id + "'");
@@ -291,14 +298,14 @@ Status VersionControl::CheckoutCommit(const std::string& commit_id) {
 }
 
 std::vector<std::string> VersionControl::Branches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [b, head] : branches_) names.push_back(b);
   return names;
 }
 
 Result<CommitInfo> VersionControl::GetCommit(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = commits_.find(id);
   if (it == commits_.end()) {
     return Status::NotFound("no commit '" + id + "'");
@@ -320,7 +327,7 @@ std::vector<std::string> VersionControl::Chain(
 }
 
 std::vector<CommitInfo> VersionControl::Log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<CommitInfo> log;
   for (const std::string& id : Chain(current_commit_)) {
     auto it = commits_.find(id);
@@ -331,7 +338,7 @@ std::vector<CommitInfo> VersionControl::Log() const {
 
 Result<std::vector<std::string>> VersionControl::ChunkSetOf(
     const std::string& commit_id, const std::string& tensor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = key_sets_.find(commit_id);
   if (it == key_sets_.end()) {
     return Status::NotFound("no key set for commit '" + commit_id + "'");
@@ -354,7 +361,7 @@ Status VersionControl::PersistInfo() {
   Json branches = Json::MakeObject();
   Json commits = Json::MakeObject();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [b, head] : branches_) branches.Set(b, head);
     for (const auto& [id, info] : commits_) {
       Json c = Json::MakeObject();
@@ -377,7 +384,7 @@ Status VersionControl::PersistInfo() {
 Status VersionControl::LoadInfo() {
   DL_ASSIGN_OR_RETURN(ByteBuffer bytes, base_->Get(kInfoKey));
   DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   branches_.clear();
   commits_.clear();
   for (const auto& [b, head] : j.Get("branches").object()) {
@@ -416,7 +423,7 @@ Status VersionControl::PersistKeySet(const std::string& commit_id) {
   Json j = Json::MakeObject();
   Json arr = Json::MakeArray();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& k : key_sets_[commit_id]) arr.Append(k);
   }
   j.Set("keys", std::move(arr));
@@ -430,7 +437,7 @@ Status VersionControl::LoadKeySet(const std::string& commit_id) {
   std::set<std::string> keys;
   const Json& arr = j.Get("keys");
   for (size_t i = 0; i < arr.size(); ++i) keys.insert(arr[i].as_string());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   key_sets_[commit_id] = std::move(keys);
   return Status::OK();
 }
@@ -518,7 +525,7 @@ Result<std::map<std::string, TensorDiff>> VersionControl::Diff(
 Status VersionControl::WriteDiffFile(const std::string& commit_id) {
   std::string parent;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     parent = commits_[commit_id].parent;
   }
   Json j = Json::MakeObject();
@@ -553,15 +560,15 @@ Status VersionControl::WriteDiffFile(const std::string& commit_id) {
 
 Result<MergeStats> VersionControl::Merge(const std::string& source_branch,
                                          MergePolicy policy) {
-  if (detached()) {
-    return Status::FailedPrecondition("cannot merge in detached state");
-  }
-  if (source_branch == current_branch_) {
-    return Status::InvalidArgument("cannot merge a branch into itself");
-  }
   std::string source_head;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    if (current_branch_.empty()) {
+      return Status::FailedPrecondition("cannot merge in detached state");
+    }
+    if (source_branch == current_branch_) {
+      return Status::InvalidArgument("cannot merge a branch into itself");
+    }
     auto it = branches_.find(source_branch);
     if (it == branches_.end()) {
       return Status::NotFound("no branch '" + source_branch + "'");

@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "storage/storage.h"
 #include "tsf/dataset.h"
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace dl::version {
 
@@ -71,9 +71,19 @@ class VersionControl
 
   // ---- Position ----
 
-  const std::string& current_branch() const { return current_branch_; }
-  const std::string& current_commit() const { return current_commit_; }
-  bool detached() const { return current_branch_.empty(); }
+  /// Position accessors are unlocked by design: checkout/commit are
+  /// control-plane operations driven by one thread; concurrent readers of
+  /// the position while it moves would get a torn answer anyway. Call them
+  /// only from the thread that performs checkouts.
+  const std::string& current_branch() const DL_NO_THREAD_SAFETY_ANALYSIS {
+    return current_branch_;
+  }
+  const std::string& current_commit() const DL_NO_THREAD_SAFETY_ANALYSIS {
+    return current_commit_;
+  }
+  bool detached() const DL_NO_THREAD_SAFETY_ANALYSIS {
+    return current_branch_.empty();
+  }
 
   /// Writable store for the current working commit. Datasets opened over
   /// this store transparently read through the version chain.
@@ -127,22 +137,28 @@ class VersionControl
       : base_(std::move(base)) {}
 
   std::string NewCommitId();
-  Status LoadInfo();
-  Status PersistInfo();
-  Status LoadKeySet(const std::string& commit_id);
-  Status PersistKeySet(const std::string& commit_id);
+  Status LoadInfo() DL_EXCLUDES(mu_);
+  Status PersistInfo() DL_EXCLUDES(mu_);
+  Status LoadKeySet(const std::string& commit_id) DL_EXCLUDES(mu_);
+  Status PersistKeySet(const std::string& commit_id) DL_EXCLUDES(mu_);
   /// Commit chain (ids) from `commit_id` to the root.
-  std::vector<std::string> Chain(const std::string& commit_id) const;
-  Status WriteDiffFile(const std::string& commit_id);
+  std::vector<std::string> Chain(const std::string& commit_id) const
+      DL_REQUIRES(mu_);
+  Status WriteDiffFile(const std::string& commit_id) DL_EXCLUDES(mu_);
 
   storage::StoragePtr base_;
-  mutable std::mutex mu_;
-  std::map<std::string, CommitInfo> commits_;
-  std::map<std::string, std::string> branches_;  // branch -> head commit id
+  // Lock order (DESIGN.md §8): mu_ is held across base_ store calls in a
+  // few paths (LoadInfo's key-set loop, VersionedStore::Delete), so
+  // version.vc.mu orders strictly BEFORE every storage lock. Never call
+  // into VersionControl while holding a storage-layer mutex.
+  mutable Mutex mu_{"version.vc.mu"};
+  std::map<std::string, CommitInfo> commits_ DL_GUARDED_BY(mu_);
+  // branch -> head commit id
+  std::map<std::string, std::string> branches_ DL_GUARDED_BY(mu_);
   // commit id -> keys written in that commit (the generalized chunk_set).
-  std::map<std::string, std::set<std::string>> key_sets_;
-  std::string current_branch_;
-  std::string current_commit_;
+  std::map<std::string, std::set<std::string>> key_sets_ DL_GUARDED_BY(mu_);
+  std::string current_branch_ DL_GUARDED_BY(mu_);
+  std::string current_commit_ DL_GUARDED_BY(mu_);
   std::atomic<uint64_t> id_counter_{0};
 };
 

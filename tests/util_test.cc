@@ -18,6 +18,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dl {
@@ -377,29 +378,29 @@ TEST(ThreadPoolTest, PriorityLaneRunsEarlier) {
   // With a single worker, submit a blocker, then queue normal tasks, then a
   // priority task: the priority task must run before the queued ones.
   ThreadPool pool(1);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu("test.priority_lane");
+  CondVar cv;
   bool release = false;
   std::vector<int> order;
   pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
   });
   for (int i = 0; i < 3; ++i) {
     pool.Submit([&, i] {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       order.push_back(i);
     });
   }
   pool.SubmitPriority([&] {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     order.push_back(99);
   });
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   pool.Wait();
   ASSERT_EQ(order.size(), 4u);
   EXPECT_EQ(order[0], 99);
