@@ -18,6 +18,12 @@ its tooling — see DESIGN.md §8):
                   declarations are fine).
   todo-owner      TODO without an owner: write TODO(name): so stale work
                   items are attributable.
+  unjournaled-manifest-write
+                  Direct `base_->Put(`/`base_->PutDurable(` in
+                  src/version/*.cc. Version-control bookkeeping must go
+                  through PutManifest (enveloped + durable, DESIGN.md §9);
+                  the sanctioned call sites carry a `journaled:` or
+                  `Data-path write` comment within the three lines above.
 
 Usage: check_source.py [repo_root]   (exit 0 clean, 1 with findings)
 """
@@ -37,6 +43,11 @@ USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
 NEW_EXPR = re.compile(r"\bnew\b(?!\s*\()")  # `new (place) T` still matches \bnew\b
 DELETE_EXPR = re.compile(r"\bdelete\b\s*(\[\s*\])?")
 TODO = re.compile(r"\bTODO\b(?!\()")
+BASE_PUT = re.compile(r"\bbase_->Put(Durable)?\s*\(")
+# Markers that sanction a direct base write in src/version/ (DESIGN.md §9):
+# the one PutManifest journal site and the data-path writes of
+# VersionedStore, which stay invisible until the commit record lands.
+SANCTIONED_BASE_PUT = re.compile(r"journaled:|Data-path write")
 
 # A raw `new` is fine when the enclosing statement hands it straight to an
 # owner. Checked against the statement text preceding the `new` token.
@@ -120,6 +131,18 @@ def check_file(path: Path, rel: str, findings: list) -> None:
                 continue
             findings.append((rel, line_of(code, m.start()), "raw-new-delete",
                              "raw `delete` expression; use owning types"))
+
+    if rel.startswith("src/version/") and path.suffix == ".cc":
+        raw_lines = raw.splitlines()
+        for m in BASE_PUT.finditer(code):
+            line = line_of(code, m.start())
+            context = "\n".join(raw_lines[max(0, line - 4):line])
+            if SANCTIONED_BASE_PUT.search(context):
+                continue
+            findings.append((rel, line, "unjournaled-manifest-write",
+                             "direct base_->Put in the version layer; use "
+                             "PutManifest (or mark a sanctioned data-path "
+                             "write, DESIGN.md §9)"))
 
     # TODO owners live in comments, so scan the raw text.
     for m in TODO.finditer(raw):

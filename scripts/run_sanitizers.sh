@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Sanitizer gate: builds and runs the tier-1 + stress test suite under
+# Sanitizer gate: builds and runs the tier-1 + stress + crash-matrix test
+# suite (test binaries are auto-discovered via `ctest -N`, so new *_test.cc
+# files — e.g. crash_matrix_test, `ctest -L crash` — gate here too) under
 #   1) DEEPLAKE_SANITIZE=thread             (data races)
 #   2) DEEPLAKE_SANITIZE=address,undefined  (heap/lifetime + UB)
 #

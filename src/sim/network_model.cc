@@ -122,6 +122,15 @@ Status SimulatedObjectStore::Put(std::string_view key, ByteView value) {
   return base_->Put(key, value);
 }
 
+Status SimulatedObjectStore::PutDurable(std::string_view key,
+                                        ByteView value) {
+  DL_RETURN_IF_ERROR(MaybeInjectTransientFault());
+  SimulateTransfer(value.size(), model_.put_overhead_us);
+  stats_.put_requests++;
+  stats_.bytes_written += value.size();
+  return base_->PutDurable(key, value);
+}
+
 Status SimulatedObjectStore::Delete(std::string_view key) {
   return base_->Delete(key);
 }

@@ -67,6 +67,11 @@ class SimulatedObjectStore : public storage::StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  void Invalidate(std::string_view key) override { base_->Invalidate(key); }
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;

@@ -1,0 +1,118 @@
+// CrashPointStore: deterministic crash injection for the crash-matrix tests
+// (DESIGN.md §9). Write number `crash_at_write` is mangled (missing / torn /
+// duplicated) and every operation afterwards fails, modeling a process that
+// died mid-protocol. Tests then reopen the *base* store and assert recovery.
+
+#include "storage/storage.h"
+#include "util/macros.h"
+
+namespace dl::storage {
+
+const char* CrashModeName(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kMissing:
+      return "missing";
+    case CrashMode::kTorn:
+      return "torn";
+    case CrashMode::kDuplicate:
+      return "duplicate";
+  }
+  return "unknown";
+}
+
+CrashPointStore::CrashPointStore(StoragePtr base, uint64_t crash_at_write,
+                                 CrashMode mode)
+    : base_(std::move(base)), crash_at_write_(crash_at_write), mode_(mode) {}
+
+Status CrashPointStore::Dead() const {
+  return Status::IOError("crash: store is dead (crashed at write " +
+                         std::to_string(crash_at_write_) + ", mode " +
+                         CrashModeName(mode_) + ")");
+}
+
+Status CrashPointStore::OnWrite(std::string_view key, ByteView value,
+                                bool durable, bool* handled) {
+  *handled = true;
+  if (crashed_.load(std::memory_order_acquire)) return Dead();
+  uint64_t n = writes_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (crash_at_write_ == 0 || n != crash_at_write_) {
+    *handled = false;  // normal write; caller forwards to base
+    return Status::OK();
+  }
+  crashed_.store(true, std::memory_order_release);
+  switch (mode_) {
+    case CrashMode::kMissing:
+      // Write lost entirely: nothing reaches the base.
+      break;
+    case CrashMode::kTorn: {
+      // A strict prefix lands under the final name — what an in-place
+      // write interrupted midway leaves behind. An empty value can't tear;
+      // treat it as missing.
+      if (!value.empty()) {
+        size_t cut = value.size() > 1 ? value.size() / 2 : 0;
+        Status s = durable ? base_->PutDurable(key, value.subview(0, cut))
+                           : base_->Put(key, value.subview(0, cut));
+        (void)s;  // the caller sees the crash error regardless
+      }
+      break;
+    }
+    case CrashMode::kDuplicate: {
+      // Data fully lands but the ack is lost: the writer believes it
+      // failed and may retry after recovery.
+      Status s = durable ? base_->PutDurable(key, value)
+                         : base_->Put(key, value);
+      (void)s;
+      break;
+    }
+  }
+  return Dead();
+}
+
+Result<ByteBuffer> CrashPointStore::Get(std::string_view key) {
+  if (crashed()) return Dead();
+  return base_->Get(key);
+}
+
+Result<ByteBuffer> CrashPointStore::GetRange(std::string_view key,
+                                             uint64_t offset,
+                                             uint64_t length) {
+  if (crashed()) return Dead();
+  return base_->GetRange(key, offset, length);
+}
+
+Status CrashPointStore::Put(std::string_view key, ByteView value) {
+  bool handled = false;
+  Status s = OnWrite(key, value, /*durable=*/false, &handled);
+  if (handled) return s;
+  return base_->Put(key, value);
+}
+
+Status CrashPointStore::PutDurable(std::string_view key, ByteView value) {
+  bool handled = false;
+  Status s = OnWrite(key, value, /*durable=*/true, &handled);
+  if (handled) return s;
+  return base_->PutDurable(key, value);
+}
+
+Status CrashPointStore::Delete(std::string_view key) {
+  if (crashed()) return Dead();
+  return base_->Delete(key);
+}
+
+Result<bool> CrashPointStore::Exists(std::string_view key) {
+  if (crashed()) return Dead();
+  return base_->Exists(key);
+}
+
+Result<uint64_t> CrashPointStore::SizeOf(std::string_view key) {
+  if (crashed()) return Dead();
+  return base_->SizeOf(key);
+}
+
+Result<std::vector<std::string>> CrashPointStore::ListPrefix(
+    std::string_view prefix) {
+  if (crashed()) return Dead();
+  return base_->ListPrefix(prefix);
+}
+
+}  // namespace dl::storage

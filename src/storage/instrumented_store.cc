@@ -92,6 +92,17 @@ Status InstrumentedStore::Put(std::string_view key, ByteView value) {
   return result;
 }
 
+Status InstrumentedStore::PutDurable(std::string_view key, ByteView value) {
+  DL_INSTRUMENTED_OP(put_, "storage.put_durable",
+                     base_->PutDurable(key, value));
+  if (result.ok()) {
+    bytes_written_->Add(value.size());
+    stats_.put_requests++;
+    stats_.bytes_written += value.size();
+  }
+  return result;
+}
+
 Status InstrumentedStore::Delete(std::string_view key) {
   DL_INSTRUMENTED_OP(delete_, "storage.delete", base_->Delete(key));
   return result;

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "storage/storage.h"
+#include "util/envelope.h"
 #include "util/macros.h"
 #include "util/string_util.h"
 
@@ -32,6 +33,14 @@ Result<ByteBuffer> PrefixStore::GetRange(std::string_view key,
 
 Status PrefixStore::Put(std::string_view key, ByteView value) {
   return base_->Put(Full(key), value);
+}
+
+Status PrefixStore::PutDurable(std::string_view key, ByteView value) {
+  return base_->PutDurable(Full(key), value);
+}
+
+void PrefixStore::Invalidate(std::string_view key) {
+  base_->Invalidate(Full(key));
 }
 
 Status PrefixStore::Delete(std::string_view key) {
@@ -165,6 +174,27 @@ Status LruCacheStore::Put(std::string_view key, ByteView value) {
   return Status::OK();
 }
 
+Status LruCacheStore::PutDurable(std::string_view key, ByteView value) {
+  DL_RETURN_IF_ERROR(base_->PutDurable(key, value));
+  MutexLock lock(mu_);
+  Insert(std::string(key), value.ToBuffer());
+  return Status::OK();
+}
+
+void LruCacheStore::Invalidate(std::string_view key) {
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      current_bytes_ -= it->second.value.size();
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+      bytes_gauge_->Set(static_cast<double>(current_bytes_));
+    }
+  }
+  base_->Invalidate(key);
+}
+
 Status LruCacheStore::Delete(std::string_view key) {
   {
     MutexLock lock(mu_);
@@ -245,6 +275,11 @@ Status FaultInjectionStore::Put(std::string_view key, ByteView value) {
   return base_->Put(key, value);
 }
 
+Status FaultInjectionStore::PutDurable(std::string_view key, ByteView value) {
+  DL_RETURN_IF_ERROR(MaybeFail(kFaultPut));
+  return base_->PutDurable(key, value);
+}
+
 Status FaultInjectionStore::Delete(std::string_view key) {
   DL_RETURN_IF_ERROR(MaybeFail(kFaultDelete));
   return base_->Delete(key);
@@ -264,6 +299,22 @@ Result<std::vector<std::string>> FaultInjectionStore::ListPrefix(
     std::string_view prefix) {
   DL_RETURN_IF_ERROR(MaybeFail(kFaultList));
   return base_->ListPrefix(prefix);
+}
+
+// ---------------------------------------------------------------------------
+// GetVerified
+// ---------------------------------------------------------------------------
+
+Result<ByteBuffer> GetVerified(StorageProvider& store, std::string_view key) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer framed, store.Get(key));
+  auto payload = EnvelopeUnwrapOrRaw(ByteView(framed));
+  if (payload.ok() || !payload.status().IsCorruption()) return payload;
+  // The corrupt bytes may live only in a cache layer (e.g. a bit flip in
+  // the LRU's copy): drop every cached copy and try the backing store once.
+  // If the second read still fails verification, the object itself is bad.
+  store.Invalidate(key);
+  DL_ASSIGN_OR_RETURN(framed, store.Get(key));
+  return EnvelopeUnwrapOrRaw(ByteView(framed));
 }
 
 }  // namespace dl::storage

@@ -1,4 +1,8 @@
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +43,28 @@ Status CheckRegularFile(const std::string& path) {
     return Status::IOError("posix: not a regular file '" + path + "'");
   }
   return Status::OK();
+}
+
+/// Syncs the directory containing `path` so a just-renamed entry survives a
+/// crash (rename alone only orders the metadata in memory). Best effort:
+/// some filesystems reject O_DIRECTORY fsync; the file data itself was
+/// already fsync'd.
+void SyncParentDir(const std::string& path) {
+  std::string dir = fs::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+/// Monotonic suffix so concurrent writers to the same key never share a
+/// temp file (the losing rename simply overwrites, which is fine — both
+/// writers hold complete values).
+std::string NextTempSuffix() {
+  static std::atomic<uint64_t> counter{0};
+  return ".dltmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -111,29 +137,65 @@ Result<ByteBuffer> PosixStore::GetRange(std::string_view key, uint64_t offset,
   return buf;
 }
 
-Status PosixStore::Put(std::string_view key, ByteView value) {
+Status PosixStore::WriteAtomic(std::string_view key, ByteView value,
+                               bool sync) {
   std::string path = FilePath(key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-to-temp + rename: a reader (or a crash) never observes a partial
+  // object under the final name — rename(2) is atomic within a filesystem.
+  std::string tmp = path + NextTempSuffix();
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("posix: cannot create '" + path +
+    return Status::IOError("posix: cannot create '" + tmp +
                            "': " + std::strerror(errno));
   }
   size_t n = value.size() > 0 ? std::fwrite(value.data(), 1, value.size(), f)
                               : 0;
-  std::fclose(f);
-  if (n != value.size()) {
-    return Status::IOError("posix: short write on '" + path + "'");
+  bool write_ok = n == value.size();
+  if (write_ok && sync) {
+    write_ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   }
+  // fclose can surface the real write error (delayed ENOSPC/EIO from
+  // buffered data) — ignoring it turns a failed write into silent success.
+  if (std::fclose(f) != 0) write_ok = false;
+  if (!write_ok) {
+    int err = errno;
+    fs::remove(tmp, ec);
+    return Status::IOError("posix: write failed on '" + tmp +
+                           "': " + std::strerror(err));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    fs::remove(tmp, ec);
+    return Status::IOError("posix: cannot rename '" + tmp + "' -> '" + path +
+                           "': " + std::strerror(err));
+  }
+  if (sync) SyncParentDir(path);
   stats_.put_requests++;
   stats_.bytes_written += value.size();
   return Status::OK();
 }
 
+Status PosixStore::Put(std::string_view key, ByteView value) {
+  return WriteAtomic(key, value, /*sync=*/false);
+}
+
+Status PosixStore::PutDurable(std::string_view key, ByteView value) {
+  return WriteAtomic(key, value, /*sync=*/true);
+}
+
 Status PosixStore::Delete(std::string_view key) {
+  std::string path = FilePath(key);
   std::error_code ec;
-  fs::remove(FilePath(key), ec);
+  fs::remove(path, ec);
+  // Deleting an absent key is success (idempotent); any other failure —
+  // permission, EISDIR on a non-empty directory — must not be swallowed.
+  if (ec && ec != std::errc::no_such_file_or_directory &&
+      ec != std::errc::not_a_directory) {
+    return Status::IOError("posix: cannot delete '" + path +
+                           "': " + ec.message());
+  }
   return Status::OK();
 }
 

@@ -75,6 +75,10 @@ Status RetryingStore::Put(std::string_view key, ByteView value) {
   return WithRetry([&] { return base_->Put(key, value); });
 }
 
+Status RetryingStore::PutDurable(std::string_view key, ByteView value) {
+  return WithRetry([&] { return base_->PutDurable(key, value); });
+}
+
 Status RetryingStore::Delete(std::string_view key) {
   return WithRetry([&] { return base_->Delete(key); });
 }

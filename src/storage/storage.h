@@ -66,6 +66,28 @@ class StorageProvider {
   /// Creates or replaces an object.
   virtual Status Put(std::string_view key, ByteView value) = 0;
 
+  /// Crash-durable write: like Put, but the object is on stable storage
+  /// (fsync'd) before the call returns. Providers without a durability
+  /// notion (memory, decorators over them) fall back to Put; decorators
+  /// forward to their base so the property survives chaining. Version
+  /// control uses this for every manifest write on the journaled commit
+  /// path (DESIGN.md §9).
+  virtual Status PutDurable(std::string_view key, ByteView value) {
+    return Put(key, value);
+  }
+
+  /// True when Put replaces objects atomically (readers observe the old or
+  /// the new value, never a torn prefix) and PutDurable additionally
+  /// survives a crash. PosixStore earns this via write-to-temp + rename;
+  /// decorators report their base's capability.
+  virtual bool atomic_durable_puts() const { return false; }
+
+  /// Drops any cached copy of `key` so the next read goes to the backing
+  /// store. No-op for providers that hold no cache; decorators forward it
+  /// down the chain. Readers call this when decoded bytes fail integrity
+  /// verification — a cache must never pin a corrupt entry forever.
+  virtual void Invalidate(std::string_view key) { (void)key; }
+
   virtual Status Delete(std::string_view key) = 0;
 
   virtual Result<bool> Exists(std::string_view key) = 0;
@@ -120,6 +142,8 @@ class PosixStore : public StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override { return true; }
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;
@@ -129,6 +153,8 @@ class PosixStore : public StorageProvider {
 
  private:
   std::string FilePath(std::string_view key) const;
+  /// Shared Put implementation: write-to-temp + optional fsync + rename.
+  Status WriteAtomic(std::string_view key, ByteView value, bool sync);
 
   std::string root_;
 };
@@ -143,6 +169,11 @@ class PrefixStore : public StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  void Invalidate(std::string_view key) override;
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;
@@ -170,6 +201,14 @@ class LruCacheStore : public StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  /// Evicts `key` from this cache, then forwards down the chain. The evict
+  /// path for entries that fail integrity verification downstream — without
+  /// it a corrupt cached object would be served forever.
+  void Invalidate(std::string_view key) override;
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;
@@ -257,6 +296,11 @@ class FaultInjectionStore : public StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  void Invalidate(std::string_view key) override { base_->Invalidate(key); }
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;
@@ -320,6 +364,11 @@ class RetryingStore : public StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  void Invalidate(std::string_view key) override { base_->Invalidate(key); }
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;
@@ -370,6 +419,11 @@ class InstrumentedStore : public StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  void Invalidate(std::string_view key) override { base_->Invalidate(key); }
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;
@@ -394,6 +448,85 @@ class InstrumentedStore : public StorageProvider {
   obs::Counter* bytes_read_;
   obs::Counter* bytes_written_;
 };
+
+/// How a CrashPointStore mangles the write it crashes on.
+enum class CrashMode {
+  /// The write never reaches the base store (power loss before the data
+  /// left the page cache). Models an atomic store — or PosixStore's
+  /// temp+rename path, where a crash before rename leaves no visible key.
+  kMissing,
+  /// A strict prefix of the value reaches the base store (in-place write
+  /// interrupted midway). Models the non-atomic plain-Put path; impossible
+  /// for a store with atomic_durable_puts() once PutDurable is used.
+  kTorn,
+  /// The write fully reaches the base store but the operation still
+  /// reports failure (ack lost after the data landed). Recovery must
+  /// tolerate the "new" bytes already being present.
+  kDuplicate,
+};
+
+const char* CrashModeName(CrashMode mode);
+
+/// Deterministic crash injector for the crash-matrix tests (DESIGN.md §9):
+/// writes (Put/PutDurable) are counted, and write number `crash_at_write`
+/// (1-based) is mangled per `mode`; from that point on every operation —
+/// reads included — fails with IOError, modeling a dead process. The test
+/// then reopens the *base* store with a fresh decorator chain and asserts
+/// the dataset recovered to exactly the old or the new state.
+///
+/// Deletes are not counted as crash points but are suppressed after the
+/// crash like everything else.
+class CrashPointStore : public StorageProvider {
+ public:
+  CrashPointStore(StoragePtr base, uint64_t crash_at_write, CrashMode mode);
+
+  Result<ByteBuffer> Get(std::string_view key) override;
+  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+                              uint64_t length) override;
+  Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override {
+    return base_->atomic_durable_puts();
+  }
+  void Invalidate(std::string_view key) override { base_->Invalidate(key); }
+  Status Delete(std::string_view key) override;
+  Result<bool> Exists(std::string_view key) override;
+  Result<uint64_t> SizeOf(std::string_view key) override;
+  Result<std::vector<std::string>> ListPrefix(
+      std::string_view prefix) override;
+  std::string name() const override {
+    return "crash(" + base_->name() + ")";
+  }
+
+  /// True once the crash point fired; all subsequent ops fail.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  /// Writes observed so far (counting the crashed one). Running a workload
+  /// once with crash_at_write == 0 (never crash) and reading this gives the
+  /// matrix size for the enumeration loop.
+  uint64_t writes_seen() const {
+    return writes_seen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Applies crash handling to one write; returns the status the caller
+  /// must surface, or OK when the write should proceed normally.
+  Status OnWrite(std::string_view key, ByteView value, bool durable,
+                 bool* handled);
+  Status Dead() const;
+
+  StoragePtr base_;
+  const uint64_t crash_at_write_;  // 0 = never crash (pure counter mode)
+  const CrashMode mode_;
+  std::atomic<uint64_t> writes_seen_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+/// Reads `key` and unwraps its integrity envelope (legacy raw objects pass
+/// through, see EnvelopeUnwrapOrRaw). On Corruption the cached copy is
+/// invalidated down the chain and the read retried once — a corrupt cache
+/// entry heals, while genuine on-disk corruption still surfaces as
+/// Status::Corruption from the second attempt.
+Result<ByteBuffer> GetVerified(StorageProvider& store, std::string_view key);
 
 }  // namespace dl::storage
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/clock.h"
+#include "util/envelope.h"
 #include "util/macros.h"
 #include "util/string_util.h"
 
@@ -66,7 +67,10 @@ Result<std::shared_ptr<Dataset>> Dataset::Create(storage::StoragePtr store,
 }
 
 Result<std::shared_ptr<Dataset>> Dataset::Open(storage::StoragePtr store) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes, store->Get(kMetaKey));
+  // GetVerified CRC-checks the envelope (and heals a corrupt cached copy);
+  // pre-§9 datasets with raw JSON metadata pass through unchanged.
+  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+                      storage::GetVerified(*store, kMetaKey));
   auto ds = std::shared_ptr<Dataset>(new Dataset(std::move(store)));
   DL_ASSIGN_OR_RETURN(ds->meta_,
                       Json::Parse(ByteView(meta_bytes).ToStringView()));
@@ -244,7 +248,10 @@ void Dataset::LogProvenance(const std::string& event) {
 
 Status Dataset::PersistMeta() {
   std::string text = meta_.Dump(2);
-  return store_->Put(kMetaKey, ByteView(text));
+  // Enveloped + durable: dataset_meta.json names every tensor, so a torn
+  // write here would orphan the whole dataset (DESIGN.md §9).
+  ByteBuffer framed = EnvelopeWrap(ByteView(text));
+  return store_->PutDurable(kMetaKey, ByteView(framed));
 }
 
 }  // namespace dl::tsf

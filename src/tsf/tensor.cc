@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/clock.h"
+#include "util/envelope.h"
 #include "util/macros.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -61,8 +62,11 @@ Result<std::unique_ptr<Tensor>> Tensor::Create(storage::StoragePtr store,
 Result<std::unique_ptr<Tensor>> Tensor::Open(storage::StoragePtr store,
                                              const std::string& name) {
   std::string dir = TensorDir(name);
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
-                      store->Get(PathJoin(dir, "tensor_meta.json")));
+  // Enveloped since the crash-consistency layer (DESIGN.md §9); legacy raw
+  // JSON passes through GetVerified unchanged.
+  DL_ASSIGN_OR_RETURN(
+      ByteBuffer meta_bytes,
+      storage::GetVerified(*store, PathJoin(dir, "tensor_meta.json")));
   DL_ASSIGN_OR_RETURN(Json meta_json,
                       Json::Parse(ByteView(meta_bytes).ToStringView()));
   DL_ASSIGN_OR_RETURN(TensorMeta meta, TensorMeta::FromJson(meta_json));
@@ -184,8 +188,12 @@ Status Tensor::Flush() {
 Status Tensor::PersistEncoders() {
   std::string dir = TensorDir(meta_.name);
   std::string meta_text = meta_.ToJson().Dump(2);
-  DL_RETURN_IF_ERROR(store_->Put(PathJoin(dir, "tensor_meta.json"),
-                                 ByteView(meta_text)));
+  // The meta is the tensor's root manifest: checksummed so a torn write
+  // surfaces as Corruption instead of parsing as wrong JSON, durable so a
+  // crash after Flush() cannot lose it.
+  ByteBuffer framed = EnvelopeWrap(ByteView(meta_text));
+  DL_RETURN_IF_ERROR(store_->PutDurable(PathJoin(dir, "tensor_meta.json"),
+                                        ByteView(framed)));
   DL_RETURN_IF_ERROR(store_->Put(PathJoin(dir, "chunk_encoder.bin"),
                                  ByteView(chunk_encoder_.Serialize())));
   DL_RETURN_IF_ERROR(store_->Put(PathJoin(dir, "shape_encoder.bin"),
@@ -201,7 +209,16 @@ Result<std::shared_ptr<Chunk>> Tensor::FetchChunk(uint64_t chunk_id) {
     if (cached_chunk_ && cached_chunk_id_ == chunk_id) return cached_chunk_;
   }
   DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store_->Get(ChunkKey(chunk_id)));
-  DL_ASSIGN_OR_RETURN(Chunk chunk, Chunk::Parse(std::move(bytes)));
+  auto parsed = Chunk::Parse(std::move(bytes));
+  if (!parsed.ok() && parsed.status().IsCorruption()) {
+    // The CRC failure may be a cache layer's copy, not the stored object:
+    // drop every cached copy and re-read once before giving up.
+    store_->Invalidate(ChunkKey(chunk_id));
+    DL_ASSIGN_OR_RETURN(ByteBuffer retry_bytes,
+                        store_->Get(ChunkKey(chunk_id)));
+    parsed = Chunk::Parse(std::move(retry_bytes));
+  }
+  DL_ASSIGN_OR_RETURN(Chunk chunk, std::move(parsed));
   auto ptr = std::make_shared<Chunk>(std::move(chunk));
   {
     MutexLock lock(cache_mu_);

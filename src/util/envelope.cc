@@ -1,0 +1,56 @@
+#include "util/envelope.h"
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace dl {
+
+namespace {
+constexpr uint8_t kMagic[4] = {'D', 'L', 'E', '1'};
+}  // namespace
+
+bool HasEnvelopeMagic(ByteView framed) {
+  return framed.size() >= 4 && framed[0] == kMagic[0] &&
+         framed[1] == kMagic[1] && framed[2] == kMagic[2] &&
+         framed[3] == kMagic[3];
+}
+
+ByteBuffer EnvelopeWrap(ByteView payload) {
+  ByteBuffer out;
+  out.reserve(payload.size() + kEnvelopeOverhead);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  AppendBytes(out, payload);
+  PutFixed32(out, Crc32c(payload));
+  return out;
+}
+
+Result<ByteBuffer> EnvelopeUnwrap(ByteView framed) {
+  if (!HasEnvelopeMagic(framed)) {
+    return Status::Corruption("envelope: bad magic");
+  }
+  if (framed.size() < kEnvelopeOverhead) {
+    return Status::Corruption("envelope: truncated header");
+  }
+  uint32_t len = DecodeFixed32(framed.data() + 4);
+  if (framed.size() != static_cast<size_t>(len) + kEnvelopeOverhead) {
+    return Status::Corruption(
+        "envelope: length mismatch (torn write?): header says " +
+        std::to_string(len) + " payload bytes, object holds " +
+        std::to_string(framed.size()) + " total");
+  }
+  ByteView payload = framed.subview(8, len);
+  uint32_t stored_crc = DecodeFixed32(framed.data() + 8 + len);
+  uint32_t actual_crc = Crc32c(payload);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("envelope: CRC mismatch");
+  }
+  return payload.ToBuffer();
+}
+
+Result<ByteBuffer> EnvelopeUnwrapOrRaw(ByteView framed) {
+  if (!HasEnvelopeMagic(framed)) return framed.ToBuffer();
+  return EnvelopeUnwrap(framed);
+}
+
+}  // namespace dl

@@ -1,0 +1,49 @@
+#ifndef DEEPLAKE_UTIL_ENVELOPE_H_
+#define DEEPLAKE_UTIL_ENVELOPE_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dl {
+
+/// Integrity envelope for small metadata objects (keysets, diff files,
+/// commit records, tensor meta). Chunks already carry a trailing CRC-32C;
+/// the envelope gives every manifest the same end-to-end protection so a
+/// torn or bit-flipped write surfaces as Status::Corruption instead of
+/// being parsed as (wrong) JSON.
+///
+/// Layout:
+///
+///   [0..3]   magic "DLE1"
+///   [4..7]   u32 payload length L (little-endian)
+///   [8..8+L) payload bytes
+///   [8+L..8+L+4) u32 CRC-32C of the payload
+///
+/// The total object size must be exactly L + 12: a truncated (torn) write
+/// fails the length check before the CRC is even consulted.
+
+/// Fixed envelope overhead in bytes (magic + length + trailing CRC).
+inline constexpr size_t kEnvelopeOverhead = 12;
+
+/// True when `framed` starts with the envelope magic. Used by readers to
+/// stay compatible with pre-envelope files: no magic means legacy raw
+/// payload, magic means the envelope must verify.
+bool HasEnvelopeMagic(ByteView framed);
+
+/// Wraps `payload` in a checksummed envelope.
+ByteBuffer EnvelopeWrap(ByteView payload);
+
+/// Unwraps a strict envelope: missing magic, length mismatch or CRC
+/// mismatch all return Status::Corruption.
+Result<ByteBuffer> EnvelopeUnwrap(ByteView framed);
+
+/// Unwraps an envelope if the magic is present (verifying length + CRC);
+/// passes legacy payloads without the magic through unchanged. A present
+/// but invalid envelope is still Corruption — never silently served.
+Result<ByteBuffer> EnvelopeUnwrapOrRaw(ByteView framed);
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_ENVELOPE_H_

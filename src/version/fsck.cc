@@ -1,0 +1,312 @@
+#include "version/fsck.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tsf/chunk.h"
+#include "util/envelope.h"
+#include "util/json.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+#include "version/layout.h"
+#include "version/version_control.h"
+
+namespace dl::version {
+
+namespace {
+
+bool IsTempDebris(std::string_view key) {
+  return key.find(".dltmp.") != std::string_view::npos;
+}
+
+bool IsChunkKey(std::string_view key) {
+  return key.find("/chunks/") != std::string_view::npos;
+}
+
+std::string BaseName(std::string_view key) {
+  size_t slash = key.rfind('/');
+  return std::string(slash == std::string_view::npos
+                         ? key
+                         : key.substr(slash + 1));
+}
+
+/// JSON manifests that may be enveloped (post-§9) or legacy raw.
+bool IsJsonManifest(const std::string& base) {
+  return base == "keyset.json" || base == "diff.json" ||
+         base == "commit.json" || base == "tensor_meta.json" ||
+         base == "dataset_meta.json" ||
+         base == VersionControl::kInfoKey;
+}
+
+/// Verifies one manifest object: envelope (when the magic is present) and
+/// JSON parse of the payload.
+Status CheckManifestBytes(ByteView bytes) {
+  auto payload = EnvelopeUnwrapOrRaw(bytes);
+  if (!payload.ok()) return payload.status();
+  auto j = Json::Parse(ByteView(*payload).ToStringView());
+  if (!j.ok()) {
+    return Status::Corruption("manifest payload is not valid JSON: " +
+                              j.status().message());
+  }
+  return Status::OK();
+}
+
+void AddIssue(FsckReport* report, FsckIssueKind kind, std::string key,
+              std::string detail) {
+  report->issues.push_back(
+      FsckIssue{kind, std::move(key), std::move(detail)});
+}
+
+/// Copies `key` under lost+found/ and removes the original.
+Status Quarantine(storage::StorageProvider& store, const std::string& key,
+                  std::vector<std::string>* repairs) {
+  auto bytes = store.Get(key);
+  if (bytes.ok()) {
+    DL_RETURN_IF_ERROR(
+        store.Put(PathJoin("lost+found", key), ByteView(*bytes)));
+  }
+  DL_RETURN_IF_ERROR(store.Delete(key));
+  repairs->push_back("quarantined '" + key + "' under lost+found/");
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FsckIssueKindName(FsckIssueKind kind) {
+  switch (kind) {
+    case FsckIssueKind::kCorruptObject:
+      return "corrupt-object";
+    case FsckIssueKind::kTornCommit:
+      return "torn-commit";
+    case FsckIssueKind::kOrphanDir:
+      return "orphan-dir";
+    case FsckIssueKind::kMissingKeySet:
+      return "missing-keyset";
+    case FsckIssueKind::kBadInfo:
+      return "bad-info";
+    case FsckIssueKind::kTempDebris:
+      return "temp-debris";
+  }
+  return "unknown";
+}
+
+uint64_t FsckReport::CountOf(FsckIssueKind kind) const {
+  return static_cast<uint64_t>(
+      std::count_if(issues.begin(), issues.end(),
+                    [kind](const FsckIssue& i) { return i.kind == kind; }));
+}
+
+Result<FsckReport> FsckScan(storage::StoragePtr store) {
+  FsckReport report;
+  // The quarantine area is outside the scan: already known-bad objects.
+  DL_ASSIGN_OR_RETURN(auto all_keys, store->ListPrefix(""));
+  std::vector<std::string> keys;
+  for (auto& k : all_keys) {
+    if (!StartsWith(k, "lost+found/")) keys.push_back(std::move(k));
+  }
+  if (keys.empty()) return report;  // nothing stored, nothing to check
+
+  // Info snapshot first: structural checks need the commit map.
+  std::set<std::string> known_commits;
+  std::set<std::string> committed;
+  bool info_ok = false;
+  {
+    auto bytes = store->Get(VersionControl::kInfoKey);
+    if (!bytes.ok()) {
+      AddIssue(&report, FsckIssueKind::kBadInfo, VersionControl::kInfoKey,
+               "unreadable: " + bytes.status().ToString());
+    } else {
+      auto payload = EnvelopeUnwrapOrRaw(ByteView(*bytes));
+      Result<Json> j = !payload.ok()
+                           ? Result<Json>(payload.status())
+                           : Json::Parse(ByteView(*payload).ToStringView());
+      if (!j.ok()) {
+        AddIssue(&report, FsckIssueKind::kBadInfo, VersionControl::kInfoKey,
+                 "failed verification: " + j.status().ToString());
+      } else {
+        info_ok = true;
+        for (const auto& [id, c] : j->Get("commits").object()) {
+          known_commits.insert(id);
+          if (c.Get("committed").as_bool(false)) committed.insert(id);
+        }
+      }
+    }
+  }
+
+  // Object pass: CRC-verify everything that carries a checksum.
+  std::set<std::string> dir_ids;
+  std::set<std::string> dirs_with_keyset;
+  std::set<std::string> dirs_with_record;
+  for (const auto& key : keys) {
+    std::string dir_id = VersionDirIdOf(key);
+    if (!dir_id.empty()) dir_ids.insert(dir_id);
+
+    if (IsTempDebris(key)) {
+      AddIssue(&report, FsckIssueKind::kTempDebris, key,
+               "leftover atomic-write temp file");
+      continue;
+    }
+    auto bytes = store->Get(key);
+    if (!bytes.ok()) {
+      AddIssue(&report, FsckIssueKind::kCorruptObject, key,
+               "unreadable: " + bytes.status().ToString());
+      continue;
+    }
+    report.objects_scanned++;
+    report.bytes_scanned += bytes->size();
+
+    std::string base = BaseName(key);
+    if (key == VersionControl::kInfoKey) continue;  // checked above
+    if (IsChunkKey(key)) {
+      auto chunk = tsf::Chunk::Parse(*bytes, /*verify_checksum=*/true);
+      if (!chunk.ok()) {
+        AddIssue(&report, FsckIssueKind::kCorruptObject, key,
+                 "chunk failed verification: " + chunk.status().ToString());
+      }
+      continue;
+    }
+    if (IsJsonManifest(base)) {
+      Status s = CheckManifestBytes(ByteView(*bytes));
+      if (!s.ok()) {
+        if (base == "commit.json") {
+          dirs_with_record.insert(dir_id);
+          AddIssue(&report, FsckIssueKind::kTornCommit, key,
+                   "commit record failed verification (crash at the commit "
+                   "point): " + s.ToString());
+        } else {
+          AddIssue(&report, FsckIssueKind::kCorruptObject, key,
+                   "manifest failed verification: " + s.ToString());
+        }
+        continue;
+      }
+      if (base == "keyset.json") dirs_with_keyset.insert(dir_id);
+      if (base == "commit.json") dirs_with_record.insert(dir_id);
+      continue;
+    }
+    // Encoder .bin files and anything else: readability (checked by the
+    // Get above) is the guarantee; they carry no independent checksum.
+  }
+
+  // Structural pass.
+  if (info_ok) {
+    for (const auto& id : dir_ids) {
+      if (known_commits.count(id) == 0) {
+        AddIssue(&report, FsckIssueKind::kOrphanDir, VersionDir(id),
+                 "version directory referenced by no commit");
+      }
+    }
+    for (const auto& id : known_commits) {
+      if (dirs_with_keyset.count(id) == 0 && dir_ids.count(id) > 0) {
+        AddIssue(&report, FsckIssueKind::kMissingKeySet, KeySetKey(id),
+                 "commit has objects but no key set (derivable; repair "
+                 "rebuilds it)");
+      }
+    }
+    for (const auto& id : committed) {
+      if (dirs_with_record.count(id) == 0) {
+        AddIssue(&report, FsckIssueKind::kTornCommit, CommitRecordKey(id),
+                 "committed per info snapshot but its commit record is "
+                 "missing");
+      }
+    }
+  }
+  return report;
+}
+
+Result<FsckReport> FsckRepair(storage::StoragePtr store) {
+  DL_ASSIGN_OR_RETURN(FsckReport scan, FsckScan(store));
+  std::vector<std::string> repairs;
+
+  for (const FsckIssue& issue : scan.issues) {
+    switch (issue.kind) {
+      case FsckIssueKind::kTempDebris:
+        DL_RETURN_IF_ERROR(store->Delete(issue.key));
+        repairs.push_back("deleted temp debris '" + issue.key + "'");
+        break;
+      case FsckIssueKind::kTornCommit:
+        // Discard the torn record: the commit point was never reached, so
+        // recovery rolls the commit back to a working head. (A missing
+        // record with committed info is rewritten by recovery instead.)
+        if (BaseName(issue.key) == "commit.json") {
+          auto exists = store->Exists(issue.key);
+          if (exists.ok() && *exists) {
+            DL_RETURN_IF_ERROR(store->Delete(issue.key));
+            repairs.push_back("rolled back torn commit record '" +
+                              issue.key + "'");
+          }
+        }
+        break;
+      case FsckIssueKind::kCorruptObject:
+        if (IsChunkKey(issue.key)) {
+          DL_RETURN_IF_ERROR(Quarantine(*store, issue.key, &repairs));
+        } else {
+          // Corrupt manifest: drop it; recovery rebuilds key sets and
+          // rewrites diffs, and readers must not parse torn JSON.
+          DL_RETURN_IF_ERROR(store->Delete(issue.key));
+          repairs.push_back("deleted corrupt manifest '" + issue.key + "'");
+        }
+        break;
+      case FsckIssueKind::kBadInfo: {
+        auto exists = store->Exists(issue.key);
+        if (exists.ok() && *exists) {
+          DL_RETURN_IF_ERROR(store->Delete(issue.key));
+          repairs.push_back(
+              "deleted unreadable info snapshot (rebuilt from records)");
+        }
+        break;
+      }
+      case FsckIssueKind::kOrphanDir:
+      case FsckIssueKind::kMissingKeySet:
+        // Handled by the recovery replay below.
+        break;
+    }
+  }
+
+  // Replay crash recovery: rolls incomplete commits back / recorded ones
+  // forward, rebuilds key sets and the info snapshot, removes orphan
+  // directories, and reopens a working head.
+  {
+    auto vc = VersionControl::OpenOrInit(store);
+    if (!vc.ok()) return vc.status();
+    const RecoveryReport& rec = (*vc)->last_recovery();
+    if (rec.commits_rolled_back) {
+      repairs.push_back("recovery rolled back " +
+                        std::to_string(rec.commits_rolled_back) +
+                        " incomplete commit(s)");
+    }
+    if (rec.commits_rolled_forward) {
+      repairs.push_back("recovery rolled forward " +
+                        std::to_string(rec.commits_rolled_forward) +
+                        " committed-but-unabsorbed commit(s)");
+    }
+    if (rec.keysets_rebuilt) {
+      repairs.push_back("recovery rebuilt " +
+                        std::to_string(rec.keysets_rebuilt) + " key set(s)");
+    }
+    if (rec.orphan_dirs_removed) {
+      repairs.push_back("recovery removed " +
+                        std::to_string(rec.orphan_dirs_removed) +
+                        " orphan version dir(s)");
+    }
+    if (rec.info_rebuilt) {
+      repairs.push_back("recovery rebuilt the info snapshot from records");
+    }
+  }
+
+  // Recovery quarantines (leaves in place) directories it cannot place
+  // after an info rebuild; fsck moves them out so the tree scans clean.
+  DL_ASSIGN_OR_RETURN(FsckReport post, FsckScan(store));
+  for (const FsckIssue& issue : post.issues) {
+    if (issue.kind != FsckIssueKind::kOrphanDir) continue;
+    DL_ASSIGN_OR_RETURN(auto keys, store->ListPrefix(issue.key + "/"));
+    for (const auto& k : keys) {
+      DL_RETURN_IF_ERROR(Quarantine(*store, k, &repairs));
+    }
+  }
+
+  DL_ASSIGN_OR_RETURN(FsckReport final_report, FsckScan(store));
+  final_report.repairs = std::move(repairs);
+  return final_report;
+}
+
+}  // namespace dl::version

@@ -1,0 +1,57 @@
+#ifndef DEEPLAKE_VERSION_LAYOUT_H_
+#define DEEPLAKE_VERSION_LAYOUT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/string_util.h"
+
+namespace dl::version {
+
+/// On-store layout of the version tree (paper §4.2), shared between
+/// VersionControl and the fsck library so the two never disagree about
+/// where manifests live:
+///
+///   version_control_info.json          tree snapshot (branches, commits)
+///   versions/<id>/keyset.json          keys written while <id> was head
+///   versions/<id>/diff.json            diff vs parent (written at seal)
+///   versions/<id>/commit.json          commit record — its presence IS the
+///                                      commit point (DESIGN.md §9)
+///   versions/<id>/<key...>             the commit's data objects
+
+inline constexpr char kVersionsPrefix[] = "versions/";
+
+inline std::string VersionDir(const std::string& commit_id) {
+  return PathJoin("versions", commit_id);
+}
+inline std::string KeySetKey(const std::string& commit_id) {
+  return PathJoin(VersionDir(commit_id), "keyset.json");
+}
+inline std::string DiffKey(const std::string& commit_id) {
+  return PathJoin(VersionDir(commit_id), "diff.json");
+}
+inline std::string CommitRecordKey(const std::string& commit_id) {
+  return PathJoin(VersionDir(commit_id), "commit.json");
+}
+
+/// True for the version-dir-relative names that are bookkeeping manifests
+/// rather than data objects — excluded when a key set is rebuilt from a
+/// directory listing.
+inline bool IsVersionManifestName(std::string_view rel_key) {
+  return rel_key == "keyset.json" || rel_key == "diff.json" ||
+         rel_key == "commit.json";
+}
+
+/// Extracts the commit id from a full key "versions/<id>/..."; empty when
+/// the key is not inside a version directory.
+inline std::string VersionDirIdOf(std::string_view full_key) {
+  if (!StartsWith(full_key, kVersionsPrefix)) return "";
+  std::string_view rest = full_key.substr(sizeof(kVersionsPrefix) - 1);
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || slash == 0) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+}  // namespace dl::version
+
+#endif  // DEEPLAKE_VERSION_LAYOUT_H_

@@ -3,22 +3,22 @@
 #include <algorithm>
 
 #include "util/clock.h"
+#include "util/envelope.h"
 #include "util/macros.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "version/layout.h"
 
 namespace dl::version {
 
 namespace {
-std::string VersionDir(const std::string& commit_id) {
-  return PathJoin("versions", commit_id);
+
+/// Temp-file debris from an interrupted atomic rename (PosixStore); never
+/// part of a key set or worth preserving.
+bool IsTempDebris(std::string_view key) {
+  return key.find(".dltmp.") != std::string_view::npos;
 }
-std::string KeySetKey(const std::string& commit_id) {
-  return PathJoin(VersionDir(commit_id), "keyset.json");
-}
-std::string DiffKey(const std::string& commit_id) {
-  return PathJoin(VersionDir(commit_id), "diff.json");
-}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -76,10 +76,36 @@ Status VersionedStore::Put(std::string_view key, ByteView value) {
     return Status::FailedPrecondition(
         "versioned store at sealed commit is read-only");
   }
+  // Data-path write into the working commit's own directory; the journaled
+  // protocol applies to manifests, not data objects (which stay invisible
+  // until the commit record lands).
   DL_RETURN_IF_ERROR(vc_->base_->Put(PhysicalKey(commit_id_, key), value));
   MutexLock lock(vc_->mu_);
   vc_->key_sets_[commit_id_].insert(std::string(key));
   return Status::OK();
+}
+
+Status VersionedStore::PutDurable(std::string_view key, ByteView value) {
+  if (!writable_) {
+    return Status::FailedPrecondition(
+        "versioned store at sealed commit is read-only");
+  }
+  // Data-path write (see Put); durable variant for callers that need it.
+  DL_RETURN_IF_ERROR(
+      vc_->base_->PutDurable(PhysicalKey(commit_id_, key), value));
+  MutexLock lock(vc_->mu_);
+  vc_->key_sets_[commit_id_].insert(std::string(key));
+  return Status::OK();
+}
+
+bool VersionedStore::atomic_durable_puts() const {
+  return vc_->base_->atomic_durable_puts();
+}
+
+void VersionedStore::Invalidate(std::string_view key) {
+  std::string commit = Resolve(key);
+  if (commit.empty()) return;
+  vc_->base_->Invalidate(PhysicalKey(commit, key));
 }
 
 Status VersionedStore::Delete(std::string_view key) {
@@ -137,8 +163,17 @@ Result<std::shared_ptr<VersionControl>> VersionControl::OpenOrInit(
     storage::StoragePtr base) {
   auto vc = std::shared_ptr<VersionControl>(new VersionControl(base));
   DL_ASSIGN_OR_RETURN(bool exists, base->Exists(kInfoKey));
+  if (!exists) {
+    // The info snapshot may have been lost while commit records survive
+    // (e.g. a crash plus manual cleanup): any version directory means this
+    // is an existing tree that must go through recovery, not a fresh init
+    // that would shadow the old data.
+    DL_ASSIGN_OR_RETURN(auto version_keys,
+                        base->ListPrefix(kVersionsPrefix));
+    exists = !version_keys.empty();
+  }
   if (exists) {
-    DL_RETURN_IF_ERROR(vc->LoadInfo());
+    DL_RETURN_IF_ERROR(vc->Open());
     return vc;
   }
   // Fresh tree: main branch with an empty working commit.
@@ -201,8 +236,14 @@ Result<std::string> VersionControl::Commit(const std::string& message) {
     info.message = message;
     info.timestamp_us = NowMicros();
   }
+  // Journaled commit protocol (DESIGN.md §9): stage every version-dir
+  // manifest first, then write the commit record — its presence is the
+  // single commit point. A crash before the record leaves an uncommitted
+  // working head (old state); a crash after it is rolled forward by
+  // recovery (new state). Nothing in between is observable.
   DL_RETURN_IF_ERROR(PersistKeySet(sealed_id));
   DL_RETURN_IF_ERROR(WriteDiffFile(sealed_id));
+  DL_RETURN_IF_ERROR(WriteCommitRecord(sealed_id));
 
   // Open the next working commit on the branch.
   std::string next_id = NewCommitId();
@@ -356,6 +397,24 @@ Status VersionControl::Flush() {
   return PersistInfo();
 }
 
+// ---------------------------------------------------------------------------
+// Manifest I/O — every bookkeeping JSON goes through the checksummed,
+// durable envelope path (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+Status VersionControl::PutManifest(const std::string& key, const Json& j) {
+  std::string text = j.Dump(2);
+  ByteBuffer framed = EnvelopeWrap(ByteView(text));
+  // journaled: the one sanctioned direct manifest write — durable and
+  // atomic, so a crash can never expose a torn manifest under this key.
+  return base_->PutDurable(key, ByteView(framed));
+}
+
+Result<Json> VersionControl::ReadManifest(const std::string& key) {
+  DL_ASSIGN_OR_RETURN(ByteBuffer payload, storage::GetVerified(*base_, key));
+  return Json::Parse(ByteView(payload).ToStringView());
+}
+
 Status VersionControl::PersistInfo() {
   Json j = Json::MakeObject();
   Json branches = Json::MakeObject();
@@ -377,13 +436,11 @@ Status VersionControl::PersistInfo() {
   }
   j.Set("branches", std::move(branches));
   j.Set("commits", std::move(commits));
-  std::string text = j.Dump(2);
-  return base_->Put(kInfoKey, ByteView(text));
+  return PutManifest(kInfoKey, j);
 }
 
 Status VersionControl::LoadInfo() {
-  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, base_->Get(kInfoKey));
-  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
+  DL_ASSIGN_OR_RETURN(Json j, ReadManifest(kInfoKey));
   MutexLock lock(mu_);
   branches_.clear();
   commits_.clear();
@@ -402,20 +459,6 @@ Status VersionControl::LoadInfo() {
   }
   current_branch_ = j.Get("current_branch").as_string();
   current_commit_ = j.Get("current_commit").as_string();
-  // Load key sets for every commit (small JSON manifests).
-  for (const auto& [id, info] : commits_) {
-    auto bytes_r = base_->Get(KeySetKey(id));
-    if (!bytes_r.ok()) {
-      key_sets_[id] = {};
-      continue;
-    }
-    auto ks_json = Json::Parse(ByteView(*bytes_r).ToStringView());
-    if (!ks_json.ok()) return ks_json.status();
-    std::set<std::string> keys;
-    const Json& arr = ks_json->Get("keys");
-    for (size_t i = 0; i < arr.size(); ++i) keys.insert(arr[i].as_string());
-    key_sets_[id] = std::move(keys);
-  }
   return Status::OK();
 }
 
@@ -427,18 +470,292 @@ Status VersionControl::PersistKeySet(const std::string& commit_id) {
     for (const auto& k : key_sets_[commit_id]) arr.Append(k);
   }
   j.Set("keys", std::move(arr));
-  std::string text = j.Dump();
-  return base_->Put(KeySetKey(commit_id), ByteView(text));
+  return PutManifest(KeySetKey(commit_id), j);
 }
 
 Status VersionControl::LoadKeySet(const std::string& commit_id) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, base_->Get(KeySetKey(commit_id)));
-  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
+  DL_ASSIGN_OR_RETURN(Json j, ReadManifest(KeySetKey(commit_id)));
   std::set<std::string> keys;
   const Json& arr = j.Get("keys");
   for (size_t i = 0; i < arr.size(); ++i) keys.insert(arr[i].as_string());
   MutexLock lock(mu_);
   key_sets_[commit_id] = std::move(keys);
+  return Status::OK();
+}
+
+Status VersionControl::RebuildKeySet(const std::string& commit_id) {
+  // The key set is derivable state: every key a commit owns lives under
+  // its directory, so a missing or torn keyset.json never loses data.
+  std::string dir = VersionDir(commit_id) + "/";
+  DL_ASSIGN_OR_RETURN(auto keys, base_->ListPrefix(dir));
+  std::set<std::string> rebuilt;
+  for (const auto& k : keys) {
+    std::string rel = k.substr(dir.size());
+    if (IsVersionManifestName(rel) || IsTempDebris(rel)) continue;
+    rebuilt.insert(std::move(rel));
+  }
+  {
+    MutexLock lock(mu_);
+    key_sets_[commit_id] = std::move(rebuilt);
+  }
+  return PersistKeySet(commit_id);
+}
+
+Status VersionControl::LoadAllKeySets() {
+  std::vector<std::string> ids;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [id, info] : commits_) ids.push_back(id);
+  }
+  for (const auto& id : ids) {
+    Status s = LoadKeySet(id);
+    if (s.ok()) continue;
+    if (!s.IsNotFound() && !s.IsCorruption() && !s.IsInvalidArgument()) {
+      return s;
+    }
+    if (!s.IsNotFound()) recovery_.corrupt_manifests++;
+    DL_RETURN_IF_ERROR(RebuildKeySet(id));
+    bool non_empty;
+    {
+      MutexLock lock(mu_);
+      non_empty = !key_sets_[id].empty();
+    }
+    if (!s.IsNotFound() || non_empty) recovery_.keysets_rebuilt++;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Commit records & crash recovery (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+Status VersionControl::WriteCommitRecord(const std::string& commit_id) {
+  Json j = Json::MakeObject();
+  {
+    MutexLock lock(mu_);
+    const CommitInfo& info = commits_[commit_id];
+    j.Set("id", info.id);
+    j.Set("parent", info.parent);
+    j.Set("branch", info.branch);
+    j.Set("message", info.message);
+    j.Set("timestamp_us", info.timestamp_us);
+  }
+  return PutManifest(CommitRecordKey(commit_id), j);
+}
+
+Result<CommitInfo> VersionControl::ReadCommitRecord(
+    const std::string& commit_id) {
+  DL_ASSIGN_OR_RETURN(Json j, ReadManifest(CommitRecordKey(commit_id)));
+  CommitInfo info;
+  info.id = commit_id;
+  info.parent = j.Get("parent").as_string();
+  info.branch = j.Get("branch").as_string();
+  info.message = j.Get("message").as_string();
+  info.committed = true;
+  info.timestamp_us = j.Get("timestamp_us").as_int(0);
+  return info;
+}
+
+Status VersionControl::Open() {
+  Status s = LoadInfo();
+  if (!s.ok()) {
+    // A readable-but-wrong info file is unrecoverable garbage we refuse to
+    // guess about; a torn/missing/unparsable one is rebuilt from the
+    // per-commit records, which carry everything the snapshot holds.
+    if (!s.IsCorruption() && !s.IsNotFound() && !s.IsInvalidArgument()) {
+      return s;
+    }
+    if (s.IsCorruption()) recovery_.corrupt_manifests++;
+    DL_RETURN_IF_ERROR(RebuildInfoFromRecords());
+  }
+  DL_RETURN_IF_ERROR(LoadAllKeySets());
+  DL_RETURN_IF_ERROR(Recover());
+  if (recovery_.any()) DL_RETURN_IF_ERROR(Flush());
+  return Status::OK();
+}
+
+Status VersionControl::RebuildInfoFromRecords() {
+  recovery_.info_rebuilt = true;
+  DL_ASSIGN_OR_RETURN(auto all_keys, base_->ListPrefix(kVersionsPrefix));
+  std::set<std::string> dir_ids;
+  for (const auto& k : all_keys) {
+    std::string id = VersionDirIdOf(k);
+    if (!id.empty() && !IsTempDebris(k)) dir_ids.insert(std::move(id));
+  }
+
+  std::map<std::string, CommitInfo> commits;
+  std::vector<std::string> recordless;
+  for (const auto& id : dir_ids) {
+    auto rec = ReadCommitRecord(id);
+    if (rec.ok()) {
+      commits[id] = *rec;
+      continue;
+    }
+    if (rec.status().IsCorruption()) {
+      // Torn record: the commit point never durably landed — roll back.
+      recovery_.corrupt_manifests++;
+      recovery_.commits_rolled_back++;
+      DL_RETURN_IF_ERROR(base_->Delete(CommitRecordKey(id)));
+    }
+    recordless.push_back(id);
+  }
+
+  // Branch heads: per branch, the committed record no other record on the
+  // same branch names as parent (ties broken by timestamp).
+  std::map<std::string, std::string> branches;
+  for (const auto& [id, info] : commits) {
+    std::string branch =
+        info.branch.empty() ? std::string(kDefaultBranch) : info.branch;
+    bool has_child = false;
+    for (const auto& [id2, info2] : commits) {
+      if (info2.parent == id && info2.branch == info.branch) {
+        has_child = true;
+        break;
+      }
+    }
+    if (!has_child) {
+      auto it = branches.find(branch);
+      if (it == branches.end() ||
+          commits[it->second].timestamp_us < info.timestamp_us) {
+        branches[branch] = id;
+      }
+    }
+  }
+
+  MutexLock lock(mu_);
+  commits_.clear();
+  branches_ = std::move(branches);
+  for (const auto& [id, info] : commits) commits_[id] = info;
+  current_branch_ = branches_.count(kDefaultBranch) > 0
+                        ? std::string(kDefaultBranch)
+                        : (branches_.empty() ? std::string(kDefaultBranch)
+                                             : branches_.begin()->first);
+  if (recordless.size() == 1) {
+    // Exactly one recordless directory: the crashed tree's working head.
+    // Adopt it onto the current branch so its staged writes stay reachable.
+    const std::string& id = recordless.front();
+    CommitInfo info;
+    info.id = id;
+    auto hit = branches_.find(current_branch_);
+    info.parent = hit == branches_.end() ? "" : hit->second;
+    info.branch = current_branch_;
+    info.timestamp_us = NowMicros();
+    commits_[id] = info;
+    branches_[current_branch_] = id;
+    current_commit_ = id;
+  } else {
+    // Zero or ambiguous: point at the branch head; Recover() opens a fresh
+    // working child and quarantines the unplaceable directories.
+    auto hit = branches_.find(current_branch_);
+    current_commit_ = hit == branches_.end() ? "" : hit->second;
+  }
+  return Status::OK();
+}
+
+Status VersionControl::Recover() {
+  DL_ASSIGN_OR_RETURN(auto all_keys, base_->ListPrefix(kVersionsPrefix));
+  std::set<std::string> dir_ids;
+  for (const auto& k : all_keys) {
+    std::string id = VersionDirIdOf(k);
+    if (!id.empty()) dir_ids.insert(std::move(id));
+  }
+
+  std::map<std::string, bool> known;  // id -> committed, per the snapshot
+  {
+    MutexLock lock(mu_);
+    for (const auto& [id, info] : commits_) known[id] = info.committed;
+  }
+
+  // Reconcile every known commit with its on-store record. The record is
+  // the commit point: valid record wins over a stale snapshot (roll
+  // forward); torn record means the point was never reached (roll back).
+  for (const auto& [id, committed] : known) {
+    auto rec = ReadCommitRecord(id);
+    if (rec.ok()) {
+      if (!committed) {
+        MutexLock lock(mu_);
+        CommitInfo& info = commits_[id];
+        info.committed = true;
+        info.message = rec->message;
+        info.timestamp_us = rec->timestamp_us;
+        if (info.branch.empty()) info.branch = rec->branch;
+        recovery_.commits_rolled_forward++;
+      }
+      continue;
+    }
+    if (rec.status().IsCorruption() || rec.status().IsInvalidArgument()) {
+      recovery_.corrupt_manifests++;
+      DL_RETURN_IF_ERROR(base_->Delete(CommitRecordKey(id)));
+      if (committed) {
+        // The snapshot had already absorbed this commit, so it IS
+        // committed; the record is the damaged copy — rewrite it.
+        DL_RETURN_IF_ERROR(WriteCommitRecord(id));
+      } else {
+        recovery_.commits_rolled_back++;
+      }
+      continue;
+    }
+    if (!rec.status().IsNotFound()) return rec.status();
+    if (committed) {
+      // Legacy tree predating commit records (or a lost record): restore
+      // the durable commit point from the snapshot.
+      DL_RETURN_IF_ERROR(WriteCommitRecord(id));
+    }
+    // Uncommitted with no record: a normal working head.
+  }
+
+  // Version directories no commit references: the half-created next head
+  // of a crashed Commit. Provably unreachable when the snapshot loaded
+  // cleanly — delete. After an info rebuild "unreferenced" cannot be
+  // proven, so quarantine (dlfsck reports them) instead.
+  for (const auto& id : dir_ids) {
+    bool referenced;
+    {
+      MutexLock lock(mu_);
+      referenced = commits_.count(id) > 0;
+    }
+    if (referenced) continue;
+    if (recovery_.info_rebuilt) {
+      recovery_.dirs_quarantined++;
+      continue;
+    }
+    DL_ASSIGN_OR_RETURN(auto keys, base_->ListPrefix(VersionDir(id) + "/"));
+    for (const auto& k : keys) DL_RETURN_IF_ERROR(base_->Delete(k));
+    recovery_.orphan_dirs_removed++;
+  }
+
+  // The tree must end on an uncommitted working head. After a roll-forward
+  // the old head is sealed; open a fresh child exactly as Commit() would
+  // have.
+  bool need_new_head = false;
+  {
+    MutexLock lock(mu_);
+    if (current_commit_.empty() || commits_.count(current_commit_) == 0) {
+      if (current_branch_.empty()) current_branch_ = kDefaultBranch;
+      auto it = branches_.find(current_branch_);
+      if (it != branches_.end() && commits_.count(it->second) > 0) {
+        current_commit_ = it->second;
+      } else {
+        current_commit_.clear();
+      }
+    }
+    need_new_head =
+        current_commit_.empty() ||
+        (!current_branch_.empty() && commits_[current_commit_].committed);
+  }
+  if (need_new_head) {
+    std::string next_id = NewCommitId();
+    MutexLock lock(mu_);
+    CommitInfo next;
+    next.id = next_id;
+    next.parent = current_commit_;  // may be empty: fresh root
+    next.branch = current_branch_;
+    next.timestamp_us = NowMicros();
+    commits_[next_id] = next;
+    branches_[current_branch_] = next_id;
+    key_sets_[next_id] = {};
+    current_commit_ = next_id;
+  }
   return Status::OK();
 }
 
@@ -450,8 +767,11 @@ namespace {
 
 /// Tensor names listed in dataset_meta.json at a given versioned view.
 Result<std::vector<std::string>> TensorNamesAt(storage::StoragePtr store) {
-  auto bytes = store->Get(tsf::Dataset::kMetaKey);
-  if (!bytes.ok()) return std::vector<std::string>{};  // no dataset yet
+  auto bytes = storage::GetVerified(*store, tsf::Dataset::kMetaKey);
+  if (bytes.status().IsNotFound()) {
+    return std::vector<std::string>{};  // no dataset yet
+  }
+  if (!bytes.ok()) return bytes.status();
   DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(*bytes).ToStringView()));
   std::vector<std::string> names;
   const Json& arr = j.Get("tensors");
@@ -550,8 +870,7 @@ Status VersionControl::WriteDiffFile(const std::string& commit_id) {
     }
   }
   j.Set("tensors", std::move(tensors));
-  std::string text = j.Dump(2);
-  return base_->Put(DiffKey(commit_id), ByteView(text));
+  return PutManifest(DiffKey(commit_id), j);
 }
 
 // ---------------------------------------------------------------------------

@@ -51,6 +51,38 @@ struct MergeStats {
   uint64_t cells_overwritten = 0;
 };
 
+/// What crash recovery did while opening a version tree (DESIGN.md §9).
+/// All-zero on a clean open.
+struct RecoveryReport {
+  /// Commits whose record was torn/absent at the commit point: the record
+  /// was discarded and the commit remains the (uncommitted) working head.
+  uint64_t commits_rolled_back = 0;
+  /// Commits with a valid record the info snapshot had not yet absorbed:
+  /// marked committed and a fresh working head opened after them.
+  uint64_t commits_rolled_forward = 0;
+  /// Key sets reconstructed from a version-directory listing because the
+  /// keyset.json was missing or failed CRC verification.
+  uint64_t keysets_rebuilt = 0;
+  /// Version directories referenced by no commit (debris of a crashed
+  /// commit's half-created next head): their objects were deleted.
+  uint64_t orphan_dirs_removed = 0;
+  /// Recordless version directories left in place because the info snapshot
+  /// itself had to be rebuilt, so "unreferenced" could not be proven.
+  uint64_t dirs_quarantined = 0;
+  /// Manifest objects that failed CRC verification and were dropped or
+  /// rewritten from surviving state.
+  uint64_t corrupt_manifests = 0;
+  /// version_control_info.json was unreadable and was rebuilt from the
+  /// per-commit records.
+  bool info_rebuilt = false;
+
+  bool any() const {
+    return commits_rolled_back || commits_rolled_forward || keysets_rebuilt ||
+           orphan_dirs_removed || dirs_quarantined || corrupt_manifests ||
+           info_rebuilt;
+  }
+};
+
 /// Git-like version control built *into* the storage layout, no external
 /// dependency (paper §4.2). Each commit owns a sub-directory
 /// `versions/<id>/` holding only the objects written while it was the
@@ -130,6 +162,9 @@ class VersionControl
   /// Persists version_control_info.json and the working commit's key set.
   Status Flush();
 
+  /// What recovery did during OpenOrInit; all-zero after a clean open.
+  const RecoveryReport& last_recovery() const { return recovery_; }
+
  private:
   friend class VersionedStore;
 
@@ -137,6 +172,8 @@ class VersionControl
       : base_(std::move(base)) {}
 
   std::string NewCommitId();
+  /// Loads existing state and runs crash recovery (DESIGN.md §9).
+  Status Open() DL_EXCLUDES(mu_);
   Status LoadInfo() DL_EXCLUDES(mu_);
   Status PersistInfo() DL_EXCLUDES(mu_);
   Status LoadKeySet(const std::string& commit_id) DL_EXCLUDES(mu_);
@@ -145,6 +182,28 @@ class VersionControl
   std::vector<std::string> Chain(const std::string& commit_id) const
       DL_REQUIRES(mu_);
   Status WriteDiffFile(const std::string& commit_id) DL_EXCLUDES(mu_);
+
+  // ---- Journaled commit protocol (DESIGN.md §9) ----
+
+  /// Durable, enveloped manifest write — the only way version control
+  /// writes bookkeeping JSON.
+  Status PutManifest(const std::string& key, const Json& j);
+  /// Reads + CRC-verifies + parses an enveloped manifest.
+  Result<Json> ReadManifest(const std::string& key);
+  /// Writes versions/<id>/commit.json — the single commit point.
+  Status WriteCommitRecord(const std::string& commit_id) DL_EXCLUDES(mu_);
+  Result<CommitInfo> ReadCommitRecord(const std::string& commit_id);
+  /// Reconstructs a commit's key set from its directory listing (minus
+  /// manifests); used when keyset.json is missing or corrupt.
+  Status RebuildKeySet(const std::string& commit_id) DL_EXCLUDES(mu_);
+  /// Loads (or rebuilds) the key set of every known commit.
+  Status LoadAllKeySets() DL_EXCLUDES(mu_);
+  /// Reconstructs branches/commits from per-commit records after the info
+  /// snapshot was lost or torn.
+  Status RebuildInfoFromRecords() DL_EXCLUDES(mu_);
+  /// Post-load recovery pass: roll incomplete commits back, absorbed-but-
+  /// unrecorded ones forward, delete orphan dirs, reopen a working head.
+  Status Recover() DL_EXCLUDES(mu_);
 
   storage::StoragePtr base_;
   // Lock order (DESIGN.md §8): mu_ is held across base_ store calls in a
@@ -160,6 +219,8 @@ class VersionControl
   std::string current_branch_ DL_GUARDED_BY(mu_);
   std::string current_commit_ DL_GUARDED_BY(mu_);
   std::atomic<uint64_t> id_counter_{0};
+  // Written once during Open() before the object is shared; read-only after.
+  RecoveryReport recovery_;
 };
 
 /// StorageProvider that routes reads through the version chain and writes
@@ -173,6 +234,9 @@ class VersionedStore : public storage::StorageProvider {
   Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
+  Status PutDurable(std::string_view key, ByteView value) override;
+  bool atomic_durable_puts() const override;
+  void Invalidate(std::string_view key) override;
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
   Result<uint64_t> SizeOf(std::string_view key) override;

@@ -1,0 +1,244 @@
+// Crash-matrix suite (`ctest -L crash`, DESIGN.md §9): run one
+// ingest-and-commit workload, enumerate every storage write it performs,
+// and for each write N × each CrashMode (missing / torn / duplicate) kill
+// the store at write N, reopen the surviving image, and assert the tree
+// recovers to *exactly* the pre- or post-commit state — never a third
+// thing — with zero corruption surfacing to readers. A parallel clone of
+// every crashed image goes through dlfsck's scan/repair library instead,
+// which must always converge to a clean tree.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/storage.h"
+#include "tsf/dataset.h"
+#include "version/fsck.h"
+#include "version/version_control.h"
+
+namespace dl {
+namespace {
+
+using storage::CrashMode;
+using storage::CrashModeName;
+using storage::CrashPointStore;
+using storage::MemoryStore;
+using storage::StoragePtr;
+using tsf::Dataset;
+using tsf::DType;
+using tsf::Sample;
+using tsf::TensorOptions;
+using version::FsckIssueKind;
+using version::FsckRepair;
+using version::FsckScan;
+using version::VersionControl;
+
+constexpr uint64_t kSeedRows = 5;
+constexpr uint64_t kNewRows = 7;
+// Seed image: root commit sealed + empty working head → Log() == 2; the
+// workload's commit makes it 3.
+constexpr size_t kSeedLog = 2;
+
+/// Deep copy of a store — the "disk image" each matrix cell starts from.
+StoragePtr CloneImage(storage::StorageProvider& src) {
+  auto dst = std::make_shared<MemoryStore>();
+  auto keys = src.ListPrefix("");
+  EXPECT_TRUE(keys.ok()) << keys.status();
+  for (const auto& k : *keys) {
+    auto v = src.Get(k);
+    EXPECT_TRUE(v.ok()) << v.status();
+    EXPECT_TRUE(dst->Put(k, ByteView(*v)).ok());
+  }
+  return dst;
+}
+
+/// Deterministic ~400-byte blob for row `i`; with 1KB chunks, appends seal
+/// chunks mid-ingest, putting data writes inside the crash matrix.
+std::string BlobFor(uint64_t i) {
+  return std::string(400, static_cast<char>('a' + i % 26));
+}
+
+Status AppendRows(Dataset& ds, uint64_t first, uint64_t count) {
+  for (uint64_t i = first; i < first + count; ++i) {
+    DL_RETURN_IF_ERROR(ds.Append(
+        {{"labels", Sample::Scalar(static_cast<int64_t>(i), DType::kInt32)},
+         {"payload", Sample::FromString(BlobFor(i))}}));
+  }
+  return Status::OK();
+}
+
+/// One committed version plus an empty working head over a MemoryStore.
+StoragePtr BuildSeed() {
+  auto base = std::make_shared<MemoryStore>();
+  auto vc = VersionControl::OpenOrInit(base).MoveValue();
+  auto ds = Dataset::Create(vc->working_store()).MoveValue();
+  TensorOptions labels;
+  labels.htype = "class_label";
+  EXPECT_TRUE(ds->CreateTensor("labels", labels).ok());
+  // Small chunks: appends seal mid-ingest, so the matrix also enumerates
+  // crash points inside data writes, not just the commit manifests.
+  TensorOptions payload;
+  payload.max_chunk_bytes = 1024;
+  payload.sample_compression = "none";
+  payload.chunk_compression = "none";
+  EXPECT_TRUE(ds->CreateTensor("payload", payload).ok());
+  EXPECT_TRUE(AppendRows(*ds, 0, kSeedRows).ok());
+  EXPECT_TRUE(ds->Flush().ok());
+  EXPECT_TRUE(vc->Commit("seed").ok());
+  return base;
+}
+
+/// The workload whose writes the matrix enumerates: open the tree, append
+/// rows, flush, commit. Returns the first error (the injected crash).
+Status RunWorkload(StoragePtr store) {
+  DL_ASSIGN_OR_RETURN(auto vc, VersionControl::OpenOrInit(store));
+  DL_ASSIGN_OR_RETURN(auto ds, Dataset::Open(vc->working_store()));
+  DL_RETURN_IF_ERROR(AppendRows(*ds, kSeedRows, kNewRows));
+  DL_RETURN_IF_ERROR(ds->Flush());
+  return vc->Commit("second").status();
+}
+
+/// Reopens a crashed image and asserts the atomicity contract: the tree
+/// opens, the log is the pre- or post-commit chain, a committed head
+/// carries ALL the new rows, and every visible row reads back intact.
+void VerifyRecovered(StoragePtr base) {
+  auto vc = VersionControl::OpenOrInit(base);
+  ASSERT_TRUE(vc.ok()) << vc.status();
+  auto ds = Dataset::Open((*vc)->working_store());
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  size_t log_len = (*vc)->Log().size();
+  uint64_t rows = (*ds)->NumRows();
+  ASSERT_TRUE(log_len == kSeedLog || log_len == kSeedLog + 1)
+      << "log length " << log_len << " is neither old nor new";
+  if (log_len == kSeedLog + 1) {
+    // The commit record landed: the commit must be durable in full.
+    EXPECT_EQ(rows, kSeedRows + kNewRows);
+  } else {
+    // Uncommitted working head: either nothing was staged yet (old state)
+    // or the staged key set survived and the torn commit was rolled back.
+    EXPECT_TRUE(rows == kSeedRows || rows == kSeedRows + kNewRows)
+        << "visible rows " << rows << " is neither old nor new";
+  }
+  for (uint64_t i = 0; i < rows; ++i) {
+    auto row = (*ds)->ReadRow(i);
+    ASSERT_TRUE(row.ok()) << "row " << i << ": " << row.status();
+    EXPECT_EQ(row->at("labels").AsInt(), static_cast<int64_t>(i));
+    EXPECT_EQ(row->at("payload").AsString(), BlobFor(i));
+  }
+}
+
+/// Runs the full write matrix for one crash mode.
+void RunMatrix(CrashMode mode) {
+  StoragePtr seed = BuildSeed();
+
+  // Size the matrix: crash_at_write == 0 never fires, just counts.
+  auto counter =
+      std::make_shared<CrashPointStore>(CloneImage(*seed), 0, mode);
+  ASSERT_TRUE(RunWorkload(counter).ok());
+  const uint64_t total_writes = counter->writes_seen();
+  // Chunk seals + per-tensor manifests + the five commit-protocol writes:
+  // a matrix this small means the workload is not exercising the protocol.
+  ASSERT_GE(total_writes, 10u);
+
+  uint64_t torn_commits_seen = 0;
+  for (uint64_t w = 1; w <= total_writes; ++w) {
+    SCOPED_TRACE(std::string("mode=") + CrashModeName(mode) +
+                 " crash_at_write=" + std::to_string(w));
+
+    StoragePtr image = CloneImage(*seed);
+    auto crash = std::make_shared<CrashPointStore>(image, w, mode);
+    Status s = RunWorkload(crash);
+    EXPECT_FALSE(s.ok()) << "crash point never surfaced";
+    EXPECT_TRUE(crash->crashed());
+
+    // Path 1 — plain reopen: crash recovery alone restores old-or-new.
+    StoragePtr recovered = CloneImage(*image);
+    VerifyRecovered(recovered);
+
+    // Path 2 — dlfsck on the crashed image: scan never errors, repair
+    // always converges to a clean tree that still verifies.
+    auto pre = FsckScan(image);
+    ASSERT_TRUE(pre.ok()) << pre.status();
+    torn_commits_seen += pre->CountOf(FsckIssueKind::kTornCommit);
+    auto repaired = FsckRepair(image);
+    ASSERT_TRUE(repaired.ok()) << repaired.status();
+    std::string issues;
+    for (const auto& i : repaired->issues) {
+      issues += std::string(version::FsckIssueKindName(i.kind)) + " " +
+                i.key + ": " + i.detail + "\n";
+    }
+    EXPECT_TRUE(repaired->clean()) << "post-repair issues:\n" << issues;
+    VerifyRecovered(image);
+  }
+
+  if (mode == CrashMode::kTorn) {
+    // The cell that tears versions/<id>/commit.json — the commit point
+    // itself — must be visible to a pre-repair dlfsck scan.
+    EXPECT_GE(torn_commits_seen, 1u);
+  }
+}
+
+TEST(CrashMatrixTest, EveryCrashPointMissing) { RunMatrix(CrashMode::kMissing); }
+
+TEST(CrashMatrixTest, EveryCrashPointTorn) { RunMatrix(CrashMode::kTorn); }
+
+TEST(CrashMatrixTest, EveryCrashPointDuplicate) {
+  RunMatrix(CrashMode::kDuplicate);
+}
+
+TEST(CrashMatrixTest, CounterModeNeverCrashes) {
+  StoragePtr seed = BuildSeed();
+  auto counter =
+      std::make_shared<CrashPointStore>(seed, 0, CrashMode::kMissing);
+  ASSERT_TRUE(RunWorkload(counter).ok());
+  EXPECT_FALSE(counter->crashed());
+  EXPECT_GT(counter->writes_seen(), 0u);
+  // The uncrashed workload lands exactly the new state.
+  auto vc = VersionControl::OpenOrInit(seed);
+  ASSERT_TRUE(vc.ok()) << vc.status();
+  EXPECT_EQ((*vc)->Log().size(), kSeedLog + 1);
+  auto ds = Dataset::Open((*vc)->working_store());
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ((*ds)->NumRows(), kSeedRows + kNewRows);
+}
+
+TEST(CrashMatrixTest, StoreIsDeadAfterCrashPoint) {
+  auto base = std::make_shared<MemoryStore>();
+  auto crash = std::make_shared<CrashPointStore>(base, 1, CrashMode::kMissing);
+  EXPECT_FALSE(crash->Put("k", ByteView(std::string_view("v"))).ok());
+  EXPECT_TRUE(crash->crashed());
+  // Everything after the crash fails like a dead process's file handles.
+  EXPECT_TRUE(crash->Get("k").status().IsIOError());
+  EXPECT_TRUE(crash->Exists("k").status().IsIOError());
+  EXPECT_TRUE(crash->ListPrefix("").status().IsIOError());
+  EXPECT_TRUE(crash->Delete("k").IsIOError());
+  // The missing write really is missing from the base.
+  EXPECT_TRUE(base->Get("k").status().IsNotFound());
+}
+
+TEST(CrashMatrixTest, TornModeLeavesStrictPrefix) {
+  auto base = std::make_shared<MemoryStore>();
+  auto crash = std::make_shared<CrashPointStore>(base, 1, CrashMode::kTorn);
+  std::string value = "0123456789abcdef";
+  EXPECT_FALSE(crash->Put("k", ByteView(value)).ok());
+  auto torn = base->Get("k");
+  ASSERT_TRUE(torn.ok()) << torn.status();
+  EXPECT_LT(torn->size(), value.size());
+  EXPECT_EQ(ByteView(*torn).ToStringView(),
+            std::string_view(value).substr(0, torn->size()));
+}
+
+TEST(CrashMatrixTest, DuplicateModeLandsWriteButReportsFailure) {
+  auto base = std::make_shared<MemoryStore>();
+  auto crash =
+      std::make_shared<CrashPointStore>(base, 1, CrashMode::kDuplicate);
+  EXPECT_FALSE(crash->Put("k", ByteView(std::string_view("v"))).ok());
+  auto v = base->Get("k");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(ByteView(*v).ToStringView(), "v");
+}
+
+}  // namespace
+}  // namespace dl

@@ -17,6 +17,7 @@
 #include "storage/storage.h"
 #include "stream/dataloader.h"
 #include "tsf/dataset.h"
+#include "util/envelope.h"
 
 namespace dl {
 namespace {
@@ -235,6 +236,56 @@ TEST(LruCacheStoreTest, RangeBypassIsNotAMiss) {
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.range_bypasses(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// LruCacheStore corrupt-entry eviction (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+// Regression: a corrupt object cached by an LRU layer used to be served
+// forever — every read returned the same bad bytes even after the base
+// store healed. GetVerified must evict the entry and retry the base once.
+TEST(LruCacheStoreTest, CorruptCachedEntryIsEvictedAndHealed) {
+  auto base = std::make_shared<MemoryStore>();
+  ByteBuffer good = EnvelopeWrap(ByteView(std::string_view("meta payload")));
+  ByteBuffer bad = good;
+  bad[bad.size() / 2] ^= 0x40;  // bit flip inside the payload
+  // The cache picks up the corrupt copy (a decayed disk block, a torn
+  // in-place overwrite...), then the base is repaired underneath it.
+  ASSERT_TRUE(base->Put("k", ByteView(bad)).ok());
+  auto cache = std::make_shared<storage::LruCacheStore>(base, 1 << 20);
+  ASSERT_TRUE(cache->Get("k").ok());  // caches the corrupt bytes
+  ASSERT_TRUE(base->Put("k", ByteView(good)).ok());  // heal the base only
+
+  // Plain Get still serves the stale corrupt entry — the bug scenario.
+  auto stale = cache->Get("k");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(EnvelopeUnwrap(ByteView(*stale)).status().IsCorruption());
+
+  // The verified read detects the CRC mismatch, evicts, and re-reads.
+  auto healed = storage::GetVerified(*cache, "k");
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(ByteView(*healed).ToStringView(), "meta payload");
+
+  // The retry repopulated the cache: the next read is a clean hit.
+  uint64_t hits_before = cache->hits();
+  auto again = cache->Get("k");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(EnvelopeUnwrap(ByteView(*again)).ok());
+  EXPECT_GT(cache->hits(), hits_before);
+}
+
+TEST(LruCacheStoreTest, PersistentCorruptionStaysCorruption) {
+  // If the base itself is corrupt, the one-shot retry must surface
+  // Corruption (a permanent error), not loop or mask it.
+  auto base = std::make_shared<MemoryStore>();
+  ByteBuffer bad = EnvelopeWrap(ByteView(std::string_view("payload")));
+  bad[6] ^= 0x01;
+  ASSERT_TRUE(base->Put("k", ByteView(bad)).ok());
+  auto cache = std::make_shared<storage::LruCacheStore>(base, 1 << 20);
+  auto got = storage::GetVerified(*cache, "k");
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status();
+  EXPECT_FALSE(got.status().IsRetryable());
 }
 
 // ---------------------------------------------------------------------------

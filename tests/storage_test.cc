@@ -242,6 +242,53 @@ TEST(FaultInjectionStoreTest, FailsEveryNth) {
 }
 
 // ---------------------------------------------------------------------------
+// PosixStore atomic writes and delete errors (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+TEST(PosixStoreTest, AtomicWritesLeaveNoTempResidue) {
+  auto store = MakePosix();
+  ByteBuffer value = BufferFromString("durable manifest bytes");
+  ASSERT_TRUE(store->Put("a/b/plain", ByteView(value)).ok());
+  ASSERT_TRUE(store->PutDurable("a/b/durable", ByteView(value)).ok());
+  // Overwrites go through the same temp+rename path.
+  ASSERT_TRUE(store->PutDurable("a/b/durable", ByteView(value)).ok());
+  auto keys = store->ListPrefix("");
+  ASSERT_TRUE(keys.ok()) << keys.status();
+  EXPECT_EQ(keys->size(), 2u);
+  for (const auto& k : *keys) {
+    EXPECT_EQ(k.find(".dltmp."), std::string::npos) << k;
+  }
+  EXPECT_EQ(*store->Get("a/b/durable"), value);
+}
+
+TEST(PosixStoreTest, AdvertisesAtomicDurablePuts) {
+  // VersionControl keys its journaled-commit guarantees off this bit: the
+  // posix path is rename-atomic, the plain memory store is not.
+  EXPECT_TRUE(MakePosix()->atomic_durable_puts());
+  EXPECT_FALSE(std::make_shared<MemoryStore>()->atomic_durable_puts());
+  // Decorators must forward the capability of whatever they wrap.
+  EXPECT_TRUE(std::make_shared<PrefixStore>(MakePosix(), "ns")
+                  ->atomic_durable_puts());
+  EXPECT_FALSE(std::make_shared<LruCacheStore>(
+                   std::make_shared<MemoryStore>(), 1 << 20)
+                   ->atomic_durable_puts());
+}
+
+TEST(PosixStoreTest, DeleteMissingIsIdempotentButRealErrorsSurface) {
+  auto store = MakePosix();
+  // Deleting what is not there is success (idempotent cleanup paths).
+  EXPECT_TRUE(store->Delete("never/existed").ok());
+  // Deleting a non-empty directory is a real failure and must say why —
+  // this used to be swallowed as success.
+  ASSERT_TRUE(store->Put("dir/child", ByteView(std::string_view("v"))).ok());
+  Status s = store->Delete("dir");
+  EXPECT_TRUE(s.IsIOError()) << s;
+  EXPECT_NE(s.message().find("dir"), std::string::npos) << s;
+  // The child is untouched.
+  EXPECT_TRUE(*store->Exists("dir/child"));
+}
+
+// ---------------------------------------------------------------------------
 // Chaining: LRU in front of prefix in front of posix (paper §3.6 chain)
 // ---------------------------------------------------------------------------
 

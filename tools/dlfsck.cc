@@ -1,0 +1,105 @@
+// dlfsck — offline integrity checker for an on-disk Deep Lake dataset tree
+// (DESIGN.md §9).
+//
+//   dlfsck <dataset-root>            scan only; exit 0 if clean, 1 if not
+//   dlfsck --repair <dataset-root>   repair (roll back torn commits,
+//                                    quarantine corrupt chunks, replay
+//                                    crash recovery), then rescan
+//   dlfsck --json ...                machine-readable report on stdout
+//
+// Exit codes: 0 clean, 1 issues remain, 2 usage/IO error.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/storage.h"
+#include "util/json.h"
+#include "version/fsck.h"
+
+namespace {
+
+using dl::version::FsckIssue;
+using dl::version::FsckIssueKindName;
+using dl::version::FsckReport;
+
+void PrintHuman(const FsckReport& report) {
+  std::printf("scanned %llu object(s), %llu byte(s)\n",
+              static_cast<unsigned long long>(report.objects_scanned),
+              static_cast<unsigned long long>(report.bytes_scanned));
+  for (const std::string& r : report.repairs) {
+    std::printf("repair: %s\n", r.c_str());
+  }
+  for (const FsckIssue& issue : report.issues) {
+    std::printf("%s: %s — %s\n", FsckIssueKindName(issue.kind),
+                issue.key.c_str(), issue.detail.c_str());
+  }
+  std::printf(report.clean() ? "clean\n"
+                             : "%zu issue(s) found\n",
+              report.issues.size());
+}
+
+void PrintJson(const FsckReport& report) {
+  dl::Json j = dl::Json::MakeObject();
+  j.Set("objects_scanned", report.objects_scanned);
+  j.Set("bytes_scanned", report.bytes_scanned);
+  j.Set("clean", report.clean());
+  dl::Json issues = dl::Json::MakeArray();
+  for (const FsckIssue& issue : report.issues) {
+    dl::Json i = dl::Json::MakeObject();
+    i.Set("kind", FsckIssueKindName(issue.kind));
+    i.Set("key", issue.key);
+    i.Set("detail", issue.detail);
+    issues.Append(std::move(i));
+  }
+  j.Set("issues", std::move(issues));
+  dl::Json repairs = dl::Json::MakeArray();
+  for (const std::string& r : report.repairs) repairs.Append(r);
+  j.Set("repairs", std::move(repairs));
+  std::printf("%s\n", j.Dump(2).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  bool json = false;
+  std::string root;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--repair") {
+      repair = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dlfsck [--repair] [--json] <dataset-root>\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dlfsck: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::fprintf(stderr, "dlfsck: more than one dataset root given\n");
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "usage: dlfsck [--repair] [--json] <dataset-root>\n");
+    return 2;
+  }
+
+  auto store = std::make_shared<dl::storage::PosixStore>(root);
+  auto report = repair ? dl::version::FsckRepair(store)
+                       : dl::version::FsckScan(store);
+  if (!report.ok()) {
+    std::fprintf(stderr, "dlfsck: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  if (json) {
+    PrintJson(*report);
+  } else {
+    PrintHuman(*report);
+  }
+  return report->clean() ? 0 : 1;
+}
