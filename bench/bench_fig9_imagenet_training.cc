@@ -20,6 +20,8 @@
 #include "sim/gpu_model.h"
 #include "sim/network_model.h"
 #include "stream/dataloader.h"
+#include "util/buffer.h"
+#include "util/crc32.h"
 
 namespace dl::bench {
 namespace {
@@ -213,6 +215,10 @@ int main() {
   Json extra = Json::MakeObject();
   extra.Set("images", kImages);
   extra.Set("epochs", kEpochs);
+  extra.Set("crc32c.backend", std::string(dl::Crc32cBackend()));
+  // Process-wide payload deep copies across every run above (ingest +
+  // all loaders); trend this between revisions to catch copy regressions.
+  extra.Set("bytes_copied_total", dl::TotalBytesCopied());
   extra.Set("deeplake", std::move(deeplake_extra));
   if (dl::Status report_st = dl::bench::WriteJsonReport(
           "fig9_imagenet_training", table, std::move(extra));

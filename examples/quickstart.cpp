@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     auto s = gen.Generate(i);
     std::map<std::string, tsf::Sample> row;
     row["images"] = tsf::Sample(tsf::DType::kUInt8,
-                                tsf::TensorShape(s.shape), s.pixels);
+                                tsf::TensorShape(s.shape), std::move(s.pixels));
     row["labels"] = tsf::Sample::Scalar(s.label, tsf::DType::kInt32);
     Status st = (*lake)->Append(row);
     if (!st.ok()) {

@@ -38,7 +38,7 @@ int main() {
     std::memcpy(pred_bytes.data(), pred, 16);
     std::map<std::string, tsf::Sample> row;
     row["images"] = tsf::Sample(tsf::DType::kUInt8,
-                                tsf::TensorShape(s.shape), s.pixels);
+                                tsf::TensorShape(s.shape), std::move(s.pixels));
     row["boxes"] = tsf::Sample(tsf::DType::kFloat32, tsf::TensorShape{1, 4},
                                std::move(pred_bytes));
     row["training/boxes"] = tsf::Sample(tsf::DType::kFloat32,

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     std::memcpy(bb.data(), boxes, 32);
     std::map<std::string, tsf::Sample> row;
     row["photo"] = tsf::Sample(tsf::DType::kUInt8,
-                               tsf::TensorShape(s.shape), s.pixels);
+                               tsf::TensorShape(s.shape), std::move(s.pixels));
     row["detections"] = tsf::Sample(tsf::DType::kFloat32,
                                     tsf::TensorShape{2, 4}, std::move(bb));
     row["labels"] = tsf::Sample::Scalar(i, tsf::DType::kInt32);

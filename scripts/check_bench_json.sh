@@ -70,6 +70,27 @@ for h in metrics["histograms"]:
          f"histogram {h['name']}: buckets/bounds length mismatch")
     need(sum(h["buckets"]) == h["count"],
          f"histogram {h['name']}: bucket sum != count")
+
+# Copy-accounting and CRC dispatch fields (DESIGN.md §10). Loader benches
+# must record which CRC-32C backend served the run (numbers are not
+# comparable across machines otherwise) and carry the bytes_copied counter
+# their claims about the zero-copy read path rest on.
+extra = doc.get("extra", {})
+if "crc32c.backend" in extra:
+    need(extra["crc32c.backend"] in ("sse4.2", "armv8-crc", "software"),
+         f"unknown crc32c.backend {extra['crc32c.backend']!r}")
+if doc["bench"] == "fig7_local_loader":
+    need("crc32c.backend" in extra, "fig7 must record extra['crc32c.backend']")
+    dl_stages = extra.get("deeplake", {})
+    need(isinstance(dl_stages.get("bytes_copied"), int)
+         and dl_stages["bytes_copied"] >= 0,
+         "fig7 must record extra.deeplake.bytes_copied (int >= 0)")
+    raw = extra.get("deeplake_raw", {})
+    for key in ("bytes_copied", "legacy_bytes_copied"):
+        need(isinstance(raw.get(key), int) and raw[key] >= 0,
+             f"fig7 must record extra.deeplake_raw.{key} (int >= 0)")
+    need(raw.get("legacy_bytes_copied", 0) >= raw.get("bytes_copied", 0),
+         "legacy copy emulation must not copy less than the slice path")
 print(f"OK: {path} valid "
       f"({len(metrics['counters'])} counters, "
       f"{len(metrics['histograms'])} histograms)")

@@ -24,6 +24,17 @@ its tooling — see DESIGN.md §8):
                   through PutManifest (enveloped + durable, DESIGN.md §9);
                   the sanctioned call sites carry a `journaled:` or
                   `Data-path write` comment within the three lines above.
+  hot-path-deep-copy
+                  Payload deep copies (`.ToBuffer(`, `Buffer::CopyOf(`,
+                  `Slice::CopyOf(`) in the read hot path (src/stream/,
+                  src/tsf/, src/storage/). The Buffer/Slice ownership model
+                  (DESIGN.md §10) makes the steady-state read path zero-copy;
+                  a new copy there silently regresses loader.bytes_copied.
+                  Sanctioned sites carry a `copy-ok:` comment within the
+                  seven lines above (or on the same line) stating why the
+                  copy is required — wider than `journaled:` because the
+                  copy often sits at the end of a multi-line statement. `.ToString()` is not matched: it is
+                  shared with Status/TensorShape and those calls dominate.
 
 Usage: check_source.py [repo_root]   (exit 0 clean, 1 with findings)
 """
@@ -48,6 +59,13 @@ BASE_PUT = re.compile(r"\bbase_->Put(Durable)?\s*\(")
 # the one PutManifest journal site and the data-path writes of
 # VersionedStore, which stay invisible until the commit record lands.
 SANCTIONED_BASE_PUT = re.compile(r"journaled:|Data-path write")
+
+# Payload deep-copy APIs of the Buffer/Slice model (DESIGN.md §10). These
+# are the only sanctioned ways to copy chunk/object bytes, so matching them
+# catches every deep copy the model can express.
+HOT_PATH_DIRS = ("src/stream/", "src/tsf/", "src/storage/")
+DEEP_COPY = re.compile(r"\.ToBuffer\s*\(|\b(?:Buffer|Slice)::CopyOf\s*\(")
+COPY_OK = re.compile(r"copy-ok:")
 
 # A raw `new` is fine when the enclosing statement hands it straight to an
 # owner. Checked against the statement text preceding the `new` token.
@@ -143,6 +161,18 @@ def check_file(path: Path, rel: str, findings: list) -> None:
                              "direct base_->Put in the version layer; use "
                              "PutManifest (or mark a sanctioned data-path "
                              "write, DESIGN.md §9)"))
+
+    if any(rel.startswith(d) for d in HOT_PATH_DIRS):
+        raw_lines = raw.splitlines()
+        for m in DEEP_COPY.finditer(code):
+            line = line_of(code, m.start())
+            context = "\n".join(raw_lines[max(0, line - 8):line])
+            if COPY_OK.search(context):
+                continue
+            findings.append((rel, line, "hot-path-deep-copy",
+                             "payload deep copy on the read hot path; make "
+                             "it a Slice view, or justify with a `copy-ok:` "
+                             "comment (DESIGN.md §10)"))
 
     # TODO owners live in comments, so scan the raw text.
     for m in TODO.finditer(raw):

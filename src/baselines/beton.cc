@@ -88,10 +88,10 @@ Result<std::unique_ptr<FormatLoader>> MakeBetonLoader(
     const LoaderOptions& options) {
   std::string key = DataKey(prefix);
   // Read the count, then the index table, with two range requests.
-  DL_ASSIGN_OR_RETURN(ByteBuffer head, store->GetRange(key, 0, 8));
+  DL_ASSIGN_OR_RETURN(Slice head, store->GetRange(key, 0, 8));
   if (head.size() < 8) return Status::Corruption("beton: truncated header");
   uint64_t n = DecodeFixed64(head.data());
-  DL_ASSIGN_OR_RETURN(ByteBuffer table,
+  DL_ASSIGN_OR_RETURN(Slice table,
                       store->GetRange(key, 8, kEntryBytes * n));
   if (table.size() < kEntryBytes * n) {
     return Status::Corruption("beton: truncated index");
@@ -127,7 +127,7 @@ Result<std::unique_ptr<FormatLoader>> MakeBetonLoader(
     bool decode = options.decode;
     tasks.push_back([store, key, begin, end, page = std::move(page),
                      decode]() -> Result<std::vector<LoadedSample>> {
-      DL_ASSIGN_OR_RETURN(ByteBuffer bytes,
+      DL_ASSIGN_OR_RETURN(Slice bytes,
                           store->GetRange(key, begin, end - begin));
       std::vector<LoadedSample> out;
       out.reserve(page.size());

@@ -175,11 +175,11 @@ Result<std::unique_ptr<FormatWriter>> MakeChunkGridWriter(
 Result<std::unique_ptr<FormatLoader>> MakeChunkGridLoader(
     storage::StoragePtr store, const std::string& prefix,
     const LoaderOptions& options) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+  DL_ASSIGN_OR_RETURN(Slice meta_bytes,
                       store->Get(PathJoin(prefix, "meta.json")));
   DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(meta_bytes).ToStringView()));
   GridMeta meta = GridMeta::FromJson(j);
-  DL_ASSIGN_OR_RETURN(ByteBuffer index,
+  DL_ASSIGN_OR_RETURN(Slice index,
                       store->Get(PathJoin(prefix, "labels.bin")));
   Decoder dec{ByteView(index)};
   DL_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
@@ -198,10 +198,10 @@ Result<std::unique_ptr<FormatLoader>> MakeChunkGridLoader(
     tasks.push_back([store, prefix, meta, g, count,
                      group_labels]() -> Result<std::vector<LoadedSample>> {
       // Fetch every tile chunk of the group, assemble each sample.
-      std::vector<ByteBuffer> chunks(meta.GridH() * meta.GridW());
+      std::vector<Slice> chunks(meta.GridH() * meta.GridW());
       for (uint64_t ty = 0; ty < meta.GridH(); ++ty) {
         for (uint64_t tx = 0; tx < meta.GridW(); ++tx) {
-          DL_ASSIGN_OR_RETURN(ByteBuffer bytes,
+          DL_ASSIGN_OR_RETURN(Slice bytes,
                               store->Get(ChunkKey(prefix, g, ty, tx)));
           if (meta.compressed) {
             DL_ASSIGN_OR_RETURN(
@@ -222,7 +222,7 @@ Result<std::unique_ptr<FormatLoader>> MakeChunkGridLoader(
           for (uint64_t tx = 0; tx < meta.GridW(); ++tx) {
             uint64_t x0 = tx * meta.tile_w;
             uint64_t cols = std::min(meta.tile_w, meta.width - x0);
-            const ByteBuffer& chunk = chunks[ty * meta.GridW() + tx];
+            const Slice& chunk = chunks[ty * meta.GridW() + tx];
             uint64_t src = ((li * meta.tile_h + ly) * meta.tile_w) *
                            meta.channels;
             uint64_t dst = (y * meta.width + x0) * meta.channels;

@@ -56,7 +56,7 @@ Result<std::unique_ptr<FormatWriter>> MakeFolderWriter(
 Result<std::unique_ptr<FormatLoader>> MakeFolderLoader(
     storage::StoragePtr store, const std::string& prefix,
     const LoaderOptions& options) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer index,
+  DL_ASSIGN_OR_RETURN(Slice index,
                       store->Get(PathJoin(prefix, "labels.bin")));
   Decoder dec{ByteView(index)};
   DL_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
@@ -72,7 +72,7 @@ Result<std::unique_ptr<FormatLoader>> MakeFolderLoader(
     bool decode = options.decode;
     tasks.push_back(
         [store, key, label, decode]() -> Result<std::vector<LoadedSample>> {
-          DL_ASSIGN_OR_RETURN(ByteBuffer blob, store->Get(key));
+          DL_ASSIGN_OR_RETURN(Slice blob, store->Get(key));
           DL_ASSIGN_OR_RETURN(LoadedSample s,
                               DecodeSampleBlob(ByteView(blob), decode));
           s.label = label;

@@ -118,7 +118,7 @@ Result<std::unique_ptr<FormatWriter>> MakeFramedShardWriter(
 Result<std::unique_ptr<FormatLoader>> MakeFramedShardLoader(
     storage::StoragePtr store, const std::string& prefix,
     const LoaderOptions& options, bool tfrecord_flavor) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+  DL_ASSIGN_OR_RETURN(Slice meta_bytes,
                       store->Get(PathJoin(prefix, "meta.json")));
   DL_ASSIGN_OR_RETURN(Json meta,
                       Json::Parse(ByteView(meta_bytes).ToStringView()));
@@ -129,7 +129,7 @@ Result<std::unique_ptr<FormatLoader>> MakeFramedShardLoader(
     bool decode = options.decode;
     tasks.push_back([store, key, tfrecord_flavor,
                      decode]() -> Result<std::vector<LoadedSample>> {
-      DL_ASSIGN_OR_RETURN(ByteBuffer shard, store->Get(key));
+      DL_ASSIGN_OR_RETURN(Slice shard, store->Get(key));
       return ParseShard(ByteView(shard), tfrecord_flavor, decode);
     });
   }

@@ -102,7 +102,7 @@ Result<std::unique_ptr<FormatWriter>> MakeParquetWriter(
 Result<std::unique_ptr<FormatLoader>> MakeParquetLoader(
     storage::StoragePtr store, const std::string& prefix,
     const LoaderOptions& options) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+  DL_ASSIGN_OR_RETURN(Slice meta_bytes,
                       store->Get(PathJoin(prefix, "meta.json")));
   DL_ASSIGN_OR_RETURN(Json meta,
                       Json::Parse(ByteView(meta_bytes).ToStringView()));
@@ -113,7 +113,7 @@ Result<std::unique_ptr<FormatLoader>> MakeParquetLoader(
     bool decode = options.decode;
     tasks.push_back(
         [store, key, decode]() -> Result<std::vector<LoadedSample>> {
-          DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store->Get(key));
+          DL_ASSIGN_OR_RETURN(Slice bytes, store->Get(key));
           if (bytes.size() < 4) {
             return Status::Corruption("parquet: truncated row group");
           }

@@ -72,7 +72,7 @@ Result<std::unique_ptr<FormatWriter>> MakeWebDatasetWriter(
 Result<std::unique_ptr<FormatLoader>> MakeWebDatasetLoader(
     storage::StoragePtr store, const std::string& prefix,
     const LoaderOptions& options) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+  DL_ASSIGN_OR_RETURN(Slice meta_bytes,
                       store->Get(PathJoin(prefix, "meta.json")));
   DL_ASSIGN_OR_RETURN(Json meta,
                       Json::Parse(ByteView(meta_bytes).ToStringView()));
@@ -84,7 +84,7 @@ Result<std::unique_ptr<FormatLoader>> MakeWebDatasetLoader(
     tasks.push_back(
         [store, key, decode]() -> Result<std::vector<LoadedSample>> {
           // One sequential whole-shard read.
-          DL_ASSIGN_OR_RETURN(ByteBuffer archive, store->Get(key));
+          DL_ASSIGN_OR_RETURN(Slice archive, store->Get(key));
           DL_ASSIGN_OR_RETURN(std::vector<TarEntry> entries,
                               ParseTar(ByteView(archive)));
           std::vector<LoadedSample> out;

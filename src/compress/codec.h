@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -53,9 +54,14 @@ class Codec {
   virtual Result<ByteBuffer> Compress(ByteView raw,
                                       const CodecContext& ctx) const = 0;
 
-  /// Decompresses a frame produced by `Compress`. Returns Corruption on a
-  /// malformed frame.
-  virtual Result<ByteBuffer> Decompress(ByteView frame) const = 0;
+  /// Decompresses a frame produced by `Compress`, appending into `out`
+  /// (cleared first; pre-reserved capacity — e.g. from a BufferPool — is
+  /// kept). Returns Corruption on a malformed frame.
+  virtual Status DecompressInto(ByteView frame, ByteBuffer& out) const = 0;
+
+  /// Decompresses into a fresh buffer. Returns Corruption on a malformed
+  /// frame.
+  Result<ByteBuffer> Decompress(ByteView frame) const;
 };
 
 /// Returns the singleton codec for `c`; never null.
@@ -65,6 +71,12 @@ const Codec* GetCodec(Compression c);
 Result<ByteBuffer> CompressBytes(Compression c, ByteView raw,
                                  const CodecContext& ctx = {});
 Result<ByteBuffer> DecompressBytes(Compression c, ByteView frame);
+
+/// Decompresses into a buffer recycled from `pool` and seals it into an
+/// owning Slice — the chunk-decode hot path: steady-state epoch loops hit
+/// the pool's free list instead of the allocator (DESIGN.md §10).
+Result<Slice> DecompressToSlice(Compression c, ByteView frame,
+                                BufferPool& pool = BufferPool::Default());
 
 /// Shape information recovered from an image-codec frame header without
 /// decompressing — the ingestion fast path (§5 "the binary is directly

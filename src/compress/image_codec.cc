@@ -110,7 +110,8 @@ class ImageCodec : public Codec {
     return out;
   }
 
-  Result<ByteBuffer> Decompress(ByteView frame) const override {
+  Status DecompressInto(ByteView frame, ByteBuffer& out) const override {
+    out.clear();
     Decoder dec{frame};
     DL_ASSIGN_OR_RETURN(uint8_t magic, dec.GetByte());
     if (magic != kMagic) return Status::Corruption("image: bad magic");
@@ -123,18 +124,20 @@ class ImageCodec : public Codec {
       return Status::Corruption("image: zero stride");
     }
     DL_ASSIGN_OR_RETURN(ByteView rest, dec.GetBytes(dec.remaining()));
-    DL_ASSIGN_OR_RETURN(ByteBuffer plane, GetLz77Codec()->Decompress(rest));
-    if (plane.size() != raw_size) {
+    // The embedded LZ77 stage unpacks the residual plane straight into the
+    // caller's (possibly pooled) buffer; unfiltering then runs in place.
+    DL_RETURN_IF_ERROR(GetLz77Codec()->DecompressInto(rest, out));
+    if (out.size() != raw_size) {
       return Status::Corruption("image: residual plane size mismatch");
     }
-    UnfilterPlane(plane, stride, bpp);
+    UnfilterPlane(out, stride, bpp);
     if (mode == 1 && shift > 0) {
       uint8_t center = static_cast<uint8_t>(1u << (shift - 1));
-      for (auto& b : plane) {
+      for (auto& b : out) {
         b = static_cast<uint8_t>((b << shift) | center);
       }
     }
-    return plane;
+    return Status::OK();
   }
 
  private:

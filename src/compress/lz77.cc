@@ -115,7 +115,8 @@ class Lz77Codec final : public Codec {
     return out;
   }
 
-  Result<ByteBuffer> Decompress(ByteView frame) const override {
+  Status DecompressInto(ByteView frame, ByteBuffer& out) const override {
+    out.clear();
     Decoder dec{frame};
     DL_ASSIGN_OR_RETURN(uint64_t raw_size, dec.GetVarint64());
     // raw_size comes off the wire: sanity-bound it before allocating.
@@ -125,7 +126,6 @@ class Lz77Codec final : public Codec {
     if (raw_size > static_cast<uint64_t>(frame.size()) * 255 + 255) {
       return Status::Corruption("lz77: raw size implausible for frame");
     }
-    ByteBuffer out;
     out.reserve(static_cast<size_t>(raw_size));
     while (out.size() < raw_size) {
       DL_ASSIGN_OR_RETURN(uint8_t token, dec.GetByte());
@@ -165,7 +165,7 @@ class Lz77Codec final : public Codec {
     if (out.size() != raw_size) {
       return Status::Corruption("lz77: frame shorter than raw size");
     }
-    return out;
+    return Status::OK();
   }
 };
 

@@ -18,8 +18,10 @@ class NoneCodec final : public Codec {
                               const CodecContext& /*ctx*/) const override {
     return raw.ToBuffer();
   }
-  Result<ByteBuffer> Decompress(ByteView frame) const override {
-    return frame.ToBuffer();
+  Status DecompressInto(ByteView frame, ByteBuffer& out) const override {
+    out.clear();
+    AppendBytes(out, frame);
+    return Status::OK();
   }
 };
 
@@ -67,7 +69,8 @@ class RleCodec final : public Codec {
     return out;
   }
 
-  Result<ByteBuffer> Decompress(ByteView frame) const override {
+  Status DecompressInto(ByteView frame, ByteBuffer& out) const override {
+    out.clear();
     Decoder dec{frame};
     DL_ASSIGN_OR_RETURN(uint64_t raw_size, dec.GetVarint64());
     // raw_size is wire-controlled: bound it before allocating. A run
@@ -76,7 +79,6 @@ class RleCodec final : public Codec {
     if (raw_size > static_cast<uint64_t>(frame.size()) * 129 + 129) {
       return Status::Corruption("rle: raw size implausible for frame");
     }
-    ByteBuffer out;
     out.reserve(static_cast<size_t>(raw_size));
     while (out.size() < raw_size) {
       DL_ASSIGN_OR_RETURN(uint8_t c, dec.GetByte());
@@ -91,7 +93,7 @@ class RleCodec final : public Codec {
     if (out.size() != raw_size) {
       return Status::Corruption("rle: output overruns declared size");
     }
-    return out;
+    return Status::OK();
   }
 };
 
@@ -126,7 +128,8 @@ class DeltaCodec final : public Codec {
     return out;
   }
 
-  Result<ByteBuffer> Decompress(ByteView frame) const override {
+  Status DecompressInto(ByteView frame, ByteBuffer& out) const override {
+    out.clear();
     Decoder dec{frame};
     DL_ASSIGN_OR_RETURN(uint8_t es, dec.GetByte());
     if (es != 1 && es != 2 && es != 4 && es != 8) {
@@ -141,7 +144,6 @@ class DeltaCodec final : public Codec {
     if (count > dec.remaining() || tail > dec.remaining()) {
       return Status::Corruption("delta: counts implausible for frame");
     }
-    ByteBuffer out;
     out.reserve(static_cast<size_t>(count * es + tail));
     int64_t prev = 0;
     for (uint64_t i = 0; i < count; ++i) {
@@ -153,7 +155,7 @@ class DeltaCodec final : public Codec {
     }
     DL_ASSIGN_OR_RETURN(ByteView rest, dec.GetBytes(tail));
     AppendBytes(out, rest);
-    return out;
+    return Status::OK();
   }
 
  private:

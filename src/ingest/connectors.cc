@@ -55,8 +55,8 @@ bool ParsesAsNumber(const std::string& s, double* out) {
 
 Result<CsvConnector> CsvConnector::Open(storage::StoragePtr store,
                                         const std::string& key) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store->Get(key));
-  std::string text = ByteView(bytes).ToString();
+  DL_ASSIGN_OR_RETURN(Slice bytes, store->Get(key));
+  std::string text = bytes.ToString();
   std::vector<std::string> lines = StrSplit(text, '\n');
   while (!lines.empty() && StrTrim(lines.back()).empty()) lines.pop_back();
   if (lines.empty()) {
@@ -104,8 +104,8 @@ Result<bool> CsvConnector::Next(Row* row) {
 
 Result<JsonlConnector> JsonlConnector::Open(storage::StoragePtr store,
                                             const std::string& key) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store->Get(key));
-  std::string text = ByteView(bytes).ToString();
+  DL_ASSIGN_OR_RETURN(Slice bytes, store->Get(key));
+  std::string text = bytes.ToString();
   JsonlConnector conn;
   for (const std::string& line : StrSplit(text, '\n')) {
     if (StrTrim(line).empty()) continue;
@@ -156,7 +156,7 @@ Result<uint64_t> IngestImageFiles(storage::StoragePtr source,
   }
   uint64_t count = 0;
   for (const std::string& key : keys) {
-    DL_ASSIGN_OR_RETURN(ByteBuffer file, source->Get(key));
+    DL_ASSIGN_OR_RETURN(Slice file, source->Get(key));
     DL_ASSIGN_OR_RETURN(compress::ImageFrameInfo info,
                         compress::PeekImageFrameInfo(ByteView(file)));
     tsf::TensorShape shape{info.height, info.width, info.channels};

@@ -94,20 +94,20 @@ void SimulatedObjectStore::SimulateTransfer(uint64_t bytes,
   slots_.Release();
 }
 
-Result<ByteBuffer> SimulatedObjectStore::Get(std::string_view key) {
+Result<Slice> SimulatedObjectStore::Get(std::string_view key) {
   DL_RETURN_IF_ERROR(MaybeInjectTransientFault());
-  DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->Get(key));
+  DL_ASSIGN_OR_RETURN(Slice buf, base_->Get(key));
   SimulateTransfer(buf.size());
   stats_.get_requests++;
   stats_.bytes_read += buf.size();
   return buf;
 }
 
-Result<ByteBuffer> SimulatedObjectStore::GetRange(std::string_view key,
+Result<Slice> SimulatedObjectStore::GetRange(std::string_view key,
                                                   uint64_t offset,
                                                   uint64_t length) {
   DL_RETURN_IF_ERROR(MaybeInjectTransientFault());
-  DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->GetRange(key, offset, length));
+  DL_ASSIGN_OR_RETURN(Slice buf, base_->GetRange(key, offset, length));
   SimulateTransfer(buf.size());
   stats_.get_range_requests++;
   stats_.bytes_read += buf.size();

@@ -63,8 +63,8 @@ class SimulatedObjectStore : public storage::StorageProvider {
  public:
   SimulatedObjectStore(storage::StoragePtr base, NetworkModel model);
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;

@@ -68,12 +68,12 @@ Status CrashPointStore::OnWrite(std::string_view key, ByteView value,
   return Dead();
 }
 
-Result<ByteBuffer> CrashPointStore::Get(std::string_view key) {
+Result<Slice> CrashPointStore::Get(std::string_view key) {
   if (crashed()) return Dead();
   return base_->Get(key);
 }
 
-Result<ByteBuffer> CrashPointStore::GetRange(std::string_view key,
+Result<Slice> CrashPointStore::GetRange(std::string_view key,
                                              uint64_t offset,
                                              uint64_t length) {
   if (crashed()) return Dead();

@@ -57,7 +57,7 @@ inline Status StatusOf(const Result<T>& r) {
   (ins).ops->Increment();                                              \
   if (!StatusOf(result).ok()) (ins).errors->Increment();
 
-Result<ByteBuffer> InstrumentedStore::Get(std::string_view key) {
+Result<Slice> InstrumentedStore::Get(std::string_view key) {
   DL_INSTRUMENTED_OP(get_, "storage.get", base_->Get(key));
   if (result.ok()) {
     uint64_t n = result.value().size();
@@ -68,7 +68,7 @@ Result<ByteBuffer> InstrumentedStore::Get(std::string_view key) {
   return result;
 }
 
-Result<ByteBuffer> InstrumentedStore::GetRange(std::string_view key,
+Result<Slice> InstrumentedStore::GetRange(std::string_view key,
                                                uint64_t offset,
                                                uint64_t length) {
   DL_INSTRUMENTED_OP(get_range_, "storage.get_range",

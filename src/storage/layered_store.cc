@@ -22,12 +22,12 @@ std::string PrefixStore::Full(std::string_view key) const {
   return PathJoin(prefix_, key);
 }
 
-Result<ByteBuffer> PrefixStore::Get(std::string_view key) {
+Result<Slice> PrefixStore::Get(std::string_view key) {
   return base_->Get(Full(key));
 }
 
-Result<ByteBuffer> PrefixStore::GetRange(std::string_view key,
-                                         uint64_t offset, uint64_t length) {
+Result<Slice> PrefixStore::GetRange(std::string_view key, uint64_t offset,
+                                    uint64_t length) {
   return base_->GetRange(Full(key), offset, length);
 }
 
@@ -99,16 +99,18 @@ void LruCacheStore::Touch(const std::string& key) {
   it->second.lru_it = lru_.begin();
 }
 
-void LruCacheStore::Insert(const std::string& key, ByteBuffer value) {
-  if (value.size() > capacity_bytes_) return;  // never cache oversize blobs
+void LruCacheStore::Insert(const std::string& key, SharedBuffer value) {
+  if (value == nullptr || value->size() > capacity_bytes_) {
+    return;  // never cache oversize blobs
+  }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    current_bytes_ -= it->second.value.size();
+    current_bytes_ -= it->second.value->size();
     lru_.erase(it->second.lru_it);
     entries_.erase(it);
   }
   lru_.push_front(key);
-  current_bytes_ += value.size();
+  current_bytes_ += value->size();
   entries_[key] = Entry{std::move(value), lru_.begin()};
   EvictIfNeeded();
   bytes_gauge_->Set(static_cast<double>(current_bytes_));
@@ -118,45 +120,56 @@ void LruCacheStore::EvictIfNeeded() {
   while (current_bytes_ > capacity_bytes_ && !lru_.empty()) {
     const std::string& victim = lru_.back();
     auto it = entries_.find(victim);
-    current_bytes_ -= it->second.value.size();
+    current_bytes_ -= it->second.value->size();
     entries_.erase(it);
     lru_.pop_back();
   }
 }
 
-Result<ByteBuffer> LruCacheStore::Get(std::string_view key) {
+Result<Slice> LruCacheStore::Get(std::string_view key) {
   {
     MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_->Increment();
       Touch(it->first);
-      return it->second.value;
+      // Zero-copy hit: the slice shares the entry's buffer, so eviction
+      // while the caller still holds it only drops the cache's reference.
+      return Slice(it->second.value);
     }
   }
   misses_->Increment();
-  DL_ASSIGN_OR_RETURN(ByteBuffer buf, base_->Get(key));
+  DL_ASSIGN_OR_RETURN(Slice got, base_->Get(key));
+  // copy-ok: only whole-buffer reads are safe to pin — a base that returned
+  // a window of a larger buffer (or a borrowed view) must be copied before
+  // caching, otherwise the cache would pin the whole backing object, or
+  // dangle. Whole-buffer reads (the common case) take the zero-copy arm.
+  SharedBuffer to_cache =
+      (got.owner() != nullptr && got.size() == got.owner()->size())
+          ? got.owner()
+          : Buffer::CopyOf(got);
   {
     MutexLock lock(mu_);
-    Insert(std::string(key), buf);
+    Insert(std::string(key), std::move(to_cache));
   }
-  return buf;
+  return got;
 }
 
-Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
-                                           uint64_t offset, uint64_t length) {
+Result<Slice> LruCacheStore::GetRange(std::string_view key, uint64_t offset,
+                                      uint64_t length) {
   {
     MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_->Increment();
       Touch(it->first);
-      const ByteBuffer& buf = it->second.value;
-      if (offset > buf.size()) {
+      if (offset > it->second.value->size()) {
         return Status::OutOfRange("lru: range start past object end");
       }
-      uint64_t len = std::min<uint64_t>(length, buf.size() - offset);
-      return ByteBuffer(buf.begin() + offset, buf.begin() + offset + len);
+      // Resident object: serve the range as a subslice of the cached
+      // buffer — zero copies, zero backend I/O (the cached-range regression
+      // test in tests/storage_test.cc pins this down).
+      return Slice(it->second.value).subslice(offset, length);
     }
   }
   // Range requests bypass cache fill: caching partial objects under the full
@@ -169,15 +182,20 @@ Result<ByteBuffer> LruCacheStore::GetRange(std::string_view key,
 
 Status LruCacheStore::Put(std::string_view key, ByteView value) {
   DL_RETURN_IF_ERROR(base_->Put(key, value));
+  // copy-ok: write path — the caller's ByteView is not ours to keep, and
+  // the cache entry must own its bytes to hand out slices later.
+  SharedBuffer copy = Buffer::CopyOf(value);
   MutexLock lock(mu_);
-  Insert(std::string(key), value.ToBuffer());
+  Insert(std::string(key), std::move(copy));
   return Status::OK();
 }
 
 Status LruCacheStore::PutDurable(std::string_view key, ByteView value) {
   DL_RETURN_IF_ERROR(base_->PutDurable(key, value));
+  // copy-ok: write path, same ownership argument as Put above.
+  SharedBuffer copy = Buffer::CopyOf(value);
   MutexLock lock(mu_);
-  Insert(std::string(key), value.ToBuffer());
+  Insert(std::string(key), std::move(copy));
   return Status::OK();
 }
 
@@ -186,7 +204,7 @@ void LruCacheStore::Invalidate(std::string_view key) {
     MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      current_bytes_ -= it->second.value.size();
+      current_bytes_ -= it->second.value->size();
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
       bytes_gauge_->Set(static_cast<double>(current_bytes_));
@@ -200,7 +218,7 @@ Status LruCacheStore::Delete(std::string_view key) {
     MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      current_bytes_ -= it->second.value.size();
+      current_bytes_ -= it->second.value->size();
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
       bytes_gauge_->Set(static_cast<double>(current_bytes_));
@@ -222,7 +240,7 @@ Result<uint64_t> LruCacheStore::SizeOf(std::string_view key) {
     MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      return static_cast<uint64_t>(it->second.value.size());
+      return static_cast<uint64_t>(it->second.value->size());
     }
   }
   return base_->SizeOf(key);
@@ -258,14 +276,14 @@ Status FaultInjectionStore::MaybeFail(FaultOp op) {
   return Status::OK();
 }
 
-Result<ByteBuffer> FaultInjectionStore::Get(std::string_view key) {
+Result<Slice> FaultInjectionStore::Get(std::string_view key) {
   DL_RETURN_IF_ERROR(MaybeFail(kFaultGet));
   return base_->Get(key);
 }
 
-Result<ByteBuffer> FaultInjectionStore::GetRange(std::string_view key,
-                                                 uint64_t offset,
-                                                 uint64_t length) {
+Result<Slice> FaultInjectionStore::GetRange(std::string_view key,
+                                            uint64_t offset,
+                                            uint64_t length) {
   DL_RETURN_IF_ERROR(MaybeFail(kFaultGetRange));
   return base_->GetRange(key, offset, length);
 }
@@ -305,16 +323,16 @@ Result<std::vector<std::string>> FaultInjectionStore::ListPrefix(
 // GetVerified
 // ---------------------------------------------------------------------------
 
-Result<ByteBuffer> GetVerified(StorageProvider& store, std::string_view key) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer framed, store.Get(key));
-  auto payload = EnvelopeUnwrapOrRaw(ByteView(framed));
+Result<Slice> GetVerified(StorageProvider& store, std::string_view key) {
+  DL_ASSIGN_OR_RETURN(Slice framed, store.Get(key));
+  auto payload = EnvelopeUnwrapOrRaw(framed);
   if (payload.ok() || !payload.status().IsCorruption()) return payload;
   // The corrupt bytes may live only in a cache layer (e.g. a bit flip in
   // the LRU's copy): drop every cached copy and try the backing store once.
   // If the second read still fails verification, the object itself is bad.
   store.Invalidate(key);
   DL_ASSIGN_OR_RETURN(framed, store.Get(key));
-  return EnvelopeUnwrapOrRaw(ByteView(framed));
+  return EnvelopeUnwrapOrRaw(framed);
 }
 
 }  // namespace dl::storage

@@ -4,39 +4,41 @@
 
 namespace dl::storage {
 
-Result<ByteBuffer> MemoryStore::Get(std::string_view key) {
+Result<Slice> MemoryStore::Get(std::string_view key) {
   MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("memory: no object '" + std::string(key) + "'");
   }
   stats_.get_requests++;
-  stats_.bytes_read += it->second.size();
-  return it->second;
+  stats_.bytes_read += it->second->size();
+  return Slice(it->second);  // refcount bump, no byte copy
 }
 
-Result<ByteBuffer> MemoryStore::GetRange(std::string_view key,
-                                         uint64_t offset, uint64_t length) {
+Result<Slice> MemoryStore::GetRange(std::string_view key, uint64_t offset,
+                                    uint64_t length) {
   MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("memory: no object '" + std::string(key) + "'");
   }
-  const ByteBuffer& buf = it->second;
-  if (offset > buf.size()) {
+  if (offset > it->second->size()) {
     return Status::OutOfRange("memory: range start past object end");
   }
-  uint64_t len = std::min<uint64_t>(length, buf.size() - offset);
+  Slice range = Slice(it->second).subslice(offset, length);
   stats_.get_range_requests++;
-  stats_.bytes_read += len;
-  return ByteBuffer(buf.begin() + offset, buf.begin() + offset + len);
+  stats_.bytes_read += range.size();
+  return range;
 }
 
 Status MemoryStore::Put(std::string_view key, ByteView value) {
   MutexLock lock(mu_);
   stats_.put_requests++;
   stats_.bytes_written += value.size();
-  objects_[std::string(key)] = value.ToBuffer();
+  // copy-ok: fresh buffer per Put — replacing a key must not mutate bytes
+  // that outstanding slices of the old value still view, and the caller's
+  // ByteView is not ours to keep.
+  objects_[std::string(key)] = std::make_shared<Buffer>(value.ToBuffer());
   return Status::OK();
 }
 
@@ -58,7 +60,7 @@ Result<uint64_t> MemoryStore::SizeOf(std::string_view key) {
   if (it == objects_.end()) {
     return Status::NotFound("memory: no object '" + std::string(key) + "'");
   }
-  return static_cast<uint64_t>(it->second.size());
+  return static_cast<uint64_t>(it->second->size());
 }
 
 Result<std::vector<std::string>> MemoryStore::ListPrefix(
@@ -75,7 +77,7 @@ Result<std::vector<std::string>> MemoryStore::ListPrefix(
 uint64_t MemoryStore::TotalBytes() const {
   MutexLock lock(mu_);
   uint64_t total = 0;
-  for (const auto& [k, v] : objects_) total += v.size();
+  for (const auto& [k, v] : objects_) total += v->size();
   return total;
 }
 

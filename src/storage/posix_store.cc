@@ -78,7 +78,7 @@ std::string PosixStore::FilePath(std::string_view key) const {
   return PathJoin(root_, key);
 }
 
-Result<ByteBuffer> PosixStore::Get(std::string_view key) {
+Result<Slice> PosixStore::Get(std::string_view key) {
   std::string path = FilePath(key);
   DL_RETURN_IF_ERROR(CheckRegularFile(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -99,11 +99,11 @@ Result<ByteBuffer> PosixStore::Get(std::string_view key) {
   }
   stats_.get_requests++;
   stats_.bytes_read += buf.size();
-  return buf;
+  return Slice(std::move(buf));  // adopts the allocation, no copy
 }
 
-Result<ByteBuffer> PosixStore::GetRange(std::string_view key, uint64_t offset,
-                                        uint64_t length) {
+Result<Slice> PosixStore::GetRange(std::string_view key, uint64_t offset,
+                                   uint64_t length) {
   std::string path = FilePath(key);
   DL_RETURN_IF_ERROR(CheckRegularFile(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -134,7 +134,7 @@ Result<ByteBuffer> PosixStore::GetRange(std::string_view key, uint64_t offset,
   }
   stats_.get_range_requests++;
   stats_.bytes_read += buf.size();
-  return buf;
+  return Slice(std::move(buf));
 }
 
 Status PosixStore::WriteAtomic(std::string_view key, ByteView value,

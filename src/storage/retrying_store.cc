@@ -62,11 +62,11 @@ auto RetryingStore::WithRetry(Op&& op) -> decltype(op()) {
   return result;
 }
 
-Result<ByteBuffer> RetryingStore::Get(std::string_view key) {
+Result<Slice> RetryingStore::Get(std::string_view key) {
   return WithRetry([&] { return base_->Get(key); });
 }
 
-Result<ByteBuffer> RetryingStore::GetRange(std::string_view key,
+Result<Slice> RetryingStore::GetRange(std::string_view key,
                                            uint64_t offset, uint64_t length) {
   return WithRetry([&] { return base_->GetRange(key, offset, length); });
 }

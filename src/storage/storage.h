@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -50,18 +51,24 @@ struct StorageStats {
 ///
 /// All implementations are thread-safe: the streaming dataloader issues
 /// concurrent Get/GetRange calls from many workers.
+///
+/// Reads return `Slice` — a view plus keep-alive into a refcounted Buffer
+/// (DESIGN.md §10). Providers that already hold the object in memory
+/// (MemoryStore, a cache hit in LruCacheStore) hand out a view of the
+/// resident buffer with zero copies; the slice stays valid even if the
+/// entry is later evicted, replaced or deleted.
 class StorageProvider {
  public:
   virtual ~StorageProvider() = default;
 
   /// Reads the whole object.
-  virtual Result<ByteBuffer> Get(std::string_view key) = 0;
+  virtual Result<Slice> Get(std::string_view key) = 0;
 
   /// Range read: bytes [offset, offset+length) of the object. Providers
   /// backed by object storage serve this as an HTTP range request — the
   /// primitive that enables streaming sub-chunk access (paper §3.5).
-  virtual Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                                      uint64_t length) = 0;
+  virtual Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                                 uint64_t length) = 0;
 
   /// Creates or replaces an object.
   virtual Status Put(std::string_view key, ByteView value) = 0;
@@ -113,9 +120,9 @@ using StoragePtr = std::shared_ptr<StorageProvider>;
 /// Fully in-memory provider (paper lists "local in-memory storage").
 class MemoryStore : public StorageProvider {
  public:
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status Delete(std::string_view key) override;
   Result<bool> Exists(std::string_view key) override;
@@ -130,7 +137,11 @@ class MemoryStore : public StorageProvider {
  private:
   // Leaf lock: held only for map access, never across another store.
   mutable Mutex mu_{"storage.memory_store.mu"};
-  std::map<std::string, ByteBuffer, std::less<>> objects_ DL_GUARDED_BY(mu_);
+  // Refcounted values: Get hands out a Slice sharing the object's buffer
+  // (zero copy); Delete / Put-replace only drop this reference, so slices
+  // handed out earlier stay valid.
+  std::map<std::string, SharedBuffer, std::less<>> objects_
+      DL_GUARDED_BY(mu_);
 };
 
 /// POSIX-filesystem provider rooted at a directory.
@@ -138,9 +149,9 @@ class PosixStore : public StorageProvider {
  public:
   explicit PosixStore(std::string root);
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override { return true; }
@@ -165,9 +176,9 @@ class PrefixStore : public StorageProvider {
  public:
   PrefixStore(StoragePtr base, std::string prefix);
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override {
@@ -197,9 +208,9 @@ class LruCacheStore : public StorageProvider {
  public:
   LruCacheStore(StoragePtr base, uint64_t capacity_bytes);
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override {
@@ -229,13 +240,16 @@ class LruCacheStore : public StorageProvider {
   uint64_t cached_bytes() const;
 
  private:
+  // Entries hold refcounted buffers: a hit hands out a Slice sharing the
+  // entry's keep-alive, so eviction/replacement only drops this reference —
+  // outstanding slices keep the bytes alive (DESIGN.md §10).
   struct Entry {
-    ByteBuffer value;
+    SharedBuffer value;
     std::list<std::string>::iterator lru_it;
   };
 
   void Touch(const std::string& key) DL_REQUIRES(mu_);
-  void Insert(const std::string& key, ByteBuffer value) DL_REQUIRES(mu_);
+  void Insert(const std::string& key, SharedBuffer value) DL_REQUIRES(mu_);
   void EvictIfNeeded() DL_REQUIRES(mu_);
 
   StoragePtr base_;
@@ -292,9 +306,9 @@ class FaultInjectionStore : public StorageProvider {
     fail_every_ = fail_every == 0 ? 1 : fail_every;
   }
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override {
@@ -360,9 +374,9 @@ class RetryingStore : public StorageProvider {
   explicit RetryingStore(StoragePtr base, RetryPolicy policy = {},
                          SleepFn sleep = {});
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override {
@@ -415,9 +429,9 @@ class InstrumentedStore : public StorageProvider {
   /// `layer` names the metrics label; empty uses base->name().
   explicit InstrumentedStore(StoragePtr base, std::string layer = "");
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override {
@@ -480,9 +494,9 @@ class CrashPointStore : public StorageProvider {
  public:
   CrashPointStore(StoragePtr base, uint64_t crash_at_write, CrashMode mode);
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
-                              uint64_t length) override;
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
+                         uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;
   bool atomic_durable_puts() const override {
@@ -526,7 +540,7 @@ class CrashPointStore : public StorageProvider {
 /// invalidated down the chain and the read retried once — a corrupt cache
 /// entry heals, while genuine on-disk corruption still surfaces as
 /// Status::Corruption from the second attempt.
-Result<ByteBuffer> GetVerified(StorageProvider& store, std::string_view key);
+Result<Slice> GetVerified(StorageProvider& store, std::string_view key);
 
 }  // namespace dl::storage
 

@@ -36,13 +36,22 @@ Result<tsf::Sample> Batch::Stacked(const std::string& column) const {
   std::vector<uint64_t> out_dims;
   out_dims.push_back(samples.size());
   for (uint64_t d : shape0.dims()) out_dims.push_back(d);
-  tsf::Sample out(samples[0].dtype, tsf::TensorShape(std::move(out_dims)),
-                  {});
-  out.data.reserve(samples.size() * samples[0].data.size());
-  for (const auto& s : samples) {
-    out.data.insert(out.data.end(), s.data.begin(), s.data.end());
+  tsf::TensorShape out_shape(std::move(out_dims));
+  if (samples.size() == 1) {
+    // A batch of one aliases the sample's buffer — zero copy.
+    return tsf::Sample(samples[0].dtype, std::move(out_shape),
+                       samples[0].data);
   }
-  return out;
+  ByteBuffer staging;
+  staging.reserve(samples.size() * samples[0].data.size());
+  for (const auto& s : samples) {
+    staging.insert(staging.end(), s.data.begin(), s.data.end());
+  }
+  // Collation is the one copy the batch-major layout forces; account for it
+  // so loader.bytes_copied stays an honest end-to-end figure.
+  internal::AddBytesCopied(staging.size());
+  return tsf::Sample(samples[0].dtype, std::move(out_shape),
+                     Slice(std::move(staging)));
 }
 
 // ---------------------------------------------------------------------------
@@ -147,7 +156,9 @@ void Dataloader::Start() {
   transform_hist_ = registry.GetHistogram("loader.transform_us");
   stall_hist_ = registry.GetHistogram("loader.stall_us");
   rows_counter_ = registry.GetCounter("loader.rows");
+  bytes_copied_counter_ = registry.GetCounter("loader.bytes_copied");
   queued_gauge_ = registry.GetGauge("loader.queued_rows");
+  copied_watermark_ = TotalBytesCopied();
   // Visit units in shuffled order for shuffled streams (chunk-level
   // shuffle); the reservoir adds sample-level randomness (§3.5).
   std::vector<size_t> visit(units_.size());
@@ -392,6 +403,16 @@ Result<bool> Dataloader::Next(Batch* out) {
     if (recorder.enabled()) {
       recorder.Record("loader.stall", "loader", wait_start, stall);
     }
+  }
+
+  // Fold the copy-accounting delta since the last Next() into the epoch
+  // stats (covers worker-side copies too: the global counter is atomic).
+  uint64_t copied_now = TotalBytesCopied();
+  if (copied_now > copied_watermark_) {
+    uint64_t delta = copied_now - copied_watermark_;
+    copied_watermark_ = copied_now;
+    stats_.bytes_copied += delta;
+    bytes_copied_counter_->Add(delta);
   }
 
   if (pending_rows_.empty()) return false;  // end of stream

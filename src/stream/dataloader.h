@@ -94,6 +94,12 @@ struct DataloaderStats {
   int64_t decode_micros = 0;
   /// Worker time spent inside the user transform.
   int64_t transform_micros = 0;
+  /// Process-wide bytes deep-copied through the Buffer/Slice layer while
+  /// this loader ran (delta of dl::TotalBytesCopied(), sampled in Next()).
+  /// Consumer-thread-only, like rows_delivered. The steady-state epoch loop
+  /// over raw/uncompressed htypes should keep this near zero (DESIGN.md
+  /// §10); collation via Batch::Stacked is counted.
+  uint64_t bytes_copied = 0;
 };
 
 /// Streaming dataloader (paper §4.6): schedules chunk-aligned fetches,
@@ -193,6 +199,10 @@ class Dataloader {
   obs::Histogram* transform_hist_ = nullptr;
   obs::Histogram* stall_hist_ = nullptr;
   obs::Counter* rows_counter_ = nullptr;
+  obs::Counter* bytes_copied_counter_ = nullptr;
+  // Last TotalBytesCopied() sample; Next() accumulates deltas into
+  // stats_.bytes_copied. Consumer-thread only.
+  uint64_t copied_watermark_ = 0;
   // Decoded-but-undelivered rows (reservoir + completed units + pending).
   // A rising series means the consumer is the bottleneck; pinned at zero
   // means the loader is — the flight-recorder signal for Fig. 9 plots.

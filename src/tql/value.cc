@@ -20,15 +20,13 @@ NdArray NdArray::FromSample(const tsf::Sample& s) {
 }
 
 tsf::Sample NdArray::ToSample(tsf::DType dtype) const {
-  tsf::Sample out;
-  out.dtype = dtype;
-  out.shape = tsf::TensorShape(shape_);
-  out.data.resize(data_.size() * tsf::DTypeSize(dtype));
   size_t es = tsf::DTypeSize(dtype);
+  ByteBuffer staging(data_.size() * es);
   for (size_t i = 0; i < data_.size(); ++i) {
-    tsf::Sample::StoreValue(out.data.data() + i * es, data_[i], dtype);
+    tsf::Sample::StoreValue(staging.data() + i * es, data_[i], dtype);
   }
-  return out;
+  return tsf::Sample(dtype, tsf::TensorShape(shape_),
+                     Slice(std::move(staging)));
 }
 
 std::string NdArray::ToString() const {

@@ -130,8 +130,11 @@ Result<Sample> ChunkBuilder::ReadBuffered(size_t local_index) const {
   uint64_t off = 0;
   for (size_t k = 0; k < local_index; ++k) off += stored_lens_[k];
   ByteView stored = ByteView(payload_).subview(off, stored_lens_[local_index]);
-  return DecodeStoredSample(stored, sample_compression_, dtype_,
-                            shapes_[local_index]);
+  // copy-ok: payload_ is the builder's live buffer and the next Append may
+  // reallocate it, so a borrowed view would dangle. ReadBuffered only serves
+  // read-your-own-writes before Seal — never the epoch hot loop.
+  return DecodeStoredSample(Slice::CopyOf(stored), sample_compression_,
+                            dtype_, shapes_[local_index]);
 }
 
 Result<ByteBuffer> ChunkBuilder::Finish() {
@@ -175,7 +178,7 @@ Result<ByteBuffer> ChunkBuilder::Finish() {
 // Chunk
 // ---------------------------------------------------------------------------
 
-Result<Chunk> Chunk::Parse(ByteBuffer bytes, bool verify_checksum) {
+Result<Chunk> Chunk::Parse(Slice bytes, bool verify_checksum) {
   if (bytes.size() < ChunkHeader::kFixedPrefix + 4) {
     return Status::Corruption("chunk: object too small");
   }
@@ -186,28 +189,30 @@ Result<Chunk> Chunk::Parse(ByteBuffer bytes, bool verify_checksum) {
       return Status::Corruption("chunk: CRC mismatch");
     }
   }
-  DL_ASSIGN_OR_RETURN(ChunkHeader header, ChunkHeader::Parse(ByteView(bytes)));
-  ByteBuffer decompressed;
+  DL_ASSIGN_OR_RETURN(ChunkHeader header, ChunkHeader::Parse(bytes));
+  Slice decompressed;
   if (header.chunk_compression != compress::Compression::kNone) {
-    ByteView frame = ByteView(bytes).subview(
+    ByteView frame = bytes.view().subview(
         header.payload_offset,
         bytes.size() - header.payload_offset - 4);
+    // Pooled decode: the buffer returns to the arena when the last sample
+    // slice referencing it drops.
     DL_ASSIGN_OR_RETURN(
         decompressed,
-        compress::DecompressBytes(header.chunk_compression, frame));
+        compress::DecompressToSlice(header.chunk_compression, frame));
   }
   return Chunk(std::move(header), std::move(bytes), std::move(decompressed));
 }
 
-ByteView Chunk::Payload() const {
+Slice Chunk::Payload() const {
   if (header_.chunk_compression != compress::Compression::kNone) {
-    return ByteView(decompressed_payload_);
+    return decompressed_payload_;
   }
-  return ByteView(bytes_).subview(header_.payload_offset,
-                                  bytes_.size() - header_.payload_offset - 4);
+  return bytes_.subslice(header_.payload_offset,
+                         bytes_.size() - header_.payload_offset - 4);
 }
 
-Result<ByteView> Chunk::StoredBytes(size_t local_index) const {
+Result<Slice> Chunk::StoredBytes(size_t local_index) const {
   if (local_index >= header_.num_samples()) {
     return Status::OutOfRange("chunk: sample index " +
                               std::to_string(local_index) + " of " +
@@ -215,25 +220,27 @@ Result<ByteView> Chunk::StoredBytes(size_t local_index) const {
   }
   uint64_t off = 0;
   for (size_t k = 0; k < local_index; ++k) off += header_.stored_lens[k];
-  return Payload().subview(off, header_.stored_lens[local_index]);
+  return Payload().subslice(off, header_.stored_lens[local_index]);
 }
 
 Result<Sample> Chunk::ReadSample(size_t local_index) const {
-  DL_ASSIGN_OR_RETURN(ByteView stored, StoredBytes(local_index));
-  return DecodeStoredSample(stored, header_.sample_compression,
+  DL_ASSIGN_OR_RETURN(Slice stored, StoredBytes(local_index));
+  return DecodeStoredSample(std::move(stored), header_.sample_compression,
                             header_.dtype, header_.shapes[local_index]);
 }
 
-Result<Sample> DecodeStoredSample(ByteView stored,
+Result<Sample> DecodeStoredSample(Slice stored,
                                   compress::Compression sample_compression,
                                   DType dtype, const TensorShape& shape) {
   Sample out;
   out.dtype = dtype;
   out.shape = shape;
   if (sample_compression == compress::Compression::kNone || stored.empty()) {
-    out.data = stored.ToBuffer();
+    // Zero copy: the sample views the stored bytes and shares their
+    // keep-alive (the chunk's buffer, which may itself be the LRU entry).
+    out.data = std::move(stored);
   } else {
-    DL_ASSIGN_OR_RETURN(out.data, compress::DecompressBytes(
+    DL_ASSIGN_OR_RETURN(out.data, compress::DecompressToSlice(
                                       sample_compression, stored));
   }
   DL_RETURN_IF_ERROR(out.Validate());

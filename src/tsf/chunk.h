@@ -72,7 +72,10 @@ class ChunkBuilder {
   uint64_t payload_bytes() const { return payload_.size(); }
   bool empty() const { return shapes_.empty(); }
 
-  /// Reads back a sample that is still buffered (not yet serialized).
+  /// Reads back a sample that is still buffered (not yet serialized). The
+  /// returned sample owns a copy: the builder's live payload buffer can
+  /// reallocate on the next Append, so handing out a view into it would
+  /// dangle (the lifetime bug the pre-Slice deep copy silently masked).
   Result<Sample> ReadBuffered(size_t local_index) const;
   const TensorShape& BufferedShape(size_t local_index) const {
     return shapes_[local_index];
@@ -91,42 +94,52 @@ class ChunkBuilder {
 };
 
 /// A fully-fetched, parsed chunk; verifies the CRC on parse.
+///
+/// Zero-copy: the chunk holds the fetched object as a Slice (typically a
+/// view of the store's or LRU cache's buffer) and decodes samples as
+/// subslices of it — uncompressed samples share the chunk's bytes, codec
+/// output lands in pooled arena buffers (DESIGN.md §10).
 class Chunk {
  public:
   /// Parses a complete chunk object. `verify_checksum` false skips the
   /// CRC pass (RocksDB-style ReadOptions::verify_checksums) — the
   /// streaming dataloader's hot path trusts the transport; writers and
   /// random-access reads keep verification on.
-  static Result<Chunk> Parse(ByteBuffer bytes, bool verify_checksum = true);
+  static Result<Chunk> Parse(Slice bytes, bool verify_checksum = true);
 
   const ChunkHeader& header() const { return header_; }
   size_t num_samples() const { return header_.num_samples(); }
 
-  /// Decodes sample `local_index` (decompressing as needed).
+  /// Decodes sample `local_index` (decompressing as needed). The sample's
+  /// data slice keeps the chunk's buffer (or the pooled decode buffer)
+  /// alive on its own — the Chunk object may be destroyed first.
   Result<Sample> ReadSample(size_t local_index) const;
 
   /// Raw stored bytes of sample `local_index` (compressed frame when the
-  /// chunk uses sample compression).
-  Result<ByteView> StoredBytes(size_t local_index) const;
+  /// chunk uses sample compression). Shares the chunk's keep-alive.
+  Result<Slice> StoredBytes(size_t local_index) const;
 
  private:
-  Chunk(ChunkHeader header, ByteBuffer bytes, ByteBuffer payload)
+  Chunk(ChunkHeader header, Slice bytes, Slice payload)
       : header_(std::move(header)),
         bytes_(std::move(bytes)),
         decompressed_payload_(std::move(payload)) {}
 
-  /// Payload view: either into `bytes_` (no chunk compression) or into the
-  /// decompressed buffer.
-  ByteView Payload() const;
+  /// Payload slice: either into `bytes_` (no chunk compression) or the
+  /// pooled decompressed buffer.
+  Slice Payload() const;
 
   ChunkHeader header_;
-  ByteBuffer bytes_;
-  ByteBuffer decompressed_payload_;  // non-empty iff chunk-compressed
+  Slice bytes_;
+  Slice decompressed_payload_;  // non-empty iff chunk-compressed
 };
 
 /// Decodes one sample-compressed frame fetched via a range request, given
 /// its logical shape and dtype (used by the sparse-view streaming path).
-Result<Sample> DecodeStoredSample(ByteView stored,
+/// Uncompressed frames become the sample's data without a copy (the slice
+/// keep-alive carries the source buffer); compressed frames decompress into
+/// a pooled buffer.
+Result<Sample> DecodeStoredSample(Slice stored,
                                   compress::Compression sample_compression,
                                   DType dtype, const TensorShape& shape);
 

@@ -18,7 +18,7 @@ Dataset::Dataset(storage::StoragePtr store)
       id_rng_(Mix64(static_cast<uint64_t>(NowMicros()) ^
                     reinterpret_cast<uintptr_t>(this))) {}
 
-Result<ByteBuffer> StoreLinkResolver::Fetch(const std::string& url) {
+Result<Slice> StoreLinkResolver::Fetch(const std::string& url) {
   size_t pos = url.find("://");
   if (pos == std::string::npos) {
     return Status::InvalidArgument("link url missing scheme: " + url);
@@ -69,11 +69,10 @@ Result<std::shared_ptr<Dataset>> Dataset::Create(storage::StoragePtr store,
 Result<std::shared_ptr<Dataset>> Dataset::Open(storage::StoragePtr store) {
   // GetVerified CRC-checks the envelope (and heals a corrupt cached copy);
   // pre-§9 datasets with raw JSON metadata pass through unchanged.
-  DL_ASSIGN_OR_RETURN(ByteBuffer meta_bytes,
+  DL_ASSIGN_OR_RETURN(Slice meta_bytes,
                       storage::GetVerified(*store, kMetaKey));
   auto ds = std::shared_ptr<Dataset>(new Dataset(std::move(store)));
-  DL_ASSIGN_OR_RETURN(ds->meta_,
-                      Json::Parse(ByteView(meta_bytes).ToStringView()));
+  DL_ASSIGN_OR_RETURN(ds->meta_, Json::Parse(meta_bytes.ToStringView()));
   ds->with_sample_ids_ = ds->meta_.Get("with_sample_ids").as_bool(true);
   const Json& names = ds->meta_.Get("tensors");
   for (size_t i = 0; i < names.size(); ++i) {
@@ -220,9 +219,8 @@ Status Dataset::AppendLink(const std::string& tensor_name,
   return tensor->Append(Sample::FromString(url));
 }
 
-Result<ByteBuffer> Dataset::ReadLinked(const std::string& tensor_name,
-                                       uint64_t index,
-                                       LinkResolver& resolver) {
+Result<Slice> Dataset::ReadLinked(const std::string& tensor_name,
+                                  uint64_t index, LinkResolver& resolver) {
   DL_ASSIGN_OR_RETURN(Tensor * tensor, GetTensor(tensor_name));
   if (!tensor->meta().htype.is_link) {
     return Status::FailedPrecondition("tensor '" + tensor_name +

@@ -18,7 +18,8 @@ namespace dl::tsf {
 class LinkResolver {
  public:
   virtual ~LinkResolver() = default;
-  virtual Result<ByteBuffer> Fetch(const std::string& url) = 0;
+  /// The returned Slice keeps its backing buffer alive (util/buffer.h).
+  virtual Result<Slice> Fetch(const std::string& url) = 0;
 };
 
 /// Resolver backed by a registry of storage providers: URL
@@ -29,7 +30,7 @@ class StoreLinkResolver : public LinkResolver {
   void Register(const std::string& scheme, storage::StoragePtr store) {
     stores_[scheme] = std::move(store);
   }
-  Result<ByteBuffer> Fetch(const std::string& url) override;
+  Result<Slice> Fetch(const std::string& url) override;
 
  private:
   std::map<std::string, storage::StoragePtr> stores_;
@@ -102,8 +103,8 @@ class Dataset {
   /// Appends a URL into a `link[...]` tensor.
   Status AppendLink(const std::string& tensor, const std::string& url);
   /// Reads a linked cell, resolving the URL to bytes via `resolver`.
-  Result<ByteBuffer> ReadLinked(const std::string& tensor, uint64_t index,
-                                LinkResolver& resolver);
+  Result<Slice> ReadLinked(const std::string& tensor, uint64_t index,
+                           LinkResolver& resolver);
 
   /// Flushes all tensors and persists dataset metadata.
   Status Flush();

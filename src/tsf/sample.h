@@ -8,21 +8,26 @@
 
 #include "tsf/dtype.h"
 #include "tsf/shape.h"
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
 namespace dl::tsf {
 
 /// One sample: an n-dimensional array value (a "cell" of a tensor column).
-/// Owns its bytes. Default access from the public API returns these, the
-/// NumPy-array equivalent of the paper (§3.2).
+/// `data` is a Slice — a view plus keep-alive into a refcounted buffer
+/// (DESIGN.md §10) — so a sample decoded from a chunk references the chunk's
+/// (or the decode pool's) bytes directly with zero per-sample copies, and
+/// keeps them alive past cache eviction or dataset close. Default access
+/// from the public API returns these, the NumPy-array equivalent of the
+/// paper (§3.2).
 struct Sample {
   DType dtype = DType::kUInt8;
   TensorShape shape;
-  ByteBuffer data;
+  Slice data;
 
   Sample() = default;
-  Sample(DType dt, TensorShape sh, ByteBuffer d)
+  Sample(DType dt, TensorShape sh, Slice d)
       : dtype(dt), shape(std::move(sh)), data(std::move(d)) {}
 
   /// Number of elements (product of shape dims).
@@ -48,7 +53,9 @@ struct Sample {
 
   static Sample FromBytes(ByteView bytes, TensorShape shape,
                           DType dtype = DType::kUInt8) {
-    return Sample(dtype, std::move(shape), bytes.ToBuffer());
+    // copy-ok: explicitly a copying convenience for callers holding
+    // transient views; zero-copy callers construct from a Slice directly.
+    return Sample(dtype, std::move(shape), Slice::CopyOf(bytes));
   }
 
   /// Scalar sample (empty shape).

@@ -65,22 +65,22 @@ Result<std::unique_ptr<Tensor>> Tensor::Open(storage::StoragePtr store,
   // Enveloped since the crash-consistency layer (DESIGN.md §9); legacy raw
   // JSON passes through GetVerified unchanged.
   DL_ASSIGN_OR_RETURN(
-      ByteBuffer meta_bytes,
+      Slice meta_bytes,
       storage::GetVerified(*store, PathJoin(dir, "tensor_meta.json")));
   DL_ASSIGN_OR_RETURN(Json meta_json,
-                      Json::Parse(ByteView(meta_bytes).ToStringView()));
+                      Json::Parse(meta_bytes.ToStringView()));
   DL_ASSIGN_OR_RETURN(TensorMeta meta, TensorMeta::FromJson(meta_json));
   auto tensor = std::unique_ptr<Tensor>(new Tensor(store, std::move(meta)));
 
-  DL_ASSIGN_OR_RETURN(ByteBuffer enc_bytes,
+  DL_ASSIGN_OR_RETURN(Slice enc_bytes,
                       store->Get(PathJoin(dir, "chunk_encoder.bin")));
   DL_ASSIGN_OR_RETURN(tensor->chunk_encoder_,
                       ChunkEncoder::Deserialize(ByteView(enc_bytes)));
-  DL_ASSIGN_OR_RETURN(ByteBuffer shp_bytes,
+  DL_ASSIGN_OR_RETURN(Slice shp_bytes,
                       store->Get(PathJoin(dir, "shape_encoder.bin")));
   DL_ASSIGN_OR_RETURN(tensor->shape_encoder_,
                       ShapeEncoder::Deserialize(ByteView(shp_bytes)));
-  DL_ASSIGN_OR_RETURN(ByteBuffer tile_bytes,
+  DL_ASSIGN_OR_RETURN(Slice tile_bytes,
                       store->Get(PathJoin(dir, "tile_encoder.bin")));
   DL_ASSIGN_OR_RETURN(tensor->tile_encoder_,
                       TileEncoder::Deserialize(ByteView(tile_bytes)));
@@ -208,13 +208,13 @@ Result<std::shared_ptr<Chunk>> Tensor::FetchChunk(uint64_t chunk_id) {
     MutexLock lock(cache_mu_);
     if (cached_chunk_ && cached_chunk_id_ == chunk_id) return cached_chunk_;
   }
-  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store_->Get(ChunkKey(chunk_id)));
+  DL_ASSIGN_OR_RETURN(Slice bytes, store_->Get(ChunkKey(chunk_id)));
   auto parsed = Chunk::Parse(std::move(bytes));
   if (!parsed.ok() && parsed.status().IsCorruption()) {
     // The CRC failure may be a cache layer's copy, not the stored object:
     // drop every cached copy and re-read once before giving up.
     store_->Invalidate(ChunkKey(chunk_id));
-    DL_ASSIGN_OR_RETURN(ByteBuffer retry_bytes,
+    DL_ASSIGN_OR_RETURN(Slice retry_bytes,
                         store_->Get(ChunkKey(chunk_id)));
     parsed = Chunk::Parse(std::move(retry_bytes));
   }
@@ -253,14 +253,15 @@ Result<Sample> Tensor::Read(uint64_t index) {
 Result<Sample> Tensor::AssembleTiled(uint64_t index,
                                      const TileLayout& layout) {
   size_t dtype_size = DTypeSize(meta_.dtype);
-  Sample out(meta_.dtype, layout.sample_shape, {});
-  out.data.resize(layout.sample_shape.NumElements() * dtype_size);
+  // Tiles are stitched into one staging allocation, then sealed into the
+  // result's immutable Slice — the only full-sample copy on this path.
+  ByteBuffer staging(layout.sample_shape.NumElements() * dtype_size);
   std::vector<uint64_t> coord(layout.grid.size(), 0);
   for (uint64_t t = 0; t < layout.num_tiles(); ++t) {
     DL_ASSIGN_OR_RETURN(std::shared_ptr<Chunk> chunk,
                         FetchChunk(layout.chunk_ids[t]));
     DL_ASSIGN_OR_RETURN(Sample tile, chunk->ReadSample(0));
-    PlaceTile(out.data, layout.sample_shape, dtype_size, layout, coord,
+    PlaceTile(staging, layout.sample_shape, dtype_size, layout, coord,
               ByteView(tile.data));
     for (size_t d = layout.grid.size(); d-- > 0;) {
       if (++coord[d] < layout.grid[d]) break;
@@ -268,7 +269,7 @@ Result<Sample> Tensor::AssembleTiled(uint64_t index,
     }
   }
   (void)index;
-  return out;
+  return Sample(meta_.dtype, layout.sample_shape, Slice(std::move(staging)));
 }
 
 Result<Sample> Tensor::ReadRegion(uint64_t index,
@@ -286,16 +287,15 @@ Result<Sample> Tensor::ReadRegion(uint64_t index,
   }
   size_t dtype_size = DTypeSize(meta_.dtype);
   TensorShape region_shape{std::vector<uint64_t>(sizes)};
-  Sample out(meta_.dtype, region_shape, {});
-  out.data.resize(region_shape.NumElements() * dtype_size);
+  ByteBuffer staging(region_shape.NumElements() * dtype_size);
 
   const TileLayout* layout = tile_encoder_.Get(index);
   Sample source;
   if (layout == nullptr) {
     // Untiled: fetch the whole sample, then crop.
     DL_ASSIGN_OR_RETURN(source, Read(index));
-    CopyRegion(source, starts, out);
-    return out;
+    CopyRegion(source, starts, region_shape, staging.data());
+    return Sample(meta_.dtype, region_shape, Slice(std::move(staging)));
   }
   // Tiled: fetch only overlapping tiles, copy the intersections.
   std::vector<uint64_t> coord(layout->grid.size(), 0);
@@ -315,44 +315,46 @@ Result<Sample> Tensor::ReadRegion(uint64_t index,
                           FetchChunk(layout->chunk_ids[t]));
       DL_ASSIGN_OR_RETURN(Sample tile, chunk->ReadSample(0));
       // Copy intersection tile∩region element-wise (regions are small).
-      CopyTileRegion(tile, *layout, coord, starts, sizes, out);
+      CopyTileRegion(tile, *layout, coord, starts, sizes, region_shape,
+                     staging.data());
     }
     for (size_t d = layout->grid.size(); d-- > 0;) {
       if (++coord[d] < layout->grid[d]) break;
       coord[d] = 0;
     }
   }
-  return out;
+  return Sample(meta_.dtype, region_shape, Slice(std::move(staging)));
 }
 
 void Tensor::CopyRegion(const Sample& source,
-                        const std::vector<uint64_t>& starts, Sample& out) {
+                        const std::vector<uint64_t>& starts,
+                        const TensorShape& out_shape, uint8_t* out_data) {
   // Generic strided copy source[starts + i] -> out[i].
   size_t nd = source.shape.ndim();
   size_t es = DTypeSize(source.dtype);
   if (nd == 0) {
-    out.data = source.data;
+    std::memcpy(out_data, source.data.data(), source.data.size());
     return;
   }
   std::vector<uint64_t> sstr(nd, 1), ostr(nd, 1);
   for (size_t d = nd; d-- > 1;) {
     sstr[d - 1] = sstr[d] * source.shape[d];
-    ostr[d - 1] = ostr[d] * out.shape[d];
+    ostr[d - 1] = ostr[d] * out_shape[d];
   }
   std::vector<uint64_t> idx(nd, 0);
-  uint64_t run = out.shape[nd - 1];
+  uint64_t run = out_shape[nd - 1];
   while (true) {
     uint64_t soff = 0, ooff = 0;
     for (size_t d = 0; d < nd; ++d) {
       soff += (starts[d] + idx[d]) * sstr[d];
       ooff += idx[d] * ostr[d];
     }
-    std::memcpy(out.data.data() + ooff * es, source.data.data() + soff * es,
+    std::memcpy(out_data + ooff * es, source.data.data() + soff * es,
                 run * es);
     if (nd == 1) break;
     ptrdiff_t d = static_cast<ptrdiff_t>(nd) - 2;
     while (d >= 0) {
-      if (++idx[d] < out.shape[d]) break;
+      if (++idx[d] < out_shape[d]) break;
       idx[d] = 0;
       --d;
     }
@@ -363,7 +365,8 @@ void Tensor::CopyRegion(const Sample& source,
 void Tensor::CopyTileRegion(const Sample& tile, const TileLayout& layout,
                             const std::vector<uint64_t>& coord,
                             const std::vector<uint64_t>& starts,
-                            const std::vector<uint64_t>& sizes, Sample& out) {
+                            const std::vector<uint64_t>& sizes,
+                            const TensorShape& out_shape, uint8_t* out_data) {
   size_t nd = layout.sample_shape.ndim();
   size_t es = DTypeSize(tile.dtype);
   // Intersection in global coordinates.
@@ -379,7 +382,7 @@ void Tensor::CopyTileRegion(const Sample& tile, const TileLayout& layout,
   std::vector<uint64_t> tstr(nd, 1), ostr(nd, 1);
   for (size_t d = nd; d-- > 1;) {
     tstr[d - 1] = tstr[d] * tile.shape[d];
-    ostr[d - 1] = ostr[d] * out.shape[d];
+    ostr[d - 1] = ostr[d] * out_shape[d];
   }
   std::vector<uint64_t> idx(nd, 0);
   uint64_t run = isect_size[nd - 1];
@@ -389,7 +392,7 @@ void Tensor::CopyTileRegion(const Sample& tile, const TileLayout& layout,
       toff += (isect_start[d] - tile_start[d] + idx[d]) * tstr[d];
       ooff += (isect_start[d] - starts[d] + idx[d]) * ostr[d];
     }
-    std::memcpy(out.data.data() + ooff * es, tile.data.data() + toff * es,
+    std::memcpy(out_data + ooff * es, tile.data.data() + toff * es,
                 run * es);
     if (nd == 1) break;
     ptrdiff_t d = static_cast<ptrdiff_t>(nd) - 2;

@@ -104,12 +104,17 @@ class Tensor {
   Status AppendInternal(const Sample& sample, ByteView precompressed);
   Status AppendTiled(const Sample& sample);
   Status RewriteSampleInChunk(uint64_t index, const Sample& sample);
+  // Region copies write into a caller-owned staging buffer (`out_data`,
+  // shaped `out_shape`); the caller seals the buffer into the result
+  // Sample's immutable Slice once assembly finishes.
   static void CopyRegion(const Sample& source,
-                         const std::vector<uint64_t>& starts, Sample& out);
+                         const std::vector<uint64_t>& starts,
+                         const TensorShape& out_shape, uint8_t* out_data);
   static void CopyTileRegion(const Sample& tile, const TileLayout& layout,
                              const std::vector<uint64_t>& coord,
                              const std::vector<uint64_t>& starts,
-                             const std::vector<uint64_t>& sizes, Sample& out);
+                             const std::vector<uint64_t>& sizes,
+                             const TensorShape& out_shape, uint8_t* out_data);
   Status SealOpenChunk();
   Result<std::shared_ptr<Chunk>> FetchChunk(uint64_t chunk_id);
   Result<Sample> AssembleTiled(uint64_t index, const TileLayout& layout);

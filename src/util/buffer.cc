@@ -1,0 +1,108 @@
+#include "util/buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dl {
+
+namespace {
+std::atomic<uint64_t> g_bytes_copied{0};
+}  // namespace
+
+uint64_t TotalBytesCopied() {
+  return g_bytes_copied.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void AddBytesCopied(uint64_t n) {
+  if (n > 0) g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Buffer
+// ---------------------------------------------------------------------------
+
+SharedBuffer Buffer::FromVector(ByteBuffer bytes) {
+  return std::make_shared<Buffer>(std::move(bytes));
+}
+
+SharedBuffer Buffer::CopyOf(ByteView v) {
+  internal::AddBytesCopied(v.size());
+  return std::make_shared<Buffer>(ByteBuffer(v.begin(), v.end()));
+}
+
+std::shared_ptr<Buffer> Buffer::Allocate(size_t n) {
+  return std::make_shared<Buffer>(ByteBuffer(n));
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(size_t max_retained_bytes)
+    : state_(std::make_shared<State>(max_retained_bytes)) {}
+
+void BufferPool::State::Release(ByteBuffer bytes) {
+  MutexLock lock(mu);
+  if (retained + bytes.capacity() > max_retained) return;  // frees on return
+  retained += bytes.capacity();
+  bytes.clear();
+  free_list.push_back(std::move(bytes));
+}
+
+ByteBuffer BufferPool::Acquire(size_t capacity_hint) {
+  {
+    MutexLock lock(state_->mu);
+    // Smallest retained buffer that fits; the list is short (bounded by
+    // max_retained / typical chunk size), so a linear scan is fine.
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < state_->free_list.size(); ++i) {
+      size_t cap = state_->free_list[i].capacity();
+      if (cap < capacity_hint) continue;
+      if (best == SIZE_MAX ||
+          cap < state_->free_list[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best != SIZE_MAX) {
+      ByteBuffer out = std::move(state_->free_list[best]);
+      state_->free_list.erase(state_->free_list.begin() +
+                              static_cast<ptrdiff_t>(best));
+      state_->retained -= out.capacity();
+      state_->reuses.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+  ByteBuffer fresh;
+  fresh.reserve(capacity_hint);
+  return fresh;
+}
+
+Slice BufferPool::Seal(ByteBuffer bytes) {
+  std::weak_ptr<State> weak_state(state_);
+  auto deleter = [weak_state](Buffer* b) {
+    std::unique_ptr<Buffer> owned(b);
+    if (auto state = weak_state.lock()) {
+      state->Release(std::move(owned->bytes_));
+    }
+  };
+  return Slice(SharedBuffer(
+      std::shared_ptr<Buffer>(new Buffer(std::move(bytes)), deleter)));
+}
+
+BufferPool& BufferPool::Default() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+uint64_t BufferPool::reuses() const {
+  return state_->reuses.load(std::memory_order_relaxed);
+}
+
+uint64_t BufferPool::retained_bytes() const {
+  MutexLock lock(state_->mu);
+  return state_->retained;
+}
+
+}  // namespace dl

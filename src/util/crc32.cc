@@ -3,6 +3,29 @@
 #include <array>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#define DL_CRC32_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__)
+#define DL_CRC32_ARM 1
+#if defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define DL_CRC32_ARM_BUILTIN 1
+#elif defined(__GNUC__)
+// Compiler wasn't invoked with +crc, but GCC/Clang let us scope the feature
+// to the functions that need it and we still guard execution behind the
+// HWCAP runtime check.
+#include <arm_acle.h>
+#define DL_CRC32_ARM_ATTR 1
+#endif
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
+
 namespace dl {
 namespace {
 
@@ -10,8 +33,9 @@ constexpr uint32_t kPoly = 0x82f63b78;  // CRC-32C reversed polynomial.
 
 // Slice-by-8 tables: table[0] is the classic byte table; table[k] advances
 // a byte through k additional zero bytes. Processing 8 bytes per step runs
-// ~4-6x faster than the byte-at-a-time loop — chunk writes CRC every byte
-// they store, so this is on the ingestion hot path.
+// ~4-6x faster than the byte-at-a-time loop; the hardware paths below beat
+// it by another ~3-10x on long runs, but this stays as the portable
+// fallback and the parity oracle for fuzz_roundtrip_test.cc.
 std::array<std::array<uint32_t, 256>, 8> MakeTables() {
   std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
@@ -35,13 +59,13 @@ const std::array<std::array<uint32_t, 256>, 8>& Tables() {
   return *kTables;
 }
 
-}  // namespace
+// Raw extend over the inverted state: callers wrap with ~ on both ends so
+// that partial updates compose (Crc32cExtend(Crc32cExtend(0,a),b) ==
+// Crc32c(a+b)). All backends share this convention.
+using ExtendRawFn = uint32_t (*)(uint32_t crc, const uint8_t* p, size_t n);
 
-uint32_t Crc32cExtend(uint32_t crc, ByteView data) {
+uint32_t ExtendRawSoftware(uint32_t crc, const uint8_t* p, size_t n) {
   const auto& t = Tables();
-  crc = ~crc;
-  const uint8_t* p = data.data();
-  size_t n = data.size();
   while (n >= 8) {
     uint32_t lo;
     uint32_t hi;
@@ -57,7 +81,105 @@ uint32_t Crc32cExtend(uint32_t crc, ByteView data) {
   while (n-- > 0) {
     crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
   }
-  return ~crc;
+  return crc;
+}
+
+#if defined(DL_CRC32_X86)
+
+__attribute__((target("sse4.2"))) uint32_t ExtendRawSse42(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  // Align to 8 bytes so the u64 loop reads aligned words; the crc32
+  // instruction tolerates unaligned loads, but aligned is marginally faster
+  // and this also exercises the byte path for short unaligned prefixes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+bool CpuHasSse42() { return __builtin_cpu_supports("sse4.2"); }
+
+#endif  // DL_CRC32_X86
+
+#if defined(DL_CRC32_ARM) && \
+    (defined(DL_CRC32_ARM_BUILTIN) || defined(DL_CRC32_ARM_ATTR))
+
+#if defined(DL_CRC32_ARM_ATTR)
+__attribute__((target("+crc")))
+#endif
+uint32_t ExtendRawArm(uint32_t crc, const uint8_t* p, size_t n) {
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return crc;
+}
+
+bool CpuHasArmCrc() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#elif defined(__ARM_FEATURE_CRC32)
+  return true;  // baked into the target triple
+#else
+  return false;
+#endif
+}
+
+#endif  // DL_CRC32_ARM
+
+struct Dispatch {
+  ExtendRawFn fn;
+  std::string_view backend;
+};
+
+Dispatch PickBackend() {
+#if defined(DL_CRC32_X86)
+  if (CpuHasSse42()) return {&ExtendRawSse42, "sse4.2"};
+#endif
+#if defined(DL_CRC32_ARM) && \
+    (defined(DL_CRC32_ARM_BUILTIN) || defined(DL_CRC32_ARM_ATTR))
+  if (CpuHasArmCrc()) return {&ExtendRawArm, "armv8-crc"};
+#endif
+  return {&ExtendRawSoftware, "software"};
+}
+
+const Dispatch& Backend() {
+  static const Dispatch kDispatch = PickBackend();
+  return kDispatch;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, ByteView data) {
+  return ~Backend().fn(~crc, data.data(), data.size());
+}
+
+uint32_t Crc32cExtendSoftware(uint32_t crc, ByteView data) {
+  return ~ExtendRawSoftware(~crc, data.data(), data.size());
 }
 
 uint32_t Crc32c(ByteView data) { return Crc32cExtend(0, data); }
@@ -66,5 +188,7 @@ uint32_t MaskedCrc32c(ByteView data) {
   uint32_t crc = Crc32c(data);
   return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
 }
+
+std::string_view Crc32cBackend() { return Backend().backend; }
 
 }  // namespace dl

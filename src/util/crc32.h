@@ -2,13 +2,18 @@
 #define DEEPLAKE_UTIL_CRC32_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/bytes.h"
 
 namespace dl {
 
-/// CRC-32C (Castagnoli) over `data`, software table implementation.
-/// Used to checksum chunk payloads and framed records (TFRecord baseline).
+/// CRC-32C (Castagnoli) over `data`. Runtime-dispatched: uses the SSE4.2
+/// `crc32` instruction on x86-64 and the ARMv8 CRC32 extension on aarch64
+/// when the CPU supports them, falling back to the slice-by-8 software
+/// tables otherwise. All backends are bit-for-bit identical (asserted by
+/// tests/fuzz_roundtrip_test.cc). Used to checksum chunk payloads, integrity
+/// envelopes and framed records (TFRecord baseline).
 uint32_t Crc32c(ByteView data);
 
 /// Extends a running CRC with more data (init with crc=0 and finished=false
@@ -18,6 +23,16 @@ uint32_t Crc32cExtend(uint32_t crc, ByteView data);
 /// Masked CRC as used by the TFRecord framing (rotation + constant), so the
 /// checksum of a checksum-bearing field is unlikely to collide.
 uint32_t MaskedCrc32c(ByteView data);
+
+/// The slice-by-8 table implementation, always available. Exposed so the
+/// parity fuzz tests can compare the dispatched backend against it
+/// bit-for-bit at arbitrary lengths/alignments/split points.
+uint32_t Crc32cExtendSoftware(uint32_t crc, ByteView data);
+
+/// Name of the backend the dispatcher selected on this machine:
+/// "sse4.2", "armv8-crc" or "software". Benches report it as
+/// `crc32c.backend` so before/after numbers name the hardware path used.
+std::string_view Crc32cBackend();
 
 }  // namespace dl
 

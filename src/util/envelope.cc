@@ -25,7 +25,7 @@ ByteBuffer EnvelopeWrap(ByteView payload) {
   return out;
 }
 
-Result<ByteBuffer> EnvelopeUnwrap(ByteView framed) {
+Result<Slice> EnvelopeUnwrap(Slice framed) {
   if (!HasEnvelopeMagic(framed)) {
     return Status::Corruption("envelope: bad magic");
   }
@@ -39,18 +39,18 @@ Result<ByteBuffer> EnvelopeUnwrap(ByteView framed) {
         std::to_string(len) + " payload bytes, object holds " +
         std::to_string(framed.size()) + " total");
   }
-  ByteView payload = framed.subview(8, len);
+  Slice payload = framed.subslice(8, len);
   uint32_t stored_crc = DecodeFixed32(framed.data() + 8 + len);
   uint32_t actual_crc = Crc32c(payload);
   if (stored_crc != actual_crc) {
     return Status::Corruption("envelope: CRC mismatch");
   }
-  return payload.ToBuffer();
+  return payload;
 }
 
-Result<ByteBuffer> EnvelopeUnwrapOrRaw(ByteView framed) {
-  if (!HasEnvelopeMagic(framed)) return framed.ToBuffer();
-  return EnvelopeUnwrap(framed);
+Result<Slice> EnvelopeUnwrapOrRaw(Slice framed) {
+  if (!HasEnvelopeMagic(framed)) return framed;
+  return EnvelopeUnwrap(std::move(framed));
 }
 
 }  // namespace dl

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -36,13 +37,16 @@ bool HasEnvelopeMagic(ByteView framed);
 ByteBuffer EnvelopeWrap(ByteView payload);
 
 /// Unwraps a strict envelope: missing magic, length mismatch or CRC
-/// mismatch all return Status::Corruption.
-Result<ByteBuffer> EnvelopeUnwrap(ByteView framed);
+/// mismatch all return Status::Corruption. Zero-copy: the returned Slice is
+/// a subslice of `framed` sharing its keep-alive (a Borrowed input yields a
+/// borrowed output with the same lifetime contract).
+Result<Slice> EnvelopeUnwrap(Slice framed);
 
 /// Unwraps an envelope if the magic is present (verifying length + CRC);
-/// passes legacy payloads without the magic through unchanged. A present
-/// but invalid envelope is still Corruption — never silently served.
-Result<ByteBuffer> EnvelopeUnwrapOrRaw(ByteView framed);
+/// passes legacy payloads without the magic through unchanged (same slice).
+/// A present but invalid envelope is still Corruption — never silently
+/// served.
+Result<Slice> EnvelopeUnwrapOrRaw(Slice framed);
 
 }  // namespace dl
 

@@ -20,8 +20,8 @@ struct Lease {
 
 Result<Lease> ReadLease(storage::StoragePtr store,
                         const std::string& branch) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer bytes, store->Get(LockKey(branch)));
-  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(bytes).ToStringView()));
+  DL_ASSIGN_OR_RETURN(Slice bytes, store->Get(LockKey(branch)));
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(bytes.ToStringView()));
   Lease lease;
   lease.owner = j.Get("owner").as_string();
   lease.expires_us = j.Get("expires_us").as_int();

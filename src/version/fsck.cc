@@ -40,10 +40,10 @@ bool IsJsonManifest(const std::string& base) {
 
 /// Verifies one manifest object: envelope (when the magic is present) and
 /// JSON parse of the payload.
-Status CheckManifestBytes(ByteView bytes) {
+Status CheckManifestBytes(const Slice& bytes) {
   auto payload = EnvelopeUnwrapOrRaw(bytes);
   if (!payload.ok()) return payload.status();
-  auto j = Json::Parse(ByteView(*payload).ToStringView());
+  auto j = Json::Parse(payload->ToStringView());
   if (!j.ok()) {
     return Status::Corruption("manifest payload is not valid JSON: " +
                               j.status().message());
@@ -116,10 +116,10 @@ Result<FsckReport> FsckScan(storage::StoragePtr store) {
       AddIssue(&report, FsckIssueKind::kBadInfo, VersionControl::kInfoKey,
                "unreadable: " + bytes.status().ToString());
     } else {
-      auto payload = EnvelopeUnwrapOrRaw(ByteView(*bytes));
+      auto payload = EnvelopeUnwrapOrRaw(*bytes);
       Result<Json> j = !payload.ok()
                            ? Result<Json>(payload.status())
-                           : Json::Parse(ByteView(*payload).ToStringView());
+                           : Json::Parse(payload->ToStringView());
       if (!j.ok()) {
         AddIssue(&report, FsckIssueKind::kBadInfo, VersionControl::kInfoKey,
                  "failed verification: " + j.status().ToString());
@@ -166,7 +166,7 @@ Result<FsckReport> FsckScan(storage::StoragePtr store) {
       continue;
     }
     if (IsJsonManifest(base)) {
-      Status s = CheckManifestBytes(ByteView(*bytes));
+      Status s = CheckManifestBytes(*bytes);
       if (!s.ok()) {
         if (base == "commit.json") {
           dirs_with_record.insert(dir_id);

@@ -51,7 +51,7 @@ std::string VersionedStore::Resolve(std::string_view key) const {
   return "";
 }
 
-Result<ByteBuffer> VersionedStore::Get(std::string_view key) {
+Result<Slice> VersionedStore::Get(std::string_view key) {
   std::string commit = Resolve(key);
   if (commit.empty()) {
     return Status::NotFound("versioned: no object '" + std::string(key) +
@@ -60,7 +60,7 @@ Result<ByteBuffer> VersionedStore::Get(std::string_view key) {
   return vc_->base_->Get(PhysicalKey(commit, key));
 }
 
-Result<ByteBuffer> VersionedStore::GetRange(std::string_view key,
+Result<Slice> VersionedStore::GetRange(std::string_view key,
                                             uint64_t offset,
                                             uint64_t length) {
   std::string commit = Resolve(key);
@@ -411,8 +411,8 @@ Status VersionControl::PutManifest(const std::string& key, const Json& j) {
 }
 
 Result<Json> VersionControl::ReadManifest(const std::string& key) {
-  DL_ASSIGN_OR_RETURN(ByteBuffer payload, storage::GetVerified(*base_, key));
-  return Json::Parse(ByteView(payload).ToStringView());
+  DL_ASSIGN_OR_RETURN(Slice payload, storage::GetVerified(*base_, key));
+  return Json::Parse(payload.ToStringView());
 }
 
 Status VersionControl::PersistInfo() {
@@ -772,7 +772,7 @@ Result<std::vector<std::string>> TensorNamesAt(storage::StoragePtr store) {
     return std::vector<std::string>{};  // no dataset yet
   }
   if (!bytes.ok()) return bytes.status();
-  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(ByteView(*bytes).ToStringView()));
+  DL_ASSIGN_OR_RETURN(Json j, Json::Parse(bytes->ToStringView()));
   std::vector<std::string> names;
   const Json& arr = j.Get("tensors");
   for (size_t i = 0; i < arr.size(); ++i) names.push_back(arr[i].as_string());

@@ -230,8 +230,8 @@ class VersionedStore : public storage::StorageProvider {
   VersionedStore(std::shared_ptr<VersionControl> vc, std::string commit_id,
                  bool writable);
 
-  Result<ByteBuffer> Get(std::string_view key) override;
-  Result<ByteBuffer> GetRange(std::string_view key, uint64_t offset,
+  Result<Slice> Get(std::string_view key) override;
+  Result<Slice> GetRange(std::string_view key, uint64_t offset,
                               uint64_t length) override;
   Status Put(std::string_view key, ByteView value) override;
   Status PutDurable(std::string_view key, ByteView value) override;

@@ -87,8 +87,7 @@ tsf::Sample Downsample2x(const tsf::Sample& src) {
   uint64_t c = src.shape.ndim() >= 3 ? src.shape[2] : 1;
   uint64_t oh = std::max<uint64_t>(1, h / 2);
   uint64_t ow = std::max<uint64_t>(1, w / 2);
-  tsf::Sample out(src.dtype, tsf::TensorShape{oh, ow, c}, {});
-  out.data.resize(oh * ow * c);
+  ByteBuffer staging(oh * ow * c);
   for (uint64_t y = 0; y < oh; ++y) {
     for (uint64_t x = 0; x < ow; ++x) {
       for (uint64_t ch = 0; ch < c; ++ch) {
@@ -102,11 +101,12 @@ tsf::Sample Downsample2x(const tsf::Sample& src) {
             ++n;
           }
         }
-        out.data[(y * ow + x) * c + ch] = static_cast<uint8_t>(acc / n);
+        staging[(y * ow + x) * c + ch] = static_cast<uint8_t>(acc / n);
       }
     }
   }
-  return out;
+  return tsf::Sample(src.dtype, tsf::TensorShape{oh, ow, c},
+                     Slice(std::move(staging)));
 }
 
 }  // namespace
@@ -251,14 +251,12 @@ Result<Framebuffer> RenderRow(tsf::Dataset& dataset, const LayoutPlan& plan,
   tsf::Sample window;
   if (is_sequence) {
     DL_ASSIGN_OR_RETURN(tsf::Sample seq, source_tensor->Read(row));
-    // Slice one sequence step without fetching per-step (sequence samples
-    // are stored whole; step extraction is a memory view copy).
+    // Slice one sequence step without fetching per-step: a subslice shares
+    // the sequence sample's buffer, so step extraction copies nothing.
     uint64_t step = std::min(options.sequence_position, full_shape[0] - 1);
     uint64_t step_bytes = img_h * img_w * channels;
-    window = tsf::Sample(
-        seq.dtype, tsf::TensorShape{img_h, img_w, channels},
-        ByteBuffer(seq.data.begin() + step * step_bytes,
-                   seq.data.begin() + (step + 1) * step_bytes));
+    window = tsf::Sample(seq.dtype, tsf::TensorShape{img_h, img_w, channels},
+                         seq.data.subslice(step * step_bytes, step_bytes));
   } else {
     std::vector<uint64_t> starts = {src_y, src_x};
     std::vector<uint64_t> sizes = {src_h, src_w};

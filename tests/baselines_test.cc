@@ -233,7 +233,7 @@ TEST(TfRecordTest, CrcDetectsShardCorruption) {
   auto keys = store->ListPrefix("t/shard");
   ASSERT_TRUE(keys.ok());
   ASSERT_FALSE(keys->empty());
-  auto shard = store->Get((*keys)[0]).MoveValue();
+  ByteBuffer shard = store->Get((*keys)[0]).MoveValue().ToBuffer();
   shard[shard.size() / 2] ^= 0x10;
   ASSERT_TRUE(store->Put((*keys)[0], ByteView(shard)).ok());
 

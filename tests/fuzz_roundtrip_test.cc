@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -15,6 +16,7 @@
 #include "compress/codec.h"
 #include "util/bytes.h"
 #include "util/coding.h"
+#include "util/crc32.h"
 #include "util/envelope.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -257,11 +259,11 @@ TEST(EnvelopeFuzz, RandomPayloadsRoundTrip) {
     ByteBuffer payload = RandomBuffer(rng, rng.Uniform(2048));
     ByteBuffer framed = EnvelopeWrap(ByteView(payload));
     ASSERT_EQ(framed.size(), payload.size() + kEnvelopeOverhead);
-    auto back = EnvelopeUnwrap(ByteView(framed));
+    auto back = EnvelopeUnwrap(Slice::Borrowed(ByteView(framed)));
     ASSERT_TRUE(back.ok()) << back.status();
     EXPECT_EQ(*back, payload);
     // The raw-passthrough reader must agree on framed input.
-    auto raw = EnvelopeUnwrapOrRaw(ByteView(framed));
+    auto raw = EnvelopeUnwrapOrRaw(Slice::Borrowed(ByteView(framed)));
     ASSERT_TRUE(raw.ok()) << raw.status();
     EXPECT_EQ(*raw, payload);
   }
@@ -272,12 +274,12 @@ TEST(EnvelopeFuzz, EveryTruncationFailsCleanly) {
       "{\"keys\": [\"labels/chunks/c0\", \"labels/tensor_meta.json\"]}")));
   for (size_t cut = 0; cut < framed.size(); ++cut) {
     ByteBuffer torn(framed.begin(), framed.begin() + cut);
-    auto s = EnvelopeUnwrap(ByteView(torn)).status();
+    auto s = EnvelopeUnwrap(Slice::Borrowed(ByteView(torn))).status();
     EXPECT_TRUE(s.IsCorruption()) << "cut=" << cut << ": " << s;
     // Once the magic is intact the torn frame must not pass for legacy
     // raw content either.
     if (cut >= 4) {
-      EXPECT_TRUE(EnvelopeUnwrapOrRaw(ByteView(torn)).status().IsCorruption())
+      EXPECT_TRUE(EnvelopeUnwrapOrRaw(Slice::Borrowed(ByteView(torn))).status().IsCorruption())
           << "cut=" << cut;
     }
   }
@@ -290,7 +292,7 @@ TEST(EnvelopeFuzz, EveryBitFlipIsDetected) {
     for (int bit = 0; bit < 8; ++bit) {
       ByteBuffer flipped = framed;
       flipped[pos] ^= static_cast<uint8_t>(1u << bit);
-      auto got = EnvelopeUnwrap(ByteView(flipped));
+      auto got = EnvelopeUnwrap(Slice::Borrowed(ByteView(flipped)));
       // A flip in the length field may alias to a plausible length only if
       // the CRC also matches — CRC-32C makes that impossible for one bit.
       EXPECT_TRUE(got.status().IsCorruption())
@@ -303,7 +305,7 @@ TEST(EnvelopeFuzz, GarbageNeverCrashes) {
   Rng rng(0x6a5b);
   for (int iter = 0; iter < 200; ++iter) {
     ByteBuffer junk = RandomBuffer(rng, rng.Uniform(256));
-    auto strict = EnvelopeUnwrap(ByteView(junk));
+    auto strict = EnvelopeUnwrap(Slice::Borrowed(ByteView(junk)));
     if (strict.ok()) {
       // Astronomically unlikely (needs magic + matching CRC); accept but
       // sanity-check the claimed length.
@@ -311,7 +313,7 @@ TEST(EnvelopeFuzz, GarbageNeverCrashes) {
     }
     // Without the magic, the tolerant reader passes junk through verbatim
     // (legacy raw manifests); with it, verification still applies.
-    auto tolerant = EnvelopeUnwrapOrRaw(ByteView(junk));
+    auto tolerant = EnvelopeUnwrapOrRaw(Slice::Borrowed(ByteView(junk)));
     bool has_magic = junk.size() >= 4 && junk[0] == 'D' && junk[1] == 'L' &&
                      junk[2] == 'E' && junk[3] == '1';
     if (!has_magic) {
@@ -349,7 +351,7 @@ TEST(EnvelopeFuzz, FuzzedManifestJsonFailsCleanly) {
         break;
       }
     }
-    auto payload = EnvelopeUnwrapOrRaw(ByteView(framed));
+    auto payload = EnvelopeUnwrapOrRaw(Slice::Borrowed(ByteView(framed)));
     if (!payload.ok()) {
       EXPECT_TRUE(payload.status().IsCorruption()) << payload.status();
       continue;
@@ -364,6 +366,77 @@ TEST(EnvelopeFuzz, FuzzedManifestJsonFailsCleanly) {
     EXPECT_TRUE(j.status().IsInvalidArgument() || j.status().IsCorruption())
         << j.status();
   }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C hardware/software parity
+// ---------------------------------------------------------------------------
+// The dispatched backend (SSE4.2 / ARMv8-CRC / software, whichever this CPU
+// selected) must agree bit-for-bit with the always-available slice-by-8
+// implementation at every length, alignment and split point — a wrong tail
+// loop or misaligned-word fixup in the hardware path would silently corrupt
+// every chunk checksum written on that machine.
+
+TEST(Crc32cParityFuzz, RandomLengthsAndAlignments) {
+  Rng rng(0xc32c);
+  for (int iter = 0; iter < 400; ++iter) {
+    // Slack in front so the view can start at any alignment 0..15.
+    size_t align = rng.Uniform(16);
+    size_t len = rng.Uniform(iter < 200 ? 64 : 8192);  // dense small sizes
+    ByteBuffer backing = RandomBuffer(rng, align + len);
+    ByteView view(backing.data() + align, len);
+    uint32_t dispatched = Crc32c(view);
+    // Crc32cExtendSoftware follows the same resumable convention as
+    // Crc32cExtend: seed 0, feed back the previous return value.
+    uint32_t software = Crc32cExtendSoftware(0, view);
+    EXPECT_EQ(dispatched, software)
+        << "len=" << len << " align=" << align << " iter=" << iter;
+  }
+}
+
+TEST(Crc32cParityFuzz, EverySmallLengthEveryAlignment) {
+  // Exhaustive over the region where tail/prefix handling lives: lengths
+  // 0..32 at alignments 0..15 (the 8-byte word loop kicks in above ~8).
+  Rng rng(0x51ab);
+  ByteBuffer backing = RandomBuffer(rng, 64);
+  for (size_t align = 0; align < 16; ++align) {
+    for (size_t len = 0; len + align <= backing.size() && len <= 32; ++len) {
+      ByteView view(backing.data() + align, len);
+      EXPECT_EQ(Crc32c(view), Crc32cExtendSoftware(0, view))
+          << "len=" << len << " align=" << align;
+    }
+  }
+}
+
+TEST(Crc32cParityFuzz, RandomSplitPointsCompose) {
+  // Extending across arbitrary split points must equal the one-shot CRC on
+  // both backends — partial updates are how the chunk writer streams.
+  Rng rng(0x5817);
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t len = 1 + rng.Uniform(4096);
+    ByteBuffer data = RandomBuffer(rng, len);
+    uint32_t whole_hw = Crc32c(ByteView(data));
+    uint32_t whole_sw = Crc32cExtendSoftware(0, ByteView(data));
+    ASSERT_EQ(whole_hw, whole_sw);
+    // 1-3 random cuts.
+    size_t cuts = 1 + rng.Uniform(3);
+    std::vector<size_t> points{0, len};
+    for (size_t c = 0; c < cuts; ++c) points.push_back(rng.Uniform(len + 1));
+    std::sort(points.begin(), points.end());
+    uint32_t hw = 0, sw = 0;
+    for (size_t i = 0; i + 1 < points.size(); ++i) {
+      ByteView part(data.data() + points[i], points[i + 1] - points[i]);
+      hw = Crc32cExtend(hw, part);
+      sw = Crc32cExtendSoftware(sw, part);
+    }
+    EXPECT_EQ(hw, whole_hw) << "iter=" << iter;
+    EXPECT_EQ(sw, whole_sw) << "iter=" << iter;
+  }
+}
+
+TEST(Crc32cParityFuzz, BackendNameIsKnown) {
+  std::string_view b = Crc32cBackend();
+  EXPECT_TRUE(b == "sse4.2" || b == "armv8-crc" || b == "software") << b;
 }
 
 }  // namespace

@@ -195,7 +195,7 @@ TEST(IntegrationTest, CsvMetadataJoinIngest) {
   ingest::Pipeline pipeline;
   pipeline.Then([&](const ingest::Row& in,
                     std::vector<ingest::Row>* out) -> Status {
-    DL_ASSIGN_OR_RETURN(ByteBuffer file,
+    DL_ASSIGN_OR_RETURN(Slice file,
                         bucket->Get(in.at("file").AsString()));
     DL_ASSIGN_OR_RETURN(auto info,
                         compress::PeekImageFrameInfo(ByteView(file)));
@@ -318,9 +318,11 @@ TEST(IntegrationTest, TiledAerialImageryWorkflow) {
   for (size_t i = 0; i < pixels.size(); ++i) {
     pixels[i] = static_cast<uint8_t>((i / 3) % 251);
   }
+  // The test compares against `pixels` below, so hand the sample a copy.
   ASSERT_TRUE(lake->Append({{"aerial",
                              Sample(DType::kUInt8,
-                                    TensorShape{512, 512, 3}, pixels)}})
+                                    TensorShape{512, 512, 3},
+                                    Slice::CopyOf(ByteView(pixels)))}})
                   .ok());
   ASSERT_TRUE(lake->Flush().ok());
   auto aerial = lake->dataset().GetTensor("aerial").MoveValue();

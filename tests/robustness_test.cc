@@ -260,7 +260,7 @@ TEST(LruCacheStoreTest, CorruptCachedEntryIsEvictedAndHealed) {
   // Plain Get still serves the stale corrupt entry — the bug scenario.
   auto stale = cache->Get("k");
   ASSERT_TRUE(stale.ok());
-  EXPECT_TRUE(EnvelopeUnwrap(ByteView(*stale)).status().IsCorruption());
+  EXPECT_TRUE(EnvelopeUnwrap(*stale).status().IsCorruption());
 
   // The verified read detects the CRC mismatch, evicts, and re-reads.
   auto healed = storage::GetVerified(*cache, "k");
@@ -271,7 +271,7 @@ TEST(LruCacheStoreTest, CorruptCachedEntryIsEvictedAndHealed) {
   uint64_t hits_before = cache->hits();
   auto again = cache->Get("k");
   ASSERT_TRUE(again.ok());
-  EXPECT_TRUE(EnvelopeUnwrap(ByteView(*again)).ok());
+  EXPECT_TRUE(EnvelopeUnwrap(*again).ok());
   EXPECT_GT(cache->hits(), hits_before);
 }
 

@@ -186,6 +186,43 @@ TEST(LruCacheStoreTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.misses(), misses_before + 1);
 }
 
+TEST(LruCacheStoreTest, CachedRangeReadTouchesNoBackend) {
+  // Regression: GetRange on a cached key used to bypass the cache and hit
+  // the base store even though every requested byte was already resident.
+  // It must now be served as a zero-copy slice of the cached entry.
+  auto base = std::make_shared<MemoryStore>();
+  LruCacheStore cache(base, 1 << 20);
+  ByteBuffer blob(1000);
+  for (size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(cache.Put("k", ByteView(blob)).ok());
+
+  uint64_t base_gets = base->stats().get_requests.load();
+  uint64_t base_ranges = base->stats().get_range_requests.load();
+  uint64_t bypasses = cache.range_bypasses();
+  uint64_t hits = cache.hits();
+
+  auto r = cache.GetRange("k", 100, 50);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*r)[i], static_cast<uint8_t>(100 + i));
+  }
+  // Zero backend I/O: neither a Get nor a GetRange reached the base store.
+  EXPECT_EQ(base->stats().get_requests.load(), base_gets);
+  EXPECT_EQ(base->stats().get_range_requests.load(), base_ranges);
+  EXPECT_EQ(cache.range_bypasses(), bypasses);  // not counted as a bypass
+  EXPECT_EQ(cache.hits(), hits + 1);            // counted as a hit
+  // The slice aliases the cached entry's buffer rather than copying it.
+  ASSERT_TRUE(r->owned());
+  EXPECT_EQ(r->owner()->size(), blob.size());
+
+  // A range on an uncached key still goes to the base (the bypass path).
+  ASSERT_TRUE(base->Put("cold", ByteView(blob)).ok());
+  auto cold = cache.GetRange("cold", 0, 10);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cache.range_bypasses(), bypasses + 1);
+}
+
 TEST(LruCacheStoreTest, OversizeObjectsBypassCache) {
   auto base = std::make_shared<MemoryStore>();
   LruCacheStore cache(base, 10);

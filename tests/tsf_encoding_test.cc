@@ -118,7 +118,7 @@ TEST_P(ChunkFormatTest, BuildParseReadRoundTrip) {
   ASSERT_TRUE(bytes.ok()) << bytes.status();
   EXPECT_TRUE(builder.empty());  // Finish resets
 
-  auto chunk = Chunk::Parse(*bytes);
+  auto chunk = Chunk::Parse(std::move(*bytes));
   ASSERT_TRUE(chunk.ok()) << chunk.status();
   ASSERT_EQ(chunk->num_samples(), 7u);
   for (size_t i = 0; i < originals.size(); ++i) {
@@ -157,7 +157,7 @@ TEST(ChunkFormatTest, CrcDetectsCorruption) {
   ASSERT_TRUE(builder.Append(MakeSample(8, 8, 3, 1)).ok());
   ByteBuffer bytes = builder.Finish().MoveValue();
   bytes[bytes.size() / 2] ^= 0x40;
-  EXPECT_TRUE(Chunk::Parse(bytes).status().IsCorruption());
+  EXPECT_TRUE(Chunk::Parse(std::move(bytes)).status().IsCorruption());
 }
 
 TEST(ChunkFormatTest, HeaderOnlyParseGivesRanges) {
