@@ -225,6 +225,7 @@ int main(int argc, char** argv) {
          "paper Fig. 7 (50,000 JPEG images 250x250x3, p3.2xlarge, no model)",
          "2,000 images, simulated local FS, 6 decode workers per loader",
          "deeplake > ffcv-beton > squirrel > webdataset > pytorch-folder");
+  auto debug_server = MaybeStartDebugServer(argc, argv);
 
   struct Entry {
     std::string name;

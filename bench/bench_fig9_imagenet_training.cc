@@ -80,7 +80,7 @@ double TrainFolderEpoch(storage::StoragePtr store, sim::GpuModel* gpu) {
 }  // namespace
 }  // namespace dl::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dl;
   using namespace dl::bench;
   Header("Fig. 9 — ImageNet-style training over S3: cumulative time per "
@@ -91,6 +91,7 @@ int main() {
          "GPU, 3 epochs",
          "file mode: big upfront copy; fast-file: slow first epoch; "
          "deeplake ~ local from epoch 1");
+  auto debug_server = MaybeStartDebugServer(argc, argv);
 
   sim::WorkloadGenerator gen(sim::WorkloadGenerator::ImageNetLike(), 41);
 

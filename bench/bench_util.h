@@ -158,6 +158,40 @@ inline Status WritePromSnapshot(const std::string& name) {
   return Status::OK();
 }
 
+/// Opt-in live telemetry for a bench run: when argv contains
+/// `--debug-server` (optionally `--debug-server-port N`, default
+/// ephemeral), starts an obs::DebugServer over the global registry and
+/// prints the scrape target so `dlstat --port <N>` can attach while the
+/// bench runs. Returns the server (keep it alive for the measured phase)
+/// or nullptr when the flag is absent. A failed Start is reported and
+/// ignored — a dead debug surface must not fail a bench.
+inline std::unique_ptr<obs::DebugServer> MaybeStartDebugServer(int argc,
+                                                               char** argv) {
+  bool enabled = false;
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--debug-server") enabled = true;
+    if (std::string(argv[i]) == "--debug-server-port" && i + 1 < argc) {
+      port = std::atoi(argv[i + 1]);
+    }
+  }
+  if (!enabled) return nullptr;
+  obs::DebugServer::Options options;
+  options.port = port;
+  auto server = std::make_unique<obs::DebugServer>(
+      &obs::MetricsRegistry::Global(), &obs::TraceRecorder::Global(),
+      options);
+  Status started = server->Start();
+  if (!started.ok()) {
+    std::printf("  debug:      server failed to start: %s\n",
+                started.ToString().c_str());
+    return nullptr;
+  }
+  std::printf("  debug:      http://127.0.0.1:%d (dlstat --port %d)\n",
+              server->port(), server->port());
+  return server;
+}
+
 inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);

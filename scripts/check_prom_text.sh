@@ -7,38 +7,64 @@
 # le="+Inf" bucket equal to <family>_count, and _sum/_count are present.
 #
 # Usage: check_prom_text.sh <bench-binary> [bench args...]
-# Registered with ctest (label "obs") against bench_fig7_local_loader.
+#        check_prom_text.sh --live <dlstat-binary>
+#
+# The default mode validates the .prom file a bench writes at exit. --live
+# validates a *served* exposition instead: it runs `dlstat --selfcheck`,
+# which starts an in-process obs::DebugServer, scrapes /metrics over HTTP
+# through dlstat's own client, and prints the body — so the bytes checked
+# here are exactly what a Prometheus scraper would receive from a live
+# process. Both modes are registered with ctest (label "obs").
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
-  echo "usage: $0 <bench-binary> [args...]" >&2
+  echo "usage: $0 <bench-binary> [args...] | --live <dlstat-binary>" >&2
   exit 2
+fi
+
+live=0
+if [[ "$1" == "--live" ]]; then
+  live=1
+  shift
+  if [[ $# -lt 1 ]]; then
+    echo "usage: $0 --live <dlstat-binary>" >&2
+    exit 2
+  fi
 fi
 
 bench="$1"
 shift
 if [[ ! -x "$bench" ]]; then
-  echo "FAIL: bench binary not executable: $bench" >&2
+  echo "FAIL: binary not executable: $bench" >&2
   exit 1
 fi
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-(cd "$workdir" && DL_BENCH_JSON_DIR=. "$bench" "$@") >"$workdir/stdout.log" 2>&1 || {
-  echo "FAIL: bench exited non-zero; output:" >&2
-  cat "$workdir/stdout.log" >&2
-  exit 1
-}
+if [[ $live -eq 1 ]]; then
+  "$bench" --selfcheck >"$workdir/live.prom" 2>"$workdir/stdout.log" || {
+    echo "FAIL: dlstat --selfcheck exited non-zero; stderr:" >&2
+    cat "$workdir/stdout.log" >&2
+    exit 1
+  }
+  prom="$workdir/live.prom"
+else
+  (cd "$workdir" && DL_BENCH_JSON_DIR=. "$bench" "$@") >"$workdir/stdout.log" 2>&1 || {
+    echo "FAIL: bench exited non-zero; output:" >&2
+    cat "$workdir/stdout.log" >&2
+    exit 1
+  }
 
-shopt -s nullglob
-proms=("$workdir"/METRICS_*.prom)
-if [[ ${#proms[@]} -eq 0 ]]; then
-  echo "FAIL: bench emitted no METRICS_*.prom in $workdir" >&2
-  cat "$workdir/stdout.log" >&2
-  exit 1
+  shopt -s nullglob
+  proms=("$workdir"/METRICS_*.prom)
+  if [[ ${#proms[@]} -eq 0 ]]; then
+    echo "FAIL: bench emitted no METRICS_*.prom in $workdir" >&2
+    cat "$workdir/stdout.log" >&2
+    exit 1
+  fi
+  prom="${proms[0]}"
 fi
-prom="${proms[0]}"
 
 if ! command -v python3 >/dev/null 2>&1; then
   # Fallback without python3: structural greps only.

@@ -35,6 +35,11 @@ its tooling — see DESIGN.md §8):
                   copy is required — wider than `journaled:` because the
                   copy often sits at the end of a multi-line statement. `.ToString()` is not matched: it is
                   shared with Status/TensorShape and those calls dominate.
+  raw-socket      socket()/bind()/listen()/accept() anywhere except
+                  src/obs/debug_server.cc. All HTTP — serving *and*
+                  scraping (dlstat, tests, --live checks) — goes through
+                  obs::DebugServer / obs::HttpGet so timeouts, Status
+                  mapping and shutdown semantics live in one audited file.
 
 Usage: check_source.py [repo_root]   (exit 0 clean, 1 with findings)
 """
@@ -43,7 +48,7 @@ import re
 import sys
 from pathlib import Path
 
-SCAN_DIRS = ("src", "tests", "bench", "examples")
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 EXTS = {".h", ".cc"}
 
 NAKED_MUTEX = re.compile(
@@ -66,6 +71,11 @@ SANCTIONED_BASE_PUT = re.compile(r"journaled:|Data-path write")
 HOT_PATH_DIRS = ("src/stream/", "src/tsf/", "src/storage/")
 DEEP_COPY = re.compile(r"\.ToBuffer\s*\(|\b(?:Buffer|Slice)::CopyOf\s*\(")
 COPY_OK = re.compile(r"copy-ok:")
+
+# BSD socket calls; `::socket(` and `socket(` both match. Only the one
+# sanctioned file may create or accept connections (DESIGN.md §7).
+RAW_SOCKET = re.compile(r"(?<![\w.>])(?:::\s*)?(?:socket|bind|listen|accept)\s*\(")
+RAW_SOCKET_OK_FILE = "src/obs/debug_server.cc"
 
 # A raw `new` is fine when the enclosing statement hands it straight to an
 # owner. Checked against the statement text preceding the `new` token.
@@ -173,6 +183,14 @@ def check_file(path: Path, rel: str, findings: list) -> None:
                              "payload deep copy on the read hot path; make "
                              "it a Slice view, or justify with a `copy-ok:` "
                              "comment (DESIGN.md §10)"))
+
+    if rel != RAW_SOCKET_OK_FILE:
+        for m in RAW_SOCKET.finditer(code):
+            findings.append((rel, line_of(code, m.start()), "raw-socket",
+                             "raw socket()/bind()/listen()/accept(); use "
+                             "obs::DebugServer / obs::HttpGet "
+                             f"({RAW_SOCKET_OK_FILE} is the only sanctioned "
+                             "socket file)"))
 
     # TODO owners live in comments, so scan the raw text.
     for m in TODO.finditer(raw):

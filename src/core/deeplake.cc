@@ -156,8 +156,12 @@ Status DeepLake::StartFlightRecorder(obs::FlightRecorder::Options options) {
   flight_ = std::make_unique<obs::FlightRecorder>(
       &obs::MetricsRegistry::Global(), options);
   flight_->WatchCounter("loader.rows", {}, "loader_rows");
+  flight_->WatchCounter("loader.bytes_copied", {}, "loader_bytes_copied");
   flight_->WatchCounter("tql.queries", {}, "tql_queries");
   flight_->WatchGauge("loader.queued_rows", {}, "queued_rows");
+  flight_->WatchGauge("buffer_pool.bytes_in_use", {}, "pool_bytes_in_use");
+  flight_->WatchGauge("buffer_pool.acquires", {}, "pool_acquires");
+  flight_->WatchGauge("process.bytes_copied", {}, "process_bytes_copied");
   flight_->WatchGauge("sim.gpu.utilization", {{"gpu", "gpu0"}},
                       "gpu_utilization");
   flight_->WatchHistogram("loader.fetch_us", {}, "fetch_us");
@@ -169,6 +173,40 @@ Json DeepLake::StopFlightRecorder() {
   if (flight_ == nullptr) return Json();
   (void)flight_->Stop();
   return flight_->TimelineJson();
+}
+
+Status DeepLake::StartDebugServer(obs::DebugServer::Options options) {
+  if (debug_server_ != nullptr && debug_server_->running()) {
+    return Status::FailedPrecondition("debug server already running");
+  }
+  debug_server_ = std::make_unique<obs::DebugServer>(
+      &obs::MetricsRegistry::Global(), &obs::TraceRecorder::Global(), options);
+  // Providers capture shared_ptr copies: they stay valid even if the lake
+  // reopens the dataset (checkout) while a scrape is in flight.
+  auto dataset = dataset_;
+  auto storage = base_;
+  debug_server_->SetStatusProvider([dataset, storage]() {
+    Json ds = Json::MakeObject();
+    ds.Set("rows", static_cast<double>(dataset->NumRows()));
+    Json tensors = Json::MakeArray();
+    for (const std::string& name : dataset->TensorNames()) {
+      tensors.Append(name);
+    }
+    ds.Set("tensors", std::move(tensors));
+    ds.Set("storage", storage->name());
+    return ds;
+  });
+  obs::FlightRecorder* flight = flight_.get();
+  if (flight != nullptr) {
+    debug_server_->SetFlightzProvider(
+        [flight]() { return flight->TimelineJson(); });
+  }
+  return debug_server_->Start();
+}
+
+Status DeepLake::StopDebugServer() {
+  if (debug_server_ == nullptr) return Status::OK();
+  return debug_server_->Stop();
 }
 
 Json DeepLake::MetricsSnapshot() const {

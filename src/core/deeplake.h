@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/debug_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/storage.h"
@@ -148,6 +149,21 @@ class DeepLake {
   /// watches (before Start) or read samples mid-run.
   obs::FlightRecorder* flight_recorder() { return flight_.get(); }
 
+  /// Starts an embedded live-telemetry HTTP server (DESIGN.md §7) over the
+  /// global registry/recorder: /metrics, /statusz (with a dataset summary
+  /// from this lake), /tracez, /flightz (this lake's flight recorder, when
+  /// one is running) and /healthz. Loopback-bound on an ephemeral port by
+  /// default; read the bound port from debug_server()->port(). Bind
+  /// failures (port in use) surface as the returned Status.
+  Status StartDebugServer(obs::DebugServer::Options options = {});
+
+  /// Stops the server and joins its threads. OK when none is running.
+  Status StopDebugServer();
+
+  /// The active server, or nullptr — for reading the port or adding
+  /// custom endpoints between construction and Start.
+  obs::DebugServer* debug_server() { return debug_server_.get(); }
+
   // ---- Visualization (§4.3) ----
 
   viz::LayoutPlan PlanLayout() const { return viz::PlanLayout(*dataset_); }
@@ -165,6 +181,7 @@ class DeepLake {
   std::shared_ptr<version::VersionControl> vc_;
   std::shared_ptr<tsf::Dataset> dataset_;
   std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::DebugServer> debug_server_;
 };
 
 }  // namespace dl

@@ -1,0 +1,40 @@
+#include "obs/context.h"
+
+#include <atomic>
+#include <utility>
+
+namespace dl::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_trace_id{1};
+
+Context& ThreadContext() {
+  thread_local Context context;
+  return context;
+}
+
+}  // namespace
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Context Context::ForJob(std::string tenant, std::string job) {
+  Context context;
+  context.trace_id = NewTraceId();
+  context.tenant = std::move(tenant);
+  context.job = std::move(job);
+  return context;
+}
+
+const Context& CurrentContext() { return ThreadContext(); }
+
+ContextScope::ContextScope(const Context& context)
+    : previous_(ThreadContext()) {
+  ThreadContext() = context;
+}
+
+ContextScope::~ContextScope() { ThreadContext() = std::move(previous_); }
+
+}  // namespace dl::obs

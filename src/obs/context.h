@@ -1,0 +1,67 @@
+#ifndef DEEPLAKE_OBS_CONTEXT_H_
+#define DEEPLAKE_OBS_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dl::obs {
+
+/// Per-operation trace context: the identity of the job an operation is
+/// doing work for. A Context is created at an operation root (a query, an
+/// epoch, an ingest run), carried by value in `DataloaderOptions` /
+/// `QueryOptions`, and installed on each participating thread with a
+/// `ContextScope`. Every span recorded while a scope is active — including
+/// spans deep inside `InstrumentedStore` — inherits the context's trace id
+/// and tenant label, so one loader→storage call chain shares one trace id
+/// end-to-end (DESIGN.md §7).
+///
+/// Contexts are plain values: copying is two string copies, and an empty
+/// context (the default) is free to install.
+struct Context {
+  /// Non-zero groups spans into one logical operation. 0 = no context.
+  uint64_t trace_id = 0;
+  /// Owning tenant/job labels, attached verbatim to spans. Keep these low
+  /// cardinality — they name a job, not a row.
+  std::string tenant;
+  std::string job;
+  /// Absolute steady-clock deadline (NowMicros scale); 0 = none. The
+  /// context layer only carries it — enforcement belongs to call sites.
+  int64_t deadline_us = 0;
+
+  bool empty() const {
+    return trace_id == 0 && tenant.empty() && job.empty() && deadline_us == 0;
+  }
+
+  /// True once `deadline_us` is set and in the past.
+  bool Expired(int64_t now_us) const {
+    return deadline_us != 0 && now_us > deadline_us;
+  }
+
+  /// A fresh context with a process-unique trace id.
+  static Context ForJob(std::string tenant, std::string job = "");
+};
+
+/// Process-unique, monotonically increasing trace id (never 0).
+uint64_t NewTraceId();
+
+/// The context installed on the calling thread (empty when none is).
+const Context& CurrentContext();
+
+/// RAII installer: sets the calling thread's context for the scope's
+/// lifetime and restores the previous one on exit. Scopes nest; an empty
+/// context installs cleanly (spans then record with no trace id), so call
+/// sites never need to special-case "no context configured".
+class ContextScope {
+ public:
+  explicit ContextScope(const Context& context);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  Context previous_;
+};
+
+}  // namespace dl::obs
+
+#endif  // DEEPLAKE_OBS_CONTEXT_H_

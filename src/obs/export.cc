@@ -152,6 +152,8 @@ std::string EventsJsonl(const TraceRecorder& recorder) {
     line.Set("ts_us", e.ts_us);
     line.Set("dur_us", e.dur_us);
     line.Set("tid", static_cast<uint64_t>(e.tid));
+    if (e.trace_id != 0) line.Set("trace_id", e.trace_id);
+    if (!e.tenant.empty()) line.Set("tenant", e.tenant);
     out += line.Dump();
     out += "\n";
   }

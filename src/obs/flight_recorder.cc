@@ -155,6 +155,9 @@ void FlightRecorder::Run() {
 }
 
 void FlightRecorder::SampleOnce() {
+  // Pull-model gauges (buffer pool occupancy, process bytes-copied) have no
+  // reporter thread of their own; refresh them so watches read live values.
+  SampleProcessGauges(*registry_);
   MutexLock lock(mu_);
   int64_t now = NowMicros();
   Sample s;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/buffer.h"
+
 namespace dl::obs {
 
 // ---------------------------------------------------------------------------
@@ -229,6 +231,18 @@ Json MetricsRegistry::SnapshotJson() const {
   snapshot.Set("gauges", std::move(gauges));
   snapshot.Set("histograms", std::move(histograms));
   return snapshot;
+}
+
+void SampleProcessGauges(MetricsRegistry& registry) {
+  BufferPool& pool = BufferPool::Default();
+  registry.GetGauge("buffer_pool.bytes_in_use")
+      ->Set(static_cast<double>(pool.bytes_in_use()));
+  registry.GetGauge("buffer_pool.acquires")
+      ->Set(static_cast<double>(pool.acquires()));
+  registry.GetGauge("buffer_pool.retained_bytes")
+      ->Set(static_cast<double>(pool.retained_bytes()));
+  registry.GetGauge("process.bytes_copied")
+      ->Set(static_cast<double>(TotalBytesCopied()));
 }
 
 }  // namespace dl::obs

@@ -190,6 +190,16 @@ class MetricsRegistry {
   std::map<std::string, Entry<Histogram>> histograms_ DL_GUARDED_BY(mu_);
 };
 
+/// Refreshes process-level gauges in `registry` from their live sources:
+/// `buffer_pool.bytes_in_use` / `buffer_pool.acquires` /
+/// `buffer_pool.retained_bytes` from `dl::BufferPool::Default()` and
+/// `process.bytes_copied` from `dl::TotalBytesCopied()`. These sources live
+/// below the obs layer (dl_util cannot depend on dl_obs), so they are
+/// pulled at sample time instead of pushed: the flight recorder calls this
+/// on every tick and the debug server calls it before rendering /metrics,
+/// which keeps the gauges fresh exactly when someone is looking.
+void SampleProcessGauges(MetricsRegistry& registry);
+
 /// RAII microsecond timer: observes the elapsed time into `hist` on
 /// destruction (pass nullptr to disable). Collapses the common
 /// "Stopwatch + Observe" pair at call sites.

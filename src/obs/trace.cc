@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/export.h"
+
 namespace dl::obs {
 
 TraceRecorder& TraceRecorder::Global() {
@@ -40,6 +42,7 @@ TraceRecorder::Ring* TraceRecorder::ThreadRing() {
 void TraceRecorder::Record(std::string name, std::string cat, int64_t ts_us,
                            int64_t dur_us) {
   if (!enabled()) return;
+  const Context& context = CurrentContext();
   Ring* ring = ThreadRing();
   MutexLock lock(ring->mu);  // uncontended except vs export
   TraceEvent& slot = ring->events[ring->next];
@@ -49,8 +52,61 @@ void TraceRecorder::Record(std::string name, std::string cat, int64_t ts_us,
   slot.ts_us = ts_us;
   slot.dur_us = dur_us;
   slot.tid = ring->tid;
+  slot.trace_id = context.trace_id;
+  slot.tenant = context.tenant;
   ring->next = (ring->next + 1) % ring->events.size();
   if (ring->next == 0) ring->wrapped = true;
+}
+
+uint64_t TraceRecorder::BeginSpan(const char* name, const char* cat,
+                                  int64_t start_us) {
+  if (!enabled()) return 0;
+  const Context& context = CurrentContext();
+  uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
+  Ring* ring = ThreadRing();
+  MutexLock lock(ring->mu);
+  ring->open.push_back(
+      OpenSpan{name, cat, start_us, context.trace_id, context.tenant, token});
+  return token;
+}
+
+void TraceRecorder::EndSpan(uint64_t token) {
+  if (token == 0) return;
+  Ring* ring = ThreadRing();
+  MutexLock lock(ring->mu);
+  // Spans end LIFO in the common (nested RAII) case; scan from the back.
+  for (size_t i = ring->open.size(); i > 0; --i) {
+    if (ring->open[i - 1].token == token) {
+      ring->open.erase(ring->open.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+std::vector<OpenSpanInfo> TraceRecorder::OpenSpans() const {
+  std::vector<OpenSpanInfo> out;
+  {
+    MutexLock lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      MutexLock ring_lock(ring->mu);
+      for (const OpenSpan& s : ring->open) {
+        OpenSpanInfo info;
+        info.name = s.name;
+        info.cat = s.cat;
+        info.tenant = s.tenant;
+        info.trace_id = s.trace_id;
+        info.start_us = s.start_us;
+        info.tid = ring->tid;
+        info.token = s.token;
+        out.push_back(std::move(info));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpenSpanInfo& a, const OpenSpanInfo& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
@@ -84,6 +140,12 @@ Json TraceRecorder::ChromeTraceJson() const {
     item.Set("dur", e.dur_us);
     item.Set("pid", 1);
     item.Set("tid", static_cast<uint64_t>(e.tid));
+    if (e.trace_id != 0) {
+      Json args = Json::MakeObject();
+      args.Set("trace_id", e.trace_id);
+      if (!e.tenant.empty()) args.Set("tenant", e.tenant);
+      item.Set("args", std::move(args));
+    }
     events.Append(std::move(item));
   }
   Json doc = Json::MakeObject();
@@ -111,6 +173,148 @@ uint64_t TraceRecorder::dropped() const {
     total += ring->overwritten;
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// SpanWatchdog
+// ---------------------------------------------------------------------------
+
+SpanWatchdog::SpanWatchdog(TraceRecorder* recorder)
+    : SpanWatchdog(recorder, Options()) {}
+
+SpanWatchdog::SpanWatchdog(TraceRecorder* recorder, Options options)
+    : recorder_(recorder), options_(options) {
+  options_.interval_us = std::max<int64_t>(1000, options_.interval_us);
+  options_.threshold_us = std::max<int64_t>(1, options_.threshold_us);
+  options_.max_snapshots = std::max<size_t>(1, options_.max_snapshots);
+}
+
+SpanWatchdog::~SpanWatchdog() {
+  Status s = Stop();  // Stop() on a stopped watchdog is OK; never fails
+  (void)s;
+}
+
+Status SpanWatchdog::Start() {
+  MutexLock lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("span watchdog already running");
+  }
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+Status SpanWatchdog::Stop() {
+  std::thread to_join;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return Status::OK();
+    stop_ = true;
+    running_ = false;
+    to_join = std::move(thread_);
+  }
+  cv_.NotifyAll();
+  if (to_join.joinable()) to_join.join();
+  return Status::OK();
+}
+
+bool SpanWatchdog::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+void SpanWatchdog::Run() {
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      int64_t deadline = NowMicros() + options_.interval_us;
+      while (!stop_) {
+        int64_t now = NowMicros();
+        if (now >= deadline) break;
+        (void)cv_.WaitForMicros(mu_, deadline - now);
+      }
+      if (stop_) return;
+    }
+    ScanOnce();
+  }
+}
+
+void SpanWatchdog::ScanOnce() {
+  // Snapshot first, then update own state: mu_ stays a leaf (never held
+  // across the recorder's ring locks or an error-event Record).
+  int64_t now = NowMicros();
+  std::vector<OpenSpanInfo> open = recorder_->OpenSpans();
+  std::vector<SlowSpan> fresh;
+  {
+    MutexLock lock(mu_);
+    std::unordered_set<uint64_t> live;
+    live.reserve(open.size());
+    for (const OpenSpanInfo& s : open) {
+      live.insert(s.token);
+      if (now - s.start_us < options_.threshold_us) continue;
+      if (!reported_.insert(s.token).second) continue;  // already flagged
+      SlowSpan slow;
+      slow.name = s.name;
+      slow.cat = s.cat;
+      slow.tenant = s.tenant;
+      slow.trace_id = s.trace_id;
+      slow.start_us = s.start_us;
+      slow.age_us = now - s.start_us;
+      slow.tid = s.tid;
+      slow.token = s.token;
+      ++flagged_;
+      slow_.push_back(slow);
+      fresh.push_back(std::move(slow));
+    }
+    while (slow_.size() > options_.max_snapshots) {
+      slow_.erase(slow_.begin());
+    }
+    // Tokens that closed since the last scan can never re-open; prune so
+    // the set tracks the live span population, not history.
+    for (auto it = reported_.begin(); it != reported_.end();) {
+      it = live.count(*it) ? std::next(it) : reported_.erase(it);
+    }
+  }
+  // Error events outside mu_: Record takes the calling thread's ring lock.
+  for (const SlowSpan& s : fresh) {
+    std::string detail = s.cat + "/" + s.name + " open " +
+                         std::to_string(s.age_us) + "us on tid " +
+                         std::to_string(s.tid);
+    if (s.trace_id != 0) detail += " trace_id=" + std::to_string(s.trace_id);
+    if (!s.tenant.empty()) detail += " tenant=" + s.tenant;
+    RecordErrorEvent(*recorder_, "watchdog.slow_op", detail);
+  }
+}
+
+std::vector<SpanWatchdog::SlowSpan> SpanWatchdog::SlowSpans() const {
+  MutexLock lock(mu_);
+  return slow_;
+}
+
+uint64_t SpanWatchdog::flagged() const {
+  MutexLock lock(mu_);
+  return flagged_;
+}
+
+Json SpanWatchdog::SlowSpansJson() const {
+  Json arr = Json::MakeArray();
+  for (const SlowSpan& s : SlowSpans()) {
+    Json item = Json::MakeObject();
+    item.Set("name", s.name);
+    item.Set("cat", s.cat);
+    if (!s.tenant.empty()) item.Set("tenant", s.tenant);
+    item.Set("trace_id", s.trace_id);
+    item.Set("start_us", s.start_us);
+    item.Set("age_us", s.age_us);
+    item.Set("tid", static_cast<uint64_t>(s.tid));
+    arr.Append(std::move(item));
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("threshold_us", options_.threshold_us);
+  doc.Set("flagged", flagged());
+  doc.Set("slow", std::move(arr));
+  return doc;
 }
 
 }  // namespace dl::obs

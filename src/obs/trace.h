@@ -5,10 +5,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "obs/context.h"
 #include "util/clock.h"
 #include "util/json.h"
+#include "util/result.h"
 #include "util/thread_annotations.h"
 
 namespace dl::obs {
@@ -22,6 +26,23 @@ struct TraceEvent {
   int64_t ts_us = 0;
   int64_t dur_us = 0;
   uint32_t tid = 0;  // small sequential id, assigned per recording thread
+  // Owning-operation identity, inherited from the thread's CurrentContext()
+  // at record time (DESIGN.md §7): spans across loader → storage share one
+  // trace_id when a ContextScope is active. 0 / empty when no context was.
+  uint64_t trace_id = 0;
+  std::string tenant;
+};
+
+/// A currently-open (started, not yet ended) span, snapshotted by
+/// TraceRecorder::OpenSpans() for /tracez and the slow-op watchdog.
+struct OpenSpanInfo {
+  std::string name;
+  std::string cat;
+  std::string tenant;
+  uint64_t trace_id = 0;
+  int64_t start_us = 0;
+  uint32_t tid = 0;
+  uint64_t token = 0;  // process-unique span handle (stable across scans)
 };
 
 /// Process-wide span recorder. Disabled by default: a disabled recorder
@@ -53,8 +74,20 @@ class TraceRecorder {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Records a completed span on the calling thread. No-op when disabled.
+  /// The span inherits the thread's CurrentContext() trace id / tenant.
   void Record(std::string name, std::string cat, int64_t ts_us,
               int64_t dur_us);
+
+  /// Open-span bookkeeping behind ScopedSpan: BeginSpan registers an
+  /// in-flight span on the calling thread's ring and returns a non-zero
+  /// token; EndSpan(token) unregisters it (must run on the same thread —
+  /// spans never migrate). Returns 0 when disabled; EndSpan(0) is a no-op.
+  uint64_t BeginSpan(const char* name, const char* cat, int64_t start_us);
+  void EndSpan(uint64_t token);
+
+  /// Snapshot of every in-flight span across all threads, oldest first —
+  /// the /tracez "open" section and the watchdog's scan source.
+  std::vector<OpenSpanInfo> OpenSpans() const;
 
   /// All recorded spans, sorted by start time.
   std::vector<TraceEvent> Events() const;
@@ -72,6 +105,15 @@ class TraceRecorder {
   uint64_t dropped() const;
 
  private:
+  struct OpenSpan {
+    const char* name;  // string literals at every ScopedSpan site
+    const char* cat;
+    int64_t start_us;
+    uint64_t trace_id;
+    std::string tenant;
+    uint64_t token;
+  };
+
   struct Ring {
     explicit Ring(size_t capacity) : events(capacity) {}
     // Leaf lock, ordered after rings_mu_ (export walks rings under both).
@@ -80,6 +122,9 @@ class TraceRecorder {
     size_t next DL_GUARDED_BY(mu) = 0;
     bool wrapped DL_GUARDED_BY(mu) = false;
     uint64_t overwritten DL_GUARDED_BY(mu) = 0;
+    // In-flight spans on this thread, begin order (nesting order). Short:
+    // bounded by the thread's span nesting depth.
+    std::vector<OpenSpan> open DL_GUARDED_BY(mu);
     uint32_t tid = 0;  // immutable after registration
   };
 
@@ -87,18 +132,23 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> ring_capacity_{kDefaultRingCapacity};
+  std::atomic<uint64_t> next_token_{1};
   mutable Mutex rings_mu_{"obs.trace.rings_mu"};
   std::vector<std::unique_ptr<Ring>> rings_ DL_GUARDED_BY(rings_mu_);
 };
 
 /// RAII span: records [construction, destruction) into the global recorder.
 /// When the recorder is disabled at construction, the span is free (no
-/// clock reads, nothing recorded at destruction).
+/// clock reads, nothing recorded at destruction). While open, the span is
+/// visible to OpenSpans() / the watchdog.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* cat)
       : active_(TraceRecorder::Global().enabled()), name_(name), cat_(cat) {
-    if (active_) start_us_ = NowMicros();
+    if (active_) {
+      start_us_ = NowMicros();
+      token_ = TraceRecorder::Global().BeginSpan(name, cat, start_us_);
+    }
   }
   ~ScopedSpan() { End(); }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -109,6 +159,7 @@ class ScopedSpan {
     if (!active_) return;
     active_ = false;
     int64_t now = NowMicros();
+    TraceRecorder::Global().EndSpan(token_);
     TraceRecorder::Global().Record(name_, cat_, start_us_, now - start_us_);
   }
 
@@ -117,6 +168,79 @@ class ScopedSpan {
   const char* name_;
   const char* cat_;
   int64_t start_us_ = 0;
+  uint64_t token_ = 0;
+};
+
+/// Slow-op watchdog (DESIGN.md §7): a background thread that scans
+/// TraceRecorder::OpenSpans() every `interval_us` and flags any span open
+/// longer than `threshold_us` — the live answer to "what is this process
+/// stuck on". Each slow span is reported once (keyed by its token): a
+/// snapshot lands in a bounded ring served by /tracez, and an
+/// RecordErrorEvent("watchdog.slow_op", ...) puts it on the error-event
+/// timeline next to the spans themselves.
+class SpanWatchdog {
+ public:
+  struct Options {
+    int64_t interval_us = 100'000;   // scan cadence (clamped >= 1ms)
+    int64_t threshold_us = 1'000'000;  // open longer than this => slow
+    size_t max_snapshots = 128;      // bounded slow-span ring
+  };
+
+  /// One flagged span. `age_us` is how long it had been open at flag time;
+  /// the span may since have completed.
+  struct SlowSpan {
+    std::string name;
+    std::string cat;
+    std::string tenant;
+    uint64_t trace_id = 0;
+    int64_t start_us = 0;
+    int64_t age_us = 0;
+    uint32_t tid = 0;
+    uint64_t token = 0;
+  };
+
+  explicit SpanWatchdog(TraceRecorder* recorder);
+  SpanWatchdog(TraceRecorder* recorder, Options options);
+  ~SpanWatchdog();  // stops if running
+
+  SpanWatchdog(const SpanWatchdog&) = delete;
+  SpanWatchdog& operator=(const SpanWatchdog&) = delete;
+
+  Status Start() DL_EXCLUDES(mu_);
+  Status Stop() DL_EXCLUDES(mu_);
+  bool running() const DL_EXCLUDES(mu_);
+
+  /// Runs one scan immediately on the calling thread (also what the
+  /// background thread does each tick). Safe alongside a running thread.
+  void ScanOnce() DL_EXCLUDES(mu_);
+
+  /// Flagged spans, oldest first (bounded by max_snapshots).
+  std::vector<SlowSpan> SlowSpans() const DL_EXCLUDES(mu_);
+
+  /// Total spans ever flagged (monotonic; survives ring eviction).
+  uint64_t flagged() const DL_EXCLUDES(mu_);
+
+  /// {"threshold_us": ..., "flagged": ..., "slow": [...]}
+  Json SlowSpansJson() const;
+
+ private:
+  void Run() DL_EXCLUDES(mu_);
+
+  TraceRecorder* recorder_;
+  Options options_;
+
+  // Leaf lock: never held while touching recorder locks (ScanOnce snapshots
+  // open spans first, then updates state) or recording error events.
+  mutable Mutex mu_{"obs.span_watchdog.mu"};
+  CondVar cv_;
+  bool stop_ DL_GUARDED_BY(mu_) = false;
+  bool running_ DL_GUARDED_BY(mu_) = false;
+  std::thread thread_ DL_GUARDED_BY(mu_);
+  std::vector<SlowSpan> slow_ DL_GUARDED_BY(mu_);  // oldest dropped first
+  // Tokens already flagged, pruned to the currently-open set each scan so
+  // the set stays bounded by live span count.
+  std::unordered_set<uint64_t> reported_ DL_GUARDED_BY(mu_);
+  uint64_t flagged_ DL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dl::obs

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/export.h"
 #include "storage/storage.h"
 #include "util/clock.h"
 
@@ -46,12 +47,21 @@ int64_t RetryingStore::NextBackoffMicros(int retry) {
 }
 
 template <typename Op>
-auto RetryingStore::WithRetry(Op&& op) -> decltype(op()) {
+auto RetryingStore::WithRetry(const char* op_name, std::string_view key,
+                              Op&& op) -> decltype(op()) {
   auto result = op();
   int attempt = 1;
   while (!StatusOf(result).ok() && StatusOf(result).IsRetryable()) {
     if (attempt >= policy_.max_attempts) {
       stats_.retries_exhausted++;
+      // The retry budget ran dry on a retryable fault: that is an
+      // operational event, not just a counter tick. Label it with the op
+      // and key so /tracez and EventsJsonl name the failing object.
+      obs::RecordErrorEvent(
+          obs::TraceRecorder::Global(), "storage.retry_exhausted",
+          std::string("op=") + op_name + " key=" + std::string(key) +
+              " attempts=" + std::to_string(attempt) + " " +
+              StatusOf(result).ToString());
       break;
     }
     stats_.retries_attempted++;
@@ -63,37 +73,40 @@ auto RetryingStore::WithRetry(Op&& op) -> decltype(op()) {
 }
 
 Result<Slice> RetryingStore::Get(std::string_view key) {
-  return WithRetry([&] { return base_->Get(key); });
+  return WithRetry("get", key, [&] { return base_->Get(key); });
 }
 
 Result<Slice> RetryingStore::GetRange(std::string_view key,
                                            uint64_t offset, uint64_t length) {
-  return WithRetry([&] { return base_->GetRange(key, offset, length); });
+  return WithRetry("get_range", key,
+                   [&] { return base_->GetRange(key, offset, length); });
 }
 
 Status RetryingStore::Put(std::string_view key, ByteView value) {
-  return WithRetry([&] { return base_->Put(key, value); });
+  return WithRetry("put", key, [&] { return base_->Put(key, value); });
 }
 
 Status RetryingStore::PutDurable(std::string_view key, ByteView value) {
-  return WithRetry([&] { return base_->PutDurable(key, value); });
+  return WithRetry("put_durable", key,
+                   [&] { return base_->PutDurable(key, value); });
 }
 
 Status RetryingStore::Delete(std::string_view key) {
-  return WithRetry([&] { return base_->Delete(key); });
+  return WithRetry("delete", key, [&] { return base_->Delete(key); });
 }
 
 Result<bool> RetryingStore::Exists(std::string_view key) {
-  return WithRetry([&] { return base_->Exists(key); });
+  return WithRetry("exists", key, [&] { return base_->Exists(key); });
 }
 
 Result<uint64_t> RetryingStore::SizeOf(std::string_view key) {
-  return WithRetry([&] { return base_->SizeOf(key); });
+  return WithRetry("size_of", key, [&] { return base_->SizeOf(key); });
 }
 
 Result<std::vector<std::string>> RetryingStore::ListPrefix(
     std::string_view prefix) {
-  return WithRetry([&] { return base_->ListPrefix(prefix); });
+  return WithRetry("list_prefix", prefix,
+                   [&] { return base_->ListPrefix(prefix); });
 }
 
 }  // namespace dl::storage

@@ -398,8 +398,11 @@ class RetryingStore : public StorageProvider {
   int64_t NextBackoffMicros(int retry);
 
  private:
+  /// `op_name`/`key` label the retry-exhausted error event (DESIGN.md §7)
+  /// so an operator can see *which* object kept failing, not just a count.
   template <typename Op>
-  auto WithRetry(Op&& op) -> decltype(op());
+  auto WithRetry(const char* op_name, std::string_view key, Op&& op)
+      -> decltype(op());
 
   StoragePtr base_;
   RetryPolicy policy_;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/export.h"
 #include "obs/trace.h"
 #include "util/clock.h"
 #include "util/macros.h"
@@ -194,6 +195,9 @@ void Dataloader::Start() {
 }
 
 void Dataloader::ProcessUnit(const Unit& unit) {
+  // Worker threads adopt the job's trace context for the unit's duration:
+  // every span below (loader.fetch → storage.op) inherits its trace id.
+  obs::ContextScope context_scope(options_.context);
   Status status;
   size_t cap = std::max<size_t>(1, options_.shuffle_buffer_rows);
   // Per-stage timing, accumulated locally and merged into stats_ once at
@@ -231,17 +235,31 @@ void Dataloader::ProcessUnit(const Unit& unit) {
   // Bounded re-fetch on retryable storage errors: a transient object-store
   // fault recovers instead of poisoning the whole epoch. Retries are
   // immediate — backoff belongs to the RetryingStore decorator underneath;
-  // permanent errors (NotFound, Corruption, ...) still fail fast.
-  auto fetch_with_retry = [&](auto&& fetch) {
+  // permanent errors (NotFound, Corruption, ...) still fail fast. Every
+  // transient failure lands on the error-event timeline labeled with the
+  // op and key (`describe` is only invoked on failure — the hot path never
+  // builds the label string).
+  auto fetch_with_retry = [&](const char* op, auto&& describe, auto&& fetch) {
     auto r = fetch();
     for (int attempt = 0; attempt < options_.max_transient_retries &&
                           !r.ok() && r.status().IsRetryable();
          ++attempt) {
+      obs::RecordErrorEvent(
+          obs::TraceRecorder::Global(), "loader.transient_fetch",
+          "op=" + std::string(op) + " key=" + describe() + " attempt=" +
+              std::to_string(attempt + 1) + " " + r.status().ToString());
       r = fetch();
       if (r.ok()) {
         MutexLock lock(mu_);
         stats_.transient_errors_recovered++;
       }
+    }
+    if (!r.ok() && r.status().IsRetryable()) {
+      // Out of budget (or none configured): this failure poisons the epoch.
+      obs::RecordErrorEvent(
+          obs::TraceRecorder::Global(), "loader.fetch_failed",
+          "op=" + std::string(op) + " key=" + describe() + " " +
+              r.status().ToString());
     }
     return r;
   };
@@ -266,8 +284,9 @@ void Dataloader::ProcessUnit(const Unit& unit) {
         // Tensor-level reads fetch and decode in one call; the whole cost
         // is attributed to fetch (see DataloaderStats doc).
         auto s = timed(fetch_hist_, &fetch_us, "loader.fetch",
-                       [&] { return fetch_with_retry([&] {
-                         return t->Read(row_idx); }); });
+                       [&] { return fetch_with_retry("read", [&] {
+                         return name + "[" + std::to_string(row_idx) + "]";
+                       }, [&] { return t->Read(row_idx); }); });
         if (!s.ok()) {
           status = s.status();
           break;
@@ -279,8 +298,9 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       if (!loc.ok()) {
         // Buffered (unflushed) tail: serve through the tensor.
         auto s = timed(fetch_hist_, &fetch_us, "loader.fetch",
-                       [&] { return fetch_with_retry([&] {
-                         return t->Read(row_idx); }); });
+                       [&] { return fetch_with_retry("read", [&] {
+                         return name + "[" + std::to_string(row_idx) + "]";
+                       }, [&] { return t->Read(row_idx); }); });
         if (!s.ok()) {
           status = s.status();
           break;
@@ -292,8 +312,9 @@ void Dataloader::ProcessUnit(const Unit& unit) {
       auto it = tensor_cache.find(loc->chunk_id);
       if (it == tensor_cache.end()) {
         auto bytes = timed(fetch_hist_, &fetch_us, "loader.fetch",
-                           [&] { return fetch_with_retry([&] {
-                             return t->store()->Get(
+                           [&] { return fetch_with_retry("chunk_get", [&] {
+                             return t->ChunkKey(loc->chunk_id);
+                           }, [&] { return t->store()->Get(
                                  t->ChunkKey(loc->chunk_id)); }); });
         if (!bytes.ok()) {
           status = bytes.status();
@@ -344,6 +365,9 @@ void Dataloader::ProcessUnit(const Unit& unit) {
 }
 
 Result<bool> Dataloader::Next(Batch* out) {
+  // The consumer adopts the job's context too: loader.next / loader.stall
+  // spans join the same trace as the worker-side fetches.
+  obs::ContextScope context_scope(options_.context);
   obs::ScopedSpan next_span("loader.next", "loader");
   out->columns.clear();
   out->size = 0;

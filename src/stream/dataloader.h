@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "tql/executor.h"
 #include "tsf/dataset.h"
@@ -58,6 +59,12 @@ struct DataloaderOptions {
   /// backoff between attempts; this knob is the last line of defense when
   /// even the store-level budget runs out mid-epoch.
   int max_transient_retries = 0;
+  /// Trace context of the owning job (DESIGN.md §7): installed on every
+  /// worker while it processes a unit and on the consumer inside Next(),
+  /// so loader spans — and the storage spans beneath them — share one
+  /// trace id and carry the job's tenant label. Default (empty) costs
+  /// nothing; create one with obs::Context::ForJob("tenant", "job").
+  obs::Context context;
 };
 
 /// Epoch counters. Thread-safety contract (all fields are also mirrored

@@ -1016,6 +1016,9 @@ Result<DatasetView> ExecuteQueryTimed(std::shared_ptr<tsf::Dataset> dataset,
                                       const QueryOptions& options,
                                       const std::string& query_text,
                                       int64_t parse_us) {
+  // The query adopts its job's trace context: tql.execute and everything
+  // beneath it (scan, storage ops) share the context's trace id.
+  obs::ContextScope context_scope(options.context);
   obs::ScopedSpan span("tql.execute", "tql");
   auto& registry = obs::MetricsRegistry::Global();
   int64_t start = NowMicros();
@@ -1077,6 +1080,7 @@ Result<DatasetView> RunQuery(std::shared_ptr<tsf::Dataset> dataset,
                              const QueryOptions& options) {
   int64_t parse_start = NowMicros();
   Result<Query> parsed = [&] {
+    obs::ContextScope context_scope(options.context);
     obs::ScopedSpan span("tql.parse", "tql");
     obs::ScopedTimerUs timer(
         obs::MetricsRegistry::Global().GetHistogram("tql.parse_us"));

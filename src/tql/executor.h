@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.h"
 #include "tql/ast.h"
 #include "tsf/dataset.h"
 #include "util/json.h"
@@ -166,6 +167,10 @@ struct QueryOptions {
   /// without an EXPLAIN prefix — the programmatic way to profile a query
   /// while still getting its result rows.
   QueryProfile* profile = nullptr;
+  /// Trace context of the owning job (DESIGN.md §7): installed for the
+  /// query's parse + execute, so tql.* spans and the storage spans beneath
+  /// them share one trace id and carry the job's tenant label.
+  obs::Context context;
 };
 
 /// Parses and executes a query against `dataset`.

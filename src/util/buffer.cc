@@ -52,6 +52,7 @@ void BufferPool::State::Release(ByteBuffer bytes) {
 }
 
 ByteBuffer BufferPool::Acquire(size_t capacity_hint) {
+  state_->acquires.fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock lock(state_->mu);
     // Smallest retained buffer that fits; the list is short (bounded by
@@ -81,9 +82,12 @@ ByteBuffer BufferPool::Acquire(size_t capacity_hint) {
 
 Slice BufferPool::Seal(ByteBuffer bytes) {
   std::weak_ptr<State> weak_state(state_);
-  auto deleter = [weak_state](Buffer* b) {
+  uint64_t sealed_size = bytes.size();
+  state_->in_use.fetch_add(sealed_size, std::memory_order_relaxed);
+  auto deleter = [weak_state, sealed_size](Buffer* b) {
     std::unique_ptr<Buffer> owned(b);
     if (auto state = weak_state.lock()) {
+      state->in_use.fetch_sub(sealed_size, std::memory_order_relaxed);
       state->Release(std::move(owned->bytes_));
     }
   };
@@ -103,6 +107,14 @@ uint64_t BufferPool::reuses() const {
 uint64_t BufferPool::retained_bytes() const {
   MutexLock lock(state_->mu);
   return state_->retained;
+}
+
+uint64_t BufferPool::acquires() const {
+  return state_->acquires.load(std::memory_order_relaxed);
+}
+
+uint64_t BufferPool::bytes_in_use() const {
+  return state_->in_use.load(std::memory_order_relaxed);
 }
 
 }  // namespace dl

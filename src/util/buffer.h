@@ -211,9 +211,15 @@ class BufferPool {
   /// Process-wide default pool used by the chunk decode path.
   static BufferPool& Default();
 
-  /// Observability for tests/benches.
+  /// Observability for tests/benches and the obs layer's process gauges
+  /// (obs::SampleProcessGauges exports these as `buffer_pool.*`).
   uint64_t reuses() const;
   uint64_t retained_bytes() const;
+  /// Total Acquire() calls (reuses + fresh allocations).
+  uint64_t acquires() const;
+  /// Bytes inside sealed buffers whose Slices are still alive — the pool's
+  /// live occupancy, distinct from `retained_bytes` (the parked free list).
+  uint64_t bytes_in_use() const;
 
   static constexpr size_t kDefaultRetainedBytes = 64ull << 20;
 
@@ -225,6 +231,10 @@ class BufferPool {
     std::vector<ByteBuffer> free_list DL_GUARDED_BY(mu);
     size_t retained DL_GUARDED_BY(mu) = 0;
     std::atomic<uint64_t> reuses{0};
+    std::atomic<uint64_t> acquires{0};
+    // Sealed-and-alive bytes; sealed-buffer deleters decrement via their
+    // weak State reference, so the figure stays honest across pool death.
+    std::atomic<uint64_t> in_use{0};
 
     void Release(ByteBuffer bytes);
   };
