@@ -38,6 +38,7 @@ double Epoch(storage::StoragePtr store, bool shuffle) {
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Ablation A1 — chunk size vs streaming performance over S3",
          "paper §3.4 chunk bounds / §3.5 8MB default",
          "2000 JPEG-compressed 64^2x3 images per configuration, simulated "

@@ -64,6 +64,7 @@ void BM_CompressSample(benchmark::State& state,
 int main(int argc, char** argv) {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Ablation A3 — codec choice for the image tensor",
          "paper §5 (JPEG sample compression + LZ4 chunk compression "
          "defaults)",

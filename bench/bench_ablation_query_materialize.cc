@@ -12,6 +12,7 @@
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Ablation A4 — query view streaming vs materialization over S3",
          "paper §4.4 (\"views can be sparse, which can affect streaming "
          "performance\") and §4.5 materialization",

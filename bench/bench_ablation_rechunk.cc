@@ -11,6 +11,7 @@
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Ablation A5 — re-chunking a fragmented tensor",
          "paper §3.5 (\"on-the-fly re-chunking algorithm to optimize the "
          "data layout\")",

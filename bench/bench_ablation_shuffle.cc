@@ -13,6 +13,7 @@
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Ablation A2 — shuffle-buffer size: throughput vs shuffle quality",
          "paper §3.5 (streaming shuffle with a buffer cache)",
          "1200 rows in ~37 chunks (32 rows each), in-memory store",

@@ -161,6 +161,7 @@ CrashCell RunCrashCell(storage::StoragePtr seed, uint64_t crash_at,
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
 
   Header("Fault recovery: goodput vs. injected transient fault rate",
          "ISSUE 1 robustness claim (supports paper §4.6, Figs. 7-8)",

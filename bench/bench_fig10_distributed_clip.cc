@@ -59,6 +59,7 @@ Status BuildLaion(storage::StoragePtr store, int n) {
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Fig. 10 — 16-GPU CLIP training on LAION pairs streamed "
          "cross-region",
          "paper Fig. 10 (LAION-400M, 1B-param CLIP, 16xA100, AWS us-east "

@@ -62,6 +62,7 @@ double IngestBaseline(baselines::BaselineFormat format) {
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Fig. 6 — serial ingestion of uncompressed images into each format",
          "paper Fig. 6 (10,000 FFHQ images, 1024^2x3, AWS c5.9xlarge)",
          "512 images at 256^2x3 (~1/312 of the paper's bytes), simulated "

@@ -80,7 +80,11 @@ DeepLakeRun RunDeepLake() {
   opts.num_workers = kWorkers;
   opts.prefetch_units = 16;
   opts.tensors = {"images", "labels"};
+  // Attribute this epoch's CPU/bytes to a named job so a live scrape of
+  // /resourcez (or dlstat) during the run shows where resources went.
+  opts.context = obs::Context::ForJob("bench", "fig7-epoch");
   obs::MetricsRegistry::Global().Reset();
+  MarkResourceBaseline();
   obs::TraceRecorder::Global().Enable();
   // Virtual accelerator at 10M img/s: fast enough that its compute time is
   // negligible (the bench measures the loaders, not a model), but it keeps

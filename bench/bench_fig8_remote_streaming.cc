@@ -86,6 +86,7 @@ double StreamBaseline(baselines::BaselineFormat format,
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Fig. 8 — epoch time streaming the Fig. 7 dataset from different "
          "backends (seconds, lower better)",
          "paper Fig. 8 (local FS vs AWS S3 vs MinIO-on-LAN)",

@@ -83,6 +83,7 @@ double TrainFolderEpoch(storage::StoragePtr store, sim::GpuModel* gpu) {
 int main(int argc, char** argv) {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("Fig. 9 — ImageNet-style training over S3: cumulative time per "
          "epoch (lower better)",
          "paper Fig. 9 (ImageNet 1.2M images / 150GB on S3, AWS File Mode "

@@ -14,6 +14,7 @@
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("§3.4 claim — chunk encoder size and speed at scale",
          "paper §3.4 (\"150MB chunk encoder per 1PB tensor data\")",
          "synthetic encoders up to 10M chunks; 1PB extrapolated from "

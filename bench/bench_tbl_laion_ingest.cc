@@ -14,6 +14,7 @@
 int main() {
   using namespace dl;
   using namespace dl::bench;
+  MarkResourceBaseline();
   Header("§6.5 — LAION ingestion: per-URL source download vs parallel TSF "
          "ingest",
          "paper §6.5 (download 100h vs TSF ingest 6h, 400M pairs / 1.9TB)",

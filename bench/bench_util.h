@@ -18,6 +18,7 @@
 #include "obs/trace.h"
 #include "sim/workload.h"
 #include "storage/storage.h"
+#include "util/buffer.h"
 #include "util/clock.h"
 #include "util/string_util.h"
 
@@ -96,11 +97,57 @@ inline std::string BenchJsonDir() {
   return (dir != nullptr && *dir != '\0') ? dir : ".";
 }
 
+/// Efficiency accounting (ROADMAP item 5, after arXiv 2511.08644): every
+/// report carries process-CPU-time and bytes-moved for its measured phase,
+/// so an optimization that trades throughput for cycles (or vice versa) is
+/// visible in CI history, not just a wall-clock delta.
+struct ResourceBaseline {
+  int64_t cpu_us = 0;
+  uint64_t bytes_copied = 0;
+};
+
+inline ResourceBaseline& GlobalResourceBaseline() {
+  static ResourceBaseline baseline;
+  return baseline;
+}
+
+/// Marks the start of the measured phase. Call where the bench calls
+/// MetricsRegistry::Global().Reset() (or at the top of main when it never
+/// resets): WriteJsonReport reports deltas from this point.
+inline void MarkResourceBaseline() {
+  GlobalResourceBaseline().cpu_us = ProcessCpuMicros();
+  GlobalResourceBaseline().bytes_copied = TotalBytesCopied();
+}
+
+/// The `resources` section of a report: CPU seconds burned since the
+/// baseline plus every byte that crossed a counted boundary — storage
+/// reads + writes (registry counters, scoped by the bench's Reset) and
+/// Buffer/Slice deep copies (process counter, scoped by the baseline).
+inline Json ResourceReport() {
+  const ResourceBaseline& baseline = GlobalResourceBaseline();
+  obs::RegistrySnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "storage.bytes_read") bytes_read += c.value;
+    if (c.name == "storage.bytes_written") bytes_written += c.value;
+  }
+  uint64_t bytes_copied = TotalBytesCopied() - baseline.bytes_copied;
+  Json resources = Json::MakeObject();
+  resources.Set("cpu_time_per_epoch_us", ProcessCpuMicros() - baseline.cpu_us);
+  resources.Set("bytes_moved", bytes_read + bytes_written + bytes_copied);
+  resources.Set("bytes_read", bytes_read);
+  resources.Set("bytes_written", bytes_written);
+  resources.Set("bytes_copied", bytes_copied);
+  return resources;
+}
+
 /// Writes `BENCH_<name>.json` next to the human-readable table:
 ///
 ///   {"bench": name, "schema_version": 1,
 ///    "table": {"columns": [...], "rows": [[...], ...]},
 ///    "metrics": <obs::MetricsRegistry::Global().SnapshotJson()>,
+///    "resources": {"cpu_time_per_epoch_us": ..., "bytes_moved": ..., ...},
 ///    "extra": <bench-specific payload, omitted when null>}
 ///
 /// The metrics key carries every counter/gauge/histogram the run touched —
@@ -115,6 +162,7 @@ inline Status WriteJsonReport(const std::string& name, const Table& table,
   doc.Set("schema_version", 1);
   doc.Set("table", table.ToJson());
   doc.Set("metrics", obs::MetricsRegistry::Global().SnapshotJson());
+  doc.Set("resources", ResourceReport());
   if (!extra.is_null()) doc.Set("extra", std::move(extra));
   std::string path = BenchJsonDir() + "/BENCH_" + name + ".json";
   std::ofstream out(path, std::ios::trunc);

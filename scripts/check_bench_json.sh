@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-checks a bench binary's machine-readable output: runs the bench in a
-# scratch directory with DL_BENCH_JSON_DIR pointed there, then validates the
+# scratch directory with DL_BENCH_JSON_DIR pointed there, then validates every
 # emitted BENCH_<name>.json is parseable and carries the report schema
-# (bench / schema_version / table / metrics with counters+gauges+histograms).
+# (bench / schema_version / table / metrics with counters+gauges+histograms,
+# plus the resources efficiency section: cpu_time_per_epoch_us, bytes_moved).
 #
 # Usage: check_bench_json.sh <bench-binary> [bench args...]
 # Registered with ctest (label "obs") against bench_fig7_local_loader.
@@ -36,9 +37,8 @@ if [[ ${#reports[@]} -eq 0 ]]; then
   cat "$workdir/stdout.log" >&2
   exit 1
 fi
-report="${reports[0]}"
-
 if command -v python3 >/dev/null 2>&1; then
+  for report in "${reports[@]}"; do
   python3 - "$report" <<'PYEOF'
 import json, sys
 
@@ -71,6 +71,19 @@ for h in metrics["histograms"]:
     need(sum(h["buckets"]) == h["count"],
          f"histogram {h['name']}: bucket sum != count")
 
+# Efficiency accounting (ROADMAP item 5): every report carries the CPU
+# time and bytes moved for its measured phase, so a speedup that burns
+# more cycles (or moves more bytes) is visible in CI history.
+need("resources" in doc, "missing key 'resources'")
+resources = doc["resources"]
+for key in ("cpu_time_per_epoch_us", "bytes_moved", "bytes_read",
+            "bytes_written", "bytes_copied"):
+    need(isinstance(resources.get(key), int) and resources[key] >= 0,
+         f"resources.{key} must be an int >= 0")
+need(resources["bytes_moved"] == resources["bytes_read"]
+     + resources["bytes_written"] + resources["bytes_copied"],
+     "resources.bytes_moved must equal read + written + copied")
+
 # Copy-accounting and CRC dispatch fields (DESIGN.md §10). Loader benches
 # must record which CRC-32C backend served the run (numbers are not
 # comparable across machines otherwise) and carry the bytes_copied counter
@@ -93,9 +106,13 @@ if doc["bench"] == "fig7_local_loader":
          "legacy copy emulation must not copy less than the slice path")
 print(f"OK: {path} valid "
       f"({len(metrics['counters'])} counters, "
-      f"{len(metrics['histograms'])} histograms)")
+      f"{len(metrics['histograms'])} histograms, "
+      f"cpu {resources['cpu_time_per_epoch_us']}us, "
+      f"moved {resources['bytes_moved']}B)")
 PYEOF
+  done
 else
+  report="${reports[0]}"
   # Fallback without python3: structural greps only.
   for key in '"bench"' '"schema_version"' '"table"' '"metrics"' \
              '"counters"' '"gauges"' '"histograms"'; do

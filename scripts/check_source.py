@@ -77,6 +77,13 @@ COPY_OK = re.compile(r"copy-ok:")
 RAW_SOCKET = re.compile(r"(?<![\w.>])(?:::\s*)?(?:socket|bind|listen|accept)\s*\(")
 RAW_SOCKET_OK_FILE = "src/obs/debug_server.cc"
 
+# Signal-handler / interval-timer plumbing; async-signal-safety is easy to
+# get subtly wrong, so every use lives in the one audited implementation
+# (DESIGN.md §7 signal-safety rules).
+PROFILER_SYSCALL = re.compile(
+    r"(?<![\w.>])(?:::\s*)?(?:sigaction|setitimer|backtrace|backtrace_symbols)\s*\(")
+PROFILER_SYSCALL_OK_FILE = "src/obs/profiler.cc"
+
 # A raw `new` is fine when the enclosing statement hands it straight to an
 # owner. Checked against the statement text preceding the `new` token.
 OWNED_NEW = re.compile(
@@ -191,6 +198,14 @@ def check_file(path: Path, rel: str, findings: list) -> None:
                              "obs::DebugServer / obs::HttpGet "
                              f"({RAW_SOCKET_OK_FILE} is the only sanctioned "
                              "socket file)"))
+
+    if rel != PROFILER_SYSCALL_OK_FILE:
+        for m in PROFILER_SYSCALL.finditer(code):
+            findings.append((rel, line_of(code, m.start()), "profiler-syscall",
+                             "sigaction()/setitimer()/backtrace(); use "
+                             "obs::CpuProfiler "
+                             f"({PROFILER_SYSCALL_OK_FILE} is the only "
+                             "sanctioned signal-plumbing file)"))
 
     # TODO owners live in comments, so scan the raw text.
     for m in TODO.finditer(raw):

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Render folded stacks to a flame graph SVG. No dependencies.
+
+Input is the folded-stack text produced by obs::CpuProfiler (and by the
+DebugServer's /pprof/profile endpoint): one stack per line, frames
+root-first and ';'-separated, followed by a space and a sample count:
+
+    main;RunEpoch;DecodeChunk;crc32c 42
+
+Usage:
+    curl -s 'localhost:PORT/pprof/profile?seconds=5' | \
+        scripts/flamegraph.py -o profile.svg
+    scripts/flamegraph.py folded.txt -o profile.svg
+    scripts/flamegraph.py --selftest
+
+The SVG is self-contained: hover a frame for its full name, sample count
+and percentage. Widths are proportional to inclusive sample counts.
+EXPERIMENTS.md has the end-to-end "profile a slow epoch" walkthrough.
+"""
+
+import argparse
+import html
+import sys
+
+FRAME_HEIGHT = 17
+FONT_SIZE = 11
+MIN_WIDTH_PX = 0.3  # frames narrower than this are dropped, not drawn
+WIDTH = 1200
+PAD = 10
+
+
+class Node:
+    __slots__ = ("name", "self_count", "total", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.self_count = 0
+        self.total = 0
+        self.children = {}
+
+
+def parse_folded(lines):
+    """Builds the call tree; returns (root, total_samples, skipped_lines)."""
+    root = Node("all")
+    skipped = 0
+    for line in lines:
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        stack, sep, count_text = line.rpartition(" ")
+        if not sep:
+            skipped += 1
+            continue
+        try:
+            count = int(count_text)
+        except ValueError:
+            skipped += 1
+            continue
+        if count <= 0 or not stack:
+            skipped += 1
+            continue
+        node = root
+        node.total += count
+        for frame in stack.split(";"):
+            child = node.children.get(frame)
+            if child is None:
+                child = Node(frame)
+                node.children[frame] = child
+            child.total += count
+            node = child
+        node.self_count += count
+    return root, root.total, skipped
+
+
+def frame_color(name):
+    """Deterministic warm color per name (consistent across renders)."""
+    h = 0
+    for c in name:
+        h = (h * 131 + ord(c)) & 0xFFFFFFFF
+    red = 205 + h % 50
+    green = 60 + (h // 50) % 130
+    blue = (h // 7000) % 60
+    return f"rgb({red},{green},{blue})"
+
+
+def render_svg(root, total, out):
+    depth_max = [0]
+
+    rects = []
+
+    def layout(node, x, depth, scale):
+        if depth > depth_max[0]:
+            depth_max[0] = depth
+        child_x = x
+        # Sorted for a stable layout; widest child first reads best.
+        for child in sorted(node.children.values(),
+                            key=lambda n: -n.total):
+            width = child.total * scale
+            if width >= MIN_WIDTH_PX:
+                rects.append((child_x, depth, width, child))
+                layout(child, child_x, depth + 1, scale)
+            child_x += width
+
+    usable = WIDTH - 2 * PAD
+    scale = usable / total if total else 0
+    rects.append((PAD, 0, usable, root))
+    layout(root, PAD, 1, scale)
+
+    height = (depth_max[0] + 1) * FRAME_HEIGHT + 2 * PAD + 20
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{FONT_SIZE}">\n')
+    out.write(f'<rect width="{WIDTH}" height="{height}" fill="#f8f8f8"/>\n')
+    out.write(f'<text x="{PAD}" y="{height - PAD}">'
+              f"deeplake cpu profile — {total} samples</text>\n")
+    for x, depth, width, node in rects:
+        # Root at the bottom, leaves on top (flame orientation).
+        y = height - 20 - PAD - (depth + 1) * FRAME_HEIGHT
+        pct = 100.0 * node.total / total if total else 0
+        title = html.escape(f"{node.name} ({node.total} samples, {pct:.2f}%)",
+                            quote=True)
+        fill = "#c0c0c0" if node.name == "all" else frame_color(node.name)
+        out.write(
+            f'<g><title>{title}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{width:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{fill}" rx="1"/>')
+        approx_chars = int(width / (FONT_SIZE * 0.62))
+        if approx_chars >= 3:
+            label = node.name
+            if len(label) > approx_chars:
+                label = label[: approx_chars - 2] + ".."
+            out.write(
+                f'<text x="{x + 2:.2f}" y="{y + FRAME_HEIGHT - 5}">'
+                f"{html.escape(label)}</text>")
+        out.write("</g>\n")
+    out.write("</svg>\n")
+
+
+def selftest():
+    sample = [
+        "main;RunEpoch;Fetch;Get 30",
+        "main;RunEpoch;Decode;crc32c 50",
+        "main;RunEpoch;Decode 10",
+        "main;Idle 10",
+        "malformed line with no count x",
+    ]
+    root, total, skipped = parse_folded(sample)
+    assert total == 100, total
+    assert skipped == 1, skipped
+    epoch = root.children["main"].children["RunEpoch"]
+    assert epoch.total == 90, epoch.total
+    assert epoch.children["Decode"].total == 60
+    assert epoch.children["Decode"].self_count == 10
+
+    import io
+
+    buf = io.StringIO()
+    render_svg(root, total, buf)
+    svg = buf.getvalue()
+    assert svg.startswith("<svg"), svg[:40]
+    assert "crc32c" in svg
+    assert "RunEpoch" in svg
+    assert svg.count("<rect") > 5
+    print("flamegraph.py selftest ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="folded stacks -> flame graph SVG")
+    parser.add_argument("input", nargs="?", default="-",
+                        help="folded-stack file ('-' = stdin)")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output SVG ('-' = stdout)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in sanity checks and exit")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    if args.input == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.input) as f:
+            lines = f.readlines()
+
+    root, total, skipped = parse_folded(lines)
+    if total == 0:
+        print("flamegraph.py: no samples in input", file=sys.stderr)
+        return 1
+    if skipped:
+        print(f"flamegraph.py: skipped {skipped} malformed line(s)",
+              file=sys.stderr)
+
+    if args.output == "-":
+        render_svg(root, total, sys.stdout)
+    else:
+        with open(args.output, "w") as f:
+            render_svg(root, total, f)
+        print(f"wrote {args.output} ({total} samples)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

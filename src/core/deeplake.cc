@@ -164,6 +164,12 @@ Status DeepLake::StartFlightRecorder(obs::FlightRecorder::Options options) {
   flight_->WatchGauge("process.bytes_copied", {}, "process_bytes_copied");
   flight_->WatchGauge("sim.gpu.utilization", {{"gpu", "gpu0"}},
                       "gpu_utilization");
+  // Contention + per-job attribution (DESIGN.md §7): lock.wait_us is a
+  // sampled-aggregate gauge (refreshed by SampleProcessGauges each tick);
+  // the job.* counters aggregate every ResourceMeter's charges.
+  flight_->WatchGauge("lock.wait_us", {}, "lock_wait_us");
+  flight_->WatchCounter("job.cpu_us", {}, "job_cpu_us");
+  flight_->WatchCounter("job.bytes_read", {}, "job_bytes_read");
   flight_->WatchHistogram("loader.fetch_us", {}, "fetch_us");
   flight_->WatchHistogram("loader.stall_us", {}, "stall_us");
   return flight_->Start();

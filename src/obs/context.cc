@@ -3,6 +3,10 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "util/buffer.h"
+#include "util/clock.h"
+
 namespace dl::obs {
 
 namespace {
@@ -20,11 +24,47 @@ uint64_t NewTraceId() {
   return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
 }
 
+ResourceMeter::ResourceMeter(std::string tenant, std::string job)
+    : tenant_(std::move(tenant)), job_(std::move(job)) {
+  auto& registry = MetricsRegistry::Global();
+  Labels labels = {{"job", job_}, {"tenant", tenant_}};
+  job_cpu_us_ = registry.GetCounter("job.cpu_us", labels);
+  job_bytes_read_ = registry.GetCounter("job.bytes_read", labels);
+  job_bytes_copied_ = registry.GetCounter("job.bytes_copied", labels);
+  agg_cpu_us_ = registry.GetCounter("job.cpu_us");
+  agg_bytes_read_ = registry.GetCounter("job.bytes_read");
+  agg_bytes_copied_ = registry.GetCounter("job.bytes_copied");
+}
+
+void ResourceMeter::ChargeCpuMicros(int64_t us) {
+  if (us <= 0) return;
+  uint64_t n = static_cast<uint64_t>(us);
+  cpu_us_.fetch_add(n, std::memory_order_relaxed);
+  job_cpu_us_->Add(n);
+  agg_cpu_us_->Add(n);
+}
+
+void ResourceMeter::ChargeBytesRead(uint64_t n) {
+  if (n == 0) return;
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  job_bytes_read_->Add(n);
+  agg_bytes_read_->Add(n);
+}
+
+void ResourceMeter::ChargeBytesCopied(uint64_t n) {
+  if (n == 0) return;
+  bytes_copied_.fetch_add(n, std::memory_order_relaxed);
+  job_bytes_copied_->Add(n);
+  agg_bytes_copied_->Add(n);
+}
+
 Context Context::ForJob(std::string tenant, std::string job) {
   Context context;
   context.trace_id = NewTraceId();
   context.tenant = std::move(tenant);
   context.job = std::move(job);
+  context.meter =
+      std::make_shared<ResourceMeter>(context.tenant, context.job);
   return context;
 }
 
@@ -33,8 +73,25 @@ const Context& CurrentContext() { return ThreadContext(); }
 ContextScope::ContextScope(const Context& context)
     : previous_(ThreadContext()) {
   ThreadContext() = context;
+  // Meter the thread only at the boundary where this meter takes over:
+  // re-installing the meter already active (span nesting inside one job)
+  // must not charge the interval twice.
+  if (context.meter != nullptr &&
+      context.meter.get() != previous_.meter.get()) {
+    meter_ = context.meter.get();
+    cpu_start_us_ = ThreadCpuMicros();
+    copied_start_ = ThreadBytesCopied();
+  }
 }
 
-ContextScope::~ContextScope() { ThreadContext() = std::move(previous_); }
+ContextScope::~ContextScope() {
+  if (meter_ != nullptr) {
+    // The thread's context still holds a shared_ptr to meter_ until the
+    // restore below, so the raw pointer is alive here.
+    meter_->ChargeCpuMicros(ThreadCpuMicros() - cpu_start_us_);
+    meter_->ChargeBytesCopied(ThreadBytesCopied() - copied_start_);
+  }
+  ThreadContext() = std::move(previous_);
+}
 
 }  // namespace dl::obs

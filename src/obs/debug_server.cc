@@ -11,14 +11,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "util/clock.h"
+#include "util/lock_stats.h"
 #include "util/macros.h"
 
 namespace dl::obs {
@@ -398,6 +402,9 @@ HttpResponse DebugServer::Route(const std::string& path) {
   if (bare == "/statusz") return ServeStatusz();
   if (bare == "/tracez") return ServeTracez();
   if (bare == "/flightz") return ServeFlightz();
+  if (bare == "/lockz") return ServeLockz();
+  if (bare == "/resourcez") return ServeResourcez();
+  if (bare == "/pprof/profile") return ServePprofProfile(path);
   Handler custom;
   {
     MutexLock lock(mu_);
@@ -408,7 +415,8 @@ HttpResponse DebugServer::Route(const std::string& path) {
   HttpResponse r;
   r.status = 404;
   r.body = "no such endpoint: " + bare +
-           "\nendpoints: /healthz /metrics /statusz /tracez /flightz\n";
+           "\nendpoints: /healthz /metrics /statusz /tracez /flightz"
+           " /lockz /resourcez /pprof/profile\n";
   return r;
 }
 
@@ -539,6 +547,129 @@ HttpResponse DebugServer::ServeFlightz() {
     doc.Set("dropped", 0);
     doc.Set("samples", Json::MakeArray());
   }
+  HttpResponse r;
+  r.status = 200;
+  r.content_type = "application/json";
+  r.body = doc.Dump();
+  return r;
+}
+
+HttpResponse DebugServer::ServePprofProfile(const std::string& path) {
+  // /pprof/profile?seconds=N — block for N wall-seconds of sampling, then
+  // return folded stacks (scripts/flamegraph.py input). Clamped to the
+  // worker's patience: a scrape should never wedge a worker for minutes.
+  double seconds = 2.0;
+  size_t q = path.find("seconds=");
+  if (q != std::string::npos) {
+    seconds = std::atof(path.c_str() + q + 8);
+  }
+  if (seconds < 0.1) seconds = 0.1;
+  if (seconds > 30.0) seconds = 30.0;
+  auto folded = CollectCpuProfile(seconds);
+  HttpResponse r;
+  if (!folded.ok()) {
+    // 501: this build cannot profile (sanitizers). 503: transient — some
+    // other profiler holds the timer; retry later.
+    r.status = folded.status().IsNotImplemented() ? 501 : 503;
+    r.body = folded.status().ToString() + "\n";
+    return r;
+  }
+  r.status = 200;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = std::move(folded).value();
+  return r;
+}
+
+HttpResponse DebugServer::ServeLockz() {
+  std::vector<lockstats::Row> rows = lockstats::Snapshot();
+  std::sort(rows.begin(), rows.end(),
+            [](const lockstats::Row& a, const lockstats::Row& b) {
+              return a.wait_us_total > b.wait_us_total;
+            });
+  Json doc = Json::MakeObject();
+  doc.Set("total_contentions", lockstats::TotalContentions());
+  doc.Set("total_wait_us", lockstats::TotalWaitMicros());
+  Json bounds = Json::MakeArray();
+  for (int i = 0; i < lockstats::kWaitBuckets; ++i) {
+    bounds.Append(static_cast<uint64_t>(1) << i);
+  }
+  doc.Set("wait_bucket_upper_us", std::move(bounds));
+  Json locks = Json::MakeArray();
+  for (const auto& row : rows) {
+    Json item = Json::MakeObject();
+    item.Set("name", row.name);
+    item.Set("contentions", row.contentions);
+    item.Set("wait_us", row.wait_us_total);
+    item.Set("max_wait_us", row.max_wait_us);
+    item.Set("mean_wait_us",
+             row.contentions == 0
+                 ? 0.0
+                 : static_cast<double>(row.wait_us_total) /
+                       static_cast<double>(row.contentions));
+    Json buckets = Json::MakeArray();
+    for (uint64_t c : row.buckets) buckets.Append(c);
+    item.Set("wait_buckets", std::move(buckets));
+    locks.Append(std::move(item));
+  }
+  doc.Set("locks", std::move(locks));
+  HttpResponse r;
+  r.status = 200;
+  r.content_type = "application/json";
+  r.body = doc.Dump();
+  return r;
+}
+
+HttpResponse DebugServer::ServeResourcez() {
+  // Group the job.* counters by their {job, tenant} labels; the unlabeled
+  // rows are the process-wide aggregates.
+  RegistrySnapshot snap = registry_->Snapshot();
+  struct Usage {
+    uint64_t cpu_us = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_copied = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Usage> jobs;
+  Usage total;
+  for (const auto& c : snap.counters) {
+    uint64_t Usage::*field = nullptr;
+    if (c.name == "job.cpu_us") {
+      field = &Usage::cpu_us;
+    } else if (c.name == "job.bytes_read") {
+      field = &Usage::bytes_read;
+    } else if (c.name == "job.bytes_copied") {
+      field = &Usage::bytes_copied;
+    } else {
+      continue;
+    }
+    std::string job;
+    std::string tenant;
+    for (const auto& [key, value] : c.labels) {
+      if (key == "job") job = value;
+      if (key == "tenant") tenant = value;
+    }
+    if (c.labels.empty()) {
+      total.*field += c.value;
+    } else {
+      jobs[{job, tenant}].*field += c.value;
+    }
+  }
+  Json doc = Json::MakeObject();
+  Json rows = Json::MakeArray();
+  for (const auto& [key, usage] : jobs) {
+    Json item = Json::MakeObject();
+    item.Set("job", key.first);
+    item.Set("tenant", key.second);
+    item.Set("cpu_us", usage.cpu_us);
+    item.Set("bytes_read", usage.bytes_read);
+    item.Set("bytes_copied", usage.bytes_copied);
+    rows.Append(std::move(item));
+  }
+  doc.Set("jobs", std::move(rows));
+  Json agg = Json::MakeObject();
+  agg.Set("cpu_us", total.cpu_us);
+  agg.Set("bytes_read", total.bytes_read);
+  agg.Set("bytes_copied", total.bytes_copied);
+  doc.Set("total", std::move(agg));
   HttpResponse r;
   r.status = 200;
   r.content_type = "application/json";

@@ -53,6 +53,15 @@ Result<std::string> HttpRawRequest(const std::string& host, int port,
 ///   /tracez    recent completed spans + currently-open spans + the
 ///              watchdog's slow-span snapshots
 ///   /flightz   FlightRecorder timeline JSON from SetFlightzProvider
+///   /lockz     lock-contention stats (util/lock_stats) ranked by total
+///              wait, with per-lock log2 wait histograms
+///   /resourcez per-job CPU/bytes usage grouped from the job.* counters
+///              (obs::ResourceMeter) + process totals
+///   /pprof/profile?seconds=N
+///              runs the sampling CPU profiler for N wall-seconds and
+///              returns folded stacks (scripts/flamegraph.py input);
+///              501 under sanitizer builds, 503 while another profiler
+///              owns the process-wide timer
 ///
 /// Responses are Connection: close (one request per connection — scrape
 /// traffic, not serving traffic). Requests beyond `max_inflight` get 503,
@@ -135,6 +144,9 @@ class DebugServer {
   HttpResponse ServeStatusz() DL_EXCLUDES(mu_);
   HttpResponse ServeTracez();
   HttpResponse ServeFlightz() DL_EXCLUDES(mu_);
+  HttpResponse ServePprofProfile(const std::string& path);
+  HttpResponse ServeLockz();
+  HttpResponse ServeResourcez();
 
   MetricsRegistry* registry_;
   TraceRecorder* recorder_;

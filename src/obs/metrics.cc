@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "util/buffer.h"
+#include "util/lock_stats.h"
 
 namespace dl::obs {
 
@@ -243,6 +244,20 @@ void SampleProcessGauges(MetricsRegistry& registry) {
       ->Set(static_cast<double>(pool.retained_bytes()));
   registry.GetGauge("process.bytes_copied")
       ->Set(static_cast<double>(TotalBytesCopied()));
+  SampleLockStats(registry);
+}
+
+void SampleLockStats(MetricsRegistry& registry) {
+  for (const auto& row : lockstats::Snapshot()) {
+    registry.GetGauge("lock.wait_us", {{"lock", row.name}})
+        ->Set(static_cast<double>(row.wait_us_total));
+    registry.GetGauge("lock.contentions", {{"lock", row.name}})
+        ->Set(static_cast<double>(row.contentions));
+  }
+  registry.GetGauge("lock.wait_us")
+      ->Set(static_cast<double>(lockstats::TotalWaitMicros()));
+  registry.GetGauge("lock.contentions")
+      ->Set(static_cast<double>(lockstats::TotalContentions()));
 }
 
 }  // namespace dl::obs

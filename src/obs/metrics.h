@@ -200,6 +200,14 @@ class MetricsRegistry {
 /// which keeps the gauges fresh exactly when someone is looking.
 void SampleProcessGauges(MetricsRegistry& registry);
 
+/// Mirrors the util-layer lock-contention registry (util/lock_stats.h)
+/// into `registry`: per-lock `lock.wait_us{lock=}` / `lock.contentions
+/// {lock=}` plus unlabeled process aggregates. Gauges, not counters — a
+/// gauge Set is idempotent, so concurrent scrapers (flight recorder tick
+/// racing a /metrics request) cannot double-apply a delta. Called by
+/// SampleProcessGauges; exposed for tests.
+void SampleLockStats(MetricsRegistry& registry);
+
 /// RAII microsecond timer: observes the elapsed time into `hist` on
 /// destruction (pass nullptr to disable). Collapses the common
 /// "Stopwatch + Observe" pair at call sites.

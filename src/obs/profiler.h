@@ -1,0 +1,96 @@
+#ifndef DEEPLAKE_OBS_PROFILER_H_
+#define DEEPLAKE_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace dl::obs {
+
+/// Sampling CPU profiler (DESIGN.md §7). Arms a POSIX interval timer
+/// (ITIMER_PROF) that delivers SIGPROF at `sample_hz` per second of
+/// consumed CPU time; the handler captures the interrupted thread's stack
+/// into a fixed, pre-allocated slot table using only async-signal-safe
+/// operations. Symbolization (dladdr + demangling) happens outside the
+/// handler at Stop(), producing folded-stack text —
+///
+///   frames root-first, ';'-separated, one "stack count" line each:
+///     main;RunEpoch;DecodeChunk;crc32c 42
+///
+/// — the input format of scripts/flamegraph.py and every mainstream flame
+/// graph renderer.
+///
+/// Signal-safety rules (the full catalogue lives in DESIGN.md §7):
+///   - all handler state is a process-lifetime arena, never freed, so a
+///     late signal can never touch destroyed memory;
+///   - the SIGPROF handler, once installed, stays installed: Stop() only
+///     disarms the timer and clears an atomic gate. Restoring the old
+///     disposition would race a pending SIGPROF whose default action
+///     terminates the process;
+///   - backtrace() is pre-warmed in Start() before the timer is armed
+///     (its first call may lazily load libgcc, which is not safe in a
+///     handler);
+///   - memory is bounded: at most kMaxStacks distinct stacks; further
+///     distinct stacks count into dropped().
+///
+/// One profiler may run at a time (the slot arena and the timer are
+/// process-wide); a second Start() fails with FailedPrecondition. Signal
+/// profiling is incompatible with TSan/ASan interceptors, so under those
+/// builds Start() returns NotImplemented and callers degrade gracefully.
+class CpuProfiler {
+ public:
+  struct Options {
+    /// Samples per second of process CPU time. 97 (prime) avoids lockstep
+    /// with periodic work; the classic pprof default.
+    int sample_hz = 97;
+    /// Deepest stack recorded; deeper frames are truncated at the leaf.
+    int max_depth = 48;
+  };
+
+  CpuProfiler();
+  explicit CpuProfiler(Options options);
+  ~CpuProfiler();  // stops if running
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+  /// Arms the timer. FailedPrecondition when any profiler is already
+  /// running in the process; NotImplemented under TSan/ASan.
+  Status Start();
+
+  /// Disarms the timer, waits for in-flight handler invocations to drain,
+  /// and symbolizes the collected stacks. Idempotent.
+  Status Stop();
+
+  bool running() const { return running_; }
+
+  /// Samples captured / samples dropped (slot table full) so far.
+  uint64_t samples() const;
+  uint64_t dropped() const;
+
+  /// Folded-stack text. While running, renders the live table; after
+  /// Stop(), returns the profile captured by the last run.
+  std::string FoldedStacks() const;
+
+  /// False when the build's sanitizers make signal profiling unsafe.
+  static bool SupportedInThisBuild();
+
+ private:
+  Options options_;
+  bool running_ = false;
+  bool owns_arena_ = false;  // this instance holds the process-wide claim
+  std::string folded_;       // rendered at Stop()
+  uint64_t samples_stopped_ = 0;
+  uint64_t dropped_stopped_ = 0;
+};
+
+/// Convenience used by the DebugServer's /pprof/profile endpoint: runs a
+/// profiler for `seconds` of wall time and returns the folded stacks.
+Result<std::string> CollectCpuProfile(double seconds,
+                                      const CpuProfiler::Options& options =
+                                          CpuProfiler::Options{});
+
+}  // namespace dl::obs
+
+#endif  // DEEPLAKE_OBS_PROFILER_H_

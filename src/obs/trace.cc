@@ -22,19 +22,21 @@ void TraceRecorder::Disable() {
 }
 
 TraceRecorder::Ring* TraceRecorder::ThreadRing() {
-  // One ring per (thread, recorder). The raw pointer stays valid for the
-  // process lifetime: rings are owned by the recorder and never destroyed
-  // (Clear only empties them).
+  // One ring per (thread, recorder). While a recorder is alive its rings are
+  // never destroyed (Clear only empties them), so the cached pointer stays
+  // valid as long as the owning id still matches. The cache is keyed on the
+  // recorder's unique id, not its address: a recorder allocated where a
+  // destroyed one used to live must not inherit the stale ring.
   thread_local Ring* ring = nullptr;
-  thread_local TraceRecorder* owner = nullptr;
-  if (ring == nullptr || owner != this) {
+  thread_local uint64_t owner_id = 0;
+  if (ring == nullptr || owner_id != id_) {
     auto fresh =
         std::make_unique<Ring>(ring_capacity_.load(std::memory_order_relaxed));
     MutexLock lock(rings_mu_);
     fresh->tid = static_cast<uint32_t>(rings_.size());
     rings_.push_back(std::move(fresh));
     ring = rings_.back().get();
-    owner = this;
+    owner_id = id_;
   }
   return ring;
 }

@@ -130,6 +130,12 @@ class TraceRecorder {
 
   Ring* ThreadRing() DL_EXCLUDES(rings_mu_);
 
+  // Process-unique recorder identity for the per-thread ring cache. An owner
+  // *pointer* is not enough: tests destroy local recorders, and a new one
+  // allocated at the same address would alias the stale cached ring.
+  static inline std::atomic<uint64_t> next_recorder_id_{1};
+  const uint64_t id_ = next_recorder_id_.fetch_add(1, std::memory_order_relaxed);
+
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> ring_capacity_{kDefaultRingCapacity};
   std::atomic<uint64_t> next_token_{1};

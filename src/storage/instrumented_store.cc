@@ -3,11 +3,24 @@
 // a `storage.<op>` span, so an epoch's storage behaviour is inspectable
 // both statistically (percentiles) and on a timeline (chrome://tracing).
 
+#include "obs/context.h"
 #include "obs/trace.h"
 #include "storage/storage.h"
 #include "util/clock.h"
 
 namespace dl::storage {
+
+namespace {
+
+// Per-job attribution (DESIGN.md §7): reads are charged to whichever job's
+// context is installed on the calling thread. Unmetered threads (no
+// ContextScope, or a context without a ResourceMeter) charge nothing.
+void ChargeContextBytesRead(uint64_t n) {
+  const obs::Context& context = obs::CurrentContext();
+  if (context.meter != nullptr) context.meter->ChargeBytesRead(n);
+}
+
+}  // namespace
 
 InstrumentedStore::InstrumentedStore(StoragePtr base, std::string layer)
     : base_(std::move(base)), layer_(std::move(layer)) {
@@ -62,6 +75,7 @@ Result<Slice> InstrumentedStore::Get(std::string_view key) {
   if (result.ok()) {
     uint64_t n = result.value().size();
     bytes_read_->Add(n);
+    ChargeContextBytesRead(n);
     stats_.get_requests++;
     stats_.bytes_read += n;
   }
@@ -76,6 +90,7 @@ Result<Slice> InstrumentedStore::GetRange(std::string_view key,
   if (result.ok()) {
     uint64_t n = result.value().size();
     bytes_read_->Add(n);
+    ChargeContextBytesRead(n);
     stats_.get_range_requests++;
     stats_.bytes_read += n;
   }

@@ -7,15 +7,23 @@ namespace dl {
 
 namespace {
 std::atomic<uint64_t> g_bytes_copied{0};
+thread_local uint64_t t_bytes_copied = 0;
 }  // namespace
 
 uint64_t TotalBytesCopied() {
   return g_bytes_copied.load(std::memory_order_relaxed);
 }
 
+uint64_t ThreadBytesCopied() { return t_bytes_copied; }
+
 namespace internal {
 void AddBytesCopied(uint64_t n) {
-  if (n > 0) g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+  if (n > 0) {
+    g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+    // Per-thread tally so obs::ContextScope can attribute copies to the
+    // installed job without cross-charging concurrent jobs' threads.
+    t_bytes_copied += n;
+  }
 }
 }  // namespace internal
 

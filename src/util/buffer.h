@@ -24,6 +24,11 @@ namespace dl {
 /// throughput (DESIGN.md §10).
 uint64_t TotalBytesCopied();
 
+/// The calling thread's share of TotalBytesCopied(). Scoped deltas of this
+/// are what obs::ContextScope charges to a job's ResourceMeter — a global
+/// delta would cross-charge whatever other jobs' threads copied meanwhile.
+uint64_t ThreadBytesCopied();
+
 namespace internal {
 void AddBytesCopied(uint64_t n);
 }  // namespace internal

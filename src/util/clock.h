@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <thread>
 
 namespace dl {
@@ -12,6 +13,25 @@ inline int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// CPU time consumed by the calling thread, in microseconds
+/// (CLOCK_THREAD_CPUTIME_ID). Deltas across a scope measure cycles the
+/// thread actually burned, excluding time blocked or descheduled — the
+/// basis for per-job CPU attribution (obs::ResourceMeter, DESIGN.md §7).
+inline int64_t ThreadCpuMicros() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return ts.tv_sec * 1'000'000 + ts.tv_nsec / 1'000;
+}
+
+/// CPU time consumed by the whole process, in microseconds
+/// (CLOCK_PROCESS_CPUTIME_ID). Benches report per-epoch deltas of this as
+/// `cpu_time_per_epoch_us` so efficiency wins are visible, not just speed.
+inline int64_t ProcessCpuMicros() {
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return ts.tv_sec * 1'000'000 + ts.tv_nsec / 1'000;
 }
 
 inline void SleepMicros(int64_t us) {

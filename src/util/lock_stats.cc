@@ -1,0 +1,127 @@
+#include "util/lock_stats.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dl::lockstats {
+
+namespace {
+
+// Interning table. Uses a raw std::mutex (not dl::Mutex — a dl::Mutex here
+// would recurse into Record on its own contention) and leaks, matching the
+// lock-order checker's Graph: mutexes may report during static destruction,
+// so the Table (and every Entry it owns) lives for the process lifetime.
+struct Table {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Entry>> entries;
+  std::unique_ptr<Entry> overflow;  // "<other>": names past kMaxTrackedLocks
+};
+
+Table* table() {
+  static Table* t = new Table();
+  return t;
+}
+
+std::atomic<uint64_t> g_total_contentions{0};
+std::atomic<uint64_t> g_total_wait_us{0};
+
+Entry* Intern(const char* name) {
+  Table* t = table();
+  std::lock_guard<std::mutex> lock(t->mu);
+  auto it = t->entries.find(name);
+  if (it != t->entries.end()) return it->second.get();
+  if (t->entries.size() >= static_cast<size_t>(kMaxTrackedLocks)) {
+    if (t->overflow == nullptr) {
+      t->overflow = std::make_unique<Entry>();
+      t->overflow->name = "<other>";
+    }
+    return t->overflow.get();
+  }
+  auto owned = std::make_unique<Entry>();
+  Entry* e = owned.get();
+  e->name = name;
+  t->entries.emplace(e->name, std::move(owned));
+  return e;
+}
+
+int BucketIndex(int64_t wait_us) {
+  if (wait_us <= 1) return 0;
+  int idx = 63 - __builtin_clzll(static_cast<uint64_t>(wait_us));
+  return idx < kWaitBuckets ? idx : kWaitBuckets - 1;
+}
+
+void CopyRow(const Entry& e, std::vector<Row>& out) {
+  uint64_t contentions = e.contentions.load(std::memory_order_relaxed);
+  if (contentions == 0) return;
+  Row row;
+  row.name = e.name;
+  row.contentions = contentions;
+  row.wait_us_total = e.wait_us_total.load(std::memory_order_relaxed);
+  row.max_wait_us = e.max_wait_us.load(std::memory_order_relaxed);
+  for (int i = 0; i < kWaitBuckets; ++i) {
+    row.buckets[i] = e.buckets[i].load(std::memory_order_relaxed);
+  }
+  out.push_back(std::move(row));
+}
+
+void ZeroEntry(Entry& e) {
+  e.contentions.store(0, std::memory_order_relaxed);
+  e.wait_us_total.store(0, std::memory_order_relaxed);
+  e.max_wait_us.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < kWaitBuckets; ++i) {
+    e.buckets[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void Record(std::atomic<Entry*>& slot, const char* name, int64_t wait_us) {
+  if (wait_us < 0) wait_us = 0;
+  Entry* e = slot.load(std::memory_order_acquire);
+  if (e == nullptr) {
+    e = Intern(name);
+    // Another thread may have filled the slot concurrently with the same
+    // interned pointer (names intern to one Entry); a plain store is fine.
+    slot.store(e, std::memory_order_release);
+  }
+  uint64_t us = static_cast<uint64_t>(wait_us);
+  e->contentions.fetch_add(1, std::memory_order_relaxed);
+  e->wait_us_total.fetch_add(us, std::memory_order_relaxed);
+  e->buckets[BucketIndex(wait_us)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = e->max_wait_us.load(std::memory_order_relaxed);
+  while (prev < us && !e->max_wait_us.compare_exchange_weak(
+                          prev, us, std::memory_order_relaxed)) {
+  }
+  g_total_contentions.fetch_add(1, std::memory_order_relaxed);
+  g_total_wait_us.fetch_add(us, std::memory_order_relaxed);
+}
+
+std::vector<Row> Snapshot() {
+  Table* t = table();
+  std::vector<Row> rows;
+  std::lock_guard<std::mutex> lock(t->mu);
+  rows.reserve(t->entries.size());
+  for (const auto& [name, entry] : t->entries) CopyRow(*entry, rows);
+  if (t->overflow != nullptr) CopyRow(*t->overflow, rows);
+  return rows;
+}
+
+uint64_t TotalContentions() {
+  return g_total_contentions.load(std::memory_order_relaxed);
+}
+
+uint64_t TotalWaitMicros() {
+  return g_total_wait_us.load(std::memory_order_relaxed);
+}
+
+void ResetForTest() {
+  Table* t = table();
+  std::lock_guard<std::mutex> lock(t->mu);
+  for (const auto& [name, entry] : t->entries) ZeroEntry(*entry);
+  if (t->overflow != nullptr) ZeroEntry(*t->overflow);
+  g_total_contentions.store(0, std::memory_order_relaxed);
+  g_total_wait_us.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dl::lockstats

@@ -1,0 +1,68 @@
+#ifndef DEEPLAKE_UTIL_LOCK_STATS_H_
+#define DEEPLAKE_UTIL_LOCK_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Lock-contention statistics (DESIGN.md §7). dl::Mutex::Lock() takes the
+// try_lock fast path when the mutex is free; only a *contended* acquisition
+// (try_lock failed, the thread actually blocked) reads the clock twice and
+// reports the wait here. Uncontended locking pays one try_lock — no clock
+// reads, no registry traffic.
+//
+// The registry lives at the util layer (a mutex cannot depend on obs), so
+// the obs layer *pulls* these rows into metrics-registry instruments at
+// sample time — the same pull model as SampleProcessGauges. Storage is
+// bounded: at most kMaxTrackedLocks distinct names; later names collapse
+// into a single "<other>" row rather than growing without limit.
+
+namespace dl::lockstats {
+
+/// Log2 wait-time buckets: bucket i counts waits in [2^i, 2^(i+1)) µs
+/// (bucket 0 also absorbs sub-microsecond waits). 20 buckets reach ~524 s.
+inline constexpr int kWaitBuckets = 20;
+
+/// Distinct lock names tracked before collapsing into "<other>".
+inline constexpr int kMaxTrackedLocks = 256;
+
+/// One tracked lock. Entries are interned once per name and never freed
+/// (leaky by design: a Mutex may report during static destruction), so the
+/// cached pointer a Mutex holds stays valid for the process lifetime.
+struct Entry {
+  std::string name;
+  std::atomic<uint64_t> contentions{0};
+  std::atomic<uint64_t> wait_us_total{0};
+  std::atomic<uint64_t> max_wait_us{0};
+  std::atomic<uint64_t> buckets[kWaitBuckets] = {};
+};
+
+/// Records one contended acquisition. `slot` is the reporting mutex's
+/// cached entry pointer: filled by interning `name` on first contention,
+/// then reused so the steady state is pure atomic adds.
+void Record(std::atomic<Entry*>& slot, const char* name, int64_t wait_us);
+
+/// Point-in-time copy of one entry (Snapshot output).
+struct Row {
+  std::string name;
+  uint64_t contentions = 0;
+  uint64_t wait_us_total = 0;
+  uint64_t max_wait_us = 0;
+  uint64_t buckets[kWaitBuckets] = {};
+};
+
+/// Every tracked lock with at least one contention, unsorted.
+std::vector<Row> Snapshot();
+
+/// Process-wide aggregates (cheap: two relaxed loads).
+uint64_t TotalContentions();
+uint64_t TotalWaitMicros();
+
+/// Zeroes every entry's counters (entries themselves persist — cached
+/// pointers in live mutexes must stay valid). Test isolation only.
+void ResetForTest();
+
+}  // namespace dl::lockstats
+
+#endif  // DEEPLAKE_UTIL_LOCK_STATS_H_

@@ -1,10 +1,16 @@
 #ifndef DEEPLAKE_UTIL_THREAD_ANNOTATIONS_H_
 #define DEEPLAKE_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
+#include <source_location>
+
+#include "util/clock.h"
+#include "util/lock_stats.h"
 
 // ---------------------------------------------------------------------------
 // Clang thread-safety-analysis attribute macros.
@@ -130,7 +136,12 @@ void OnDestroy(const Mutex* mu);
 /// read as "loader.mu -> pool.mu" instead of raw addresses.
 class DL_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// Unnamed mutexes auto-derive a "file:line" name from the construction
+  /// site, so contention stats never collapse into one anonymous bucket.
+  explicit Mutex(
+      std::source_location loc = std::source_location::current()) {
+    DeriveName(loc);
+  }
   explicit Mutex(const char* name) : name_(name) {}
   ~Mutex() {
     if (lock_order::Enabled()) lock_order::OnDestroy(this);
@@ -141,7 +152,13 @@ class DL_CAPABILITY("mutex") Mutex {
 
   void Lock() DL_ACQUIRE() {
     if (lock_order::Enabled()) lock_order::OnAcquire(this);
+    // Contention profiling (DESIGN.md §7): the free case pays one try_lock
+    // and no clock reads; only a blocked acquisition times its wait and
+    // reports it to the lockstats registry.
+    if (mu_.try_lock()) return;
+    int64_t start_us = NowMicros();
     mu_.lock();
+    lockstats::Record(stats_entry_, name_, NowMicros() - start_us);
   }
 
   void Unlock() DL_RELEASE() {
@@ -166,8 +183,25 @@ class DL_CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
 
+  // Mutex is non-copyable, so pointing name_ at the in-object buffer is
+  // safe. 40 bytes fits "basename.cc:NNNN" for every file in the tree.
+  void DeriveName(const std::source_location& loc) {
+    const char* file = loc.file_name();
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/' || *p == '\\') base = p + 1;
+    }
+    std::snprintf(auto_name_, sizeof(auto_name_), "%s:%u", base,
+                  static_cast<unsigned>(loc.line()));
+    name_ = auto_name_;
+  }
+
   std::mutex mu_;
   const char* name_ = "<unnamed>";
+  char auto_name_[40] = {};
+  // Cached lockstats entry: interned on first contention, then reused so
+  // the contended path is clock reads + atomic adds (lock_stats.h).
+  std::atomic<lockstats::Entry*> stats_entry_{nullptr};
 };
 
 /// RAII lock for dl::Mutex, with manual Unlock/Lock for hand-over-hand

@@ -235,10 +235,18 @@ struct Frame {
   double errors = 0;              // cumulative storage.errors
   int flight_samples = -1;        // -1 = /flightz unavailable
   double flight_interval_us = 0;
+  // Contention / per-job CPU panel (PR 8): lock gauges mirror cumulative
+  // totals from util/lock_stats, so their deltas are per-second rates.
+  double lock_wait_us_per_s = 0;
+  double lock_contentions_per_s = 0;
+  double job_cpu_us_per_s = 0;       // attributed CPU, us per wall second
+  double job_bytes_read_per_s = 0;
+  std::string top_lock_name;         // from /lockz; empty = unavailable
+  double top_lock_wait_us = 0;       // cumulative total for that lock
 };
 
 Frame ComputeFrame(const Scrape& now, const Scrape& prev,
-                   const Json* flightz) {
+                   const Json* flightz, const Json* lockz) {
   Frame f;
   f.dt_s = static_cast<double>(now.t_us - prev.t_us) / 1e6;
   if (f.dt_s <= 0) f.dt_s = 1;
@@ -278,6 +286,17 @@ Frame ComputeFrame(const Scrape& now, const Scrape& prev,
     f.flight_interval_us = flightz->Get("interval_us").as_number();
     f.flight_samples = static_cast<int>(flightz->Get("samples").size());
   }
+  f.lock_wait_us_per_s = rate("lock_wait_us");
+  f.lock_contentions_per_s = rate("lock_contentions");
+  f.job_cpu_us_per_s = rate("job_cpu_us_total");
+  f.job_bytes_read_per_s = rate("job_bytes_read_total");
+  if (lockz != nullptr && !lockz->is_null()) {
+    const Json& locks = lockz->Get("locks");
+    if (locks.size() > 0) {  // already ranked by total wait, top first
+      f.top_lock_name = locks[0].Get("name").as_string();
+      f.top_lock_wait_us = locks[0].Get("wait_us").as_number();
+    }
+  }
   return f;
 }
 
@@ -306,6 +325,19 @@ void RenderFrame(const Frame& f, const std::string& target, bool ansi) {
               HumanBytes(f.pool_bytes_in_use).c_str());
   std::printf("  faults    storage errors %.0f   retries exhausted %.0f\n",
               f.errors, f.retries_exhausted);
+  if (f.top_lock_name.empty()) {
+    std::printf("  locks     wait %s/s   contended %.0f/s\n",
+                HumanUs(f.lock_wait_us_per_s).c_str(),
+                f.lock_contentions_per_s);
+  } else {
+    std::printf("  locks     wait %s/s   contended %.0f/s   top %s (%s)\n",
+                HumanUs(f.lock_wait_us_per_s).c_str(),
+                f.lock_contentions_per_s, f.top_lock_name.c_str(),
+                HumanUs(f.top_lock_wait_us).c_str());
+  }
+  std::printf("  jobs      cpu %.2f cores   read %s/s  (attributed)\n",
+              f.job_cpu_us_per_s / 1e6,
+              HumanBytes(f.job_bytes_read_per_s).c_str());
   if (f.flight_samples >= 0) {
     std::printf("  flight    %d samples @ %s cadence\n", f.flight_samples,
                 HumanUs(f.flight_interval_us).c_str());
@@ -347,7 +379,8 @@ int RunSelfCheck() {
   }
   int port = server.port();
 
-  const char* endpoints[] = {"/healthz", "/statusz", "/tracez", "/flightz"};
+  const char* endpoints[] = {"/healthz", "/statusz", "/tracez", "/flightz",
+                             "/lockz", "/resourcez"};
   for (const char* path : endpoints) {
     auto result = HttpGet("127.0.0.1", port, path);
     if (!result.ok() || result->status != 200) {
@@ -455,9 +488,16 @@ int main(int argc, char** argv) {
       if (parsed.ok()) flightz = *parsed;
     }
 
+    Json lockz;
+    auto lz = HttpGet(host, port, "/lockz");
+    if (lz.ok() && lz->status == 200) {
+      auto parsed = Json::Parse(lz->body);
+      if (parsed.ok()) lockz = *parsed;
+    }
+
     // Rates need two scrapes; --once waits one interval for the second.
     if (have_prev) {
-      Frame frame = ComputeFrame(now, prev, &flightz);
+      Frame frame = ComputeFrame(now, prev, &flightz, &lockz);
       RenderFrame(frame, target, /*ansi=*/!once);
       if (once) return 0;
     }
