@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The dllint baseline may only shrink: every non-comment entry in the
+# working-tree dllint_baseline.txt must already exist in the committed copy
+# (git HEAD). A new entry means a fresh finding was parked instead of fixed
+# or annotated — that fails the gate. dllint itself reports *stale* entries
+# (the other direction), so between the two the baseline monotonically
+# approaches empty. Exit 77 (ctest SKIP) outside a git checkout.
+
+set -euo pipefail
+
+repo_root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$repo_root"
+baseline="dllint_baseline.txt"
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_baseline_shrink: not a git checkout — skipping"
+  exit 77
+fi
+if [ ! -f "$baseline" ]; then
+  echo "check_baseline_shrink: $baseline missing at repo root" >&2
+  exit 1
+fi
+if ! head_copy=$(git show "HEAD:$baseline" 2>/dev/null); then
+  echo "check_baseline_shrink: $baseline not committed yet — skipping"
+  exit 77
+fi
+
+strip_comments() { grep -vE '^[[:space:]]*(#|$)' || true; }
+
+new_entries=$(comm -13 \
+    <(printf '%s\n' "$head_copy" | strip_comments | sort -u) \
+    <(strip_comments < "$baseline" | sort -u))
+
+if [ -n "$new_entries" ]; then
+  echo "check_baseline_shrink: $baseline grew — it may only shrink."
+  echo "New entries (fix the finding or annotate the site instead):"
+  printf '%s\n' "$new_entries" | sed 's/^/  + /'
+  exit 1
+fi
+
+committed=$(printf '%s\n' "$head_copy" | strip_comments | wc -l)
+current=$(strip_comments < "$baseline" | wc -l)
+echo "check_baseline_shrink: OK ($current entries, $committed at HEAD)"

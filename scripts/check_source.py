@@ -1,237 +1,69 @@
 #!/usr/bin/env python3
-"""Repo-local source lint, registered as the `check_source` ctest target.
+"""Legacy source-lint entry point, now a thin wrapper around tools/dllint.
 
-Rules (each exists because the pattern has bitten this codebase or defeats
-its tooling — see DESIGN.md §8):
+Every rule this script used to implement with regexes (naked-mutex,
+using-ns-header, raw-new-delete, todo-owner, unjournaled-manifest-write,
+raw-socket, profiler-syscall, the hot-path copy check) was ported into the
+scope-aware analyzer at tools/dllint — token-exact, so string literals and
+comments can no longer confuse a rule — alongside the checks regexes never
+could do (lock hierarchy vs lock_hierarchy.txt, slice ownership, blocking
+under non-leaf locks, signal safety). See DESIGN.md §11.
 
-  naked-mutex     std::mutex / std::lock_guard / std::unique_lock /
-                  std::scoped_lock / std::condition_variable outside
-                  src/util/. Everything must go through dl::Mutex /
-                  dl::MutexLock / dl::CondVar so the Clang thread-safety
-                  analysis and the runtime lock-order checker see it.
-  using-ns-header `using namespace` in a header leaks into every includer.
-  raw-new-delete  Raw `new` outside src/compress/ unless it immediately
-                  feeds a smart pointer (`unique_ptr<T>(new ...)`,
-                  `.reset(new ...)`) or a leaky singleton
-                  (`static T* x = new ...`). Raw `delete` expressions are
-                  banned outside src/compress/ entirely (`= delete`
-                  declarations are fine).
-  todo-owner      TODO without an owner: write TODO(name): so stale work
-                  items are attributable.
-  unjournaled-manifest-write
-                  Direct `base_->Put(`/`base_->PutDurable(` in
-                  src/version/*.cc. Version-control bookkeeping must go
-                  through PutManifest (enveloped + durable, DESIGN.md §9);
-                  the sanctioned call sites carry a `journaled:` or
-                  `Data-path write` comment within the three lines above.
-  hot-path-deep-copy
-                  Payload deep copies (`.ToBuffer(`, `Buffer::CopyOf(`,
-                  `Slice::CopyOf(`) in the read hot path (src/stream/,
-                  src/tsf/, src/storage/). The Buffer/Slice ownership model
-                  (DESIGN.md §10) makes the steady-state read path zero-copy;
-                  a new copy there silently regresses loader.bytes_copied.
-                  Sanctioned sites carry a `copy-ok:` comment within the
-                  seven lines above (or on the same line) stating why the
-                  copy is required — wider than `journaled:` because the
-                  copy often sits at the end of a multi-line statement. `.ToString()` is not matched: it is
-                  shared with Status/TensorShape and those calls dominate.
-  raw-socket      socket()/bind()/listen()/accept() anywhere except
-                  src/obs/debug_server.cc. All HTTP — serving *and*
-                  scraping (dlstat, tests, --live checks) — goes through
-                  obs::DebugServer / obs::HttpGet so timeouts, Status
-                  mapping and shutdown semantics live in one audited file.
+This wrapper stays so `ctest -R check_source`, CI configs and muscle
+memory keep working. It finds the built dllint binary and execs it; when
+the binary has not been built yet it exits 77, which ctest treats as SKIP
+(the authoritative gate is the `check_dllint` target, which depends on the
+binary).
 
-Usage: check_source.py [repo_root]   (exit 0 clean, 1 with findings)
+Usage: check_source.py <repo_root> [--build-dir <dir>] [dllint args...]
 """
 
-import re
+import os
 import sys
-from pathlib import Path
-
-SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
-EXTS = {".h", ".cc"}
-
-NAKED_MUTEX = re.compile(
-    r"\bstd::(mutex|timed_mutex|recursive_mutex|lock_guard|unique_lock|"
-    r"scoped_lock|condition_variable(_any)?)\b"
-)
-USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
-NEW_EXPR = re.compile(r"\bnew\b(?!\s*\()")  # `new (place) T` still matches \bnew\b
-DELETE_EXPR = re.compile(r"\bdelete\b\s*(\[\s*\])?")
-TODO = re.compile(r"\bTODO\b(?!\()")
-BASE_PUT = re.compile(r"\bbase_->Put(Durable)?\s*\(")
-# Markers that sanction a direct base write in src/version/ (DESIGN.md §9):
-# the one PutManifest journal site and the data-path writes of
-# VersionedStore, which stay invisible until the commit record lands.
-SANCTIONED_BASE_PUT = re.compile(r"journaled:|Data-path write")
-
-# Payload deep-copy APIs of the Buffer/Slice model (DESIGN.md §10). These
-# are the only sanctioned ways to copy chunk/object bytes, so matching them
-# catches every deep copy the model can express.
-HOT_PATH_DIRS = ("src/stream/", "src/tsf/", "src/storage/")
-DEEP_COPY = re.compile(r"\.ToBuffer\s*\(|\b(?:Buffer|Slice)::CopyOf\s*\(")
-COPY_OK = re.compile(r"copy-ok:")
-
-# BSD socket calls; `::socket(` and `socket(` both match. Only the one
-# sanctioned file may create or accept connections (DESIGN.md §7).
-RAW_SOCKET = re.compile(r"(?<![\w.>])(?:::\s*)?(?:socket|bind|listen|accept)\s*\(")
-RAW_SOCKET_OK_FILE = "src/obs/debug_server.cc"
-
-# Signal-handler / interval-timer plumbing; async-signal-safety is easy to
-# get subtly wrong, so every use lives in the one audited implementation
-# (DESIGN.md §7 signal-safety rules).
-PROFILER_SYSCALL = re.compile(
-    r"(?<![\w.>])(?:::\s*)?(?:sigaction|setitimer|backtrace|backtrace_symbols)\s*\(")
-PROFILER_SYSCALL_OK_FILE = "src/obs/profiler.cc"
-
-# A raw `new` is fine when the enclosing statement hands it straight to an
-# owner. Checked against the statement text preceding the `new` token.
-OWNED_NEW = re.compile(
-    r"(unique_ptr\s*<[^;]*\(\s*$|shared_ptr\s*<[^;]*\(\s*$|"
-    r"\.reset\s*\(\s*$|static\b[^;]*=\s*$)"
-)
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments and string/char literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
+def find_dllint(repo_root, build_dir):
+    candidates = []
+    if build_dir:
+        candidates.append(os.path.join(build_dir, "tools", "dllint"))
+    env = os.environ.get("DLLINT")
+    if env:
+        candidates.append(env)
+    for tree in ("build", "build-tsan", "build-asan-ubsan"):
+        candidates.append(os.path.join(repo_root, tree, "tools", "dllint"))
+    for c in candidates:
+        if os.path.isfile(c) and os.access(c, os.X_OK):
+            return c
+    return None
 
 
-def line_of(text: str, pos: int) -> int:
-    return text.count("\n", 0, pos) + 1
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo_root = argv[1]
+    rest = argv[2:]
+    build_dir = None
+    if "--build-dir" in rest:
+        i = rest.index("--build-dir")
+        if i + 1 >= len(rest):
+            print("check_source: --build-dir needs a value", file=sys.stderr)
+            return 2
+        build_dir = rest[i + 1]
+        rest = rest[:i] + rest[i + 2:]
 
+    dllint = find_dllint(repo_root, build_dir)
+    if dllint is None:
+        print("check_source: dllint binary not built yet "
+              "(cmake --build build --target dllint) — skipping")
+        return 77
 
-def statement_prefix(code: str, pos: int) -> str:
-    """Text from the last statement boundary up to pos."""
-    start = max(code.rfind(";", 0, pos), code.rfind("{", 0, pos),
-                code.rfind("}", 0, pos))
-    return code[start + 1:pos]
-
-
-def check_file(path: Path, rel: str, findings: list) -> None:
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    code = strip_comments_and_strings(raw)
-    in_util = rel.startswith("src/util/")
-    in_codecs = rel.startswith("src/compress/")
-    is_header = path.suffix == ".h"
-
-    if not in_util:
-        for m in NAKED_MUTEX.finditer(code):
-            findings.append((rel, line_of(code, m.start()), "naked-mutex",
-                             f"use dl::{{Mutex,MutexLock,CondVar}} instead "
-                             f"of {m.group(0)}"))
-
-    if is_header:
-        for m in USING_NAMESPACE.finditer(code):
-            findings.append((rel, line_of(code, m.start()), "using-ns-header",
-                             "`using namespace` in a header leaks into every "
-                             "includer"))
-
-    if not in_codecs:
-        for m in NEW_EXPR.finditer(code):
-            prefix = statement_prefix(code, m.start()).rstrip()
-            if OWNED_NEW.search(prefix + " "):
-                continue
-            findings.append((rel, line_of(code, m.start()), "raw-new-delete",
-                             "raw `new` must feed a smart pointer or a "
-                             "`static` leaky singleton"))
-        for m in DELETE_EXPR.finditer(code):
-            prefix = statement_prefix(code, m.start())
-            if re.search(r"=\s*$", prefix):  # `= delete;` declaration
-                continue
-            findings.append((rel, line_of(code, m.start()), "raw-new-delete",
-                             "raw `delete` expression; use owning types"))
-
-    if rel.startswith("src/version/") and path.suffix == ".cc":
-        raw_lines = raw.splitlines()
-        for m in BASE_PUT.finditer(code):
-            line = line_of(code, m.start())
-            context = "\n".join(raw_lines[max(0, line - 4):line])
-            if SANCTIONED_BASE_PUT.search(context):
-                continue
-            findings.append((rel, line, "unjournaled-manifest-write",
-                             "direct base_->Put in the version layer; use "
-                             "PutManifest (or mark a sanctioned data-path "
-                             "write, DESIGN.md §9)"))
-
-    if any(rel.startswith(d) for d in HOT_PATH_DIRS):
-        raw_lines = raw.splitlines()
-        for m in DEEP_COPY.finditer(code):
-            line = line_of(code, m.start())
-            context = "\n".join(raw_lines[max(0, line - 8):line])
-            if COPY_OK.search(context):
-                continue
-            findings.append((rel, line, "hot-path-deep-copy",
-                             "payload deep copy on the read hot path; make "
-                             "it a Slice view, or justify with a `copy-ok:` "
-                             "comment (DESIGN.md §10)"))
-
-    if rel != RAW_SOCKET_OK_FILE:
-        for m in RAW_SOCKET.finditer(code):
-            findings.append((rel, line_of(code, m.start()), "raw-socket",
-                             "raw socket()/bind()/listen()/accept(); use "
-                             "obs::DebugServer / obs::HttpGet "
-                             f"({RAW_SOCKET_OK_FILE} is the only sanctioned "
-                             "socket file)"))
-
-    if rel != PROFILER_SYSCALL_OK_FILE:
-        for m in PROFILER_SYSCALL.finditer(code):
-            findings.append((rel, line_of(code, m.start()), "profiler-syscall",
-                             "sigaction()/setitimer()/backtrace(); use "
-                             "obs::CpuProfiler "
-                             f"({PROFILER_SYSCALL_OK_FILE} is the only "
-                             "sanctioned signal-plumbing file)"))
-
-    # TODO owners live in comments, so scan the raw text.
-    for m in TODO.finditer(raw):
-        findings.append((rel, line_of(raw, m.start()), "todo-owner",
-                         "write TODO(owner): so the item is attributable"))
-
-
-def main() -> int:
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
-        __file__).resolve().parent.parent
-    findings = []
-    scanned = 0
-    for d in SCAN_DIRS:
-        base = root / d
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix in EXTS and path.is_file():
-                scanned += 1
-                check_file(path, path.relative_to(root).as_posix(), findings)
-    for rel, line, rule, msg in findings:
-        print(f"{rel}:{line}: [{rule}] {msg}")
-    print(f"check_source: {scanned} files scanned, "
-          f"{len(findings)} finding(s)")
-    return 1 if findings else 0
+    cmd = [dllint, "--root", repo_root] + rest
+    print("check_source -> " + " ".join(cmd))
+    sys.stdout.flush()
+    os.execv(dllint, cmd)
+    return 2  # unreachable
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv))

@@ -40,6 +40,10 @@ void ParallelTaskLoader::Start(const LoaderOptions& options) {
         MutexLock lock(mu_);
         if (abort_ || !first_error_.ok()) {
           ++tasks_done_;
+          // Release the admission window and wake waiters *after* dropping
+          // mu_: Semaphore::Release takes its own lock, and mu_ is a leaf
+          // in lock_hierarchy.txt (DESIGN.md §8.2).
+          lock.Unlock();
           window_->Release();
           cv_.NotifyAll();
           return;

@@ -82,7 +82,7 @@ Arena* GetArena() {
   return a;
 }
 
-uint64_t HashStack(void* const* pcs, int depth) {
+DL_SIGNAL_SAFE uint64_t HashStack(void* const* pcs, int depth) {
   uint64_t h = 1469598103934665603ull;  // FNV-1a
   for (int i = 0; i < depth; ++i) {
     uint64_t v = reinterpret_cast<uint64_t>(pcs[i]);
@@ -94,7 +94,7 @@ uint64_t HashStack(void* const* pcs, int depth) {
   return h == 0 ? 1 : h;
 }
 
-extern "C" void SigProfHandler(int /*signum*/) {
+extern "C" DL_SIGNAL_SAFE void SigProfHandler(int /*signum*/) {
   Arena* a = g_arena.load(std::memory_order_acquire);
   if (a == nullptr || !a->collecting.load(std::memory_order_acquire)) return;
   a->in_handler.fetch_add(1, std::memory_order_acq_rel);

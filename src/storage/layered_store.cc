@@ -140,10 +140,10 @@ Result<Slice> LruCacheStore::Get(std::string_view key) {
   }
   misses_->Increment();
   DL_ASSIGN_OR_RETURN(Slice got, base_->Get(key));
-  // copy-ok: only whole-buffer reads are safe to pin — a base that returned
+  // dllint-ok(hot-path-copy): only whole-buffer reads are safe to pin —
   // a window of a larger buffer (or a borrowed view) must be copied before
-  // caching, otherwise the cache would pin the whole backing object, or
-  // dangle. Whole-buffer reads (the common case) take the zero-copy arm.
+  // caching, else the cache pins the whole backing object, or dangles.
+  // Whole-buffer reads (the common case) take the zero-copy arm.
   SharedBuffer to_cache =
       (got.owner() != nullptr && got.size() == got.owner()->size())
           ? got.owner()
@@ -182,7 +182,8 @@ Result<Slice> LruCacheStore::GetRange(std::string_view key, uint64_t offset,
 
 Status LruCacheStore::Put(std::string_view key, ByteView value) {
   DL_RETURN_IF_ERROR(base_->Put(key, value));
-  // copy-ok: write path — the caller's ByteView is not ours to keep, and
+  // dllint-ok(hot-path-copy): write path — the caller's ByteView is not
+  // ours to keep, and
   // the cache entry must own its bytes to hand out slices later.
   SharedBuffer copy = Buffer::CopyOf(value);
   MutexLock lock(mu_);
@@ -192,7 +193,8 @@ Status LruCacheStore::Put(std::string_view key, ByteView value) {
 
 Status LruCacheStore::PutDurable(std::string_view key, ByteView value) {
   DL_RETURN_IF_ERROR(base_->PutDurable(key, value));
-  // copy-ok: write path, same ownership argument as Put above.
+  // dllint-ok(hot-path-copy): write path, same ownership argument as Put
+  // above.
   SharedBuffer copy = Buffer::CopyOf(value);
   MutexLock lock(mu_);
   Insert(std::string(key), std::move(copy));

@@ -35,7 +35,8 @@ Status MemoryStore::Put(std::string_view key, ByteView value) {
   MutexLock lock(mu_);
   stats_.put_requests++;
   stats_.bytes_written += value.size();
-  // copy-ok: fresh buffer per Put — replacing a key must not mutate bytes
+  // dllint-ok(hot-path-copy): fresh buffer per Put — replacing a key must
+  // not mutate bytes
   // that outstanding slices of the old value still view, and the caller's
   // ByteView is not ours to keep.
   objects_[std::string(key)] = std::make_shared<Buffer>(value.ToBuffer());

@@ -130,7 +130,8 @@ Result<Sample> ChunkBuilder::ReadBuffered(size_t local_index) const {
   uint64_t off = 0;
   for (size_t k = 0; k < local_index; ++k) off += stored_lens_[k];
   ByteView stored = ByteView(payload_).subview(off, stored_lens_[local_index]);
-  // copy-ok: payload_ is the builder's live buffer and the next Append may
+  // dllint-ok(hot-path-copy): payload_ is the builder's live buffer and
+  // the next Append may
   // reallocate it, so a borrowed view would dangle. ReadBuffered only serves
   // read-your-own-writes before Seal — never the epoch hot loop.
   return DecodeStoredSample(Slice::CopyOf(stored), sample_compression_,

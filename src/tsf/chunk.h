@@ -130,6 +130,9 @@ class Chunk {
   Slice Payload() const;
 
   ChunkHeader header_;
+  // dllint-ok(slice-owner): both slices carry their keep-alive owner —
+  // bytes_ pins the fetched chunk buffer, decompressed_payload_ pins the
+  // pooled decompression buffer — so Chunk needs no separate Buffer member.
   Slice bytes_;
   Slice decompressed_payload_;  // non-empty iff chunk-compressed
 };

@@ -24,6 +24,9 @@ namespace dl::tsf {
 struct Sample {
   DType dtype = DType::kUInt8;
   TensorShape shape;
+  // dllint-ok(slice-owner): data's keep-alive (Slice::owner) pins the
+  // source chunk or decode-pool buffer; Sample is the zero-copy hand-off
+  // type and deliberately stores no second owner.
   Slice data;
 
   Sample() = default;
@@ -53,8 +56,9 @@ struct Sample {
 
   static Sample FromBytes(ByteView bytes, TensorShape shape,
                           DType dtype = DType::kUInt8) {
-    // copy-ok: explicitly a copying convenience for callers holding
-    // transient views; zero-copy callers construct from a Slice directly.
+    // dllint-ok(hot-path-copy): explicitly a copying convenience for
+    // callers holding transient views; zero-copy callers construct from a
+    // Slice directly.
     return Sample(dtype, std::move(shape), Slice::CopyOf(bytes));
   }
 

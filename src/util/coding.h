@@ -60,6 +60,9 @@ class Decoder {
   Status Skip(size_t n);
 
  private:
+  // dllint-ok(slice-owner): Decoder is a transient parsing cursor over
+  // caller-owned bytes; callers keep the backing buffer alive for the
+  // decode's duration (always a single stack frame in this codebase).
   ByteView view_;
   size_t pos_;
 };

@@ -1,0 +1,127 @@
+#include "util/lock_hierarchy.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace dl {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+Result<LockHierarchy> ParseLockHierarchy(std::string_view text) {
+  LockHierarchy h;
+  std::set<std::pair<std::string, std::string>> seen_edges;
+  std::set<std::string> seen_leaves;
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> w = SplitWords(line);
+    if (w.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("lock_hierarchy.txt:" +
+                                     std::to_string(lineno) + ": " + why);
+    };
+    if (w[0] == "edge") {
+      if (w.size() != 4 || w[2] != "->") {
+        return fail("expected `edge <outer> -> <inner>`");
+      }
+      if (w[1] == w[3]) return fail("self-edge '" + w[1] + "'");
+      if (!seen_edges.insert({w[1], w[3]}).second) {
+        return fail("duplicate edge " + w[1] + " -> " + w[3]);
+      }
+      h.edges.push_back({w[1], w[3], lineno});
+      h.names.insert(w[1]);
+      h.names.insert(w[3]);
+    } else if (w[0] == "leaf") {
+      if (w.size() != 2) return fail("expected `leaf <name>`");
+      if (!seen_leaves.insert(w[1]).second) {
+        return fail("duplicate leaf '" + w[1] + "'");
+      }
+      h.leaves.push_back({w[1], lineno});
+      h.names.insert(w[1]);
+    } else {
+      return fail("unknown directive '" + w[0] + "'");
+    }
+  }
+
+  for (const auto& [name, lline] : h.leaves) {
+    for (const LockHierarchy::Edge& e : h.edges) {
+      if (e.from == name) {
+        return Status::InvalidArgument(
+            "lock_hierarchy.txt:" + std::to_string(lline) + ": '" + name +
+            "' declared leaf but has edge to '" + e.to + "' (line " +
+            std::to_string(e.line) + ")");
+      }
+    }
+  }
+
+  // Transitive closure (Floyd–Warshall over the small name set): the
+  // runtime checker records every held->acquiring pair, including
+  // A->C when the code nests A -> B -> C, so "declared" must mean
+  // reachability, not direct adjacency.
+  std::map<std::string, std::set<std::string>> reach;
+  for (const LockHierarchy::Edge& e : h.edges) reach[e.from].insert(e.to);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [from, tos] : reach) {
+      std::set<std::string> add;
+      for (const std::string& mid : tos) {
+        auto it = reach.find(mid);
+        if (it == reach.end()) continue;
+        for (const std::string& to : it->second) {
+          if (tos.count(to) == 0) add.insert(to);
+        }
+      }
+      if (!add.empty()) {
+        tos.insert(add.begin(), add.end());
+        changed = true;
+      }
+    }
+  }
+  for (const auto& [from, tos] : reach) {
+    for (const std::string& to : tos) h.closure.insert({from, to});
+  }
+  return h;
+}
+
+Result<LockHierarchy> LoadLockHierarchyFile(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          &std::fclose);
+  if (f == nullptr) {
+    return Status::NotFound("cannot open lock-hierarchy manifest '" + path +
+                            "'");
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    text.append(buf, n);
+  }
+  return ParseLockHierarchy(text);
+}
+
+}  // namespace dl

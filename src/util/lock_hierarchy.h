@@ -1,0 +1,65 @@
+#ifndef DEEPLAKE_UTIL_LOCK_HIERARCHY_H_
+#define DEEPLAKE_UTIL_LOCK_HIERARCHY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dl {
+
+/// Parsed form of the machine-readable lock-hierarchy manifest
+/// (`lock_hierarchy.txt`, DESIGN.md §11). The manifest is the single source
+/// of truth for the repo's lock ordering: `tools/dllint` checks the static
+/// acquisition graph it extracts from the sources against it, and the
+/// runtime lock-order checker (`lock_order::SetDeclaredEdges`) checks the
+/// dynamic graph against it, so the documented hierarchy and the code can
+/// never drift apart.
+///
+/// Format, one directive per line (`#` comments and blank lines ignored):
+///
+///   edge <outer> -> <inner>   # <outer> may be held while acquiring <inner>
+///   leaf <name>               # <name> is never held across another acquire
+struct LockHierarchy {
+  struct Edge {
+    std::string from;
+    std::string to;
+    int line;  // 1-based line in the manifest, for stale-edge reports
+  };
+
+  std::vector<Edge> edges;                 // declared direct edges
+  std::vector<std::pair<std::string, int>> leaves;  // declared leaf locks
+  std::set<std::pair<std::string, std::string>> closure;  // transitive
+
+  /// Every lock name the manifest mentions (edge endpoints and leaves).
+  std::set<std::string> names;
+
+  /// True when holding `from` while acquiring `to` is sanctioned — i.e.
+  /// (from, to) is in the transitive closure of the declared edges.
+  bool Declared(const std::string& from, const std::string& to) const {
+    return closure.count({from, to}) > 0;
+  }
+
+  /// True when the lock has at least one declared outgoing edge (it is held
+  /// across other acquisitions, so blocking work under it is suspect).
+  bool NonLeaf(const std::string& name) const {
+    for (const Edge& e : edges) {
+      if (e.from == name) return true;
+    }
+    return false;
+  }
+};
+
+/// Parses manifest text. Fails with InvalidArgument on unknown directives,
+/// malformed edges, duplicate declarations, or a lock declared both a leaf
+/// and an edge source.
+Result<LockHierarchy> ParseLockHierarchy(std::string_view text);
+
+/// Loads and parses a manifest file. NotFound when the file is absent.
+Result<LockHierarchy> LoadLockHierarchyFile(const std::string& path);
+
+}  // namespace dl
+
+#endif  // DEEPLAKE_UTIL_LOCK_HIERARCHY_H_

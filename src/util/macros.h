@@ -15,6 +15,14 @@
 #define DL_CONCAT_IMPL(x, y) x##y
 #define DL_CONCAT(x, y) DL_CONCAT_IMPL(x, y)
 
+// Marks a function as async-signal-safe: callable from a signal handler.
+// Expands to nothing for the compiler — it is a contract marker enforced by
+// the `signal-safety` rule of tools/dllint (DESIGN.md §11): every function
+// a DL_SIGNAL_SAFE function calls must itself be DL_SIGNAL_SAFE (resolved
+// by name within the file) or on the analyzer's allowlist of known-safe
+// primitives (memcpy, atomic loads/stores, backtrace after pre-warm, ...).
+#define DL_SIGNAL_SAFE
+
 // Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
 // moves the value into `lhs`. `lhs` may include a declaration:
 //   DL_ASSIGN_OR_RETURN(auto chunk, ReadChunk(id));

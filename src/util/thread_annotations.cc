@@ -34,7 +34,20 @@ struct Graph {
   std::mutex mu;
   // (earlier, later) mutex pointer pairs, in observed acquisition order.
   std::map<std::pair<const Mutex*, const Mutex*>, EdgeInfo> edges;
+  // Declared edge closure from lock_hierarchy.txt (SetDeclaredEdges);
+  // empty means "no manifest installed, accept any new edge".
+  std::set<std::pair<std::string, std::string>> declared;
 };
+
+// Manifest names are `subsystem.what`; auto-derived names are "file.cc:NN"
+// and the fallback is "<unnamed>" — both carry characters no manifest name
+// uses, so they are exempt from the declared-edge check.
+bool ManifestNamed(const char* name) {
+  for (const char* p = name; *p != '\0'; ++p) {
+    if (*p == ':' || *p == '<') return false;
+  }
+  return true;
+}
 
 Graph& graph() {
   static Graph* g = new Graph();  // leaky singleton: outlives static dtors
@@ -106,6 +119,18 @@ void ResetGraphForTest() {
   g.edges.clear();
 }
 
+void SetDeclaredEdges(std::set<std::pair<std::string, std::string>> closure) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.declared = std::move(closure);
+}
+
+bool HasDeclaredEdges() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return !g.declared.empty();
+}
+
 void OnAcquire(const Mutex* mu) {
   for (const Mutex* held : held_stack) {
     if (held == mu) {
@@ -131,7 +156,18 @@ void OnAcquire(const Mutex* mu) {
         return;
       }
       auto [it, inserted] = g.edges.try_emplace({held, mu});
-      if (inserted) it->second.chain = chain;
+      if (inserted) {
+        it->second.chain = chain;
+        // Manifest cross-check (DESIGN.md §11): a brand-new edge between
+        // two manifest-named locks must be declared in lock_hierarchy.txt.
+        if (!g.declared.empty() && ManifestNamed(held->name()) &&
+            ManifestNamed(mu->name()) &&
+            g.declared.count({held->name(), mu->name()}) == 0) {
+          Violation v{"undeclared-edge", mu, mu->name(), chain.c_str(),
+                      "(not declared in lock_hierarchy.txt)"};
+          HandlerSlot().load()(v);
+        }
+      }
     }
   }
   held_stack.push_back(mu);

@@ -7,7 +7,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <set>
 #include <source_location>
+#include <string>
+#include <utility>
 
 #include "util/clock.h"
 #include "util/lock_stats.h"
@@ -92,7 +95,7 @@ namespace lock_order {
 /// chain the current thread holds and the previously recorded chain that
 /// established the opposite edge.
 struct Violation {
-  const char* kind;           // "inversion" or "recursive"
+  const char* kind;  // "inversion", "recursive" or "undeclared-edge"
   const Mutex* mutex;         // the mutex whose acquisition failed the check
   const char* mutex_name;
   // "A -> B" style renderings of the two conflicting acquisition chains.
@@ -117,6 +120,18 @@ ViolationHandler SetViolationHandler(ViolationHandler handler);
 
 /// Drops every recorded acquisition edge (test isolation).
 void ResetGraphForTest();
+
+/// Installs the declared lock-hierarchy edge set — pass the transitive
+/// closure of lock_hierarchy.txt (LockHierarchy::closure, see
+/// util/lock_hierarchy.h). While installed, recording a NEW runtime edge
+/// between two manifest-named mutexes that is not declared reports a
+/// Violation of kind "undeclared-edge": the dynamic graph is checked
+/// against the same manifest that `tools/dllint` verifies statically, so
+/// the two can never drift. Auto-derived names ("file.cc:NN") and
+/// "<unnamed>" are exempt — the manifest only names `subsystem.what`
+/// locks. Pass an empty set to uninstall.
+void SetDeclaredEdges(std::set<std::pair<std::string, std::string>> closure);
+bool HasDeclaredEdges();
 
 // Internal hooks called by dl::Mutex. `OnAcquire` runs *before* blocking on
 // the lock, so an order inversion is reported even on runs where the

@@ -76,9 +76,10 @@ Status VersionedStore::Put(std::string_view key, ByteView value) {
     return Status::FailedPrecondition(
         "versioned store at sealed commit is read-only");
   }
-  // Data-path write into the working commit's own directory; the journaled
-  // protocol applies to manifests, not data objects (which stay invisible
-  // until the commit record lands).
+  // dllint-ok(unjournaled-manifest-write): data-path write into the
+  // working commit's own directory; the journaled protocol applies to
+  // manifests, not data objects (which stay invisible until the commit
+  // record lands).
   DL_RETURN_IF_ERROR(vc_->base_->Put(PhysicalKey(commit_id_, key), value));
   MutexLock lock(vc_->mu_);
   vc_->key_sets_[commit_id_].insert(std::string(key));
@@ -90,7 +91,8 @@ Status VersionedStore::PutDurable(std::string_view key, ByteView value) {
     return Status::FailedPrecondition(
         "versioned store at sealed commit is read-only");
   }
-  // Data-path write (see Put); durable variant for callers that need it.
+  // dllint-ok(unjournaled-manifest-write): data-path write (see Put);
+  // durable variant for callers that need it.
   DL_RETURN_IF_ERROR(
       vc_->base_->PutDurable(PhysicalKey(commit_id_, key), value));
   MutexLock lock(vc_->mu_);
@@ -115,11 +117,16 @@ Status VersionedStore::Delete(std::string_view key) {
   }
   // Only keys written in the working commit can be deleted; history is
   // immutable by design.
-  MutexLock lock(vc_->mu_);
-  auto& ks = vc_->key_sets_[commit_id_];
-  auto it = ks.find(std::string(key));
-  if (it == ks.end()) return Status::OK();
-  ks.erase(it);
+  {
+    MutexLock lock(vc_->mu_);
+    auto& ks = vc_->key_sets_[commit_id_];
+    auto it = ks.find(std::string(key));
+    if (it == ks.end()) return Status::OK();
+    ks.erase(it);
+  }
+  // Storage I/O happens outside vc_->mu_: the key is already unlinked from
+  // the commit's key set, so concurrent readers miss it regardless of when
+  // the backend delete lands.
   return vc_->base_->Delete(PhysicalKey(commit_id_, key));
 }
 
@@ -405,8 +412,9 @@ Status VersionControl::Flush() {
 Status VersionControl::PutManifest(const std::string& key, const Json& j) {
   std::string text = j.Dump(2);
   ByteBuffer framed = EnvelopeWrap(ByteView(text));
-  // journaled: the one sanctioned direct manifest write — durable and
-  // atomic, so a crash can never expose a torn manifest under this key.
+  // dllint-ok(unjournaled-manifest-write): the one sanctioned direct
+  // manifest write — durable and atomic, so a crash can never expose a
+  // torn manifest under this key.
   return base_->PutDurable(key, ByteView(framed));
 }
 

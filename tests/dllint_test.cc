@@ -1,0 +1,257 @@
+// dllint end-to-end tests: fixture trees under tests/lint_fixtures/ drive
+// dl::lint::Run() in-process, the repo itself must scan clean, and the
+// lock_hierarchy.txt manifest must agree with the *runtime* lock-order
+// checker (the static and dynamic checks share one source of truth).
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/dllint/dllint.h"
+#include "util/lock_hierarchy.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+using dl::LoadLockHierarchyFile;
+using dl::LockHierarchy;
+using dl::lint::Finding;
+using dl::lint::Options;
+using dl::lint::Run;
+using dl::lint::RunResult;
+
+std::string RepoRoot() { return DEEPLAKE_REPO_ROOT; }
+
+std::string FixtureRoot(const std::string& name) {
+  return RepoRoot() + "/tests/lint_fixtures/" + name;
+}
+
+// `file:line: [rule]` — the prefix form the golden file and the baseline
+// both use.
+std::string Prefix(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "]";
+}
+
+std::string Dump(const RunResult& r) {
+  std::string out;
+  for (const Finding& f : r.findings) {
+    out += "  " + dl::lint::FormatFinding(f) + "\n";
+  }
+  return out;
+}
+
+RunResult MustRun(Options opts) {
+  auto r = Run(opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : RunResult{};
+}
+
+TEST(DllintFixtures, GoodTreeIsClean) {
+  Options opts;
+  opts.root = FixtureRoot("good");
+  RunResult r = MustRun(opts);
+  EXPECT_TRUE(r.findings.empty()) << Dump(r);
+  // The compliant tree leans on annotations — they must be counted, not
+  // silently ignored.
+  EXPECT_GE(r.suppressed, 3);
+  // The declared registry -> ring edge is actually observed statically.
+  bool saw_edge = false;
+  for (const auto& e : r.edges) {
+    if (e.from == "good.registry.mu" && e.to == "good.ring.mu") {
+      saw_edge = true;
+    }
+  }
+  EXPECT_TRUE(saw_edge) << "static analysis lost the fixture's lock edge";
+}
+
+TEST(DllintFixtures, BadTreeMatchesGolden) {
+  std::ifstream in(FixtureRoot("bad") + "/expected_findings.txt");
+  ASSERT_TRUE(in.good()) << "missing golden expected_findings.txt";
+  std::vector<std::string> expected;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line[0] != '#') expected.push_back(line);
+  }
+  ASSERT_FALSE(expected.empty());
+
+  Options opts;
+  opts.root = FixtureRoot("bad");
+  RunResult r = MustRun(opts);
+  std::vector<std::string> actual;
+  for (const Finding& f : r.findings) actual.push_back(Prefix(f));
+
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(expected, actual) << Dump(r);
+}
+
+// Every registered rule (plus the engine's own "suppression" findings)
+// fires at least once in the bad tree — a rule nobody can trigger is dead.
+TEST(DllintFixtures, EveryRuleHasBadCoverage) {
+  Options opts;
+  opts.root = FixtureRoot("bad");
+  RunResult r = MustRun(opts);
+  std::set<std::string> fired;
+  for (const Finding& f : r.findings) fired.insert(f.rule);
+  for (const dl::lint::Rule& rule : dl::lint::Registry()) {
+    EXPECT_EQ(fired.count(rule.name), 1u)
+        << "rule '" << rule.name << "' has no bad-fixture coverage";
+  }
+  EXPECT_EQ(fired.count("suppression"), 1u);
+}
+
+// Deleting a load-bearing manifest edge must fail the lint: the good tree
+// run against a manifest missing its used edge reports it as undeclared.
+TEST(DllintFixtures, DeletingUsedManifestEdgeFails) {
+  Options opts;
+  opts.root = FixtureRoot("good");
+  opts.manifest = "manifest_missing_edge.txt";
+  RunResult r = MustRun(opts);
+  ASSERT_EQ(r.findings.size(), 1u) << Dump(r);
+  EXPECT_EQ(r.findings[0].rule, "lock-hierarchy");
+  EXPECT_NE(r.findings[0].message.find("undeclared lock-order edge"),
+            std::string::npos)
+      << r.findings[0].message;
+}
+
+// Un-annotated escaping borrows are findings (the annotated twin lives in
+// the good tree and scans clean).
+TEST(DllintFixtures, UnannotatedBorrowStoreIsFinding) {
+  Options opts;
+  opts.root = FixtureRoot("bad");
+  RunResult r = MustRun(opts);
+  bool member_store = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule == "slice-escape" &&
+        f.message.find("member 'raw_'") != std::string::npos) {
+      member_store = true;
+    }
+  }
+  EXPECT_TRUE(member_store) << Dump(r);
+}
+
+// Suppression syntax is enforced: unknown rule, missing reason and empty
+// reason are each their own finding.
+TEST(DllintFixtures, SuppressionSyntaxEnforced) {
+  Options opts;
+  opts.root = FixtureRoot("bad");
+  RunResult r = MustRun(opts);
+  bool unknown = false, missing = false, empty = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "suppression") continue;
+    if (f.message.find("unknown rule 'not-a-rule'") != std::string::npos) {
+      unknown = true;
+    }
+    if (f.message.find("without a reason") != std::string::npos) {
+      missing = true;
+    }
+    if (f.message.find("empty reason") != std::string::npos) empty = true;
+  }
+  EXPECT_TRUE(unknown);
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(empty);
+}
+
+// A malformed baseline is an environment error, not a finding.
+TEST(DllintFixtures, MalformedBaselineIsError) {
+  std::string path = testing::TempDir() + "/dllint_bad_baseline.txt";
+  {
+    std::ofstream out(path);
+    out << "this line has no rule bracket\n";
+  }
+  Options opts;
+  opts.root = FixtureRoot("good");
+  opts.baseline = path;
+  auto r = dl::lint::Run(opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("malformed entry"), std::string::npos)
+      << r.status().ToString();
+}
+
+// Baseline semantics: a matching entry swallows the finding, a stale entry
+// is itself a finding (the baseline only shrinks).
+TEST(DllintFixtures, BaselineSwallowsAndOnlyShrinks) {
+  std::string path = testing::TempDir() + "/dllint_baseline.txt";
+  {
+    std::ofstream out(path);
+    out << "# fixture baseline\n"
+        << "src/core/registry.h:29: [lock-hierarchy] grandfathered\n"
+        << "src/core/registry.h:999: [todo-owner] stale entry\n";
+  }
+  Options opts;
+  opts.root = FixtureRoot("good");
+  opts.manifest = "manifest_missing_edge.txt";  // induces exactly 1 finding
+  opts.baseline = path;
+  RunResult r = MustRun(opts);
+  EXPECT_EQ(r.baselined, 1) << Dump(r);
+  ASSERT_EQ(r.findings.size(), 1u) << Dump(r);
+  EXPECT_EQ(r.findings[0].rule, "baseline");
+  EXPECT_NE(r.findings[0].message.find("stale baseline entry"),
+            std::string::npos);
+}
+
+// The repo's own tree scans clean with the checked-in manifest and (empty)
+// baseline — same contract as the check_dllint ctest target, but in-process
+// so a debugger reaches it.
+TEST(DllintSelfRun, RepoIsClean) {
+  Options opts;
+  opts.root = RepoRoot();
+  RunResult r = MustRun(opts);
+  EXPECT_TRUE(r.findings.empty()) << Dump(r);
+  EXPECT_GT(r.files_scanned, 100);
+  EXPECT_EQ(r.baselined, 0) << "baseline should be empty — fix or annotate";
+}
+
+// The manifest the static analyzer verified is the same one the runtime
+// checker enforces: feed its closure to lock_order::SetDeclaredEdges, then
+// check a declared pairing passes and an undeclared one trips the
+// "undeclared-edge" violation.
+namespace runtime_xcheck {
+int g_undeclared = 0;
+void Record(const dl::lock_order::Violation& v) {
+  if (std::string(v.kind) == "undeclared-edge") ++g_undeclared;
+}
+}  // namespace runtime_xcheck
+
+TEST(DllintManifest, RuntimeCheckerEnforcesSameManifest) {
+  auto parsed = LoadLockHierarchyFile(RepoRoot() + "/lock_hierarchy.txt");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  LockHierarchy h = std::move(parsed).value();
+  ASSERT_TRUE(h.Declared("obs.debug_server.mu", "obs.span_watchdog.mu"));
+
+  namespace lo = dl::lock_order;
+  lo::ResetGraphForTest();
+  lo::SetDeclaredEdges(h.closure);
+  ASSERT_TRUE(lo::HasDeclaredEdges());
+  bool was_enabled = lo::Enabled();
+  lo::SetEnabled(true);
+  runtime_xcheck::g_undeclared = 0;
+  lo::ViolationHandler prev = lo::SetViolationHandler(&runtime_xcheck::Record);
+
+  {
+    // Declared edge: no violation.
+    dl::Mutex outer("obs.debug_server.mu");
+    dl::Mutex inner("obs.span_watchdog.mu");
+    dl::MutexLock lo_(outer);
+    dl::MutexLock li(inner);
+  }
+  EXPECT_EQ(runtime_xcheck::g_undeclared, 0);
+  {
+    // Undeclared pairing of two manifest-named locks: one violation.
+    dl::Mutex outer("version.vc.mu");
+    dl::Mutex inner("storage.lru_cache.mu");
+    dl::MutexLock lo_(outer);
+    dl::MutexLock li(inner);
+  }
+  EXPECT_EQ(runtime_xcheck::g_undeclared, 1);
+
+  lo::SetViolationHandler(prev);
+  lo::SetEnabled(was_enabled);
+  lo::SetDeclaredEdges({});
+  lo::ResetGraphForTest();
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Deliberate lock-contract violations: an undeclared acquisition edge, an
+// unlisted named mutex, blocking work and condvar waits under a non-leaf
+// lock.
+#ifndef LINT_FIXTURE_BAD_LOCKS_H_
+#define LINT_FIXTURE_BAD_LOCKS_H_
+
+class LockSoup {
+ public:
+  void DeclaredNesting() {
+    MutexLock la(a_mu_);
+    MutexLock lb(b_mu_);
+    count_ = count_ + 1;
+  }
+
+  void UndeclaredNesting() {
+    MutexLock la(a_mu_);
+    MutexLock ld(d_mu_);
+    count_ = count_ + 1;
+  }
+
+  void BlockingUnderNonLeaf(int fd) {
+    MutexLock la(a_mu_);
+    fsync(fd);
+  }
+
+  void WaitWithTwoHeld() {
+    MutexLock la(a_mu_);
+    MutexLock lb(b_mu_);
+    while (count_ == 0) {
+      cv_.Wait(b_mu_);
+    }
+  }
+
+ private:
+  Mutex a_mu_{"bad.a.mu"};
+  Mutex b_mu_{"bad.b.mu"};
+  Mutex d_mu_{"bad.d.mu"};
+  Mutex stale_mu_{"bad.stale.mu"};
+  Mutex c1_mu_{"bad.c1.mu"};
+  Mutex c2_mu_{"bad.c2.mu"};
+  Mutex unlisted_mu_{"bad.unlisted.mu"};
+  CondVar cv_;
+  int count_ = 0;
+};
+
+#endif  // LINT_FIXTURE_BAD_LOCKS_H_

@@ -1,0 +1,28 @@
+// Deliberate token-rule violations: std primitives outside util, using
+// namespace in a header, raw new/delete, an ownerless work-item marker,
+// and every way a suppression can be malformed.
+#ifndef LINT_FIXTURE_BAD_TOKENS_H_
+#define LINT_FIXTURE_BAD_TOKENS_H_
+
+#include <mutex>
+
+using namespace std;
+
+class Unchecked {
+ public:
+  void Grow() {
+    // TODO: shrink this somehow.
+    int* cell = new int(0);
+    delete cell;
+  }
+
+  // dllint-ok(not-a-rule): no such rule exists.
+  // dllint-ok(todo-owner)
+  // dllint-ok(raw-socket):
+  void Noise() {}
+
+ private:
+  std::mutex m_;
+};
+
+#endif  // LINT_FIXTURE_BAD_TOKENS_H_

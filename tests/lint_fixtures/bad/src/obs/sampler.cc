@@ -1,0 +1,20 @@
+// Deliberate signal-safety violations: an unmarked handler installed, a
+// marked function calling an unmarked one, and signal plumbing outside
+// the sanctioned profiler file.
+
+void UnmarkedHelper() {}
+
+DL_SIGNAL_SAFE void HalfSafeHandler(int sig) {
+  UnmarkedHelper();
+  (void)sig;
+}
+
+void PlainHandler(int sig) {
+  (void)sig;
+}
+
+void InstallBadHandler() {
+  struct sigaction sa;
+  sa.sa_handler = PlainHandler;
+  sigaction(27, &sa, nullptr);
+}

@@ -1,0 +1,13 @@
+// Deliberate unjustified deep copies on the read hot path.
+
+SharedBuffer CacheIt(Slice got) {
+  return Buffer::CopyOf(got);
+}
+
+Buffer Materialize(ByteView v) {
+  return v.ToBuffer();
+}
+
+std::string Stringify(Slice payload) {
+  return payload.ToString();
+}

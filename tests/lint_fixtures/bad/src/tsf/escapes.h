@@ -1,0 +1,27 @@
+// Deliberate ownership violations: escaping borrows and an undocumented
+// view member.
+#ifndef LINT_FIXTURE_BAD_ESCAPES_H_
+#define LINT_FIXTURE_BAD_ESCAPES_H_
+
+#include <vector>
+
+class BadFrame {
+ public:
+  Slice Leak(const uint8_t* p, uint64_t n) {
+    return Slice::Borrowed(p, n);
+  }
+
+  void StoreInMember(const uint8_t* p, uint64_t n) {
+    raw_ = Slice::Borrowed(p, n);
+  }
+
+  void StoreInContainer(const uint8_t* p, uint64_t n) {
+    views_.push_back(Slice::Borrowed(p, n));
+  }
+
+ private:
+  Slice raw_;
+  std::vector<Slice> views_;
+};
+
+#endif  // LINT_FIXTURE_BAD_ESCAPES_H_

@@ -1,0 +1,11 @@
+// Deliberate unannotated direct write in the version layer.
+
+class BadStore {
+ public:
+  Status Sneak(const std::string& key, ByteView value) {
+    return base_->Put(key, value);
+  }
+
+ private:
+  StorageProvider* base_ = nullptr;
+};

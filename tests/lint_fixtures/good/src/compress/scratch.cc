@@ -1,0 +1,10 @@
+// src/compress/ is exempt from the raw-new-delete rule: codec scratch
+// buffers manage their own storage.
+
+unsigned char* AllocScratch(unsigned long n) {
+  return new unsigned char[n];
+}
+
+void FreeScratch(unsigned char* p) {
+  delete[] p;
+}

@@ -1,0 +1,66 @@
+// Compliant locking: every acquisition order here is declared in the
+// fixture manifest, blocking work only happens under declared leaves or
+// after an explicit Unlock, and condvar waits release their mutex.
+#ifndef LINT_FIXTURE_GOOD_REGISTRY_H_
+#define LINT_FIXTURE_GOOD_REGISTRY_H_
+
+class Ring {
+ public:
+  void Push(int v) {
+    MutexLock lock(mu_);
+    last_ = v;
+  }
+
+ private:
+  Mutex mu_{"good.ring.mu"};
+  int last_ = 0;
+};
+
+class Registry {
+ public:
+  // Direct nesting and a one-hop call, both realizing the declared
+  // registry -> ring edge.
+  void Publish(int v) {
+    MutexLock lock(mu_);
+    ring_.Push(v);
+  }
+  void PublishInline(int v) {
+    MutexLock lock(mu_);
+    MutexLock ring_lock(ring_mu_);
+    slot_ = v;
+  }
+
+  // Blocking work under a declared leaf is sanctioned (the GIL-simulation
+  // pattern from the loader baselines).
+  void SimulateInterpreter(int us) {
+    MutexLock gil(gil_mu_);
+    BusyWaitMicros(us);
+  }
+
+  // Blocking work under the non-leaf lock is fine once it is released.
+  void FlushUnlocked(int fd) {
+    MutexLock lock(mu_);
+    dirty_ = false;
+    lock.Unlock();
+    fsync(fd);
+  }
+
+  // CondVar waits release the mutex they are handed; nothing else is held.
+  void AwaitQuiescent() {
+    MutexLock lock(mu_);
+    while (dirty_) {
+      cv_.Wait(mu_);
+    }
+  }
+
+ private:
+  Mutex mu_{"good.registry.mu"};
+  Mutex ring_mu_{"good.ring.mu"};
+  Mutex gil_mu_{"good.gil.mu"};
+  CondVar cv_;
+  Ring ring_;
+  int slot_ = 0;
+  bool dirty_ = true;
+};
+
+#endif  // LINT_FIXTURE_GOOD_REGISTRY_H_

@@ -1,0 +1,30 @@
+// Compliant signal plumbing: the installed handler and everything it
+// calls carry DL_SIGNAL_SAFE (or are allowlisted primitives), and this
+// file is the sanctioned home for sigaction/setitimer.
+
+namespace {
+
+char g_buf[64];
+
+DL_SIGNAL_SAFE uint64_t Mix(uint64_t h) {
+  return h * 1099511628211ull;
+}
+
+DL_SIGNAL_SAFE void Record(void* const* pcs, int n) {
+  memcpy(g_buf, pcs, n);
+  uint64_t h = Mix(n);
+  g_buf[0] = h & 0xff;
+}
+
+}  // namespace
+
+extern "C" DL_SIGNAL_SAFE void GoodHandler(int sig) {
+  Record(nullptr, sig);
+}
+
+void InstallProfiler() {
+  struct sigaction sa;
+  sa.sa_handler = GoodHandler;
+  sigaction(27, &sa, nullptr);
+  setitimer(0, nullptr, nullptr);
+}

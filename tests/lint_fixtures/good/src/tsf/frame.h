@@ -1,0 +1,48 @@
+// Compliant ownership: view members ride next to their owning buffer or
+// carry a documented lifetime contract.
+#ifndef LINT_FIXTURE_GOOD_FRAME_H_
+#define LINT_FIXTURE_GOOD_FRAME_H_
+
+// The canonical pattern: the SharedBuffer member keeps payload_ alive.
+class Frame {
+ public:
+  Slice payload() const { return payload_; }
+
+ private:
+  SharedBuffer owner_;
+  Slice payload_;
+};
+
+// A borrow with a documented contract instead of a stored owner.
+class Cursor {
+ private:
+  // dllint-ok(slice-owner): the cursor borrows caller-owned bytes for the
+  // duration of one Decode() call; it never outlives its argument.
+  ByteView view_;
+  int pos_ = 0;
+};
+
+// A *stored* borrow with an annotated lifetime contract — the un-annotated
+// twin lives in the bad tree and is a finding.
+class PinnedView {
+ public:
+  void Adopt(const uint8_t* p, uint64_t n) {
+    // dllint-ok(slice-escape): the arena pins `p` for this object's whole
+    // lifetime (pool contract), so the borrow cannot dangle.
+    raw_ = Slice::Borrowed(p, n);
+  }
+
+ private:
+  // dllint-ok(slice-owner): bytes are arena-pinned for the object lifetime.
+  Slice raw_;
+};
+
+// Borrowed() used transiently — consumed within the statement, never
+// returned or stored.
+inline uint64_t Checksum(Slice s);
+inline uint64_t HashBytes(const uint8_t* p, uint64_t n) {
+  uint64_t h = Checksum(Slice::Borrowed(p, n));
+  return h;
+}
+
+#endif  // LINT_FIXTURE_GOOD_FRAME_H_

@@ -1,0 +1,26 @@
+// Grab bag of compliant forms for the token rules.
+
+#include <memory>
+
+// using-namespace is fine in a .cc (only headers leak).
+using namespace std;
+
+struct Pool {
+  Pool& operator=(const Pool&) = delete;
+};
+
+// TODO(ava): tighten the pool bound once the arena lands.
+unique_ptr<int> MakeCell() {
+  return unique_ptr<int>(new int(3));
+}
+
+Pool* GlobalPool() {
+  // Leaky singleton: static-initialized raw new is sanctioned.
+  static Pool* pool = new Pool();
+  return pool;
+}
+
+// A deep copy outside the hot-path dirs needs no annotation.
+SharedBuffer Clone(ByteView v) {
+  return Buffer::CopyOf(v);
+}

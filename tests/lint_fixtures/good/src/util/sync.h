@@ -1,0 +1,17 @@
+// std:: synchronization primitives are legal inside src/util/ — this is
+// where the wrapped Mutex/CondVar machinery lives.
+#ifndef LINT_FIXTURE_GOOD_SYNC_H_
+#define LINT_FIXTURE_GOOD_SYNC_H_
+
+#include <mutex>
+
+class WrappedMutex {
+ public:
+  void Lock() { impl_.lock(); }
+  void Unlock() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+#endif  // LINT_FIXTURE_GOOD_SYNC_H_

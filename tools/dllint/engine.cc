@@ -1,0 +1,340 @@
+// dllint engine: tree loading, rule execution, `dllint-ok` suppressions and
+// the shrink-only baseline. Findings are data — Run() only fails on
+// environment errors (unreadable root, malformed manifest/baseline).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/dllint/dllint.h"
+
+namespace dl::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Suppressions cover the annotated line and the next kSuppressSpan lines,
+// so one comment above a multi-line statement covers all of it.
+constexpr int kSuppressSpan = 7;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          &std::fclose);
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    text.append(buf, n);
+  }
+  return text;
+}
+
+struct Suppression {
+  std::string rule;
+  int line;
+};
+
+// Parses every suppression annotation in a file's comments. Malformed ones
+// (missing reason, unknown rule) become findings themselves; a bare
+// "dllint-ok" with no opening paren is prose, not an annotation, and is
+// ignored.
+void ParseSuppressions(const SourceFile& f, std::vector<Suppression>& valid,
+                       std::vector<Finding>& out) {
+  for (const Comment& c : f.comments) {
+    size_t pos = 0;
+    while ((pos = c.text.find("dllint-ok", pos)) != std::string::npos) {
+      size_t cur = pos + 9;
+      int line = c.line + static_cast<int>(std::count(
+                              c.text.begin(), c.text.begin() + pos, '\n'));
+      pos = cur;
+      if (cur >= c.text.size() || c.text[cur] != '(') continue;
+      size_t close = c.text.find(')', cur);
+      if (close == std::string::npos) {
+        out.push_back({f.rel, line, "suppression",
+                       "malformed suppression: missing ')'"});
+        continue;
+      }
+      std::string rule = c.text.substr(cur + 1, close - cur - 1);
+      if (!IsKnownRule(rule)) {
+        out.push_back({f.rel, line, "suppression",
+                       "unknown rule '" + rule +
+                           "' in dllint-ok (see dllint --list-rules)"});
+        continue;
+      }
+      size_t r = close + 1;
+      if (r >= c.text.size() || c.text[r] != ':') {
+        out.push_back({f.rel, line, "suppression",
+                       "dllint-ok(" + rule +
+                           ") without a reason: write `dllint-ok(" + rule +
+                           "): why this is safe`"});
+        continue;
+      }
+      ++r;
+      size_t stop = c.text.find('\n', r);
+      std::string reason = c.text.substr(
+          r, stop == std::string::npos ? std::string::npos : stop - r);
+      size_t ws = reason.find_first_not_of(" \t");
+      if (ws == std::string::npos) {
+        out.push_back({f.rel, line, "suppression",
+                       "dllint-ok(" + rule +
+                           ") with an empty reason: the reason is the "
+                           "documentation — it is mandatory"});
+        continue;
+      }
+      valid.push_back({rule, line});
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFinding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+Result<RunResult> Run(const Options& options) {
+  fs::path root(options.root.empty() ? "." : options.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::InvalidArgument("root '" + options.root +
+                                   "' is not a directory");
+  }
+
+  Index index;
+  for (const std::string& dir : options.dirs) {
+    fs::path base = root / dir;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      std::string rel =
+          fs::relative(it->path(), root, ec).generic_string();
+      bool excluded = false;
+      for (const std::string& ex : options.exclude) {
+        if (rel.rfind(ex, 0) == 0) excluded = true;
+      }
+      if (excluded) continue;
+      auto text = ReadFile(it->path().string());
+      if (!text.ok()) return text.status();
+      SourceFile f;
+      f.rel = std::move(rel);
+      f.text = std::move(text).value();
+      f.is_header = ext == ".h";
+      index.files.push_back(std::move(f));
+    }
+  }
+  std::sort(index.files.begin(), index.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  for (SourceFile& f : index.files) Tokenize(f);
+  BuildIndex(index);
+
+  // Manifest: absent is legal (the lock-hierarchy rule then requires the
+  // tree to declare no named locks); malformed is an environment error.
+  const LockHierarchy* manifest = nullptr;
+  LockHierarchy manifest_storage;
+  std::string manifest_rel = options.manifest;
+  if (!options.manifest.empty()) {
+    fs::path mp(options.manifest);
+    if (mp.is_relative()) mp = root / mp;
+    auto parsed = LoadLockHierarchyFile(mp.string());
+    if (parsed.ok()) {
+      manifest_storage = std::move(parsed).value();
+      manifest = &manifest_storage;
+    } else if (!parsed.status().IsNotFound()) {
+      return parsed.status();
+    }
+  }
+
+  RuleContext ctx{index, manifest, manifest_rel};
+  std::vector<Finding> all;
+  for (const Rule& rule : Registry()) {
+    rule.check(ctx, all);
+  }
+
+  // Suppressions.
+  std::map<std::string, std::vector<Suppression>> by_file;
+  for (const SourceFile& f : index.files) {
+    std::vector<Suppression> valid;
+    ParseSuppressions(f, valid, all);
+    if (!valid.empty()) by_file.emplace(f.rel, std::move(valid));
+  }
+  RunResult result;
+  result.files_scanned = static_cast<int>(index.files.size());
+  std::vector<Finding> kept;
+  for (Finding& f : all) {
+    bool drop = false;
+    if (f.rule != "suppression" && f.rule != "baseline") {
+      auto it = by_file.find(f.file);
+      if (it != by_file.end()) {
+        for (const Suppression& s : it->second) {
+          if (s.rule == f.rule && f.line >= s.line &&
+              f.line <= s.line + kSuppressSpan) {
+            drop = true;
+            break;
+          }
+        }
+      }
+    }
+    if (drop) {
+      ++result.suppressed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+
+  // Baseline: grandfathered findings, matched on the `file:line: [rule]`
+  // prefix. Entries that no longer match anything are stale — the baseline
+  // may only shrink.
+  if (!options.baseline.empty()) {
+    fs::path bp(options.baseline);
+    if (bp.is_relative()) bp = root / bp;
+    auto text = ReadFile(bp.string());
+    if (text.ok()) {
+      struct Entry {
+        std::string prefix;
+        int line;
+        bool used = false;
+      };
+      std::vector<Entry> entries;
+      const std::string& t = text.value();
+      int lineno = 0;
+      size_t start = 0;
+      while (start <= t.size()) {
+        size_t nl = t.find('\n', start);
+        std::string line =
+            t.substr(start, nl == std::string::npos ? std::string::npos
+                                                    : nl - start);
+        ++lineno;
+        start = nl == std::string::npos ? t.size() + 1 : nl + 1;
+        size_t ws = line.find_first_not_of(" \t\r");
+        if (ws == std::string::npos || line[ws] == '#') continue;
+        size_t bracket = line.find(']');
+        if (bracket == std::string::npos) {
+          return Status::InvalidArgument(
+              options.baseline + ":" + std::to_string(lineno) +
+              ": malformed entry (expected `file:line: [rule] ...`)");
+        }
+        entries.push_back({line.substr(ws, bracket + 1 - ws), lineno});
+      }
+      std::vector<Finding> unbaselined;
+      for (Finding& f : kept) {
+        std::string prefix = f.file + ":" + std::to_string(f.line) + ": [" +
+                             f.rule + "]";
+        bool matched = false;
+        for (Entry& e : entries) {
+          if (e.prefix == prefix) {
+            e.used = true;
+            matched = true;
+          }
+        }
+        if (matched) {
+          ++result.baselined;
+        } else {
+          unbaselined.push_back(std::move(f));
+        }
+      }
+      kept = std::move(unbaselined);
+      for (const Entry& e : entries) {
+        if (e.used) continue;
+        kept.push_back({options.baseline, e.line, "baseline",
+                        "stale baseline entry '" + e.prefix +
+                            "' matches no finding — the baseline only "
+                            "shrinks; delete the line"});
+      }
+    } else if (!text.status().IsNotFound()) {
+      return text.status();
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.file == b.file && a.line == b.line &&
+                                  a.rule == b.rule &&
+                                  a.message == b.message;
+                         }),
+             kept.end());
+  result.findings = std::move(kept);
+
+  // Deduplicated static lock graph for --dump-lock-graph and tests.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const StaticEdge& e : index.edges) {
+    if (seen.insert({e.from, e.to}).second) {
+      StaticEdge copy = e;
+      result.edges.push_back(std::move(copy));
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end(),
+            [](const StaticEdge& a, const StaticEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  return result;
+}
+
+std::string ToJson(const RunResult& result) {
+  std::string out = "{\n  \"findings\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + JsonEscape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           JsonEscape(f.rule) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+  }
+  out += result.findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"files_scanned\": " + std::to_string(result.files_scanned) +
+         ",\n  \"suppressed\": " + std::to_string(result.suppressed) +
+         ",\n  \"baselined\": " + std::to_string(result.baselined) + "\n}\n";
+  return out;
+}
+
+}  // namespace dl::lint

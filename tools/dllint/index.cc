@@ -1,0 +1,1013 @@
+// dllint index: the scope-aware model behind the deep rules.
+//
+// A brace/scope tracker classifies every `{` (namespace / class / function /
+// block) using only local token context — C++ has no nested functions, so at
+// class or namespace scope a `)` before `{` (modulo attribute macros,
+// ctor-init-lists and trailing returns) means a function definition. On top
+// of that the builder extracts:
+//
+//   * Mutex declarations (`Mutex mu_{"subsystem.what"}`) with their owning
+//     class, building the name-resolution tables,
+//   * Slice/ByteView data members and whether their class owns a buffer,
+//   * member variable -> type map (for `window_->Release()` style one-hop
+//     call resolution),
+//   * per-function lock scopes: MutexLock acquisitions (with Unlock()/Lock()
+//     toggling), direct mu.Lock() calls, the static acquisition edges they
+//     imply, blocking calls made while locks are held, and one-hop method
+//     call sites that let a callee's direct acquisitions become edges,
+//   * calls made inside DL_SIGNAL_SAFE functions.
+//
+// Lock and signal analysis cover files under src/ only; tests and benches
+// create scratch locks at will and are covered by the cheap token rules.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/dllint/dllint.h"
+
+namespace dl::lint {
+
+namespace {
+
+bool HasPrefix(const std::string& s, const char* p) {
+  return s.rfind(p, 0) == 0;
+}
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "if",       "while",    "for",      "switch",   "return",
+      "sizeof",   "alignof",  "decltype", "catch",    "new",
+      "delete",   "case",     "do",       "else",     "goto",
+      "break",    "continue", "throw",    "operator", "static_cast",
+      "reinterpret_cast",     "const_cast",           "dynamic_cast",
+      "co_await", "co_return", "co_yield", "typeid",  "requires",
+      "noexcept", "const",    "constexpr", "static",  "inline",
+      "virtual",  "explicit", "extern",   "template", "typename",
+      "class",    "struct",   "union",    "enum",     "namespace",
+      "public",   "private",  "protected", "friend",  "using",
+      "typedef",  "auto",     "void",     "this"};
+  return *kw;
+}
+
+bool IsKeyword(const std::string& t) { return Keywords().count(t) != 0; }
+
+// TEST(...), DL_ACQUIRE(...), EXPECT_EQ(...): macro invocations that can sit
+// between a parameter list and the function body (or wrap a whole definition)
+// and must be skipped when classifying braces.
+bool IsMacroName(const std::string& t) {
+  if (HasPrefix(t, "DL_")) return true;
+  if (t.size() < 4) return false;
+  bool has_alpha = false;
+  for (char c : t) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_alpha = true;
+  }
+  return has_alpha;
+}
+
+// Type-ident noise filtered out when deriving a member's "type" for call
+// resolution: wrappers, containers and builtins that never own methods we
+// index.
+bool IsTypeNoise(const std::string& t) {
+  static const std::set<std::string>* noise = new std::set<std::string>{
+      "std",      "dl",        "const",    "constexpr", "static",
+      "mutable",  "inline",    "volatile", "unsigned",  "signed",
+      "long",     "short",     "unique_ptr", "shared_ptr", "weak_ptr",
+      "atomic",   "vector",    "map",      "unordered_map", "set",
+      "unordered_set",         "deque",    "array",     "list",
+      "optional", "pair",      "tuple",    "function",  "string",
+      "string_view",           "size_t",   "int8_t",    "int16_t",
+      "int32_t",  "int64_t",   "uint8_t",  "uint16_t",  "uint32_t",
+      "uint64_t", "char",      "bool",     "int",       "double",
+      "float",    "void",      "auto"};
+  return noise->count(t) != 0;
+}
+
+// Functions treated as potentially blocking when called bare (or
+// namespace-qualified) with a lock held.
+bool IsBlockingName(const std::string& t) {
+  static const std::set<std::string>* b = new std::set<std::string>{
+      "fsync",   "fdatasync", "sleep",       "usleep",     "nanosleep",
+      "SleepMicros", "BusyWaitMicros", "sleep_for", "sleep_until",
+      "HttpGet", "HttpRawRequest"};
+  return b->count(t) != 0;
+}
+
+// StorageProvider interface methods: a `->Method(` call under a lock is
+// treated as potential storage I/O (virtual dispatch makes the concrete
+// backend unknowable statically, so it implies edges to every storage lock).
+bool IsStorageOp(const std::string& t) {
+  static const std::set<std::string>* s = new std::set<std::string>{
+      "Get",    "GetRange", "Put",  "PutDurable", "Delete",
+      "Exists", "SizeOf",   "List", "ListPrefix"};
+  return s->count(t) != 0;
+}
+
+struct ClassSpan {
+  std::string name;
+  int open;   // token index of '{'
+  int close;  // token index of matching '}', or past-the-end fallback
+};
+
+struct FnSpan {
+  int file;
+  std::string cls;
+  std::string name;
+  int open;
+  int close;
+  int line;
+  bool signal_safe;
+  std::set<std::string> acquired;  // resolved names of directly-taken locks
+};
+
+struct CallSite {
+  int file;
+  int line;
+  std::string cls;     // class of the calling function
+  std::string recv;    // receiver variable, "" for bare/this calls
+  std::string callee;
+  std::vector<std::string> held;  // resolved lock names held at the call
+};
+
+struct Builder {
+  Index& idx;
+
+  std::vector<std::vector<ClassSpan>> class_spans;  // per file
+  std::vector<FnSpan> fns;
+  std::vector<CallSite> call_sites;
+
+  std::map<std::string, std::vector<int>> mutex_by_var;
+  std::map<std::pair<std::string, std::string>, std::vector<int>>
+      mutex_by_cls_var;
+  // class name -> member var -> stripped type ident
+  std::map<std::string, std::map<std::string, std::string>> member_types;
+  std::map<std::string, int> rel_to_file;
+  std::vector<std::set<std::string>> includes_resolved;  // per file
+  std::vector<std::string> storage_locks;
+
+  explicit Builder(Index& index) : idx(index) {}
+
+  void Build();
+
+ private:
+  bool IsSrc(int fi) const { return HasPrefix(idx.files[fi].rel, "src/"); }
+
+  void StructuralPass(int fi);
+  void CollectMutexDecls(int fi);
+  void ScanClassMembers(int fi, const ClassSpan& cs);
+  void ResolveIncludes(int fi);
+  void AnalyzeFn(FnSpan& fn);
+  void ResolveCallSites();
+
+  std::string ClassAt(int fi, int tok) const;
+  std::string ResolveLockExpr(int fi, const std::string& cls, int a, int b,
+                              bool& resolved);
+  std::string ResolveLockVar(int fi, const std::string& cls,
+                             const std::string& recv, const std::string& var,
+                             bool& resolved);
+  int PickDecl(int fi, const std::vector<int>& cands) const;
+};
+
+// ---------------------------------------------------------------------------
+// Brace classification
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  char kind;  // 'N'amespace, 'C'lass, 'F'unction, 'B'lock, 'O'ther
+  std::string name;
+};
+
+// Parses the (possibly qualified) name ending at token k: `Chunk::Payload`
+// -> {cls "Chunk", name "Payload", start at "Chunk"}. Handles `~Dtor` and
+// `Tmpl<T>::method`.
+struct QName {
+  std::string cls;
+  std::string name;
+  int start;
+};
+
+bool ParseQName(const SourceFile& f, int k, QName& out) {
+  if (k < 0 || !f.toks[k].IsIdent() || IsKeyword(f.toks[k].text)) return false;
+  out.name = f.toks[k].text;
+  out.start = k;
+  if (out.start > 0 && f.toks[out.start - 1].Is("~")) {
+    out.name = "~" + out.name;
+    --out.start;
+  }
+  out.cls.clear();
+  bool first = true;
+  while (out.start >= 2 && f.toks[out.start - 1].Is("::")) {
+    int q = out.start - 2;
+    if (q >= 0 && f.toks[q].Is(">")) {
+      int depth = 1;
+      --q;
+      while (q >= 0 && depth > 0) {
+        if (f.toks[q].Is(">")) ++depth;
+        if (f.toks[q].Is("<")) --depth;
+        --q;
+      }
+    }
+    if (q < 0 || !f.toks[q].IsIdent()) break;
+    if (first) {
+      out.cls = f.toks[q].text;
+      first = false;
+    }
+    out.start = q;
+  }
+  return true;
+}
+
+// From token j (just before a `{` at class/namespace scope), finds the `)`
+// closing a parameter list, skipping suffix tokens (const, noexcept, &, *,
+// trailing-return types) and attribute-macro calls. Returns -1 when the
+// brace cannot belong to a function definition.
+int FindParamClose(const SourceFile& f, int j) {
+  int k = j;
+  int guard = 0;
+  while (k >= 0 && ++guard < 160) {
+    const Token& tk = f.toks[k];
+    if (tk.Is(";") || tk.Is("{") || tk.Is("}")) return -1;
+    if (tk.Is(")")) {
+      if (f.match[k] < 0) return -1;
+      int open = f.match[k];
+      int before = open - 1;
+      if (before >= 0 && f.toks[before].IsIdent() &&
+          IsMacroName(f.toks[before].text)) {
+        k = before - 1;  // DL_ACQUIRE(mu) etc: attribute-macro call, skip
+        continue;
+      }
+      return k;
+    }
+    if (tk.IsIdent() || tk.Is("::") || tk.Is("->") || tk.Is("&") ||
+        tk.Is("*") || tk.Is("<") || tk.Is(">") || tk.Is(",")) {
+      --k;
+      continue;
+    }
+    return -1;
+  }
+  return -1;
+}
+
+// Walks a ctor-init-list backwards from the token before an initializer
+// entry's name until the real parameter-list `)` is found. Returns -1 when
+// the shape is not an init-list.
+int WalkInitList(const SourceFile& f, int p) {
+  int guard = 0;
+  while (p >= 0 && ++guard < 64) {
+    const Token& tk = f.toks[p];
+    if (tk.Is(":")) return FindParamClose(f, p - 1);
+    if (tk.Is(",")) {
+      int q = p - 1;
+      if (q < 0 || !(f.toks[q].Is(")") || f.toks[q].Is("}")) ||
+          f.match[q] < 0) {
+        return -1;
+      }
+      QName qn;
+      if (!ParseQName(f, f.match[q] - 1, qn)) return -1;
+      p = qn.start - 1;
+      continue;
+    }
+    return -1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Structural pass: scope stack, class spans, function spans
+// ---------------------------------------------------------------------------
+
+void Builder::StructuralPass(int fi) {
+  SourceFile& f = idx.files[fi];
+  const int n = static_cast<int>(f.toks.size());
+  std::vector<Scope> stack;
+
+  auto enclosing = [&]() -> char {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind != 'O') return it->kind;
+    }
+    return 'G';
+  };
+  auto innermost_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == 'C') return it->name;
+      if (it->kind == 'N') break;
+    }
+    return "";
+  };
+
+  for (int t = 0; t < n; ++t) {
+    const Token& tk = f.toks[t];
+    if (tk.Is("}")) {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (!tk.Is("{")) continue;
+
+    char outer = enclosing();
+    if (outer == 'F' || outer == 'B') {
+      stack.push_back({'B', ""});
+      continue;
+    }
+
+    int j = t - 1;
+    Scope scope{'O', ""};
+    if (j >= 0) {
+      // Function definition?
+      int pj = FindParamClose(f, j);
+      QName qn;
+      if (pj >= 0 && ParseQName(f, f.match[pj] - 1, qn)) {
+        // The ')' may belong to a ctor-init-list entry, not the parameters.
+        if (qn.start > 0 && (f.toks[qn.start - 1].Is(":") ||
+                             f.toks[qn.start - 1].Is(","))) {
+          pj = WalkInitList(f, qn.start - 1);
+          if (pj < 0 || !ParseQName(f, f.match[pj] - 1, qn)) pj = -1;
+        }
+      } else {
+        pj = -1;
+      }
+      if (pj >= 0 && !IsMacroName(qn.name)) {
+        std::string cls = qn.cls.empty() ? innermost_class() : qn.cls;
+        // DL_SIGNAL_SAFE marker anywhere in the declaration head.
+        bool marked = false;
+        for (int k = qn.start - 1; k >= 0; --k) {
+          const Token& h = f.toks[k];
+          if (h.Is(";") || h.Is("{") || h.Is("}")) break;
+          if (h.Is(")") && f.match[k] >= 0) {
+            k = f.match[k];
+            continue;
+          }
+          if (h.IsIdent() && h.text == "DL_SIGNAL_SAFE") {
+            marked = true;
+            break;
+          }
+        }
+        int close = f.match[t] >= 0 ? f.match[t] : n;
+        fns.push_back({fi, cls, qn.name, t, close,
+                       f.toks[f.match[pj] - 1].line, marked, {}});
+        idx.functions.push_back({fi, cls, qn.name,
+                                 f.toks[f.match[pj] - 1].line, marked});
+        idx.file_functions[fi].defined.insert(qn.name);
+        if (marked) idx.file_functions[fi].marked.insert(qn.name);
+        stack.push_back({'F', qn.name});
+        continue;
+      }
+
+      // Namespace / class / enum? Scan the declaration head backwards.
+      const Token& prev = f.toks[j];
+      if (prev.IsIdent() || prev.Is(">")) {
+        bool saw_ns = false, saw_enum = false, saw_class = false;
+        int head = -1;
+        int k = j;
+        int guard = 0;
+        while (k >= 0 && ++guard < 200) {
+          const Token& h = f.toks[k];
+          if (h.Is(";") || h.Is("{") || h.Is("}") || h.Is("(")) break;
+          if (h.Is(")") && f.match[k] >= 0) {
+            k = f.match[k] - 1;
+            continue;
+          }
+          if (h.IsIdent()) {
+            if (h.text == "namespace") {
+              saw_ns = true;
+              head = k;
+              break;
+            }
+            if (h.text == "enum") saw_enum = true;
+            if (h.text == "class" || h.text == "struct" ||
+                h.text == "union") {
+              saw_class = true;
+              head = k;
+            }
+          }
+          --k;
+        }
+        if (saw_ns) {
+          scope = {'N', ""};
+        } else if (saw_enum) {
+          scope = {'O', ""};
+        } else if (saw_class) {
+          // Name: last plain ident before the '{' or the base-clause ':',
+          // skipping attribute-macro calls and 'final'.
+          std::string name;
+          int angle = 0;
+          for (int q = head + 1; q <= j; ++q) {
+            const Token& h = f.toks[q];
+            if (h.Is("(") && f.match[q] >= 0) {
+              q = f.match[q];
+              continue;
+            }
+            if (h.Is("<")) ++angle;
+            if (h.Is(">") && angle > 0) --angle;
+            if (h.Is(":") && angle == 0) break;
+            if (h.IsIdent() && angle == 0 && h.text != "final" &&
+                !IsMacroName(h.text) && !IsKeyword(h.text)) {
+              name = h.text;
+            }
+          }
+          scope = {'C', name};
+          class_spans[fi].push_back(
+              {name, t, f.match[t] >= 0 ? f.match[t] : n});
+        }
+      }
+    }
+    stack.push_back(scope);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+std::string Builder::ClassAt(int fi, int tok) const {
+  const ClassSpan* best = nullptr;
+  for (const ClassSpan& cs : class_spans[fi]) {
+    if (cs.open < tok && tok < cs.close) {
+      if (best == nullptr || cs.close - cs.open < best->close - best->open) {
+        best = &cs;
+      }
+    }
+  }
+  return best != nullptr ? best->name : "";
+}
+
+void Builder::CollectMutexDecls(int fi) {
+  const SourceFile& f = idx.files[fi];
+  const int n = static_cast<int>(f.toks.size());
+  for (int t = 0; t < n; ++t) {
+    if (!f.toks[t].IsIdent() || f.toks[t].text != "Mutex") continue;
+    if (t > 0 && f.toks[t - 1].IsIdent()) {
+      const std::string& p = f.toks[t - 1].text;
+      if (p == "class" || p == "struct" || p == "friend" || p == "enum") {
+        continue;
+      }
+    }
+    std::string cls = ClassAt(fi, t);
+    int v = t + 1;
+    if (v >= n || !f.toks[v].IsIdent()) continue;
+    // Static member definition `Mutex Foo::mu{...}` at namespace scope.
+    if (v + 2 < n && f.toks[v + 1].Is("::") && f.toks[v + 2].IsIdent()) {
+      cls = f.toks[v].text;
+      v += 2;
+    }
+    if (IsKeyword(f.toks[v].text)) continue;
+    int after = v + 1;
+    if (after >= n) continue;
+    std::string name;
+    const Token& a = f.toks[after];
+    if (a.Is("{") || a.Is("(")) {
+      if (after + 1 < n && f.toks[after + 1].kind == Token::Kind::kString) {
+        name = f.toks[after + 1].text;
+      }
+    } else if (!(a.Is(";") || a.Is("=") || a.Is(","))) {
+      continue;  // `Mutex& mu` params and the like
+    }
+    int di = static_cast<int>(idx.mutexes.size());
+    idx.mutexes.push_back({fi, cls, f.toks[v].text, name, f.toks[t].line});
+    mutex_by_var[f.toks[v].text].push_back(di);
+    mutex_by_cls_var[{cls, f.toks[v].text}].push_back(di);
+    if (!name.empty() && HasPrefix(f.rel, "src/storage/")) {
+      storage_locks.push_back(name);
+    }
+  }
+}
+
+void Builder::ScanClassMembers(int fi, const ClassSpan& cs) {
+  const SourceFile& f = idx.files[fi];
+  const int n = static_cast<int>(f.toks.size());
+  const int limit = std::min(cs.close, n);
+
+  struct Pending {
+    std::string var;
+    std::string type;  // "Slice"/"ByteView" when view-typed
+    int line;
+  };
+  std::vector<Pending> views;
+  bool has_owner = false;
+
+  std::vector<int> stmt;
+  auto process = [&]() {
+    if (stmt.empty()) return;
+    size_t s = 0;
+    // Strip access labels.
+    while (s + 1 < stmt.size() && f.toks[stmt[s]].IsIdent() &&
+           (f.toks[stmt[s]].text == "public" ||
+            f.toks[stmt[s]].text == "private" ||
+            f.toks[stmt[s]].text == "protected") &&
+           f.toks[stmt[s + 1]].Is(":")) {
+      s += 2;
+    }
+    if (s >= stmt.size()) return;
+    const std::string& first = f.toks[stmt[s]].text;
+    if (f.toks[stmt[s]].IsIdent() &&
+        (first == "using" || first == "typedef" || first == "friend" ||
+         first == "template" || first == "static_assert" ||
+         first == "namespace" || first == "enum" || first == "class" ||
+         first == "struct" || first == "union")) {
+      stmt.clear();
+      return;
+    }
+    int angle = 0;
+    bool func = false;
+    std::string var;
+    std::vector<std::string> tidents;
+    for (size_t q = s; q < stmt.size(); ++q) {
+      const Token& tk = f.toks[stmt[q]];
+      if (tk.Is("<")) {
+        ++angle;
+        continue;
+      }
+      if (tk.Is(">")) {
+        if (angle > 0) --angle;
+        continue;
+      }
+      if (tk.Is("(")) {
+        if (angle == 0) {
+          func = true;
+          break;
+        }
+        continue;
+      }
+      if (tk.Is("=") || tk.Is("[")) break;
+      if (tk.IsIdent()) {
+        if (HasPrefix(tk.text, "DL_")) break;
+        if (angle == 0) {
+          if (!var.empty()) tidents.push_back(var);
+          var = tk.text;
+        } else {
+          tidents.push_back(tk.text);
+        }
+      }
+    }
+    if (!func && !var.empty()) {
+      for (const std::string& ti : tidents) {
+        if (ti == "SharedBuffer" || ti == "ByteBuffer" || ti == "Buffer") {
+          has_owner = true;
+        }
+      }
+      std::string view;
+      for (const std::string& ti : tidents) {
+        if (ti == "Slice" || ti == "ByteView") view = ti;
+      }
+      if (!view.empty()) {
+        views.push_back({var, view, f.toks[stmt[s]].line});
+      }
+      std::string type;
+      for (const std::string& ti : tidents) {
+        if (!IsTypeNoise(ti)) type = ti;
+      }
+      if (!type.empty() && !cs.name.empty()) {
+        member_types[cs.name][var] = type;
+      }
+    }
+    stmt.clear();
+  };
+
+  int t = cs.open + 1;
+  while (t < limit) {
+    const Token& tk = f.toks[t];
+    if (tk.Is("{")) {
+      process();
+      t = (f.match[t] >= 0 ? f.match[t] : limit) + 1;
+      continue;
+    }
+    if (tk.Is(";")) {
+      process();
+      ++t;
+      continue;
+    }
+    stmt.push_back(t);
+    ++t;
+  }
+  process();
+
+  if (IsSrc(fi)) {
+    for (const Pending& p : views) {
+      idx.slice_members.push_back(
+          {fi, cs.name, p.var, p.type, p.line, has_owner});
+    }
+  }
+}
+
+void Builder::ResolveIncludes(int fi) {
+  const SourceFile& f = idx.files[fi];
+  std::string dir;
+  size_t slash = f.rel.rfind('/');
+  if (slash != std::string::npos) dir = f.rel.substr(0, slash + 1);
+  for (const std::string& inc : f.includes) {
+    for (const std::string& cand :
+         {std::string("src/") + inc, dir + inc, inc}) {
+      auto it = rel_to_file.find(cand);
+      if (it != rel_to_file.end()) {
+        includes_resolved[fi].insert(cand);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-name resolution
+// ---------------------------------------------------------------------------
+
+// Given candidate MutexDecl indices, prefers (a) a decl in the same file,
+// then (b) the paired header/source, then (c) a directly-included file, then
+// (d) a globally unique decl. Two candidates at the winning tier mean
+// ambiguity: returns -1.
+int Builder::PickDecl(int fi, const std::vector<int>& cands) const {
+  if (cands.empty()) return -1;
+  if (cands.size() == 1) return cands[0];
+  const std::string& rel = idx.files[fi].rel;
+  std::string paired = rel;
+  if (rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".cc") == 0) {
+    paired = rel.substr(0, rel.size() - 3) + ".h";
+  } else if (rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0) {
+    paired = rel.substr(0, rel.size() - 2) + ".cc";
+  }
+  auto tier = [&](auto pred) -> int {
+    int found = -1;
+    for (int d : cands) {
+      if (!pred(idx.mutexes[d].file)) continue;
+      if (found >= 0) return -2;  // ambiguous at this tier
+      found = d;
+    }
+    return found;
+  };
+  int r = tier([&](int df) { return df == fi; });
+  if (r != -1) return r == -2 ? -1 : r;
+  r = tier([&](int df) { return idx.files[df].rel == paired; });
+  if (r != -1) return r == -2 ? -1 : r;
+  r = tier([&](int df) {
+    return includes_resolved[fi].count(idx.files[df].rel) != 0;
+  });
+  if (r != -1) return r == -2 ? -1 : r;
+  return -1;  // >1 candidate and no tier disambiguates
+}
+
+std::string Builder::ResolveLockVar(int fi, const std::string& cls,
+                                    const std::string& recv,
+                                    const std::string& var, bool& resolved) {
+  resolved = false;
+  // Receiver's member type, when the receiver is a known member variable.
+  if (!recv.empty() && !cls.empty()) {
+    auto ct = member_types.find(cls);
+    if (ct != member_types.end()) {
+      auto vt = ct->second.find(recv);
+      if (vt != ct->second.end()) {
+        if (vt->second == "Mutex") {
+          // A raw Mutex*/& holder (lock machinery): not statically
+          // resolvable to one declaration — skip silently.
+          resolved = true;
+          return "";
+        }
+        auto cands = mutex_by_cls_var.find({vt->second, var});
+        if (cands != mutex_by_cls_var.end()) {
+          int d = PickDecl(fi, cands->second);
+          if (d >= 0) {
+            resolved = true;
+            return idx.mutexes[d].name;
+          }
+        }
+      }
+    }
+  }
+  // Member of the current class.
+  if (!cls.empty()) {
+    auto cands = mutex_by_cls_var.find({cls, var});
+    if (cands != mutex_by_cls_var.end()) {
+      int d = PickDecl(fi, cands->second);
+      if (d >= 0) {
+        resolved = true;
+        return idx.mutexes[d].name;
+      }
+    }
+  }
+  // By variable name with file preference.
+  auto cands = mutex_by_var.find(var);
+  if (cands != mutex_by_var.end()) {
+    int d = PickDecl(fi, cands->second);
+    if (d >= 0) {
+      resolved = true;
+      return idx.mutexes[d].name;
+    }
+  }
+  return "";
+}
+
+std::string Builder::ResolveLockExpr(int fi, const std::string& cls, int a,
+                                     int b, bool& resolved) {
+  const SourceFile& f = idx.files[fi];
+  int v = -1;
+  for (int k = b; k >= a; --k) {
+    if (f.toks[k].IsIdent()) {
+      v = k;
+      break;
+    }
+  }
+  resolved = false;
+  if (v < 0) return "";
+  std::string recv;
+  if (v - 2 >= a && (f.toks[v - 1].Is("->") || f.toks[v - 1].Is(".")) &&
+      f.toks[v - 2].IsIdent()) {
+    recv = f.toks[v - 2].text;
+  }
+  return ResolveLockVar(fi, cls, recv, f.toks[v].text, resolved);
+}
+
+// ---------------------------------------------------------------------------
+// Function-body analysis
+// ---------------------------------------------------------------------------
+
+void Builder::AnalyzeFn(FnSpan& fn) {
+  const int fi = fn.file;
+  const SourceFile& f = idx.files[fi];
+  const int n = static_cast<int>(f.toks.size());
+
+  struct Hold {
+    std::string var;   // MutexLock variable; "" for direct .Lock()
+    std::string name;  // resolved lock name ("" when unresolvable)
+    int depth;
+    bool active;
+  };
+  std::vector<Hold> holds;
+  int depth = 0;
+
+  auto active_names = [&]() {
+    std::vector<std::string> out;
+    for (const Hold& h : holds) {
+      if (h.active && !h.name.empty()) out.push_back(h.name);
+    }
+    return out;
+  };
+  auto record_edges = [&](const std::string& to, int line,
+                          const std::string& via) {
+    for (const Hold& h : holds) {
+      if (!h.active || h.name.empty() || to.empty()) continue;
+      if (h.name == to) {
+        idx.structural.push_back(
+            {f.rel, line, "lock-hierarchy",
+             "'" + to + "' acquired while already held (static recursive "
+             "acquisition)"});
+        continue;
+      }
+      idx.edges.push_back({h.name, to, fi, line, via});
+    }
+  };
+
+  for (int t = fn.open + 1; t < fn.close && t < n; ++t) {
+    const Token& tk = f.toks[t];
+    if (tk.Is("{")) {
+      ++depth;
+      continue;
+    }
+    if (tk.Is("}")) {
+      --depth;
+      holds.erase(std::remove_if(holds.begin(), holds.end(),
+                                 [&](const Hold& h) {
+                                   return h.depth > depth;
+                                 }),
+                  holds.end());
+      continue;
+    }
+    if (!tk.IsIdent()) continue;
+    const std::string& x = tk.text;
+    bool memberish =
+        t > 0 && (f.toks[t - 1].Is(".") || f.toks[t - 1].Is("->"));
+    bool qualified = t > 0 && f.toks[t - 1].Is("::");
+    bool calls = t + 1 < n && f.toks[t + 1].Is("(");
+
+    // MutexLock lock(expr);
+    if (x == "MutexLock" && t + 2 < n && f.toks[t + 1].IsIdent() &&
+        f.toks[t + 2].Is("(") && f.match[t + 2] >= 0) {
+      int close_p = f.match[t + 2];
+      bool resolved = false;
+      std::string name =
+          ResolveLockExpr(fi, fn.cls, t + 3, close_p - 1, resolved);
+      if (!resolved) {
+        std::string expr;
+        for (int k = t + 3; k < close_p; ++k) {
+          if (!expr.empty() && f.toks[k].IsIdent() &&
+              f.toks[k - 1].IsIdent()) {
+            expr += ' ';
+          }
+          expr += f.toks[k].text;
+        }
+        idx.structural.push_back(
+            {f.rel, tk.line, "lock-hierarchy",
+             "cannot resolve lock expression '" + expr +
+                 "' to a Mutex declaration (name the mutex or simplify the "
+                 "expression)"});
+      }
+      record_edges(name, tk.line, "");
+      if (!name.empty()) fn.acquired.insert(name);
+      holds.push_back({f.toks[t + 1].text, name, depth, true});
+      t = close_p;
+      continue;
+    }
+
+    // lock.Unlock()/.Lock() toggling and direct mu.Lock()/mu.Unlock().
+    if ((x == "Lock" || x == "Unlock") && memberish && calls &&
+        f.match[t + 1] >= 0) {
+      std::string recv =
+          (t >= 2 && f.toks[t - 2].IsIdent()) ? f.toks[t - 2].text : "";
+      bool handled = false;
+      for (auto it = holds.rbegin(); it != holds.rend(); ++it) {
+        if (!recv.empty() && it->var == recv) {
+          it->active = (x == "Lock");
+          if (x == "Lock") {
+            // Re-acquisition orders against everything else still held.
+            std::string name = it->name;
+            it->active = false;  // not an edge to itself
+            record_edges(name, tk.line, "");
+            it->active = true;
+          }
+          handled = true;
+          break;
+        }
+      }
+      if (!handled && !recv.empty()) {
+        bool resolved = false;
+        std::string name = ResolveLockExpr(fi, fn.cls, t - 2, t - 2,
+                                           resolved);
+        // Deeper receiver: `vc_->mu_.Lock()`.
+        if (!resolved && t >= 4 &&
+            (f.toks[t - 3].Is("->") || f.toks[t - 3].Is(".")) &&
+            f.toks[t - 4].IsIdent()) {
+          name = ResolveLockExpr(fi, fn.cls, t - 4, t - 2, resolved);
+        }
+        if (x == "Lock") {
+          record_edges(name, tk.line, "");
+          if (!name.empty()) {
+            fn.acquired.insert(name);
+            holds.push_back({"", name, depth, true});
+          }
+        } else if (!name.empty()) {
+          for (auto it = holds.rbegin(); it != holds.rend(); ++it) {
+            if (it->var.empty() && it->name == name) {
+              holds.erase(std::next(it).base());
+              break;
+            }
+          }
+        }
+      }
+      t = f.match[t + 1];
+      continue;
+    }
+
+    // Signal-safety: every call inside a DL_SIGNAL_SAFE function.
+    if (fn.signal_safe && calls && !IsKeyword(x)) {
+      idx.signal_calls.push_back({fi, tk.line, fn.name, x});
+    }
+
+    if (!calls) continue;
+
+    // CondVar waits release the mutex they are passed: only *other* held
+    // locks stay blocked across the wait. The mutex is the first argument
+    // (WaitForMicros takes a timeout after it).
+    if (memberish && (x == "Wait" || x == "WaitForMicros")) {
+      int arg_end = (f.match[t + 1] >= 0 ? f.match[t + 1] : t + 2) - 1;
+      for (int k = t + 2; k <= arg_end; ++k) {
+        if (f.toks[k].Is(",")) {
+          arg_end = k - 1;
+          break;
+        }
+        if (f.toks[k].Is("(") && f.match[k] >= 0) k = f.match[k];
+      }
+      bool resolved = false;
+      std::string released =
+          ResolveLockExpr(fi, fn.cls, t + 2, arg_end, resolved);
+      std::vector<std::string> held;
+      for (const std::string& h : active_names()) {
+        if (h != released) held.push_back(h);
+      }
+      if (!held.empty()) {
+        idx.blocking.push_back({fi, tk.line, "." + x + "()", held});
+      }
+      continue;
+    }
+
+    // Storage-interface calls: blocking I/O plus edges to storage locks.
+    if ((t > 0 && f.toks[t - 1].Is("->") && IsStorageOp(x)) ||
+        (x == "GetVerified" && !memberish)) {
+      std::vector<std::string> held = active_names();
+      if (!held.empty()) {
+        std::string what =
+            x == "GetVerified" ? "GetVerified()" : "->" + x + "()";
+        idx.blocking.push_back({fi, tk.line, what, held});
+        for (const std::string& sl : storage_locks) {
+          record_edges(sl, tk.line, what);
+        }
+      }
+      continue;
+    }
+
+    // Other well-known blocking calls.
+    if (!memberish && IsBlockingName(x)) {
+      std::vector<std::string> held = active_names();
+      if (!held.empty()) {
+        idx.blocking.push_back({fi, tk.line, x + "()", held});
+      }
+      continue;
+    }
+
+    // One-hop call site (resolved against method_locks later).
+    if (!holds.empty() && !active_names().empty() && !IsKeyword(x) &&
+        !IsMacroName(x) && !qualified) {
+      std::string recv;
+      if (memberish && t >= 2 && f.toks[t - 2].IsIdent()) {
+        recv = f.toks[t - 2].text;
+      } else if (memberish) {
+        continue;  // chained call `a.b().c()` — receiver unknown
+      }
+      call_sites.push_back(
+          {fi, tk.line, fn.cls, recv, x, active_names()});
+    }
+  }
+}
+
+void Builder::ResolveCallSites() {
+  // (class, method) -> union of directly-acquired lock names.
+  std::map<std::pair<std::string, std::string>, std::set<std::string>>
+      method_locks;
+  for (const FnSpan& fn : fns) {
+    if (fn.acquired.empty()) continue;
+    auto& s = method_locks[{fn.cls, fn.name}];
+    s.insert(fn.acquired.begin(), fn.acquired.end());
+  }
+  if (method_locks.empty()) return;
+
+  for (const CallSite& cs : call_sites) {
+    const std::set<std::string>* target = nullptr;
+    if (cs.recv.empty()) {
+      auto it = method_locks.find({cs.cls, cs.callee});
+      if (it == method_locks.end()) {
+        it = method_locks.find({"", cs.callee});
+      }
+      if (it != method_locks.end()) target = &it->second;
+    } else {
+      auto ct = member_types.find(cs.cls);
+      if (ct != member_types.end()) {
+        auto vt = ct->second.find(cs.recv);
+        if (vt != ct->second.end()) {
+          auto it = method_locks.find({vt->second, cs.callee});
+          if (it != method_locks.end()) target = &it->second;
+        }
+      }
+    }
+    if (target == nullptr) continue;
+    for (const std::string& to : *target) {
+      for (const std::string& from : cs.held) {
+        if (from == to) continue;  // same-instance recursion is a runtime
+                                   // concern; other-instance calls are legal
+        idx.edges.push_back({from, to, cs.file, cs.line,
+                             cs.callee + "()"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void Builder::Build() {
+  const int nf = static_cast<int>(idx.files.size());
+  class_spans.resize(nf);
+  includes_resolved.resize(nf);
+  idx.file_functions.resize(nf);
+  for (int fi = 0; fi < nf; ++fi) {
+    rel_to_file[idx.files[fi].rel] = fi;
+  }
+  for (int fi = 0; fi < nf; ++fi) {
+    StructuralPass(fi);
+    ResolveIncludes(fi);
+    if (IsSrc(fi)) CollectMutexDecls(fi);
+    for (const ClassSpan& cs : class_spans[fi]) {
+      ScanClassMembers(fi, cs);
+    }
+  }
+  std::sort(storage_locks.begin(), storage_locks.end());
+  storage_locks.erase(
+      std::unique(storage_locks.begin(), storage_locks.end()),
+      storage_locks.end());
+  for (FnSpan& fn : fns) {
+    const std::string& rel = idx.files[fn.file].rel;
+    // Lock analysis covers src/ but not the lock machinery itself: the
+    // Mutex/MutexLock/CondVar definitions lock through raw pointers by
+    // design.
+    if (!IsSrc(fn.file)) continue;
+    if (HasPrefix(rel, "src/util/thread_annotations")) continue;
+    AnalyzeFn(fn);
+  }
+  ResolveCallSites();
+}
+
+void BuildIndex(Index& index) {
+  Builder b(index);
+  b.Build();
+}
+
+}  // namespace dl::lint

@@ -1,0 +1,229 @@
+// dllint tokenizer: a real C++ lexer (comments, string/char literals, raw
+// strings, digit separators, preprocessor skipping) so rules operate on
+// token streams instead of regexes over raw text — a "socket(" inside a
+// string literal or a work-item marker inside code can no longer confuse a
+// rule.
+
+#include <cctype>
+#include <cstddef>
+#include <vector>
+
+#include "tools/dllint/dllint.h"
+
+namespace dl::lint {
+
+namespace {
+
+bool IdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// u8R"x(...)x" family: identifiers that, immediately followed by a quote,
+// introduce a raw string literal.
+bool RawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+}  // namespace
+
+void Tokenize(SourceFile& f) {
+  const std::string& s = f.text;
+  const size_t n = s.size();
+  size_t i = 0;
+  int line = 1;
+  f.toks.clear();
+  f.comments.clear();
+  f.includes.clear();
+
+  auto advance = [&](size_t to) {
+    for (; i < to && i < n; ++i) {
+      if (s[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: skip the whole (continued) line, but record
+    // #include "..." targets for the include-aware lock-name resolver.
+    if (c == '#') {
+      size_t j = i + 1;
+      while (j < n && (s[j] == ' ' || s[j] == '\t')) ++j;
+      size_t kw_start = j;
+      while (j < n && IdentChar(s[j])) ++j;
+      std::string kw = s.substr(kw_start, j - kw_start);
+      if (kw == "include") {
+        while (j < n && (s[j] == ' ' || s[j] == '\t')) ++j;
+        if (j < n && s[j] == '"') {
+          size_t close = s.find('"', j + 1);
+          if (close != std::string::npos) {
+            f.includes.push_back(s.substr(j + 1, close - j - 1));
+          }
+        }
+      }
+      // Consume to end of line, honouring backslash continuations, so
+      // macro bodies never reach the brace tracker.
+      while (j < n) {
+        if (s[j] == '\n') {
+          size_t back = j;
+          while (back > i && (s[back - 1] == ' ' || s[back - 1] == '\t')) {
+            --back;
+          }
+          if (back > i && s[back - 1] == '\\') {
+            ++j;  // continued line; keep consuming
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      advance(j);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      size_t j = s.find('\n', i);
+      if (j == std::string::npos) j = n;
+      f.comments.push_back({s.substr(i + 2, j - i - 2), line});
+      advance(j);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      size_t j = s.find("*/", i + 2);
+      size_t end = (j == std::string::npos) ? n : j + 2;
+      f.comments.push_back(
+          {s.substr(i + 2, (j == std::string::npos ? n : j) - i - 2), line});
+      advance(end);
+      continue;
+    }
+
+    // Identifiers (and raw-string prefixes).
+    if (IdentStart(c)) {
+      size_t j = i;
+      while (j < n && IdentChar(s[j])) ++j;
+      std::string ident = s.substr(i, j - i);
+      if (j < n && s[j] == '"' && RawStringPrefix(ident)) {
+        // Raw string: R"delim( ... )delim"
+        size_t p = j + 1;
+        std::string delim;
+        while (p < n && s[p] != '(') delim += s[p++];
+        std::string closer = ")" + delim + "\"";
+        size_t close = s.find(closer, p);
+        size_t end = (close == std::string::npos) ? n : close + closer.size();
+        f.toks.push_back({Token::Kind::kString, "<raw-string>", line});
+        advance(end);
+        continue;
+      }
+      f.toks.push_back({Token::Kind::kIdent, std::move(ident), line});
+      advance(j);
+      continue;
+    }
+
+    // Numbers (incl. hex, digit separators 1'000'000, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      size_t j = i;
+      while (j < n) {
+        char d = s[j];
+        if (IdentChar(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && IdentChar(s[j + 1])) {
+          j += 2;  // digit separator
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                    s[j - 1] == 'P')) {
+          ++j;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      f.toks.push_back({Token::Kind::kNumber, s.substr(i, j - i), line});
+      advance(j);
+      continue;
+    }
+
+    // String and char literals. Token text is the *content* (escapes kept
+    // raw) — mutex-name extraction reads the "subsystem.what" literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < n && s[j] != quote) {
+        j += (s[j] == '\\' && j + 1 < n) ? 2 : 1;
+      }
+      std::string content = s.substr(i + 1, (j < n ? j : n) - i - 1);
+      if (j < n) ++j;  // consume closing quote
+      f.toks.push_back({quote == '"' ? Token::Kind::kString
+                                     : Token::Kind::kChar,
+                        std::move(content), line});
+      advance(j);
+      continue;
+    }
+
+    // Punctuation: keep `::` and `->` as single tokens (rules key on
+    // qualified names and member dereferences); everything else is one
+    // character.
+    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+      f.toks.push_back({Token::Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      f.toks.push_back({Token::Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    f.toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  // Bracket matching for (), {}, []. Mismatches (unbalanced code never
+  // reaches the compiler, but be tolerant) leave -1.
+  f.match.assign(f.toks.size(), -1);
+  std::vector<size_t> parens, braces, squares;
+  for (size_t t = 0; t < f.toks.size(); ++t) {
+    const std::string& txt = f.toks[t].text;
+    if (f.toks[t].kind != Token::Kind::kPunct) continue;
+    if (txt == "(") {
+      parens.push_back(t);
+    } else if (txt == ")") {
+      if (!parens.empty()) {
+        f.match[t] = static_cast<int>(parens.back());
+        f.match[parens.back()] = static_cast<int>(t);
+        parens.pop_back();
+      }
+    } else if (txt == "{") {
+      braces.push_back(t);
+    } else if (txt == "}") {
+      if (!braces.empty()) {
+        f.match[t] = static_cast<int>(braces.back());
+        f.match[braces.back()] = static_cast<int>(t);
+        braces.pop_back();
+      }
+    } else if (txt == "[") {
+      squares.push_back(t);
+    } else if (txt == "]") {
+      if (!squares.empty()) {
+        f.match[t] = static_cast<int>(squares.back());
+        f.match[squares.back()] = static_cast<int>(t);
+        squares.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace dl::lint
