@@ -56,6 +56,7 @@ for bench in "${benches[@]}"; do
     # Only pass flags to binaries known to take them.
     case "$name" in
       bench_fig7_local_loader) args=(--images 200) ;;
+      bench_concurrent_commits) args=(--quick) ;;
     esac
   fi
   echo "=== $name ${args[*]:-}"

@@ -117,6 +117,77 @@ Result<std::unique_ptr<version::BranchLock>> DeepLake::LockBranch(
                                       ttl_ms);
 }
 
+Result<std::string> DeepLake::HeadCommit() {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  return vc_->SealedHead();
+}
+
+Result<std::shared_ptr<tsf::Dataset>> DeepLake::At(
+    const std::string& commit_id) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  DL_ASSIGN_OR_RETURN(auto store, vc_->StoreAt(commit_id));
+  return tsf::Dataset::Open(store);
+}
+
+Result<std::unique_ptr<version::WriteTxn>> DeepLake::BeginTxn(
+    const std::string& owner) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  version::TxnOptions opts;
+  opts.owner = owner;
+  return version::WriteTxn::Begin(vc_, opts);
+}
+
+Result<std::string> DeepLake::Transact(
+    const std::function<Status(tsf::Dataset&)>& body,
+    const std::string& message, const version::TxnRetryOptions& retry) {
+  if (!vc_) {
+    return Status::FailedPrecondition(
+        "this lake was opened without version control");
+  }
+  // Deliberately NO flush of the working dataset here: flushing would
+  // write its meta into the working head's directory, which after the
+  // publish reparents that head would shadow the transaction's changes
+  // for every reader (and publish refuses dirty working heads outright —
+  // DESIGN.md §12). The body writes through the transaction's dataset.
+  DL_ASSIGN_OR_RETURN(std::string landed,
+                      version::CommitWithTxnRetries(vc_, {}, body, message,
+                                                    retry));
+  DL_RETURN_IF_ERROR(ReopenDataset());
+  return landed;
+}
+
+Result<tql::DatasetView> DeepLake::QueryAt(const std::string& commit_id,
+                                           const std::string& query_text) {
+  DL_ASSIGN_OR_RETURN(auto snapshot, At(commit_id));
+  tql::QueryOptions options;
+  auto vc = vc_;
+  options.version_resolver =
+      [vc](const std::string& commit)
+      -> Result<std::shared_ptr<tsf::Dataset>> {
+    DL_ASSIGN_OR_RETURN(auto store, vc->StoreAt(commit));
+    return tsf::Dataset::Open(store);
+  };
+  DL_ASSIGN_OR_RETURN(tql::DatasetView view,
+                      tql::RunQuery(snapshot, query_text, options));
+  view.PinAtCommit(commit_id);
+  return view;
+}
+
+Result<std::unique_ptr<stream::Dataloader>> DeepLake::DataloaderAt(
+    const std::string& commit_id, stream::DataloaderOptions options) {
+  DL_ASSIGN_OR_RETURN(auto snapshot, At(commit_id));
+  return std::make_unique<stream::Dataloader>(snapshot, options);
+}
+
 Result<tql::DatasetView> DeepLake::Query(const std::string& query_text) {
   tql::QueryOptions options;
   if (vc_) {

@@ -13,6 +13,7 @@
 #include "tql/executor.h"
 #include "tsf/dataset.h"
 #include "version/branch_lock.h"
+#include "version/mvcc.h"
 #include "version/version_control.h"
 #include "viz/visualizer.h"
 
@@ -98,11 +99,42 @@ class DeepLake {
   Result<std::unique_ptr<version::BranchLock>> LockBranch(
       const std::string& owner, int64_t ttl_ms = 30000);
 
+  // ---- MVCC: concurrent writers & snapshot readers (DESIGN.md §12) ----
+
+  /// The current branch's last *sealed* commit — the snapshot a reader
+  /// pins and the base a transaction stages against.
+  Result<std::string> HeadCommit();
+
+  /// Read-only dataset pinned at `commit_id` (time travel). The snapshot
+  /// reads through that commit's immutable chain, so it never observes
+  /// commits published after it — regardless of what concurrent writers
+  /// do to this lake's working state.
+  Result<std::shared_ptr<tsf::Dataset>> At(const std::string& commit_id);
+
+  /// Opens an optimistic write transaction on the current branch. Many may
+  /// be open at once; publishes serialize and conflict-check (§12).
+  Result<std::unique_ptr<version::WriteTxn>> BeginTxn(
+      const std::string& owner = "");
+
+  /// Runs `body` in a WriteTxn and publishes it, retrying on conflicts
+  /// with capped backoff; reopens this lake's working dataset on success
+  /// so the landed changes are visible here. Returns the landed commit id.
+  Result<std::string> Transact(
+      const std::function<Status(tsf::Dataset&)>& body,
+      const std::string& message,
+      const version::TxnRetryOptions& retry = {});
+
   // ---- Query (§4.4) ----
 
   /// Runs a TQL query against the current dataset; `VERSION '<commit>'`
   /// clauses resolve through version control automatically.
   Result<tql::DatasetView> Query(const std::string& query_text);
+
+  /// Runs a TQL query against the snapshot pinned at `commit_id`; the
+  /// returned view records the pin (DatasetView::pinned_commit) and is
+  /// immune to concurrently publishing writers.
+  Result<tql::DatasetView> QueryAt(const std::string& commit_id,
+                                   const std::string& query_text);
 
   /// Profiles `query_text` and returns its per-operator profile — the
   /// programmatic twin of `EXPLAIN ANALYZE <query>` (which returns the
@@ -125,6 +157,11 @@ class DeepLake {
       const tql::DatasetView& view, stream::DataloaderOptions options) {
     return std::make_unique<stream::Dataloader>(dataset_, view, options);
   }
+  /// Dataloader over the snapshot pinned at `commit_id`: epochs stream a
+  /// frozen view of the data while writers keep publishing (§12
+  /// continuous ingestion).
+  Result<std::unique_ptr<stream::Dataloader>> DataloaderAt(
+      const std::string& commit_id, stream::DataloaderOptions options);
 
   // ---- Observability ----
 

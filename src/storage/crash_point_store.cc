@@ -20,24 +20,48 @@ const char* CrashModeName(CrashMode mode) {
   return "unknown";
 }
 
+const char* CrashScopeName(CrashScope scope) {
+  switch (scope) {
+    case CrashScope::kProcess:
+      return "process";
+    case CrashScope::kWriter:
+      return "writer";
+  }
+  return "unknown";
+}
+
 CrashPointStore::CrashPointStore(StoragePtr base, uint64_t crash_at_write,
-                                 CrashMode mode)
-    : base_(std::move(base)), crash_at_write_(crash_at_write), mode_(mode) {}
+                                 CrashMode mode, CrashScope scope)
+    : base_(std::move(base)), crash_at_write_(crash_at_write), mode_(mode),
+      scope_(scope) {}
 
 Status CrashPointStore::Dead() const {
   return Status::IOError("crash: store is dead (crashed at write " +
                          std::to_string(crash_at_write_) + ", mode " +
-                         CrashModeName(mode_) + ")");
+                         CrashModeName(mode_) + ", scope " +
+                         CrashScopeName(scope_) + ")");
+}
+
+bool CrashPointStore::IsDead() const {
+  if (!crashed_.load(std::memory_order_acquire)) return false;
+  if (scope_ == CrashScope::kProcess) return true;
+  MutexLock lock(mu_);
+  return dead_thread_ == std::this_thread::get_id();
 }
 
 Status CrashPointStore::OnWrite(std::string_view key, ByteView value,
                                 bool durable, bool* handled) {
   *handled = true;
-  if (crashed_.load(std::memory_order_acquire)) return Dead();
+  if (IsDead()) return Dead();
   uint64_t n = writes_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (crash_at_write_ == 0 || n != crash_at_write_) {
+  if (crash_at_write_ == 0 || n != crash_at_write_ ||
+      crashed_.load(std::memory_order_acquire)) {
     *handled = false;  // normal write; caller forwards to base
     return Status::OK();
+  }
+  {
+    MutexLock lock(mu_);
+    dead_thread_ = std::this_thread::get_id();
   }
   crashed_.store(true, std::memory_order_release);
   switch (mode_) {
@@ -69,14 +93,14 @@ Status CrashPointStore::OnWrite(std::string_view key, ByteView value,
 }
 
 Result<Slice> CrashPointStore::Get(std::string_view key) {
-  if (crashed()) return Dead();
+  if (IsDead()) return Dead();
   return base_->Get(key);
 }
 
 Result<Slice> CrashPointStore::GetRange(std::string_view key,
                                              uint64_t offset,
                                              uint64_t length) {
-  if (crashed()) return Dead();
+  if (IsDead()) return Dead();
   return base_->GetRange(key, offset, length);
 }
 
@@ -95,23 +119,23 @@ Status CrashPointStore::PutDurable(std::string_view key, ByteView value) {
 }
 
 Status CrashPointStore::Delete(std::string_view key) {
-  if (crashed()) return Dead();
+  if (IsDead()) return Dead();
   return base_->Delete(key);
 }
 
 Result<bool> CrashPointStore::Exists(std::string_view key) {
-  if (crashed()) return Dead();
+  if (IsDead()) return Dead();
   return base_->Exists(key);
 }
 
 Result<uint64_t> CrashPointStore::SizeOf(std::string_view key) {
-  if (crashed()) return Dead();
+  if (IsDead()) return Dead();
   return base_->SizeOf(key);
 }
 
 Result<std::vector<std::string>> CrashPointStore::ListPrefix(
     std::string_view prefix) {
-  if (crashed()) return Dead();
+  if (IsDead()) return Dead();
   return base_->ListPrefix(prefix);
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -484,18 +485,34 @@ enum class CrashMode {
 
 const char* CrashModeName(CrashMode mode);
 
+/// Which execution scope a firing crash point kills.
+enum class CrashScope {
+  /// The whole process: every subsequent operation, from any thread, fails.
+  kProcess,
+  /// Only the writer that issued the crashing write: subsequent operations
+  /// from that thread fail, other threads proceed untouched. Models one
+  /// member of a group of concurrent committers dying mid-protocol while
+  /// its siblings keep publishing (the DESIGN.md §12 concurrent crash
+  /// matrix).
+  kWriter,
+};
+
+const char* CrashScopeName(CrashScope scope);
+
 /// Deterministic crash injector for the crash-matrix tests (DESIGN.md §9):
 /// writes (Put/PutDurable) are counted, and write number `crash_at_write`
 /// (1-based) is mangled per `mode`; from that point on every operation —
-/// reads included — fails with IOError, modeling a dead process. The test
-/// then reopens the *base* store with a fresh decorator chain and asserts
-/// the dataset recovered to exactly the old or the new state.
+/// reads included — fails with IOError for the crashed scope (the whole
+/// process, or just the issuing thread, per CrashScope). The test then
+/// reopens the *base* store with a fresh decorator chain and asserts the
+/// dataset recovered to exactly the old or the new state.
 ///
 /// Deletes are not counted as crash points but are suppressed after the
-/// crash like everything else.
+/// crash like everything else (within the crashed scope).
 class CrashPointStore : public StorageProvider {
  public:
-  CrashPointStore(StoragePtr base, uint64_t crash_at_write, CrashMode mode);
+  CrashPointStore(StoragePtr base, uint64_t crash_at_write, CrashMode mode,
+                  CrashScope scope = CrashScope::kProcess);
 
   Result<Slice> Get(std::string_view key) override;
   Result<Slice> GetRange(std::string_view key, uint64_t offset,
@@ -530,12 +547,18 @@ class CrashPointStore : public StorageProvider {
   Status OnWrite(std::string_view key, ByteView value, bool durable,
                  bool* handled);
   Status Dead() const;
+  /// True when the calling thread belongs to the crashed scope.
+  bool IsDead() const;
 
   StoragePtr base_;
   const uint64_t crash_at_write_;  // 0 = never crash (pure counter mode)
   const CrashMode mode_;
+  const CrashScope scope_;
   std::atomic<uint64_t> writes_seen_{0};
   std::atomic<bool> crashed_{false};
+  /// Guards dead_thread_ (kWriter scope). Leaf (lock_hierarchy.txt).
+  mutable Mutex mu_{"storage.crash_point.mu"};
+  std::thread::id dead_thread_ DL_GUARDED_BY(mu_);
 };
 
 /// Reads `key` and unwraps its integrity envelope (legacy raw objects pass

@@ -140,6 +140,16 @@ class DatasetView {
     profile_ = std::move(profile);
   }
 
+  /// Snapshot isolation (DESIGN.md §12): the commit this view's dataset is
+  /// pinned at, recorded by DeepLake::QueryAt / At. Empty for views over a
+  /// live working dataset. A pinned view never observes concurrently
+  /// published commits — its dataset reads through the immutable chain of
+  /// the pinned commit.
+  const std::string& pinned_commit() const { return pinned_commit_; }
+  void PinAtCommit(std::string commit_id) {
+    pinned_commit_ = std::move(commit_id);
+  }
+
  private:
   const SelectItem* FindItem(const std::string& column) const;
 
@@ -151,6 +161,7 @@ class DatasetView {
   std::vector<std::string> columns_;
   std::vector<std::vector<Value>> rows_;  // computed views
   std::shared_ptr<const QueryProfile> profile_;
+  std::string pinned_commit_;
 };
 
 struct QueryOptions {

@@ -458,6 +458,76 @@ Status Tensor::Update(uint64_t index, const Sample& sample) {
   return PersistEncoders();
 }
 
+Status Tensor::UpdateContiguous(uint64_t start,
+                                const std::vector<Sample>& samples) {
+  if (samples.empty()) return Status::OK();
+  uint64_t n = NumSamples();
+  if (start >= n || samples.size() > n - start) {
+    return Status::OutOfRange("UpdateContiguous range [" +
+                              std::to_string(start) + ", " +
+                              std::to_string(start + samples.size()) +
+                              ") exceeds tensor length " + std::to_string(n));
+  }
+  for (const auto& s : samples) {
+    DL_RETURN_IF_ERROR(meta_.ValidateSample(s));
+  }
+  // Updates operate on flushed chunks.
+  if (start + samples.size() > chunk_encoder_.num_samples()) {
+    DL_RETURN_IF_ERROR(Flush());
+  }
+
+  uint64_t i = 0;
+  while (i < samples.size()) {
+    uint64_t index = start + i;
+    uint64_t raw = samples[i].shape.IsEmptySample() ? 0 : samples[i].nbytes();
+    if (tile_encoder_.IsTiled(index) || raw > meta_.max_chunk_bytes) {
+      DL_RETURN_IF_ERROR(Update(index, samples[i]));
+      ++i;
+      continue;
+    }
+    DL_ASSIGN_OR_RETURN(ChunkEncoder::Location loc, chunk_encoder_.Find(index));
+    // Batch every remaining in-range sample that lands in this chunk and
+    // stays on the dense path.
+    uint64_t take = std::min<uint64_t>(samples.size() - i,
+                                       loc.chunk_samples - loc.local_index);
+    uint64_t dense = 0;
+    while (dense < take) {
+      const Sample& s = samples[i + dense];
+      uint64_t rb = s.shape.IsEmptySample() ? 0 : s.nbytes();
+      if (tile_encoder_.IsTiled(index + dense) || rb > meta_.max_chunk_bytes) {
+        break;
+      }
+      ++dense;
+    }
+    take = dense;  // >= 1: samples[i] itself passed the checks above
+    DL_ASSIGN_OR_RETURN(std::shared_ptr<Chunk> chunk, FetchChunk(loc.chunk_id));
+    ChunkBuilder builder(meta_.dtype, meta_.sample_compression,
+                         meta_.chunk_compression);
+    for (uint64_t j = 0; j < loc.chunk_samples; ++j) {
+      if (j >= loc.local_index && j < loc.local_index + take) {
+        DL_RETURN_IF_ERROR(builder.Append(samples[i + (j - loc.local_index)]));
+      } else {
+        DL_ASSIGN_OR_RETURN(Sample s, chunk->ReadSample(j));
+        DL_RETURN_IF_ERROR(builder.Append(s));
+      }
+    }
+    DL_ASSIGN_OR_RETURN(ByteBuffer obj, builder.Finish());
+    uint64_t new_id = NextChunkId();
+    DL_RETURN_IF_ERROR(store_->Put(ChunkKey(new_id), ByteView(obj)));
+    DL_RETURN_IF_ERROR(
+        chunk_encoder_.ReplaceChunkId(loc.chunk_ordinal, new_id));
+    {
+      MutexLock lock(cache_mu_);
+      cached_chunk_.reset();  // invalidate
+    }
+    for (uint64_t j = 0; j < take; ++j) {
+      DL_RETURN_IF_ERROR(shape_encoder_.Set(index + j, samples[i + j].shape));
+    }
+    i += take;
+  }
+  return PersistEncoders();
+}
+
 Status Tensor::RewriteSampleInChunk(uint64_t index, const Sample& sample) {
   DL_ASSIGN_OR_RETURN(ChunkEncoder::Location loc, chunk_encoder_.Find(index));
   DL_ASSIGN_OR_RETURN(std::shared_ptr<Chunk> chunk, FetchChunk(loc.chunk_id));

@@ -61,6 +61,15 @@ class Tensor {
   /// empty samples — the sparse/out-of-bounds assignment behaviour.
   Status Update(uint64_t index, const Sample& sample);
 
+  /// Replaces samples [start, start+samples.size()) in place, rebuilding
+  /// each affected chunk ONCE — per-sample Update rewrites its whole chunk
+  /// per call, which is quadratic over a dense range. All indices must
+  /// already exist (no sparse tail). Oversized and tiled samples fall back
+  /// to the per-sample path. The MVCC rebase replay depends on this: its
+  /// modified ranges are chunk-granular, so dense whole-chunk rewrites are
+  /// the common case.
+  Status UpdateContiguous(uint64_t start, const std::vector<Sample>& samples);
+
   /// Reads one sample.
   Result<Sample> Read(uint64_t index);
 

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unknown";
     case StatusCode::kTransient:
       return "Transient";
+    case StatusCode::kConflict:
+      return "Conflict";
   }
   return "InvalidCode";
 }

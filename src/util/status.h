@@ -25,6 +25,10 @@ enum class StatusCode : int {
   /// A fault that is expected to clear on its own: object-store 5xx,
   /// connection reset, request timeout. Always retryable.
   kTransient = 12,
+  /// An optimistic-concurrency conflict: another writer published an
+  /// overlapping change first (version::WriteTxn publish). Retryable —
+  /// rebuilding the transaction against the new head usually succeeds.
+  kConflict = 13,
 };
 
 /// Returns a stable human-readable name for a status code ("IOError", ...).
@@ -89,6 +93,9 @@ class [[nodiscard]] Status {
   static Status Transient(std::string msg) {
     return Status(StatusCode::kTransient, std::move(msg));
   }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -113,16 +120,20 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsTransient() const { return code_ == StatusCode::kTransient; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
 
   /// Transient-vs-permanent classification for retry layers
-  /// (storage::RetryingStore, the dataloader's fetch retries). Retryable:
-  /// explicit transient faults, I/O errors (network hiccups, throttled or
-  /// flaky backends) and resource exhaustion. Permanent input/state errors
-  /// (NotFound, InvalidArgument, Corruption, ...) must not be retried —
-  /// repeating them cannot succeed and hides real bugs.
+  /// (storage::RetryingStore, the dataloader's fetch retries, the MVCC
+  /// publish loop). Retryable: explicit transient faults, I/O errors
+  /// (network hiccups, throttled or flaky backends), resource exhaustion
+  /// and optimistic-concurrency conflicts (a fresh transaction against the
+  /// new head usually lands). Permanent input/state errors (NotFound,
+  /// InvalidArgument, Corruption, ...) must not be retried — repeating
+  /// them cannot succeed and hides real bugs.
   bool IsRetryable() const {
     return code_ == StatusCode::kTransient || code_ == StatusCode::kIOError ||
-           code_ == StatusCode::kResourceExhausted;
+           code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kConflict;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -1,5 +1,10 @@
 #include "version/branch_lock.h"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+
 #include "util/clock.h"
 #include "util/json.h"
 #include "util/macros.h"
@@ -13,8 +18,16 @@ std::string LockKey(const std::string& branch) {
   return PathJoin("locks", branch + ".json");
 }
 
+std::string HostName() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
 struct Lease {
   std::string owner;
+  std::string host;
+  int64_t pid = 0;
   int64_t expires_us = 0;
 };
 
@@ -24,8 +37,22 @@ Result<Lease> ReadLease(storage::StoragePtr store,
   DL_ASSIGN_OR_RETURN(Json j, Json::Parse(bytes.ToStringView()));
   Lease lease;
   lease.owner = j.Get("owner").as_string();
+  lease.host = j.Get("host").as_string();
+  lease.pid = j.Get("pid").as_int(0);
   lease.expires_us = j.Get("expires_us").as_int();
   return lease;
+}
+
+/// True when the lease's holder process provably no longer exists: the
+/// lease was stamped by THIS host and kill(pid, 0) says the pid is gone.
+/// A lease from another host, a pre-pid-stamp (legacy) lease, or a live
+/// pid is never "dead" — those wait out the TTL as before. (Pid reuse can
+/// fool this; the lock is advisory and the window is the lease TTL.)
+bool HolderProvablyDead(const Lease& lease) {
+  if (lease.pid <= 0 || lease.host.empty()) return false;
+  if (lease.host != HostName()) return false;
+  if (static_cast<int64_t>(getpid()) == lease.pid) return false;
+  return kill(static_cast<pid_t>(lease.pid), 0) == -1 && errno == ESRCH;
 }
 
 }  // namespace
@@ -34,6 +61,11 @@ Status BranchLock::WriteLease() {
   Json j = Json::MakeObject();
   j.Set("owner", owner_);
   j.Set("branch", branch_);
+  // Host + pid identify the holding process, letting a later Acquire on
+  // the same machine take over a crashed writer's lease immediately
+  // instead of waiting out the TTL.
+  j.Set("host", HostName());
+  j.Set("pid", static_cast<int64_t>(getpid()));
   j.Set("acquired_us", NowMicros());
   j.Set("expires_us", NowMicros() + ttl_ms_ * 1000);
   std::string text = j.Dump();
@@ -45,7 +77,7 @@ Result<std::unique_ptr<BranchLock>> BranchLock::Acquire(
     const std::string& owner, int64_t ttl_ms) {
   auto existing = ReadLease(store, branch);
   if (existing.ok() && existing->owner != owner &&
-      existing->expires_us > NowMicros()) {
+      existing->expires_us > NowMicros() && !HolderProvablyDead(*existing)) {
     return Status::Aborted("branch '" + branch + "' is locked by '" +
                            existing->owner + "'");
   }
@@ -95,6 +127,7 @@ Result<std::string> BranchLock::HolderOf(storage::StoragePtr store,
     return lease.status();
   }
   if (lease->expires_us <= NowMicros()) return std::string();
+  if (HolderProvablyDead(*lease)) return std::string();
   return lease->owner;
 }
 

@@ -14,9 +14,12 @@ namespace dl::version {
 ///
 /// An advisory lease object `locks/<branch>.json` marks a branch as owned
 /// by one writer. Leases expire: a crashed writer's lock is broken by the
-/// next Acquire after the TTL passes, so no manual cleanup is needed.
-/// Concurrent readers never take locks — only sessions that intend to
-/// write to the branch's working commit.
+/// next Acquire after the TTL passes, so no manual cleanup is needed. The
+/// lease is also stamped with the holder's host + pid, so an Acquire on
+/// the same machine takes over a *crashed* holder's lease immediately
+/// (kill(pid, 0) == ESRCH) instead of waiting out the TTL. Concurrent
+/// readers never take locks — only sessions that intend to write to the
+/// branch's working commit.
 ///
 ///   auto lock = version::BranchLock::Acquire(store, "main", "worker-3",
 ///                                            /*ttl_ms=*/30000);

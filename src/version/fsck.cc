@@ -33,8 +33,8 @@ std::string BaseName(std::string_view key) {
 /// JSON manifests that may be enveloped (post-§9) or legacy raw.
 bool IsJsonManifest(const std::string& base) {
   return base == "keyset.json" || base == "diff.json" ||
-         base == "commit.json" || base == "tensor_meta.json" ||
-         base == "dataset_meta.json" ||
+         base == "commit.json" || base == "txn.json" ||
+         base == "tensor_meta.json" || base == "dataset_meta.json" ||
          base == VersionControl::kInfoKey;
 }
 
@@ -86,6 +86,8 @@ const char* FsckIssueKindName(FsckIssueKind kind) {
       return "bad-info";
     case FsckIssueKind::kTempDebris:
       return "temp-debris";
+    case FsckIssueKind::kStaleTxn:
+      return "stale-txn";
   }
   return "unknown";
 }
@@ -137,6 +139,8 @@ Result<FsckReport> FsckScan(storage::StoragePtr store) {
   std::set<std::string> dir_ids;
   std::set<std::string> dirs_with_keyset;
   std::set<std::string> dirs_with_record;
+  std::set<std::string> dirs_with_torn_record;
+  std::set<std::string> dirs_with_marker;
   for (const auto& key : keys) {
     std::string dir_id = VersionDirIdOf(key);
     if (!dir_id.empty()) dir_ids.insert(dir_id);
@@ -166,10 +170,18 @@ Result<FsckReport> FsckScan(storage::StoragePtr store) {
       continue;
     }
     if (IsJsonManifest(base)) {
+      if (base == "txn.json") {
+        // An MVCC staging marker: its *presence* classifies the directory
+        // (DESIGN.md §12); whether its bytes verify is irrelevant — a torn
+        // marker marks debris just as well.
+        dirs_with_marker.insert(dir_id);
+        continue;
+      }
       Status s = CheckManifestBytes(*bytes);
       if (!s.ok()) {
         if (base == "commit.json") {
           dirs_with_record.insert(dir_id);
+          dirs_with_torn_record.insert(dir_id);
           AddIssue(&report, FsckIssueKind::kTornCommit, key,
                    "commit record failed verification (crash at the commit "
                    "point): " + s.ToString());
@@ -187,10 +199,44 @@ Result<FsckReport> FsckScan(storage::StoragePtr store) {
     // Get above) is the guarantee; they carry no independent checksum.
   }
 
+  // MVCC staging debris (DESIGN.md §12): a txn marker without a valid
+  // commit record means the transaction never published, so the directory
+  // was never reachable — classifiable as debris whether or not the info
+  // snapshot is readable. A marker alongside a valid record is the
+  // opposite: a published commit whose marker delete was lost; only the
+  // marker itself is debris there.
+  std::set<std::string> stale_txn_dirs;
+  for (const auto& id : dirs_with_marker) {
+    bool has_valid_record = dirs_with_record.count(id) > 0 &&
+                            dirs_with_torn_record.count(id) == 0;
+    if (has_valid_record) {
+      AddIssue(&report, FsckIssueKind::kStaleTxn, TxnMarkerKey(id),
+               "leftover transaction marker on a published commit");
+    } else {
+      stale_txn_dirs.insert(id);
+    }
+  }
+  if (!stale_txn_dirs.empty()) {
+    // Objects inside a stale staging directory may be arbitrarily torn
+    // (the writer died mid-write); they are deleted wholesale by repair,
+    // so per-object issues there are noise — fold them into one issue.
+    std::vector<FsckIssue> kept;
+    for (auto& issue : report.issues) {
+      if (stale_txn_dirs.count(VersionDirIdOf(issue.key)) > 0) continue;
+      kept.push_back(std::move(issue));
+    }
+    report.issues = std::move(kept);
+    for (const auto& id : stale_txn_dirs) {
+      AddIssue(&report, FsckIssueKind::kStaleTxn, VersionDir(id),
+               "abandoned staged transaction (crashed or losing writer); "
+               "repair deletes the directory");
+    }
+  }
+
   // Structural pass.
   if (info_ok) {
     for (const auto& id : dir_ids) {
-      if (known_commits.count(id) == 0) {
+      if (known_commits.count(id) == 0 && dirs_with_marker.count(id) == 0) {
         AddIssue(&report, FsckIssueKind::kOrphanDir, VersionDir(id),
                  "version directory referenced by no commit");
       }
@@ -255,6 +301,23 @@ Result<FsckReport> FsckRepair(storage::StoragePtr store) {
         }
         break;
       }
+      case FsckIssueKind::kStaleTxn:
+        if (BaseName(issue.key) == "txn.json") {
+          // Marker on a published commit: only the marker is debris.
+          auto exists = store->Exists(issue.key);
+          if (exists.ok() && *exists) {
+            DL_RETURN_IF_ERROR(store->Delete(issue.key));
+            repairs.push_back("deleted leftover txn marker '" + issue.key +
+                              "'");
+          }
+        } else {
+          DL_ASSIGN_OR_RETURN(auto keys,
+                              store->ListPrefix(issue.key + "/"));
+          for (const auto& k : keys) DL_RETURN_IF_ERROR(store->Delete(k));
+          repairs.push_back("removed abandoned staged transaction '" +
+                            issue.key + "'");
+        }
+        break;
       case FsckIssueKind::kOrphanDir:
       case FsckIssueKind::kMissingKeySet:
         // Handled by the recovery replay below.
@@ -287,6 +350,11 @@ Result<FsckReport> FsckRepair(storage::StoragePtr store) {
       repairs.push_back("recovery removed " +
                         std::to_string(rec.orphan_dirs_removed) +
                         " orphan version dir(s)");
+    }
+    if (rec.stale_txns_removed) {
+      repairs.push_back("recovery removed " +
+                        std::to_string(rec.stale_txns_removed) +
+                        " abandoned staged transaction(s)");
     }
     if (rec.info_rebuilt) {
       repairs.push_back("recovery rebuilt the info snapshot from records");

@@ -30,6 +30,12 @@ enum class FsckIssueKind {
   kBadInfo,
   /// Leftover atomic-write temp file (".dltmp." in the name).
   kTempDebris,
+  /// Abandoned MVCC staging directory (DESIGN.md §12): carries a txn.json
+  /// marker but no valid commit record — debris of a crashed or losing
+  /// writer. Repair deletes the whole directory; nothing in it was ever
+  /// reachable. Also used for a leftover marker on a *published* commit
+  /// (record present), where repair deletes just the marker.
+  kStaleTxn,
 };
 
 const char* FsckIssueKindName(FsckIssueKind kind);

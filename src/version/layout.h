@@ -17,6 +17,10 @@ namespace dl::version {
 ///   versions/<id>/diff.json            diff vs parent (written at seal)
 ///   versions/<id>/commit.json          commit record — its presence IS the
 ///                                      commit point (DESIGN.md §9)
+///   versions/<id>/txn.json             staged-transaction marker: <id> is a
+///                                      private MVCC staging commit, deleted
+///                                      just before its commit record lands
+///                                      (DESIGN.md §12)
 ///   versions/<id>/<key...>             the commit's data objects
 
 inline constexpr char kVersionsPrefix[] = "versions/";
@@ -33,13 +37,16 @@ inline std::string DiffKey(const std::string& commit_id) {
 inline std::string CommitRecordKey(const std::string& commit_id) {
   return PathJoin(VersionDir(commit_id), "commit.json");
 }
+inline std::string TxnMarkerKey(const std::string& commit_id) {
+  return PathJoin(VersionDir(commit_id), "txn.json");
+}
 
 /// True for the version-dir-relative names that are bookkeeping manifests
 /// rather than data objects — excluded when a key set is rebuilt from a
 /// directory listing.
 inline bool IsVersionManifestName(std::string_view rel_key) {
   return rel_key == "keyset.json" || rel_key == "diff.json" ||
-         rel_key == "commit.json";
+         rel_key == "commit.json" || rel_key == "txn.json";
 }
 
 /// Extracts the commit id from a full key "versions/<id>/..."; empty when

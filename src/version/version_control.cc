@@ -230,6 +230,10 @@ Result<storage::StoragePtr> VersionControl::StoreAt(
 }
 
 Result<std::string> VersionControl::Commit(const std::string& message) {
+  // Sealing the working head and publishing a staged transaction both
+  // advance the branch head; publish_mu_ serializes them so a concurrent
+  // WriteTxn::Publish cannot reparent the head mid-seal (DESIGN.md §12).
+  MutexLock publish_lock(publish_mu_);
   std::string sealed_id;
   {
     MutexLock lock(mu_);
@@ -404,6 +408,24 @@ Status VersionControl::Flush() {
   return PersistInfo();
 }
 
+Result<std::string> VersionControl::SealedHead(const std::string& branch) {
+  MutexLock lock(mu_);
+  std::string b = branch.empty() ? current_branch_ : branch;
+  if (b.empty()) {
+    // Detached: the pinned commit itself is the sealed snapshot.
+    return current_commit_;
+  }
+  auto it = branches_.find(b);
+  if (it == branches_.end()) {
+    return Status::NotFound("no branch '" + b + "'");
+  }
+  auto head = commits_.find(it->second);
+  if (head == commits_.end() || head->second.parent.empty()) {
+    return Status::NotFound("branch '" + b + "' has no sealed commit yet");
+  }
+  return head->second.parent;
+}
+
 // ---------------------------------------------------------------------------
 // Manifest I/O — every bookkeeping JSON goes through the checksummed,
 // durable envelope path (DESIGN.md §9).
@@ -431,6 +453,10 @@ Status VersionControl::PersistInfo() {
     MutexLock lock(mu_);
     for (const auto& [b, head] : branches_) branches.Set(b, head);
     for (const auto& [id, info] : commits_) {
+      // Staged transaction commits are private to their writer until they
+      // publish; the snapshot never references them, so a crashed writer's
+      // staging directory is provably debris (GC'd via its txn marker).
+      if (info.staged) continue;
       Json c = Json::MakeObject();
       c.Set("parent", info.parent);
       c.Set("branch", info.branch);
@@ -551,6 +577,11 @@ Status VersionControl::WriteCommitRecord(const std::string& commit_id) {
   return PutManifest(CommitRecordKey(commit_id), j);
 }
 
+bool VersionControl::HasTxnMarker(const std::string& commit_id) {
+  auto exists = base_->Exists(TxnMarkerKey(commit_id));
+  return exists.ok() && *exists;
+}
+
 Result<CommitInfo> VersionControl::ReadCommitRecord(
     const std::string& commit_id) {
   DL_ASSIGN_OR_RETURN(Json j, ReadManifest(CommitRecordKey(commit_id)));
@@ -605,6 +636,10 @@ Status VersionControl::RebuildInfoFromRecords() {
       recovery_.commits_rolled_back++;
       DL_RETURN_IF_ERROR(base_->Delete(CommitRecordKey(id)));
     }
+    // A txn.json marker proves the directory is MVCC staging debris, never
+    // a legacy working head: leave it out of the adoption candidates so
+    // Recover()'s stale-transaction pass garbage-collects it.
+    if (HasTxnMarker(id)) continue;
     recordless.push_back(id);
   }
 
@@ -712,10 +747,69 @@ Status VersionControl::Recover() {
     // Uncommitted with no record: a normal working head.
   }
 
+  // Commits whose record landed but whose id the info snapshot has never
+  // seen: a published transaction that crashed after its commit point and
+  // before the info flush (DESIGN.md §12). The record is the commit point,
+  // so adopt the commit and splice the branch's unsealed working head onto
+  // it — exactly what the publish would have done.
+  for (const auto& id : dir_ids) {
+    {
+      MutexLock lock(mu_);
+      if (commits_.count(id) > 0) continue;
+    }
+    auto rec = ReadCommitRecord(id);
+    if (!rec.ok()) {
+      if (rec.status().IsCorruption() || rec.status().IsInvalidArgument()) {
+        // Torn record on an unknown directory: the commit point never
+        // landed. Drop the record; the directory is classified below
+        // (staged-txn debris or orphan).
+        recovery_.corrupt_manifests++;
+        recovery_.commits_rolled_back++;
+        DL_RETURN_IF_ERROR(base_->Delete(CommitRecordKey(id)));
+      } else if (!rec.status().IsNotFound()) {
+        return rec.status();
+      }
+      continue;
+    }
+    {
+      MutexLock lock(mu_);
+      CommitInfo info = *rec;
+      std::string branch =
+          info.branch.empty() ? std::string(kDefaultBranch) : info.branch;
+      commits_[id] = info;
+      auto bit = branches_.find(branch);
+      if (bit != branches_.end()) {
+        auto wit = commits_.find(bit->second);
+        if (wit != commits_.end() && !wit->second.committed &&
+            wit->second.parent == info.parent) {
+          wit->second.parent = id;
+        }
+      } else {
+        branches_[branch] = id;
+      }
+    }
+    recovery_.commits_rolled_forward++;
+    // The keyset lands before the record in the journal order; load it so
+    // the adopted commit's objects resolve through the chain.
+    Status ks = LoadKeySet(id);
+    if (!ks.ok()) {
+      if (!ks.IsNotFound() && !ks.IsCorruption() &&
+          !ks.IsInvalidArgument()) {
+        return ks;
+      }
+      if (!ks.IsNotFound()) recovery_.corrupt_manifests++;
+      DL_RETURN_IF_ERROR(RebuildKeySet(id));
+      recovery_.keysets_rebuilt++;
+    }
+  }
+
   // Version directories no commit references: the half-created next head
-  // of a crashed Commit. Provably unreachable when the snapshot loaded
-  // cleanly — delete. After an info rebuild "unreferenced" cannot be
-  // proven, so quarantine (dlfsck reports them) instead.
+  // of a crashed Commit, or the staging directory of a crashed / losing
+  // writer. A txn.json marker proves the latter — safe to GC even after an
+  // info rebuild, since a marked directory was never a working head.
+  // Unmarked dirs are provably unreachable only when the snapshot loaded
+  // cleanly — delete; after an info rebuild quarantine (dlfsck reports
+  // them) instead.
   for (const auto& id : dir_ids) {
     bool referenced;
     {
@@ -723,6 +817,13 @@ Status VersionControl::Recover() {
       referenced = commits_.count(id) > 0;
     }
     if (referenced) continue;
+    if (HasTxnMarker(id)) {
+      DL_ASSIGN_OR_RETURN(auto keys,
+                          base_->ListPrefix(VersionDir(id) + "/"));
+      for (const auto& k : keys) DL_RETURN_IF_ERROR(base_->Delete(k));
+      recovery_.stale_txns_removed++;
+      continue;
+    }
     if (recovery_.info_rebuilt) {
       recovery_.dirs_quarantined++;
       continue;

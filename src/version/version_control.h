@@ -21,6 +21,10 @@ struct CommitInfo {
   std::string branch;
   std::string message;  // empty while the commit is the working head
   bool committed = false;
+  /// Private MVCC staging commit of an open WriteTxn (DESIGN.md §12):
+  /// excluded from the persisted info snapshot; its directory carries a
+  /// txn.json marker so recovery and fsck can classify abandoned ones.
+  bool staged = false;
   int64_t timestamp_us = 0;
 };
 
@@ -75,11 +79,14 @@ struct RecoveryReport {
   /// version_control_info.json was unreadable and was rebuilt from the
   /// per-commit records.
   bool info_rebuilt = false;
+  /// Abandoned MVCC staging directories (txn.json marker, no commit
+  /// record): debris of crashed or losing writers, garbage-collected.
+  uint64_t stale_txns_removed = 0;
 
   bool any() const {
     return commits_rolled_back || commits_rolled_forward || keysets_rebuilt ||
            orphan_dirs_removed || dirs_quarantined || corrupt_manifests ||
-           info_rebuilt;
+           info_rebuilt || stale_txns_removed;
   }
 };
 
@@ -165,8 +172,17 @@ class VersionControl
   /// What recovery did during OpenOrInit; all-zero after a clean open.
   const RecoveryReport& last_recovery() const { return recovery_; }
 
+  // ---- MVCC (DESIGN.md §12) ----
+
+  /// Last *sealed* commit of `branch` (empty argument = current branch):
+  /// the parent of the branch's working head. This is the snapshot a
+  /// concurrent reader pins and the base a WriteTxn stages against.
+  /// NotFound when the branch has no sealed commit yet.
+  Result<std::string> SealedHead(const std::string& branch = "");
+
  private:
   friend class VersionedStore;
+  friend class WriteTxn;
 
   explicit VersionControl(storage::StoragePtr base)
       : base_(std::move(base)) {}
@@ -205,7 +221,51 @@ class VersionControl
   /// unrecorded ones forward, delete orphan dirs, reopen a working head.
   Status Recover() DL_EXCLUDES(mu_);
 
+  // ---- Optimistic concurrent commits (DESIGN.md §12, defined in mvcc.cc).
+  // WriteTxn is the public face; these run the protocol.
+
+  /// True when versions/<id>/txn.json exists — the directory is (or was)
+  /// a private MVCC staging commit, never a legacy working head.
+  bool HasTxnMarker(const std::string& commit_id);
+  /// Creates a staged commit whose parent is `branch`'s sealed head and
+  /// writes its txn.json marker. Returns the staging commit id.
+  Result<std::string> BeginStagedCommit(const std::string& branch,
+                                        const std::string& owner,
+                                        std::string* base_out)
+      DL_EXCLUDES(mu_);
+  /// Publishes a staged commit: conflict-checks its footprint against
+  /// every commit sealed after `base`, then either seals it directly
+  /// (fast path, head unchanged) or replays it onto a fresh staging
+  /// commit at the new head (rebase path). Returns the landed commit id
+  /// or Status::Conflict.
+  Result<std::string> PublishTxn(const std::string& txn_id,
+                                 const std::string& branch,
+                                 const std::string& base,
+                                 const std::string& owner,
+                                 const std::string& message)
+      DL_EXCLUDES(mu_, publish_mu_);
+  /// Drops a staged commit: erases it from the in-memory maps and deletes
+  /// its directory (marker included). Idempotent.
+  Status AbortStagedCommit(const std::string& txn_id) DL_EXCLUDES(mu_);
+  /// Fast-path seal under publish_mu_: keyset + diff + commit record for
+  /// the staged commit (whose parent must be the branch's sealed head),
+  /// then reparents the branch's unsealed working head onto it.
+  Result<std::string> SealStagedLocked(const std::string& txn_id,
+                                       const std::string& branch,
+                                       const std::string& message)
+      DL_REQUIRES(publish_mu_) DL_EXCLUDES(mu_);
+  /// Deletes versions/<id>/txn.json (seal does this just before the commit
+  /// record lands).
+  Status RemoveTxnMarker(const std::string& commit_id);
+
   storage::StoragePtr base_;
+  // Serializes the publish critical section of concurrent WriteTxns
+  // (DESIGN.md §12): the head check, conflict detection, rebase replay and
+  // the commit-record write happen under it, so exactly one transaction
+  // lands at a time while data staging stays fully parallel. Ordered
+  // strictly BEFORE mu_ (lock_hierarchy.txt: version.vc.publish_mu ->
+  // version.vc.mu); never taken by readers.
+  mutable Mutex publish_mu_{"version.vc.publish_mu"};
   // Lock order (DESIGN.md §8): mu_ is held across base_ store calls in a
   // few paths (LoadInfo's key-set loop, VersionedStore::Delete), so
   // version.vc.mu orders strictly BEFORE every storage lock. Never call

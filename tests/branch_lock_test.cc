@@ -2,14 +2,53 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
 #include "storage/storage.h"
 #include "util/clock.h"
+#include "util/json.h"
 #include "version/branch_lock.h"
 
 namespace dl::version {
 namespace {
 
 storage::StoragePtr Mem() { return std::make_shared<storage::MemoryStore>(); }
+
+std::string OwnHost() {
+  char buf[256] = {0};
+  EXPECT_EQ(gethostname(buf, sizeof(buf) - 1), 0);
+  return buf;
+}
+
+/// Plants a lease as if written by (owner, host, pid), unexpired for an
+/// hour — the takeover logic must decide from the pid alone.
+void PlantLease(const storage::StoragePtr& store, const std::string& branch,
+                const std::string& owner, const std::string& host,
+                int64_t pid) {
+  Json j = Json::MakeObject();
+  j.Set("owner", owner);
+  j.Set("branch", branch);
+  j.Set("host", host);
+  j.Set("pid", pid);
+  j.Set("acquired_us", NowMicros());
+  j.Set("expires_us", NowMicros() + int64_t{3600} * 1000 * 1000);
+  std::string text = j.Dump();
+  ASSERT_TRUE(store->Put("locks/" + branch + ".json", ByteView(text)).ok());
+}
+
+/// Forks a child that exits immediately and reaps it: a pid that provably
+/// no longer exists on this host.
+int64_t DeadPid() {
+  pid_t child = fork();
+  if (child == 0) _exit(0);
+  EXPECT_GT(child, 0);
+  int wstatus = 0;
+  EXPECT_EQ(waitpid(child, &wstatus, 0), child);
+  return static_cast<int64_t>(child);
+}
 
 TEST(BranchLockTest, AcquireReleaseCycle) {
   auto store = Mem();
@@ -84,6 +123,46 @@ TEST(BranchLockTest, DestructorReleases) {
 TEST(BranchLockTest, HolderOfUnlockedBranch) {
   auto store = Mem();
   EXPECT_EQ(*BranchLock::HolderOf(store, "never-locked"), "");
+}
+
+TEST(BranchLockTest, DeadHolderIsTakenOverBeforeTtlExpiry) {
+  auto store = Mem();
+  // A writer on THIS host crashed holding an hour-long lease; its pid is
+  // provably gone, so the next Acquire takes over immediately.
+  PlantLease(store, "main", "crashed-worker", OwnHost(), DeadPid());
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "");
+  auto taker = BranchLock::Acquire(store, "main", "bob", 60000);
+  ASSERT_TRUE(taker.ok()) << taker.status();
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "bob");
+}
+
+TEST(BranchLockTest, LiveHolderPidBlocksTakeover) {
+  auto store = Mem();
+  // Same host, but the pid is alive (it is ours): a regular unexpired
+  // lease that other owners must respect.
+  PlantLease(store, "main", "other-session", OwnHost(),
+             static_cast<int64_t>(getpid()));
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "other-session");
+  auto bob = BranchLock::Acquire(store, "main", "bob", 60000);
+  EXPECT_TRUE(bob.status().IsAborted()) << bob.status();
+}
+
+TEST(BranchLockTest, ForeignHostLeaseWaitsOutTheTtl) {
+  auto store = Mem();
+  // kill(pid, 0) says nothing about processes on OTHER machines — even a
+  // locally-dead pid must wait out the TTL when the host differs.
+  PlantLease(store, "main", "remote-worker", "some-other-host", DeadPid());
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "remote-worker");
+  auto bob = BranchLock::Acquire(store, "main", "bob", 60000);
+  EXPECT_TRUE(bob.status().IsAborted()) << bob.status();
+}
+
+TEST(BranchLockTest, LegacyLeaseWithoutPidWaitsOutTheTtl) {
+  auto store = Mem();
+  PlantLease(store, "main", "legacy-writer", "", 0);
+  EXPECT_EQ(*BranchLock::HolderOf(store, "main"), "legacy-writer");
+  auto bob = BranchLock::Acquire(store, "main", "bob", 60000);
+  EXPECT_TRUE(bob.status().IsAborted()) << bob.status();
 }
 
 }  // namespace

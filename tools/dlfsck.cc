@@ -41,9 +41,22 @@ void PrintHuman(const FsckReport& report) {
 
 void PrintJson(const FsckReport& report) {
   dl::Json j = dl::Json::MakeObject();
+  // v2: adds issue_counts (per-kind totals) and the stale-txn issue kind.
+  j.Set("schema_version", static_cast<int64_t>(2));
   j.Set("objects_scanned", report.objects_scanned);
   j.Set("bytes_scanned", report.bytes_scanned);
   j.Set("clean", report.clean());
+  dl::Json counts = dl::Json::MakeObject();
+  for (auto kind : {dl::version::FsckIssueKind::kCorruptObject,
+                    dl::version::FsckIssueKind::kTornCommit,
+                    dl::version::FsckIssueKind::kOrphanDir,
+                    dl::version::FsckIssueKind::kMissingKeySet,
+                    dl::version::FsckIssueKind::kBadInfo,
+                    dl::version::FsckIssueKind::kTempDebris,
+                    dl::version::FsckIssueKind::kStaleTxn}) {
+    counts.Set(FsckIssueKindName(kind), report.CountOf(kind));
+  }
+  j.Set("issue_counts", std::move(counts));
   dl::Json issues = dl::Json::MakeArray();
   for (const FsckIssue& issue : report.issues) {
     dl::Json i = dl::Json::MakeObject();
